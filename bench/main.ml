@@ -1,0 +1,244 @@
+(* Benchmark harness: one Bechamel benchmark per paper table/figure family
+   (the checkers this repository reproduces are themselves the paper's
+   "evaluation machinery", so the benchmarks measure checker cost), followed
+   by regeneration of every table the paper reports. See DESIGN.md's
+   experiment index and EXPERIMENTS.md for paper-vs-measured.
+
+   Environment:
+     BENCH_QUICK=1         cut budgets (issue #10 typically not found)
+     BENCH_SKIP_TABLES=1   only run the Bechamel micro-benchmarks *)
+
+open Bechamel
+open Toolkit
+
+let quick = Sys.getenv_opt "BENCH_QUICK" = Some "1"
+let skip_tables = Sys.getenv_opt "BENCH_SKIP_TABLES" = Some "1"
+
+(* {2 Workloads under measurement} *)
+
+let harness_config = Lfm.Harness.default_config
+
+let run_sequence profile seed =
+  Faults.disable_all ();
+  let _, outcome =
+    Lfm.Harness.run_seed harness_config ~profile ~bias:Lfm.Gen.default_bias ~length:60 ~seed
+  in
+  match outcome with
+  | Lfm.Harness.Passed -> ()
+  | Lfm.Harness.Failed f ->
+    Format.kasprintf failwith "baseline failure: %a" Lfm.Harness.pp_failure f
+
+let counter = ref 0
+
+let fresh () =
+  incr counter;
+  !counter
+
+(* Fig. 5 / E1: conformance-checker throughput per property class. *)
+let bench_fig5 =
+  [
+    Test.make ~name:"fig5/pbt-sequence-crash-free"
+      (Staged.stage (fun () -> run_sequence Lfm.Gen.Crash_free (fresh ())));
+    Test.make ~name:"fig5/pbt-sequence-crashing"
+      (Staged.stage (fun () -> run_sequence Lfm.Gen.Crashing (fresh ())));
+    Test.make ~name:"fig5/pbt-sequence-failing"
+      (Staged.stage (fun () -> run_sequence Lfm.Gen.Failing (fresh ())));
+    Test.make ~name:"fig5/smc-pct-100-schedules"
+      (Staged.stage (fun () ->
+           Faults.disable_all ();
+           ignore
+             (Conc.Conc_detect.check_correct
+                (Smc.Pct { seed = fresh (); schedules = 100; depth = 3 })
+                Faults.F14_compaction_reclaim_race)));
+  ]
+
+(* Fig. 6 / E2: the LoC scan itself. *)
+let bench_fig6 =
+  [ Test.make ~name:"fig6/loc-scan" (Staged.stage (fun () -> ignore (Experiments.Fig6.run ()))) ]
+
+(* E3: find + minimize one counterexample for a cheap fault. *)
+let bench_minimize =
+  [
+    Test.make ~name:"e3/detect+minimize-fault4"
+      (Staged.stage (fun () ->
+           let r =
+             Lfm.Detect.detect ~max_sequences:500 ~minimize:true ~seed:(10_000 + fresh ())
+               Faults.F4_disk_return_loses_shards
+           in
+           assert r.Lfm.Detect.found));
+  ]
+
+(* E4: crash-state granularity cost. *)
+let crash_sequence mode seed =
+  Faults.disable_all ();
+  let rng = Util.Rng.create (Int64.of_int seed) in
+  let ops =
+    Lfm.Gen.sequence ~rng ~bias:Lfm.Gen.default_bias ~profile:Lfm.Gen.Crashing
+      ~page_size:harness_config.Lfm.Harness.store_config.Store.Default.disk.Disk.page_size
+      ~extent_count:harness_config.Lfm.Harness.store_config.Store.Default.disk.Disk.extent_count
+      ~length:60
+  in
+  let ops =
+    List.map
+      (fun op ->
+        match op, mode with
+        | Lfm.Op.DirtyReboot r, `Coarse ->
+          Lfm.Op.DirtyReboot
+            {
+              r with
+              Lfm.Op.split_pages = false;
+              persist_probability = (if r.Lfm.Op.persist_probability < 0.5 then 0.0 else 1.0);
+            }
+        | Lfm.Op.DirtyReboot r, `Block -> Lfm.Op.DirtyReboot { r with Lfm.Op.split_pages = true }
+        | _ -> op)
+      ops
+  in
+  ignore (Lfm.Harness.run harness_config ops)
+
+let bench_crash_modes =
+  [
+    Test.make ~name:"e4/crash-sequence-coarse"
+      (Staged.stage (fun () -> crash_sequence `Coarse (fresh ())));
+    Test.make ~name:"e4/crash-sequence-block-level"
+      (Staged.stage (fun () -> crash_sequence `Block (fresh ())));
+  ]
+
+(* E6/E7: generation cost with and without biases. *)
+let gen_only bias seed =
+  let rng = Util.Rng.create (Int64.of_int seed) in
+  ignore
+    (Lfm.Gen.sequence ~rng ~bias ~profile:Lfm.Gen.Full ~page_size:512 ~extent_count:64
+       ~length:60)
+
+let bench_generation =
+  [
+    Test.make ~name:"e7/generate-biased"
+      (Staged.stage (fun () -> gen_only Lfm.Gen.default_bias (fresh ())));
+    Test.make ~name:"e7/generate-unbiased"
+      (Staged.stage (fun () -> gen_only Lfm.Gen.unbiased (fresh ())));
+  ]
+
+(* E8: one exhaustive DFS verification of a small harness. *)
+let bench_smc =
+  [
+    Test.make ~name:"e8/dfs-exhaust-locator-harness"
+      (Staged.stage (fun () ->
+           Faults.disable_all ();
+           let o =
+             Conc.Conc_detect.check_correct (Smc.Dfs { max_schedules = 200_000 })
+               Faults.F11_locator_race
+           in
+           assert o.Smc.exhausted));
+  ]
+
+(* Store micro-benchmarks (the substrate itself). *)
+module S = Store.Default
+
+let store_for_bench = lazy (S.create S.default_config)
+
+let bench_store =
+  [
+    Test.make ~name:"store/put-4KiB"
+      (Staged.stage (fun () ->
+           let s = Lazy.force store_for_bench in
+           match
+             S.put s
+               ~key:(Printf.sprintf "bench-%d" (fresh () mod 64))
+               ~value:(String.make 4096 'x')
+           with
+           | Ok _ | Error S.No_space -> ()
+           | Error e -> Format.kasprintf failwith "%a" S.pp_error e));
+    Test.make ~name:"store/get-4KiB"
+      (Staged.stage (fun () ->
+           let s = Lazy.force store_for_bench in
+           ignore (S.get s ~key:(Printf.sprintf "bench-%d" (fresh () mod 64)))));
+  ]
+
+let all_tests =
+  Test.make_grouped ~name:"shardstore-lfm"
+    (bench_fig5 @ bench_fig6 @ bench_minimize @ bench_crash_modes @ bench_generation
+   @ bench_smc @ bench_store)
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second (if quick then 0.25 else 1.0)) () in
+  let raw = Benchmark.all cfg [ instance ] all_tests in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "%-48s %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 66 '-');
+  let rows = ref [] in
+  Hashtbl.iter (fun name ols_result -> rows := (name, ols_result) :: !rows) results;
+  List.iter
+    (fun (name, ols_result) ->
+      let time =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) ->
+          if est > 1e9 then Printf.sprintf "%10.2f  s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%10.2f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%10.2f us" (est /. 1e3)
+          else Printf.sprintf "%10.0f ns" est
+        | _ -> "n/a"
+      in
+      Printf.printf "%-48s %16s\n" name time)
+    (List.sort compare !rows)
+
+(* {2 Paper tables} *)
+
+let run_tables () =
+  let sep title =
+    Printf.printf "\n%s\n== %s\n%s\n" (String.make 72 '=') title (String.make 72 '=')
+  in
+  sep "E1 / Figure 5: issues prevented";
+  Experiments.Fig5.print
+    (Experiments.Fig5.run
+       (if quick then Experiments.Fig5.quick_budget
+        else
+          {
+            Experiments.Fig5.default_budget with
+            Experiments.Fig5.pbt_sequences = 3_000;
+            f10_sequences = 40_000;
+            smc_schedules = 100_000;
+          }));
+  sep "E2 / Figure 6: lines of code";
+  Experiments.Fig6.print (Experiments.Fig6.run ());
+  sep "E3: test-case minimization";
+  Experiments.Minimize_stats.print
+    (Experiments.Minimize_stats.run ~samples_per_fault:(if quick then 2 else 4) ());
+  sep "E4: coarse vs block-level crash states";
+  Experiments.Crash_modes.print
+    (Experiments.Crash_modes.run
+       ~max_sequences:(if quick then 500 else 2_000)
+       ~throughput_sequences:(if quick then 100 else 300)
+       ());
+  sep "E6: pay-as-you-go detection curves";
+  Experiments.Payg.print
+    (Experiments.Payg.run ~trials:(if quick then 5 else 15)
+       ~max_sequences:(if quick then 500 else 1_500)
+       ());
+  sep "E7: argument-bias ablation";
+  Experiments.Bias_ablation.print
+    (Experiments.Bias_ablation.run
+       ~max_sequences:(if quick then 500 else 20_000)
+       ~trials:(if quick then 2 else 6)
+       ());
+  sep "E9: coverage blind spot (missed cache-miss bug, section 8.3)";
+  Experiments.Blindspot.print
+    (Experiments.Blindspot.run ~max_sequences:(if quick then 200 else 600) ());
+  sep "E10: component-level vs end-to-end checking (section 8.4)";
+  Experiments.Component_level.print
+    (Experiments.Component_level.run ~trials:(if quick then 3 else 10) ());
+  sep "E11: repair traffic after crash vs loss (section 2.2)";
+  Experiments.Repair_traffic.print
+    (Experiments.Repair_traffic.run ~shards:(if quick then 40 else 120) ());
+  sep "E8: stateless model checking trade-off";
+  Experiments.Smc_tradeoff.print
+    (Experiments.Smc_tradeoff.run ~trials:(if quick then 2 else 5)
+       ~schedule_budget:(if quick then 20_000 else 100_000)
+       ())
+
+let () =
+  Printf.printf "ShardStore lightweight-formal-methods benchmark harness%s\n\n"
+    (if quick then " (quick mode)" else "");
+  run_benchmarks ();
+  if not skip_tables then run_tables ()

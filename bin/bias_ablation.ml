@@ -1,0 +1,21 @@
+(* Experiment E7: quantify the argument-selection biases of section 4.2. *)
+
+open Cmdliner
+
+let run budget trials seed =
+  Experiments.Bias_ablation.print
+    (Experiments.Bias_ablation.run ~max_sequences:budget ~trials ~seed ());
+  0
+
+let budget =
+  Arg.(value & opt int 4000 & info [ "budget" ] ~doc:"Sequence budget per ablation arm.")
+
+let trials = Arg.(value & opt int 8 & info [ "trials" ] ~doc:"Hunts per ablation arm.")
+let seed = Arg.(value & opt int 90000 & info [ "seed" ] ~doc:"Base random seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bias_ablation" ~doc:"Reproduce the argument-bias ablation")
+    Term.(const run $ budget $ trials $ seed)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,18 @@
+(* Experiment E9: the missed cache-miss bug and the coverage metrics that
+   motivated section 4.2's coverage work (section 8.3). *)
+
+open Cmdliner
+
+let run budget seed =
+  Experiments.Blindspot.print (Experiments.Blindspot.run ~max_sequences:budget ~seed ());
+  0
+
+let budget = Arg.(value & opt int 600 & info [ "budget" ] ~doc:"Sequence budget per arm.")
+let seed = Arg.(value & opt int 77000 & info [ "seed" ] ~doc:"Base random seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "blindspot" ~doc:"Reproduce the section 8.3 missed-bug / coverage experiment")
+    Term.(const run $ budget $ seed)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,19 @@
+(* Experiment E10: component-level vs end-to-end checking (section 8.4). *)
+
+open Cmdliner
+
+let run trials budget seed =
+  Experiments.Component_level.print
+    (Experiments.Component_level.run ~trials ~max_sequences:budget ~seed ());
+  0
+
+let trials = Arg.(value & opt int 10 & info [ "trials" ] ~doc:"Hunts per fault and level.")
+let budget = Arg.(value & opt int 2000 & info [ "budget" ] ~doc:"Sequence budget per hunt.")
+let seed = Arg.(value & opt int 64000 & info [ "seed" ] ~doc:"Base random seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "component_level" ~doc:"Reproduce the component-level vs end-to-end comparison")
+    Term.(const run $ trials $ budget $ seed)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,23 @@
+(* Experiment E4: coarse vs block-level crash-state enumeration. *)
+
+open Cmdliner
+
+let run max_sequences throughput seed =
+  Experiments.Crash_modes.print
+    (Experiments.Crash_modes.run ~max_sequences ~throughput_sequences:throughput ~seed ());
+  0
+
+let max_sequences =
+  Arg.(value & opt int 3000 & info [ "budget" ] ~doc:"Detection budget per fault and mode.")
+
+let throughput =
+  Arg.(value & opt int 400 & info [ "throughput" ] ~doc:"Sequences for the throughput runs.")
+
+let seed = Arg.(value & opt int 1234 & info [ "seed" ] ~doc:"Base random seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "crash_modes" ~doc:"Reproduce the coarse vs block-level crash-state comparison")
+    Term.(const run $ max_sequences $ throughput $ seed)
+
+let () = exit (Cmd.eval' cmd)

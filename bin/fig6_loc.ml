@@ -1,0 +1,18 @@
+(* Regenerate the paper's Figure 6 (experiments E2/E5): lines of code by
+   category and the validation-effort ratios of section 8.2. *)
+
+open Cmdliner
+
+let run root =
+  Experiments.Fig6.print (Experiments.Fig6.run ~root ());
+  0
+
+let root =
+  Arg.(value & opt string "." & info [ "root" ] ~doc:"Repository root to scan.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "fig6_loc" ~doc:"Reproduce Figure 6: lines of code per artifact")
+    Term.(const run $ root)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,21 @@
+(* Experiment E3: raw vs minimized counterexample sizes (the section 4.3
+   anecdote). *)
+
+open Cmdliner
+
+let run samples seed =
+  Experiments.Minimize_stats.print
+    (Experiments.Minimize_stats.run ~samples_per_fault:samples ~seed ());
+  0
+
+let samples =
+  Arg.(value & opt int 5 & info [ "samples" ] ~doc:"Counterexamples per fault.")
+
+let seed = Arg.(value & opt int 7000 & info [ "seed" ] ~doc:"Base random seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "minimize_stats" ~doc:"Reproduce the test-case minimization statistics")
+    Term.(const run $ samples $ seed)
+
+let () = exit (Cmd.eval' cmd)

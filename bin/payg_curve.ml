@@ -1,0 +1,18 @@
+(* Experiment E6: detection probability as a function of the sequence
+   budget (pay-as-you-go scaling). *)
+
+open Cmdliner
+
+let run trials seed =
+  Experiments.Payg.print (Experiments.Payg.run ~trials ~seed ());
+  0
+
+let trials = Arg.(value & opt int 20 & info [ "trials" ] ~doc:"Independent hunts per fault.")
+let seed = Arg.(value & opt int 52000 & info [ "seed" ] ~doc:"Base random seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "payg_curve" ~doc:"Reproduce the pay-as-you-go detection curves")
+    Term.(const run $ trials $ seed)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,20 @@
+(* Experiment E11: repair traffic after a node crash vs a node loss —
+   the section 2.2 motivation for crash consistency. *)
+
+open Cmdliner
+
+let run shards bytes seed =
+  Experiments.Repair_traffic.print
+    (Experiments.Repair_traffic.run ~shards ~shard_bytes:bytes ~seed ());
+  0
+
+let shards = Arg.(value & opt int 120 & info [ "shards" ] ~doc:"Shards to populate.")
+let bytes = Arg.(value & opt int 4096 & info [ "bytes" ] ~doc:"Shard size in bytes.")
+let seed = Arg.(value & opt int 11000 & info [ "seed" ] ~doc:"Base random seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "repair_traffic" ~doc:"Reproduce the crash-vs-loss repair traffic comparison")
+    Term.(const run $ shards $ bytes $ seed)
+
+let () = exit (Cmd.eval' cmd)

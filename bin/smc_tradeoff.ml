@@ -1,0 +1,20 @@
+(* Experiment E8: DFS vs randomized strategies on the concurrency
+   harnesses (the Loom-vs-Shuttle trade-off of section 6). *)
+
+open Cmdliner
+
+let run trials budget seed =
+  Experiments.Smc_tradeoff.print
+    (Experiments.Smc_tradeoff.run ~trials ~schedule_budget:budget ~seed ());
+  0
+
+let trials = Arg.(value & opt int 5 & info [ "trials" ] ~doc:"Trials per strategy.")
+let budget = Arg.(value & opt int 100000 & info [ "budget" ] ~doc:"Schedule budget per trial.")
+let seed = Arg.(value & opt int 3000 & info [ "seed" ] ~doc:"Base random seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "smc_tradeoff" ~doc:"Reproduce the stateless model checking trade-off study")
+    Term.(const run $ trials $ budget $ seed)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,81 @@
+(* The pre-deployment validation run (paper section 4.2: "we routinely run
+   tens of millions of random test sequences before every ShardStore
+   deployment"): conformance checking across every profile, scaled by a
+   sequence budget. Exit status 1 if any check fails. *)
+
+open Cmdliner
+
+let expected_coverage =
+  [
+    "cache.hit"; "cache.miss"; "cache.eviction"; "chunk.get.stale_locator";
+    "index.get.memtable"; "index.get.run"; "index.run_written"; "index.compact";
+    "reclaim.scan.valid_frame"; "reclaim.scan.invalid_frame"; "reclaim.evacuated";
+    "reclaim.dropped"; "crash.torn_append"; "superblock.record";
+    "superblock.free_claim_withheld"; "store.put.gc_fallback";
+  ]
+
+let run sequences length seed =
+  Faults.disable_all ();
+  Util.Coverage.reset ();
+  let config = Lfm.Harness.default_config in
+  let total_failures = ref 0 in
+  List.iter
+    (fun profile ->
+      let t0 = Unix.gettimeofday () in
+      let failures = ref 0 in
+      let first = ref None in
+      for i = 0 to sequences - 1 do
+        let ops, outcome =
+          Lfm.Harness.run_seed config ~profile ~bias:Lfm.Gen.default_bias ~length
+            ~seed:(seed + i)
+        in
+        match outcome with
+        | Lfm.Harness.Passed -> ()
+        | Lfm.Harness.Failed f ->
+          incr failures;
+          if !first = None then first := Some (seed + i, ops, f)
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "%-12s %6d sequences, %3d failures (%.0f seqs/s)\n"
+        (Lfm.Gen.profile_name profile)
+        sequences !failures
+        (float_of_int sequences /. dt);
+      (match !first with
+      | Some (s, ops, f) ->
+        Format.printf "  first failure (seed %d): %a@." s Lfm.Harness.pp_failure f;
+        let still_fails ops =
+          match Lfm.Harness.run config ops with Lfm.Harness.Failed _ -> true | _ -> false
+        in
+        let minimized, stats = Lfm.Minimize.minimize ~still_fails ops in
+        Format.printf "  minimized: %a@." Lfm.Minimize.pp_stats stats;
+        List.iteri (fun i op -> Format.printf "    %2d: %a@." i Lfm.Op.pp op) minimized
+      | None -> ());
+      total_failures := !total_failures + !failures)
+    [ Lfm.Gen.Crash_free; Lfm.Gen.Crashing; Lfm.Gen.Failing; Lfm.Gen.Full ];
+  (* Coverage monitoring (section 4.2): make blind spots visible so new
+     functionality that the harness cannot reach is noticed. *)
+  Printf.printf "\ncoverage:\n";
+  List.iter
+    (fun (name, n) -> Printf.printf "  %-40s %d\n" name n)
+    (Util.Coverage.snapshot ());
+  (match Util.Coverage.blind_spots ~expected:expected_coverage () with
+  | [] -> Printf.printf "  no blind spots among %d expected paths\n" (List.length expected_coverage)
+  | spots -> Printf.printf "  BLIND SPOTS: %s\n" (String.concat ", " spots));
+  if !total_failures = 0 then begin
+    Printf.printf "all profiles clean\n";
+    0
+  end
+  else 1
+
+let sequences =
+  Arg.(value & opt int 2000 & info [ "sequences"; "n" ] ~doc:"Sequences per profile.")
+
+let length = Arg.(value & opt int 60 & info [ "length" ] ~doc:"Operations per sequence.")
+let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Base random seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Run the pre-deployment conformance checks")
+    Term.(const run $ sequences $ length $ seed)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,76 @@
+(* Reproduce the paper's Figure 2: the runtime dependency graph of three
+   put operations, printed from the IO scheduler's pending writes before
+   any writeback happens.
+
+   Each put's graph follows the paper's pattern: the shard data chunk, the
+   index entry (inside an LSM run chunk) that depends on it, the LSM-tree
+   metadata record that depends on the run, and the superblock record
+   carrying the soft write pointer updates.
+
+   Run with: dune exec examples/dependency_graph.exe *)
+
+module S = Store.Default
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Format.kasprintf failwith "store error: %a" S.pp_error e
+
+let role extent =
+  match extent with
+  | 0 | 1 -> "superblock"
+  | 2 | 3 -> "LSM metadata"
+  | _ -> Printf.sprintf "data extent %d" extent
+
+let () =
+  (* Disable background writeback so the whole graph stays visible. *)
+  let store = S.create { S.default_config with S.auto_pump = 0 } in
+  let sched = S.sched store in
+
+  print_endline "Three puts (paper Fig. 2): two small shards, one large.";
+  ignore (ok (S.put store ~key:"shard-1" ~value:(String.make 300 'a')));
+  ignore (ok (S.put store ~key:"shard-2" ~value:(String.make 300 'b')));
+  ignore (ok (S.put store ~key:"shard-3" ~value:(String.make 20_000 'c')));
+
+  (* Flush the index (run chunk + metadata record) and the superblock
+     (soft write pointer record) so the whole graph is staged. *)
+  ignore (ok (S.flush_index store));
+  ignore (ok (S.flush_superblock store));
+
+  Printf.printf "\n%d writes pending; the dependency graph:\n\n"
+    (Io_sched.pending_count sched);
+  List.iter
+    (fun (w : Dep.write) ->
+      let kind =
+        match w.Dep.kind with
+        | Dep.Append { off; data } -> Printf.sprintf "append %4d B @ %-4d" (String.length data) off
+        | Dep.Reset { epoch } -> Printf.sprintf "reset (epoch %d)" epoch
+      in
+      let inputs =
+        match Dep.writes w.Dep.input with
+        | [] -> "-"
+        | ws -> String.concat ", " (List.map (fun w' -> Printf.sprintf "w%d" w'.Dep.id) ws)
+      in
+      Printf.printf "  w%-3d %-22s on %-14s <- depends on: %s\n" w.Dep.id kind (role w.Dep.extent)
+        inputs)
+    (Io_sched.pending_writes sched);
+
+  print_endline "\nReading the graph (compare with the paper's Fig. 2):";
+  print_endline "  - shard data chunks have no input dependencies;";
+  print_endline "  - the LSM run chunk (the index entries) depends on every data chunk it";
+  print_endline "    references, so a durable index never points at non-durable data;";
+  print_endline "  - the LSM metadata record depends on the run chunk;";
+  print_endline "  - the superblock record carries the soft-pointer updates; every put's";
+  print_endline "    returned dependency includes it through the cadence promise.";
+
+  (* Show the writeback respecting the graph: pump one IO at a time. *)
+  print_endline "\nWriteback order (dependencies respected, randomized otherwise):";
+  let rec pump_all step =
+    let before = Io_sched.pending_count sched in
+    if before > 0 then begin
+      ignore (Io_sched.pump ~max_ios:1 sched);
+      if Io_sched.pending_count sched < before then Printf.printf "  io %d issued\n" step;
+      pump_all (step + 1)
+    end
+  in
+  pump_all 1;
+  print_endline "done."

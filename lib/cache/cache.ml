@@ -1,0 +1,160 @@
+type entry = { data : string; mutable last_used : int }
+
+type t = {
+  sched : Io_sched.t;
+  capacity : int;
+  write_allocate : bool;
+  pages : (int * int, entry) Hashtbl.t;  (* (extent, page index) -> content *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+let create ?(capacity_pages = 64) ?(write_allocate = false) sched =
+  {
+    sched;
+    capacity = max 1 capacity_pages;
+    write_allocate;
+    pages = Hashtbl.create 128;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let write_allocate t = t.write_allocate
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_used <- t.tick
+
+let evict_if_needed t =
+  if Hashtbl.length t.pages > t.capacity then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key entry ->
+        match !victim with
+        | Some (_, e) when e.last_used <= entry.last_used -> ()
+        | _ -> victim := Some (key, entry))
+      t.pages;
+    match !victim with
+    | Some (key, _) ->
+      Hashtbl.remove t.pages key;
+      Util.Coverage.hit "cache.eviction";
+      t.evictions <- t.evictions + 1
+    | None -> ()
+  end
+
+(* Fetch one page's currently-readable prefix through the scheduler. *)
+let fetch_page t ~extent ~page =
+  let ps = Io_sched.page_size t.sched in
+  let start = page * ps in
+  let soft = Io_sched.soft_ptr t.sched ~extent in
+  let len = min ps (soft - start) in
+  if len <= 0 then
+    Error (Io_sched.Io (Disk.Out_of_bounds (Printf.sprintf "page %d beyond soft pointer" page)))
+  else
+    match Io_sched.read t.sched ~extent ~off:start ~len with
+    | Error _ as e -> e
+    | Ok data ->
+      (* Fault #17 (extra, section 8.3): the defect lives on the miss
+         path — full pages fetched from disk get their last byte
+         corrupted before entering the cache. *)
+      let data =
+        if Faults.enabled Faults.F17_cache_miss_path && String.length data = ps then begin
+          Faults.record_fired Faults.F17_cache_miss_path;
+          let b = Bytes.of_string data in
+          Bytes.set b (ps - 1) (Char.chr (Char.code (Bytes.get b (ps - 1)) lxor 0xFF));
+          Bytes.to_string b
+        end
+        else data
+      in
+      let entry = { data; last_used = 0 } in
+      touch t entry;
+      Hashtbl.replace t.pages (extent, page) entry;
+      evict_if_needed t;
+      Ok data
+
+let read t ~extent ~off ~len =
+  if len < 0 || off < 0 then Error (Io_sched.Io (Disk.Out_of_bounds "negative offset or length"))
+  else if off + len > Io_sched.soft_ptr t.sched ~extent then
+    Error
+      (Io_sched.Io
+         (Disk.Out_of_bounds (Printf.sprintf "read [%d, %d) beyond soft pointer" off (off + len))))
+  else if len = 0 then Ok ""
+  else begin
+    let ps = Io_sched.page_size t.sched in
+    let first = off / ps and last = (off + len - 1) / ps in
+    let buf = Buffer.create len in
+    let rec go page =
+      if page > last then Ok (Buffer.contents buf)
+      else begin
+        let page_data =
+          match Hashtbl.find_opt t.pages (extent, page) with
+          | Some entry when String.length entry.data >= min ps (off + len - (page * ps)) ->
+            t.hits <- t.hits + 1;
+            Util.Coverage.hit "cache.hit";
+            touch t entry;
+            Ok entry.data
+          | Some _ | None ->
+            t.misses <- t.misses + 1;
+            Util.Coverage.hit "cache.miss";
+            fetch_page t ~extent ~page
+        in
+        match page_data with
+        | Error _ as e -> e
+        | Ok data ->
+          let page_start = page * ps in
+          let from = max off page_start - page_start in
+          let until = min (off + len) (page_start + ps) - page_start in
+          Buffer.add_string buf (String.sub data from (until - from));
+          go (page + 1)
+      end
+    in
+    go first
+  end
+
+let fill t ~extent ~off data =
+  if t.write_allocate then begin
+    Util.Coverage.hit "cache.fill";
+    let ps = Io_sched.page_size t.sched in
+    let len = String.length data in
+    let first = off / ps in
+    let last = (off + len - 1) / ps in
+    for page = first to last do
+      let page_start = page * ps in
+      (* Only pages fully determined by this write (or starting at it) are
+         inserted; partially stale pages would need a read-modify-write. *)
+      if page_start >= off then begin
+        let avail = off + len - page_start in
+        let data = String.sub data (page_start - off) (min ps avail) in
+        let entry = { data; last_used = 0 } in
+        touch t entry;
+        Hashtbl.replace t.pages (extent, page) entry;
+        evict_if_needed t
+      end
+    done
+  end
+
+let note_write t ~extent ~off ~len =
+  if len > 0 then begin
+    let ps = Io_sched.page_size t.sched in
+    for page = off / ps to (off + len - 1) / ps do
+      Hashtbl.remove t.pages (extent, page)
+    done
+  end
+
+let note_reset t ~extent =
+  (* Fault #2: cache was not correctly drained after resetting an extent. *)
+  if Faults.enabled Faults.F2_cache_not_drained then Faults.record_fired Faults.F2_cache_not_drained
+  else begin
+    let stale = Hashtbl.fold (fun (e, p) _ acc -> if e = extent then (e, p) :: acc else acc) t.pages [] in
+    List.iter (Hashtbl.remove t.pages) stale
+  end
+
+let invalidate_all t = Hashtbl.reset t.pages
+
+let stats (t : t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }

@@ -1,0 +1,45 @@
+(** Page-granular LRU buffer cache over scheduler reads.
+
+    Reads assemble from cached pages, fetching misses through
+    {!Io_sched.read} (where injected IO failures fire — cache hits
+    deliberately bypass injection, as a real cache bypasses the disk).
+    Mutators must invalidate: {!note_write} after staging an append and
+    {!note_reset} after staging an extent reset.
+
+    Fault site #2: the injected defect skips invalidation on reset, so a
+    recycled extent can serve stale pre-reset pages from the cache. *)
+
+type t
+
+(** [create ?capacity_pages ?write_allocate sched] — [write_allocate]
+    (default false) inserts written pages into the cache at write time, so
+    reads of recently written data always hit. The section 8.3 experiment
+    uses it: with a large write-allocating cache the miss path is
+    unreachable by the test harness. *)
+val create : ?capacity_pages:int -> ?write_allocate:bool -> Io_sched.t -> t
+
+(** True when the cache populates itself on writes. *)
+val write_allocate : t -> bool
+
+(** [fill t ~extent ~off data] — write-allocate path: insert the written
+    bytes' pages. No-op unless [write_allocate]. *)
+val fill : t -> extent:int -> off:int -> string -> unit
+
+(** [read t ~extent ~off ~len] — semantics of {!Io_sched.read} plus
+    caching. *)
+val read : t -> extent:int -> off:int -> len:int -> (string, Io_sched.error) result
+
+(** [note_write t ~extent ~off ~len] invalidates cached pages overlapping
+    the written range (a cached partial tail page goes stale when an append
+    extends it). *)
+val note_write : t -> extent:int -> off:int -> len:int -> unit
+
+(** [note_reset t ~extent] drops every cached page of the extent. *)
+val note_reset : t -> extent:int -> unit
+
+(** Drop everything (used on reboot). *)
+val invalidate_all : t -> unit
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val stats : t -> stats

@@ -1,0 +1,48 @@
+(** On-disk chunk framing.
+
+    A frame is [magic | frame_len | crc | owner | head uuid | payload |
+    tail uuid]. The random UUID is repeated at both ends so a truncated
+    chunk is recognisable (the tail lands past the truncation and fails to
+    match), and the CRC covers the payload so corrupt data is failed rather
+    than returned (paper section 7). The owner tag — the shard key or LSM
+    run the chunk belongs to — is what lets reclamation reverse-lookup
+    liveness (section 2.1).
+
+    The head and tail UUIDs, not the CRC, validate the {e frame structure};
+    this is the property whose corner case produced issue #10 (a crash-
+    truncated frame whose tail-UUID bytes were overwritten by the next
+    chunk's magic, colliding with a UUID that happened to end in the magic
+    bytes). *)
+
+type owner =
+  | Shard of string  (** shard key the chunk's payload belongs to *)
+  | Index_run of int  (** id of the LSM-tree run stored in this chunk *)
+
+val owner_equal : owner -> owner -> bool
+val pp_owner : Format.formatter -> owner -> unit
+
+val magic : string
+
+type chunk = {
+  owner : owner;
+  payload : string;
+  uuid : Util.Uuid.t;
+}
+
+(** [encode ~uuid ~owner ~payload] builds a frame. *)
+val encode : uuid:Util.Uuid.t -> owner:owner -> payload:string -> string
+
+(** Frame length for a given owner and payload size. *)
+val frame_len : owner:owner -> payload_len:int -> int
+
+(** Length of the fixed prefix ([magic | frame_len | crc]) that must be
+    read before the full frame length is known. *)
+val prefix_len : int
+
+(** [decode_prefix s] returns the total frame length claimed by a prefix. *)
+val decode_prefix : string -> (int, Util.Codec.error) result
+
+(** [decode ?check_crc frame] validates and decodes a full frame.
+    [check_crc] defaults to [true]; the reclamation scan under fault #10
+    passes [false], trusting UUID framing alone. *)
+val decode : ?check_crc:bool -> string -> (chunk, Util.Codec.error) result

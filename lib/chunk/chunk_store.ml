@@ -1,0 +1,286 @@
+open Util
+
+type error =
+  | No_space
+  | Io of Io_sched.error
+  | Corrupt of Codec.error
+  | Stale_locator of Locator.t
+  | Superblock of Superblock.error
+
+let pp_error fmt = function
+  | No_space -> Format.pp_print_string fmt "no space available"
+  | Io e -> Io_sched.pp_error fmt e
+  | Corrupt e -> Format.fprintf fmt "corrupt chunk: %a" Codec.pp_error e
+  | Stale_locator loc -> Format.fprintf fmt "stale locator %a" Locator.pp loc
+  | Superblock e -> Superblock.pp_error fmt e
+
+type stats = {
+  puts : int;
+  gets : int;
+  evacuated : int;
+  dropped : int;
+  reclamations : int;
+}
+
+type t = {
+  sched : Io_sched.t;
+  cache : Cache.t;
+  sb : Superblock.t;
+  rng : Rng.t;
+  mutable open_ext : int option;
+  mutable reclaiming : int option;
+  mutable uuid_bias : float;
+  mutable st : stats;
+}
+
+let create sched ~cache ~superblock ~rng =
+  {
+    sched;
+    cache;
+    sb = superblock;
+    rng;
+    open_ext = None;
+    reclaiming = None;
+    uuid_bias = 0.0;
+    st = { puts = 0; gets = 0; evacuated = 0; dropped = 0; reclamations = 0 };
+  }
+
+let sched t = t.sched
+let set_uuid_bias t p = t.uuid_bias <- p
+let open_extent t = t.open_ext
+let close_open_extent t = t.open_ext <- None
+let stats t = t.st
+
+let fresh_uuid t =
+  let u = Uuid.generate t.rng in
+  if Rng.chance t.rng t.uuid_bias then begin
+    (* Bias toward UUIDs whose trailing bytes equal the frame magic — the
+       collision ingredient of issue #10. *)
+    let b = Bytes.of_string (Uuid.to_string u) in
+    Bytes.blit_string Chunk_format.magic 0 b
+      (Uuid.size - String.length Chunk_format.magic)
+      (String.length Chunk_format.magic);
+    Uuid.of_string_exn (Bytes.to_string b)
+  end
+  else u
+
+let align_up n align = (n + align - 1) / align * align
+
+(* Pick an extent with at least [need] bytes available: the open extent if
+   it fits, otherwise the lowest recorded-Free extent (staging a reset first
+   when it carries pre-crash bytes — safe because a durably recorded Free
+   extent is guaranteed unreferenced). *)
+let allocate t ~need =
+  let fits extent = need <= Io_sched.capacity_left t.sched ~extent in
+  let usable extent =
+    t.reclaiming <> Some extent
+    && (not (Io_sched.has_pending_reset t.sched ~extent))
+    && not (Io_sched.quarantined t.sched ~extent)
+  in
+  match t.open_ext with
+  | Some extent when fits extent && usable extent -> Ok extent
+  | _ -> (
+    (* Prefer re-opening a partially filled data extent (appends continue at
+       its write pointer) before consuming Free extents. *)
+    match
+      List.find_opt (fun e -> usable e && fits e) (Superblock.data_extents t.sb)
+    with
+    | Some extent ->
+      t.open_ext <- Some extent;
+      Ok extent
+    | None ->
+    let candidates = List.filter usable (Superblock.free_extents t.sb) in
+    (* Headroom: normal puts never consume the last free extent, so
+       reclamation always has somewhere to evacuate live chunks to. *)
+    let candidates =
+      if t.reclaiming = None then (match candidates with [] | [ _ ] -> [] | _ -> candidates)
+      else candidates
+    in
+    let rec pick = function
+      | [] -> Error No_space
+      | extent :: rest ->
+        if Io_sched.soft_ptr t.sched ~extent > 0 then begin
+          match Io_sched.reset t.sched ~extent ~input:Dep.trivial with
+          | Error e -> Error (Io e)
+          | Ok _ ->
+            Cache.note_reset t.cache ~extent;
+            if fits extent then Ok extent else pick rest
+        end
+        else if fits extent then Ok extent
+        else pick rest
+    in
+    match pick candidates with
+    | Error _ as e -> e
+    | Ok extent ->
+      Superblock.set_owner t.sb ~extent Superblock.Data ~dep:Dep.trivial;
+      t.open_ext <- Some extent;
+      Ok extent)
+
+let ( let* ) = Result.bind
+
+let put ?(input = Dep.trivial) t ~owner ~payload =
+  let frame = Chunk_format.encode ~uuid:(fresh_uuid t) ~owner ~payload in
+  let flen = String.length frame in
+  let ps = Io_sched.page_size t.sched in
+  let padded = align_up flen ps in
+  if padded > Io_sched.extent_size t.sched then Error No_space
+  else begin
+    let pad = String.make (padded - flen) '\000' in
+    let* extent = allocate t ~need:padded in
+    let off = Io_sched.soft_ptr t.sched ~extent in
+    let* append_dep =
+      Result.map_error (fun e -> Io e)
+        (Io_sched.append t.sched ~extent ~data:(frame ^ pad) ~input)
+    in
+    (* No cache invalidation needed on append: extents are append-only, so
+       a cached page is always a prefix of the current content — except
+       after a reset, which is exactly what note_reset handles (and what
+       fault #2 breaks). Write-allocating caches insert the new pages. *)
+    Cache.fill t.cache ~extent ~off (frame ^ pad);
+    let pointer_dep = Superblock.note_append t.sb ~extent in
+    let locator =
+      { Locator.extent; epoch = Io_sched.epoch t.sched ~extent; off; frame_len = flen }
+    in
+    t.st <- { t.st with puts = t.st.puts + 1 };
+    Ok (locator, Dep.and_ append_dep pointer_dep)
+  end
+
+let get t (loc : Locator.t) =
+  t.st <- { t.st with gets = t.st.gets + 1 };
+  if loc.Locator.extent < 0 || loc.Locator.extent >= Io_sched.extent_count t.sched then
+    Error (Stale_locator loc)
+  else if loc.Locator.epoch <> Io_sched.epoch t.sched ~extent:loc.Locator.extent then begin
+    Util.Coverage.hit "chunk.get.stale_locator";
+    Error (Stale_locator loc)
+  end
+  else
+    let* frame =
+      Result.map_error (fun e -> Io e)
+        (Cache.read t.cache ~extent:loc.Locator.extent ~off:loc.Locator.off
+           ~len:loc.Locator.frame_len)
+    in
+    Result.map_error
+      (fun e ->
+        Util.Coverage.hit "chunk.get.corrupt";
+        Corrupt e)
+      (Chunk_format.decode frame)
+
+(* Scan one extent for decodable frames. Correct behaviour attempts a
+   decode at every page boundary (so overlapping claims cannot hide later
+   chunks); fault #10 skips by decoded frame length instead. Returns the
+   chunks found, or the partial list plus [`Aborted] on a read error. *)
+let scan t ~extent =
+  let ps = Io_sched.page_size t.sched in
+  let soft = Io_sched.soft_ptr t.sched ~extent in
+  let found = ref [] in
+  let f10 = Faults.enabled Faults.F10_uuid_magic_collision in
+  let rec go pos =
+    if pos + Chunk_format.prefix_len > soft then `Complete
+    else
+      match Io_sched.read t.sched ~extent ~off:pos ~len:Chunk_format.prefix_len with
+      | Error (Io_sched.Io (Disk.Transient | Disk.Permanent)) -> `Aborted
+      | Error _ -> `Complete
+      | Ok prefix -> (
+        match Chunk_format.decode_prefix prefix with
+        | Error _ -> go (pos + ps)
+        | Ok flen ->
+          if pos + flen > soft then go (pos + ps)
+          else (
+            match Io_sched.read t.sched ~extent ~off:pos ~len:flen with
+            | Error (Io_sched.Io (Disk.Transient | Disk.Permanent)) -> `Aborted
+            | Error _ -> `Complete
+            | Ok frame ->
+              (* Fault #1: off-by-one for chunks whose payload is within a
+                 byte of a page multiple — the scan under-reads the frame. *)
+              let frame =
+                if
+                  Faults.enabled Faults.F1_reclaim_off_by_one
+                  && (flen mod ps = 0 || flen mod ps = ps - 1)
+                then begin
+                  Faults.record_fired Faults.F1_reclaim_off_by_one;
+                  String.sub frame 0 (flen - 1)
+                end
+                else frame
+              in
+              (match Chunk_format.decode ~check_crc:(not f10) frame with
+              | Error _ ->
+                Util.Coverage.hit "reclaim.scan.invalid_frame";
+                go (pos + ps)
+              | Ok chunk ->
+                Util.Coverage.hit "reclaim.scan.valid_frame";
+                let locator =
+                  {
+                    Locator.extent;
+                    epoch = Io_sched.epoch t.sched ~extent;
+                    off = pos;
+                    frame_len = String.length frame;
+                  }
+                in
+                found := (locator, chunk) :: !found;
+                if f10 then begin
+                  Faults.record_fired Faults.F10_uuid_magic_collision;
+                  (* skip by frame length: "reclamation does not expect
+                     overlapping chunks" *)
+                  go (align_up (pos + flen) ps)
+                end
+                else go (pos + ps))))
+  in
+  let outcome = go 0 in
+  (List.rev !found, outcome)
+
+let reclaim t ~extent ~index_basis ~classify ~relocate =
+  t.st <- { t.st with reclamations = t.st.reclamations + 1 };
+  if t.open_ext = Some extent then t.open_ext <- None;
+  t.reclaiming <- Some extent;
+  Fun.protect
+    ~finally:(fun () -> t.reclaiming <- None)
+    (fun () ->
+      let found, outcome = scan t ~extent in
+      let proceed =
+        match outcome with
+        | `Complete -> Ok ()
+        | `Aborted ->
+          (* Fault #5: reclamation forgets chunks after a transient read IO
+             error — the buggy code carries on with a partial scan. *)
+          if Faults.enabled Faults.F5_reclaim_forgets_on_read_error then begin
+            Faults.record_fired Faults.F5_reclaim_forgets_on_read_error;
+            Ok ()
+          end
+          else Error (Io (Io_sched.Io Disk.Transient))
+      in
+      let* () = proceed in
+      let rec evacuate evac_deps ref_deps = function
+        | [] -> Ok (evac_deps, ref_deps)
+        | (old_loc, chunk) :: rest -> (
+          match classify chunk.Chunk_format.owner old_loc with
+          | `Dead ->
+            Util.Coverage.hit "reclaim.dropped";
+            t.st <- { t.st with dropped = t.st.dropped + 1 };
+            evacuate evac_deps ref_deps rest
+          | `Live ->
+            let* new_loc, new_dep =
+              put t ~owner:chunk.Chunk_format.owner ~payload:chunk.Chunk_format.payload
+            in
+            let ref_dep = relocate chunk.Chunk_format.owner ~old_loc ~new_loc ~new_dep in
+            Util.Coverage.hit "reclaim.evacuated";
+            t.st <- { t.st with evacuated = t.st.evacuated + 1 };
+            evacuate (new_dep :: evac_deps) (ref_dep :: ref_deps) rest)
+      in
+      let* evac_deps, ref_deps = evacuate [] [] found in
+      (* The reset may be issued only once evacuations and the updated
+         references are durable (section 2.1). Fault #7 drops the reference
+         half, so a crash after the reset can leave the durable index
+         pointing at scrubbed chunks. *)
+      let input =
+        if Faults.enabled Faults.F7_soft_hard_pointer_mismatch then begin
+          Faults.record_fired Faults.F7_soft_hard_pointer_mismatch;
+          Dep.all evac_deps
+        end
+        else Dep.all (index_basis :: (evac_deps @ ref_deps))
+      in
+      let* reset_dep =
+        Result.map_error (fun e -> Io e) (Io_sched.reset t.sched ~extent ~input)
+      in
+      Cache.note_reset t.cache ~extent;
+      Superblock.set_owner t.sb ~extent Superblock.Free ~dep:reset_dep;
+      Ok reset_dep)

@@ -1,0 +1,86 @@
+(** The chunk store: PUT/GET of chunks onto extents, and chunk reclamation
+    (paper section 2.1).
+
+    Chunks are framed ({!Chunk_format}), padded to page alignment, and
+    appended to the currently open data extent; new extents are taken from
+    the superblock's recorded-[Free] pool (staging a reset first when the
+    extent still carries pre-crash bytes). A put's dependency is the append
+    combined with the covering superblock record promise, per Fig. 2.
+
+    Reclamation scans an extent page boundary by page boundary, decoding
+    frames; live chunks (per the caller's reverse lookup) are evacuated to
+    other extents and their references updated; the extent is then reset
+    with an input dependency covering every evacuation {e and} every
+    reference update, which is the crash-consistent ordering of section 2.1.
+
+    Fault sites: #1 (scan off-by-one near page-size frames), #5 (scan
+    aborts on transient read error but still resets), #7 (reset dependency
+    omits the reference updates), #10 (scan skips by frame length, trusting
+    UUID framing without the CRC). *)
+
+type t
+
+type error =
+  | No_space  (** no extent can hold the chunk; reclaim and retry *)
+  | Io of Io_sched.error
+  | Corrupt of Util.Codec.error
+  | Stale_locator of Locator.t  (** locator epoch does not match the extent *)
+  | Superblock of Superblock.error
+
+val pp_error : Format.formatter -> error -> unit
+
+val create :
+  Io_sched.t -> cache:Cache.t -> superblock:Superblock.t -> rng:Util.Rng.t -> t
+
+val sched : t -> Io_sched.t
+
+(** [set_uuid_bias t p] — with probability [p], freshly generated chunk
+    UUIDs end in the frame magic bytes. Test harnesses use this to bias
+    toward the corner case of issue #10 (paper section 4.2 argues for
+    exactly this kind of quantitatively justified bias). *)
+val set_uuid_bias : t -> float -> unit
+
+(** [put t ~owner ~payload] stores one chunk. [input] (default trivial) is
+    the soft-updates input dependency of the append — e.g. an index run
+    chunk depends on the value chunks its entries reference. *)
+val put :
+  ?input:Dep.t ->
+  t ->
+  owner:Chunk_format.owner ->
+  payload:string ->
+  (Locator.t * Dep.t, error) result
+
+(** [get t locator] reads a chunk back, validating epoch, framing and CRC.
+    Never returns wrong data: corruption yields [Corrupt]. *)
+val get : t -> Locator.t -> (Chunk_format.chunk, error) result
+
+(** [reclaim t ~extent ~index_basis ~classify ~relocate] — see module doc.
+    [classify] is the reverse lookup; [relocate] must update the owner's
+    reference and return a dependency that persists when the updated
+    reference does. [index_basis] must cover the index state [classify]
+    consults: a chunk judged dead may only be destroyed once that judgement
+    is durable. Returns the reset's dependency. *)
+val reclaim :
+  t ->
+  extent:int ->
+  index_basis:Dep.t ->
+  classify:(Chunk_format.owner -> Locator.t -> [ `Live | `Dead ]) ->
+  relocate:
+    (Chunk_format.owner -> old_loc:Locator.t -> new_loc:Locator.t -> new_dep:Dep.t -> Dep.t) ->
+  (Dep.t, error) result
+
+(** Extent currently open for allocation, if any. *)
+val open_extent : t -> int option
+
+(** Forget the open extent (used on reboot: volatile allocation state). *)
+val close_open_extent : t -> unit
+
+type stats = {
+  puts : int;
+  gets : int;
+  evacuated : int;
+  dropped : int;
+  reclamations : int;
+}
+
+val stats : t -> stats

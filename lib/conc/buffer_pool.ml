@@ -1,0 +1,25 @@
+type t = {
+  pool : Smc.Semaphore.t;
+  superblock_reserve : Smc.Semaphore.t;
+}
+
+let create ~buffers =
+  { pool = Smc.Semaphore.create buffers; superblock_reserve = Smc.Semaphore.create 1 }
+
+let write_shard t =
+  (* data buffer from the shared pool *)
+  Smc.Semaphore.acquire t.pool;
+  (* superblock update needs its own buffer. Fault #12 takes it from the
+     shared pool while still holding the data buffer: with every writer
+     doing the same, the pool drains and all of them wait forever. *)
+  if Faults.enabled Faults.F12_buffer_pool_deadlock then begin
+    Faults.record_fired Faults.F12_buffer_pool_deadlock;
+    Smc.Semaphore.acquire t.pool;
+    (* superblock IO *)
+    Smc.Semaphore.release t.pool
+  end
+  else begin
+    Smc.Semaphore.acquire t.superblock_reserve;
+    Smc.Semaphore.release t.superblock_reserve
+  end;
+  Smc.Semaphore.release t.pool

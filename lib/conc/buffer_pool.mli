@@ -1,0 +1,17 @@
+(** Concurrent model of the IO buffer pool — issue #12.
+
+    Writing a shard requires a data buffer; completing it also requires a
+    buffer for the superblock (soft write pointer) update. The fix reserves
+    a dedicated buffer for superblock updates so they can always complete;
+    fault #12 takes both buffers from the shared pool, and with the pool
+    exhausted every writer waits for a superblock update that can never
+    get a buffer — deadlock. *)
+
+type t
+
+(** [create ~buffers] — shared pool size (the fix reserves one more,
+    dedicated to the superblock). *)
+val create : buffers:int -> t
+
+(** One full shard write: data buffer, then superblock update. *)
+val write_shard : t -> unit

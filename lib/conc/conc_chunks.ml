@@ -1,0 +1,36 @@
+type t = {
+  slots : int option Smc.Cell.t array;
+  next : int Smc.Cell.t;
+  visible : int list Smc.Cell.t;
+}
+
+let slot_count = 16
+
+let create () =
+  {
+    slots = Array.init slot_count (fun _ -> Smc.Cell.make None);
+    next = Smc.Cell.make 0;
+    visible = Smc.Cell.make [];
+  }
+
+let publish t locator = ignore (Smc.Cell.update t.visible (fun ls -> locator :: ls))
+
+let put t ~payload =
+  let locator = Smc.Cell.update t.next (fun n -> n + 1) in
+  if locator < slot_count then begin
+    (* Fault #11: the locator becomes visible before the data write —
+       "chunk locators could become invalid after a race between write and
+       flush". *)
+    if Faults.enabled Faults.F11_locator_race then begin
+      Faults.record_fired Faults.F11_locator_race;
+      publish t locator;
+      Smc.Cell.set t.slots.(locator) (Some payload)
+    end
+    else begin
+      Smc.Cell.set t.slots.(locator) (Some payload);
+      publish t locator
+    end
+  end
+
+let published t = Smc.Cell.get t.visible
+let read t ~locator = if locator < slot_count then Smc.Cell.get t.slots.(locator) else None

@@ -1,0 +1,20 @@
+(** Concurrent model of the chunk-store write/flush path — issue #11.
+
+    A put allocates a locator (slot) and writes the chunk's data; a flush
+    publishes completed locators to readers. The issue: locators published
+    before the data write completes can be observed pointing at invalid
+    (unwritten) slots. The fix orders the publish after the write; fault
+    #11 publishes at allocation time. *)
+
+type t
+
+val create : unit -> t
+
+(** [put t ~payload] — allocate, write, publish. *)
+val put : t -> payload:int -> unit
+
+(** Locators visible to readers. *)
+val published : t -> int list
+
+(** [read t ~locator] — [None] when the slot holds no valid data. *)
+val read : t -> locator:int -> int option

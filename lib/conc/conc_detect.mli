@@ -1,0 +1,22 @@
+(** Stateless-model-checking harnesses for the concurrency issues of the
+    paper's Fig. 5 (#11-#14, #16), and the detection driver the Fig. 5
+    experiment uses for them.
+
+    Each harness is a closed test body for {!Smc.explore}: it builds the
+    component, spawns the racing threads (background maintenance plus a
+    foreground read-after-write checker, exactly like the paper's Fig. 4
+    harness) and asserts the expected outcome. With the fault disabled the
+    bodies pass under exhaustive DFS; with it enabled some interleaving
+    violates the assertion or deadlocks. *)
+
+(** [harness fault] — the test body, or [None] for non-concurrency
+    faults. *)
+val harness : Faults.t -> (unit -> unit) option
+
+(** [detect strategy fault] enables [fault], explores the harness,
+    disables it. Raises [Invalid_argument] for non-concurrency faults. *)
+val detect : Smc.strategy -> Faults.t -> Smc.outcome
+
+(** [check_correct strategy fault] runs the same harness with no fault
+    enabled (expected: no violation). *)
+val check_correct : Smc.strategy -> Faults.t -> Smc.outcome

@@ -1,0 +1,102 @@
+type chunk = {
+  id : int;
+  entries : (int * int) list;
+}
+
+let extent_count = 3
+
+type t = {
+  extents : chunk list Smc.Cell.t array;
+  metadata : int list Smc.Cell.t;  (** ids of chunks storing LSM data, newest first *)
+  memtable : (int * int) list Smc.Cell.t;
+  next_id : int Smc.Cell.t;
+  locks : Smc.Mutex.t array;
+}
+
+let create () =
+  {
+    extents = Array.init extent_count (fun _ -> Smc.Cell.make []);
+    metadata = Smc.Cell.make [];
+    memtable = Smc.Cell.make [];
+    next_id = Smc.Cell.make 0;
+    locks = Array.init extent_count (fun _ -> Smc.Mutex.create ());
+  }
+
+let put t ~key ~value =
+  ignore (Smc.Cell.update t.memtable (fun mem -> (key, value) :: List.remove_assoc key mem))
+
+let find_chunk t id =
+  let rec go e =
+    if e = extent_count then None
+    else
+      match List.find_opt (fun c -> c.id = id) (Smc.Cell.get t.extents.(e)) with
+      | Some c -> Some c
+      | None -> go (e + 1)
+  in
+  go 0
+
+let get t ~key =
+  match List.assoc_opt key (Smc.Cell.get t.memtable) with
+  | Some v -> Some v
+  | None ->
+    let rec search = function
+      | [] -> None
+      | id :: rest -> (
+        match find_chunk t id with
+        | None -> search rest  (* dangling pointer: chunk was dropped *)
+        | Some c -> (
+          match List.assoc_opt key c.entries with
+          | Some v -> Some v
+          | None -> search rest))
+    in
+    search (Smc.Cell.get t.metadata)
+
+let compact t =
+  let mem = Smc.Cell.get t.memtable in
+  if mem <> [] then begin
+    (* Like the real allocator, compaction prefers the currently open
+       extent — in the paper's scenario the new chunk "was small enough to
+       write into extent 0", the same extent reclamation then scanned. *)
+    let extent = 0 in
+    (* The fix for issue #14: hold the extent's lock from writing the new
+       chunk until the metadata references it, so reclamation cannot scan
+       the extent in between. The injected fault skips the lock. *)
+    let locked = not (Faults.enabled Faults.F14_compaction_reclaim_race) in
+    if Faults.enabled Faults.F14_compaction_reclaim_race then
+      Faults.record_fired Faults.F14_compaction_reclaim_race;
+    if locked then Smc.Mutex.lock t.locks.(extent);
+    Fun.protect
+      ~finally:(fun () -> if locked then Smc.Mutex.unlock t.locks.(extent))
+      (fun () ->
+        let id = Smc.Cell.update t.next_id (fun n -> n + 1) in
+        let chunk = { id; entries = mem } in
+        ignore (Smc.Cell.update t.extents.(extent) (fun cs -> chunk :: cs));
+        (* preemption window: chunk on disk, metadata not yet updated *)
+        ignore (Smc.Cell.update t.metadata (fun ids -> id :: ids));
+        (* Drop exactly the flushed entries: a blind clear would destroy
+           puts that raced in after the snapshot. *)
+        ignore
+          (Smc.Cell.update t.memtable
+             (List.filter (fun entry -> not (List.mem entry mem)))))
+  end
+
+let reclaim t ~extent =
+  Smc.Mutex.lock t.locks.(extent);
+  Fun.protect
+    ~finally:(fun () -> Smc.Mutex.unlock t.locks.(extent))
+    (fun () ->
+      let chunks = Smc.Cell.get t.extents.(extent) in
+      let referenced = Smc.Cell.get t.metadata in
+      let target = (extent + 1) mod extent_count in
+      List.iter
+        (fun c ->
+          if List.mem c.id referenced then
+            (* evacuate: relocate the chunk; pointers are by id, so the
+               metadata needs no update *)
+            ignore (Smc.Cell.update t.extents.(target) (fun cs -> c :: cs))
+          (* else: unreferenced, dropped *))
+        chunks;
+      (* reset the extent *)
+      Smc.Cell.set t.extents.(extent) [])
+
+let chunks_on t ~extent = List.length (Smc.Cell.peek t.extents.(extent))

@@ -1,0 +1,42 @@
+(** Concurrent model of the LSM index with background maintenance — the
+    paper's Fig. 4 harness.
+
+    The index tracks an in-memory metadata set of the chunks currently
+    storing LSM data (on a mock chunk store, "as a conceit to
+    scalability"). Two background tasks mutate it concurrently:
+
+    - {!compact} flushes the in-memory section into a new chunk, then
+      updates the metadata to point at it;
+    - {!reclaim} scans an extent, evacuates chunks the metadata still
+      references, drops the rest and resets the extent.
+
+    Issue #14: compaction writes the new chunk and is then preempted
+    {e before} updating the metadata; reclamation scans that extent, does
+    not find the chunk in the metadata, and drops it — losing the recently
+    flushed index entries. The fix locks the extent compaction writes into
+    until the metadata points at the new chunk; fault #14 removes the
+    lock. *)
+
+type t
+
+val extent_count : int
+
+(** [create ()] — build inside an {!Smc.explore} body. *)
+val create : unit -> t
+
+(** [put t ~key ~value] — into the in-memory section. *)
+val put : t -> key:int -> value:int -> unit
+
+(** [get t ~key] — in-memory section first, then chunks via metadata. *)
+val get : t -> key:int -> int option
+
+(** [compact t] — flush the in-memory section to a new chunk on the open
+    extent (extent 0) and repoint the metadata. *)
+val compact : t -> unit
+
+(** [reclaim t ~extent] — evacuate referenced chunks, drop the rest,
+    reset. *)
+val reclaim : t -> extent:int -> unit
+
+(** Number of chunks currently on an extent (assertions). *)
+val chunks_on : t -> extent:int -> int

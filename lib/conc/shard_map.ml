@@ -1,0 +1,40 @@
+type t = { shards : int list Smc.Cell.t }
+
+let create () = { shards = Smc.Cell.make [] }
+
+let add t shard =
+  if Faults.enabled Faults.F16_bulk_create_remove_race then begin
+    Faults.record_fired Faults.F16_bulk_create_remove_race;
+    (* racy read-modify-write: a concurrent update in the window is lost *)
+    let cur = Smc.Cell.get t.shards in
+    Smc.Cell.set t.shards (if List.mem shard cur then cur else shard :: cur)
+  end
+  else
+    ignore
+      (Smc.Cell.update t.shards (fun cur -> if List.mem shard cur then cur else shard :: cur))
+
+let remove t shard =
+  if Faults.enabled Faults.F16_bulk_create_remove_race then begin
+    Faults.record_fired Faults.F16_bulk_create_remove_race;
+    let cur = Smc.Cell.get t.shards in
+    Smc.Cell.set t.shards (List.filter (fun s -> s <> shard) cur)
+  end
+  else ignore (Smc.Cell.update t.shards (List.filter (fun s -> s <> shard)))
+
+let bulk_create t shards = List.iter (add t) shards
+let bulk_remove t shards = List.iter (remove t) shards
+
+let list t =
+  if Faults.enabled Faults.F13_list_remove_race then begin
+    Faults.record_fired Faults.F13_list_remove_race;
+    (* positional iteration: concurrent removals shift later entries under
+       the cursor, skipping shards that were never removed *)
+    let rec go i acc =
+      let cur = Smc.Cell.get t.shards in
+      if i >= List.length cur then List.rev acc else go (i + 1) (List.nth cur i :: acc)
+    in
+    go 0 []
+  end
+  else Smc.Cell.get t.shards
+
+let mem t shard = List.mem shard (Smc.Cell.get t.shards)

@@ -1,0 +1,31 @@
+(** Concurrent model of the control plane's shard map — issues #13 and
+    #16.
+
+    The RPC control plane lists, creates and removes shards concurrently.
+    Issue #13: listing iterated the map by position while a removal
+    shifted entries, so the listing could skip a shard that was present
+    the whole time. Issue #16: bulk creation and bulk removal updated the
+    map with non-atomic read-modify-writes, losing concurrent updates.
+    The fixes: snapshot listings and atomic per-element updates. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t shard] — atomic unless fault #16, which uses a racy
+    read-modify-write. *)
+val add : t -> int -> unit
+
+(** [remove t shard] — atomic unless fault #16. *)
+val remove : t -> int -> unit
+
+(** [bulk_create t shards] / [bulk_remove t shards] — element at a time. *)
+val bulk_create : t -> int list -> unit
+
+val bulk_remove : t -> int list -> unit
+
+(** [list t] — a consistent snapshot unless fault #13, which iterates by
+    position with scheduling points in between. *)
+val list : t -> int list
+
+val mem : t -> int -> bool

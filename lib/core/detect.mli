@@ -1,0 +1,50 @@
+(** Detection driver for the seeded-defect catalog (paper Fig. 5, our E1).
+
+    For each property-based fault, runs random conformance sequences (with
+    the profile appropriate to the fault's property class) until a check
+    fails, then minimizes the counterexample. Concurrency faults
+    (#11-#14, #16) are checked by the stateless-model-checking harnesses
+    in the [conc] library, not here. *)
+
+type method_ =
+  | Pbt of Gen.profile  (** property-based conformance checking *)
+  | Model_validation  (** property test of the reference model itself *)
+  | Smc  (** stateless model checking (handled by the [conc] library) *)
+
+val method_name : method_ -> string
+
+(** The checker the methodology assigns to each fault. *)
+val method_for : Faults.t -> method_
+
+type result = {
+  fault : Faults.t;
+  found : bool;
+  sequences : int;  (** sequences executed until detection (or the budget) *)
+  total_ops : int;
+  fired : int;  (** times the injected defect's buggy branch ran *)
+  failure : Harness.failure option;
+  original : Op.summary option;
+  minimized : Op.summary option;
+  minimized_ops : Op.t list option;
+  min_stats : Minimize.stats option;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [detect ?config ?length ?max_sequences ?minimize ~seed fault] enables
+    [fault], hunts for it, disables it again. For [Smc] faults the result
+    is [found = false] with zero work — use the [conc] harnesses. *)
+val detect :
+  ?config:Harness.config ->
+  ?length:int ->
+  ?max_sequences:int ->
+  ?minimize:bool ->
+  seed:int ->
+  Faults.t ->
+  result
+
+(** [baseline ?config ?length ~sequences ~seed profile] runs the same
+    checkers with no fault enabled; any failure is a bug in this
+    repository. Returns the number of sequences that failed (expect 0). *)
+val baseline :
+  ?config:Harness.config -> ?length:int -> sequences:int -> seed:int -> Gen.profile -> int

@@ -1,0 +1,57 @@
+(** Biased random generation of operation sequences (paper section 4.2).
+
+    Arguments are selected with probabilistic biases: Get/Delete prefer
+    keys that were previously Put (otherwise successful reads are almost
+    never exercised), and value sizes prefer the neighbourhood of page-size
+    multiples (a frequent source of bugs — issues #1 and #10 both need
+    frames that land next to a page boundary). Biases only raise
+    probabilities; every case remains reachable, and {!unbiased} switches
+    them off for the bias-ablation experiment (E7). *)
+
+type profile =
+  | Crash_free  (** section 4: API + maintenance ops only *)
+  | Crashing  (** section 5: adds DirtyReboot/CleanReboot and flushes *)
+  | Failing  (** section 4.4: adds disk failure injection *)
+  | Full  (** everything *)
+
+val profile_name : profile -> string
+
+type bias = {
+  key_reuse : float;  (** P(pick a previously-put key) for Get/Delete *)
+  page_size_values : float;  (** P(value length near a page multiple) *)
+  uuid_magic : float;  (** chunk-store UUID bias (see {!Chunk.Chunk_store.set_uuid_bias}) *)
+  max_value : int;  (** maximum value length *)
+}
+
+val default_bias : bias
+
+(** All biases off: uniform keys, uniform sizes. *)
+val unbiased : bias
+
+(** Mutable generation state (the set of keys put so far, service
+    status); threading it keeps generation deterministic per seed. *)
+type state
+
+val initial_state : unit -> state
+
+(** [op ~rng ~bias ~profile ~page_size ~extent_count state] draws the next
+    operation and updates [state]. *)
+val op :
+  rng:Util.Rng.t ->
+  bias:bias ->
+  profile:profile ->
+  page_size:int ->
+  extent_count:int ->
+  state ->
+  Op.t
+
+(** [sequence ~rng ~bias ~profile ~page_size ~extent_count ~length] draws a
+    whole test input. *)
+val sequence :
+  rng:Util.Rng.t ->
+  bias:bias ->
+  profile:profile ->
+  page_size:int ->
+  extent_count:int ->
+  length:int ->
+  Op.t list

@@ -1,0 +1,65 @@
+(** The conformance checker (paper sections 4 and 5).
+
+    [run] replays an operation sequence against a fresh store {e and} the
+    crash-extended reference model, comparing results after every step:
+
+    - request-plane results must match the model exactly — a Get never
+      returns wrong data;
+    - once failure injection has fired, implementation operations may fail
+      where the model cannot (the "has failed" relaxation of section 4.4),
+      but successful results must still match;
+    - on [DirtyReboot] the crash-consistency properties of section 5 are
+      checked: {e persistence} via per-key reconciliation against the
+      model's allowed survivors, and on [CleanReboot] {e forward progress}
+      (every dependency returned since the last reboot is persistent) plus
+      full state equality.
+
+    Runs are deterministic: the same configuration and sequence always
+    yield the same outcome, which is what makes minimization (section 4.3)
+    possible. *)
+
+module S = Store.Default
+
+type config = {
+  store_config : S.config;
+  uuid_bias : float;  (** forwarded to the chunk store's UUID generator *)
+  harness_seed : int64;  (** drives crash-state selection *)
+  full_check_every : int;  (** full model/impl equality check cadence (0 = only at reboots) *)
+  pre_crash_hook : (S.t -> Model.Crash_model.t -> string option) option;
+      (** invoked before every [DirtyReboot]; returning [Some msg] fails
+          the run with a persistence violation. {!Crash_enum.hook} plugs in
+          here for exhaustive block-level crash-state checking. *)
+}
+
+val default_config : config
+
+type failure_kind =
+  | Divergence of { key : string; expected : string option; actual : string option }
+  | List_divergence of { expected : string list; actual : string list }
+  | Unexpected_error of string  (** impl failed where the model cannot *)
+  | Persistence_violation of string  (** data persistent before a crash unreadable after *)
+  | Forward_progress_violation of string  (** dependency not persistent after clean shutdown *)
+
+type failure = {
+  step : int;  (** 0-based index of the operation that exposed the bug *)
+  op : Op.t;
+  kind : failure_kind;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type outcome = Passed | Failed of failure
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** [run config ops] — see module doc. *)
+val run : config -> Op.t list -> outcome
+
+(** [replay config ops] applies the sequence without checking and returns
+    the store — for debugging counterexamples and for examples. *)
+val replay : config -> Op.t list -> S.t
+
+(** [run_seed config ~profile ~bias ~length ~seed] generates a sequence
+    from [seed] and runs it. *)
+val run_seed :
+  config -> profile:Gen.profile -> bias:Gen.bias -> length:int -> seed:int -> Op.t list * outcome

@@ -1,0 +1,142 @@
+type config = {
+  extent_count : int;
+  pages_per_extent : int;
+  page_size : int;
+}
+
+let default_config = { extent_count = 16; pages_per_extent = 16; page_size = 64 }
+
+let extent_size c = c.pages_per_extent * c.page_size
+
+type io_error =
+  | Transient
+  | Permanent
+  | Out_of_bounds of string
+
+let pp_io_error fmt = function
+  | Transient -> Format.pp_print_string fmt "transient IO error"
+  | Permanent -> Format.pp_print_string fmt "permanent IO error"
+  | Out_of_bounds msg -> Format.fprintf fmt "out of bounds: %s" msg
+
+type fault_state = Healthy | Fail_once | Fail_always
+
+type extent = {
+  data : Bytes.t;
+  mutable hard_ptr : int;
+  mutable epoch : int;
+  mutable fault : fault_state;
+}
+
+type t = {
+  config : config;
+  extents : extent array;
+  mutable injected : int;
+}
+
+let create config =
+  assert (config.extent_count > 0 && config.pages_per_extent > 0 && config.page_size > 0);
+  let size = extent_size config in
+  let mk _ = { data = Bytes.make size '\000'; hard_ptr = 0; epoch = 0; fault = Healthy } in
+  { config; extents = Array.init config.extent_count mk; injected = 0 }
+
+let copy t =
+  {
+    config = t.config;
+    extents =
+      Array.map
+        (fun e ->
+          { data = Bytes.copy e.data; hard_ptr = e.hard_ptr; epoch = e.epoch; fault = Healthy })
+        t.extents;
+    injected = 0;
+  }
+
+let config t = t.config
+
+let get_extent t extent =
+  if extent < 0 || extent >= t.config.extent_count then
+    Error (Out_of_bounds (Printf.sprintf "extent %d (of %d)" extent t.config.extent_count))
+  else Ok t.extents.(extent)
+
+(* Deliver an armed failure, if any; Fail_once disarms itself. *)
+let check_fault t e =
+  match e.fault with
+  | Healthy -> Ok ()
+  | Fail_once ->
+    e.fault <- Healthy;
+    t.injected <- t.injected + 1;
+    Error Transient
+  | Fail_always ->
+    t.injected <- t.injected + 1;
+    Error Permanent
+
+let hard_ptr t ~extent =
+  match get_extent t extent with
+  | Ok e -> e.hard_ptr
+  | Error _ -> invalid_arg "Disk.hard_ptr: bad extent"
+
+let epoch t ~extent =
+  match get_extent t extent with
+  | Ok e -> e.epoch
+  | Error _ -> invalid_arg "Disk.epoch: bad extent"
+
+let ( let* ) = Result.bind
+
+let write t ~extent ~off data =
+  let* e = get_extent t extent in
+  let* () = check_fault t e in
+  let len = String.length data in
+  if off <> e.hard_ptr then
+    Error (Out_of_bounds (Printf.sprintf "non-sequential write at %d, pointer %d" off e.hard_ptr))
+  else if off + len > extent_size t.config then
+    Error (Out_of_bounds (Printf.sprintf "write past extent end: %d + %d" off len))
+  else begin
+    Bytes.blit_string data 0 e.data off len;
+    e.hard_ptr <- off + len;
+    Ok ()
+  end
+
+let read t ~extent ~off ~len =
+  let* e = get_extent t extent in
+  let* () = check_fault t e in
+  if len < 0 || off < 0 then Error (Out_of_bounds "negative offset or length")
+  else if off + len > e.hard_ptr then
+    Error
+      (Out_of_bounds
+         (Printf.sprintf "read [%d, %d) beyond write pointer %d" off (off + len) e.hard_ptr))
+  else Ok (Bytes.sub_string e.data off len)
+
+let reset ?epoch t ~extent =
+  let* e = get_extent t extent in
+  let* () = check_fault t e in
+  Bytes.fill e.data 0 (Bytes.length e.data) '\000';
+  e.hard_ptr <- 0;
+  e.epoch <- (match epoch with Some v -> v | None -> e.epoch + 1);
+  Ok ()
+
+let consume_fault t ~extent =
+  let* e = get_extent t extent in
+  check_fault t e
+
+let set_fault t ~extent st =
+  match get_extent t extent with
+  | Ok e -> e.fault <- st
+  | Error _ -> invalid_arg "Disk: bad extent for fault injection"
+
+let fail_once t ~extent = set_fault t ~extent Fail_once
+let fail_permanently t ~extent = set_fault t ~extent Fail_always
+let heal t ~extent = set_fault t ~extent Healthy
+let injected_failures t = t.injected
+
+let with_faults_suspended t f =
+  let saved = Array.map (fun e -> e.fault) t.extents in
+  Array.iter (fun e -> e.fault <- Healthy) t.extents;
+  Fun.protect
+    ~finally:(fun () -> Array.iteri (fun i e -> e.fault <- saved.(i)) t.extents)
+    f
+
+let durable_image t ~extent =
+  match get_extent t extent with
+  | Ok e -> Bytes.sub_string e.data 0 e.hard_ptr
+  | Error _ -> invalid_arg "Disk.durable_image: bad extent"
+
+let page_of_offset t off = off / t.config.page_size

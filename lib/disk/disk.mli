@@ -1,0 +1,102 @@
+(** In-memory user-space disk.
+
+    The disk models the durable medium under ShardStore: a fixed array of
+    {e extents} (contiguous regions), each accepting only sequential
+    (append-only) writes tracked by a {e hard write pointer}, with a [reset]
+    operation that rewinds the pointer and bumps the extent's {e epoch} so
+    stale data becomes unreadable (paper section 2.1).
+
+    The paper's validation runs the implementation against exactly such an
+    in-memory disk for determinism (section 4.1). Writes here are
+    {e durable by definition}: the volatile staging of pending writes lives
+    above, in {!Io_sched}. Failure injection (transient and permanent IO
+    errors, section 4.4) is armed per extent. *)
+
+type config = {
+  extent_count : int;  (** number of extents, including reserved ones *)
+  pages_per_extent : int;
+  page_size : int;  (** bytes per page; crash states are page-granular *)
+}
+
+val default_config : config
+
+(** Bytes per extent. *)
+val extent_size : config -> int
+
+type io_error =
+  | Transient  (** one-shot failure; a retry may succeed *)
+  | Permanent  (** extent is failed until {!heal} *)
+  | Out_of_bounds of string  (** invalid extent, offset or length *)
+
+val pp_io_error : Format.formatter -> io_error -> unit
+
+type t
+
+val create : config -> t
+
+(** [copy t] — deep copy of the durable state (fault arming reset to
+    healthy). The crash-state enumerator evaluates candidate crash states
+    on clones. *)
+val copy : t -> t
+
+val config : t -> config
+
+(** [hard_ptr t ~extent] is the device write pointer: the number of bytes
+    physically written since the last durable reset. Models the queryable
+    zone pointer of zoned devices; recovery trusts this value. *)
+val hard_ptr : t -> extent:int -> int
+
+(** [epoch t ~extent] counts durable resets of the extent. Locators embed
+    the epoch so reads of recycled extents are detected. *)
+val epoch : t -> extent:int -> int
+
+(** [write t ~extent ~off data] appends durably. [off] must equal the
+    current hard pointer (sequential-write discipline); the scheduler
+    guarantees this by issuing per-extent IOs in order. *)
+val write : t -> extent:int -> off:int -> string -> (unit, io_error) result
+
+(** [read t ~extent ~off ~len] reads durable bytes. Reading at or beyond
+    the hard pointer is rejected: ShardStore forbids reads past an extent's
+    write pointer. *)
+val read : t -> extent:int -> off:int -> len:int -> (string, io_error) result
+
+(** [reset ?epoch t ~extent] durably rewinds the write pointer and bumps
+    the epoch (to [epoch] when given — the scheduler mints session-monotone
+    epochs and the durable value must match the one embedded in locators).
+    Physical bytes are scrubbed to zero to model unreadability. *)
+val reset : ?epoch:int -> t -> extent:int -> (unit, io_error) result
+
+(** {2 Failure injection} *)
+
+(** [fail_once t ~extent] makes the next IO (read or write) touching
+    [extent] fail with {!Transient}. *)
+val fail_once : t -> extent:int -> unit
+
+(** [fail_permanently t ~extent] fails all IO to [extent] until {!heal}. *)
+val fail_permanently : t -> extent:int -> unit
+
+val heal : t -> extent:int -> unit
+
+(** [consume_fault t ~extent] delivers an armed failure (disarming a
+    one-shot) without performing IO. Layers that stage or cache IO above the
+    durable medium (the scheduler's volatile reads, the buffer cache) call
+    this so injected faults hit them too. *)
+val consume_fault : t -> extent:int -> (unit, io_error) result
+
+(** Total number of injected failures delivered so far. *)
+val injected_failures : t -> int
+
+(** [with_faults_suspended t f] runs [f] with failure injection disabled and
+    restores arming afterwards. The crash-state generator uses this: the
+    writes it applies represent IO that already completed before the crash,
+    so arming must not fire on them. *)
+val with_faults_suspended : t -> (unit -> 'a) -> 'a
+
+(** {2 Introspection for checkers} *)
+
+(** [durable_image t ~extent] is a copy of the extent's durable bytes up to
+    the hard pointer (test/debug use). *)
+val durable_image : t -> extent:int -> string
+
+(** [page_of_offset t off] is the page index containing byte [off]. *)
+val page_of_offset : t -> int -> int

@@ -1,0 +1,34 @@
+(** Experiment E9 — the missed bug and coverage metrics (paper section 8.3):
+
+    "That issue involved an earlier code change that had added a new cache
+    to a ShardStore component. Our existing property-based tests had
+    trouble reaching the cache-miss code path in this change because the
+    cache size was configured to be very large in all tests. The new bug
+    was in a change to that cache-miss path, and so was not reached by the
+    property-based tests; after reducing the cache size, the tests
+    automatically found the issue. This missed bug was one motivation for
+    our work on coverage metrics."
+
+    Reproduction: defect #17 corrupts pages on the buffer cache's miss
+    path. With a write-allocating cache sized far beyond the working set,
+    conformance testing never reaches that path — and the coverage report
+    says so ([cache.miss] = 0). Shrinking the cache makes the same tests
+    find the bug immediately. *)
+
+type arm = {
+  label : string;
+  cache_pages : int;
+  detected : bool;
+  sequences : int;  (** to detection, or the budget *)
+  cache_misses : int;  (** coverage counter over the whole arm *)
+  cache_hits : int;
+  blind_spots : string list;  (** expected-but-unreached coverage points *)
+}
+
+type report = {
+  arms : arm list;
+  seconds : float;
+}
+
+val run : ?max_sequences:int -> ?seed:int -> unit -> report
+val print : report -> unit

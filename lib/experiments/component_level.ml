@@ -1,0 +1,102 @@
+type row = {
+  fault : Faults.t;
+  level : string;
+  detected : int;
+  trials : int;
+  median_sequences : int option;
+}
+
+type report = {
+  rows : row list;
+  component_seqs_per_sec : float;
+  store_seqs_per_sec : float;
+  seconds : float;
+}
+
+let median hits =
+  match List.sort compare hits with
+  | [] -> None
+  | l -> Some (List.nth l (List.length l / 2))
+
+let component_row ~trials ~max_sequences ~seed fault =
+  let hits = ref [] in
+  for trial = 0 to trials - 1 do
+    let found, seqs =
+      Lfm.Chunk_harness.hunt fault ~max_sequences ~seed:(seed + (trial * (max_sequences + 1)))
+    in
+    if found then hits := seqs :: !hits
+  done;
+  {
+    fault;
+    level = "component";
+    detected = List.length !hits;
+    trials;
+    median_sequences = median !hits;
+  }
+
+let store_row ~trials ~max_sequences ~seed fault =
+  let hits = ref [] in
+  for trial = 0 to trials - 1 do
+    let r =
+      Lfm.Detect.detect ~max_sequences ~minimize:false
+        ~seed:(seed + (trial * (max_sequences + 1)))
+        fault
+    in
+    if r.Lfm.Detect.found then hits := r.Lfm.Detect.sequences :: !hits
+  done;
+  {
+    fault;
+    level = "end-to-end";
+    detected = List.length !hits;
+    trials;
+    median_sequences = median !hits;
+  }
+
+let faults = [ Faults.F1_reclaim_off_by_one; Faults.F5_reclaim_forgets_on_read_error ]
+
+let run ?(trials = 10) ?(max_sequences = 2_000) ?(seed = 64_000) () =
+  let t0 = Unix.gettimeofday () in
+  Faults.disable_all ();
+  let rows =
+    List.concat_map
+      (fun fault ->
+        [
+          component_row ~trials ~max_sequences ~seed fault;
+          store_row ~trials ~max_sequences ~seed fault;
+        ])
+      faults
+  in
+  (* Throughputs on the honest code. *)
+  Faults.disable_all ();
+  let t1 = Unix.gettimeofday () in
+  for seed = 0 to 299 do
+    ignore (Lfm.Chunk_harness.run ~seed ~length:40)
+  done;
+  let t2 = Unix.gettimeofday () in
+  for i = 0 to 299 do
+    ignore
+      (Lfm.Harness.run_seed Lfm.Harness.default_config ~profile:Lfm.Gen.Crash_free
+         ~bias:Lfm.Gen.default_bias ~length:40 ~seed:(700_000 + i))
+  done;
+  let t3 = Unix.gettimeofday () in
+  {
+    rows;
+    component_seqs_per_sec = 300.0 /. (t2 -. t1);
+    store_seqs_per_sec = 300.0 /. (t3 -. t2);
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let print report =
+  Printf.printf "E10: component-level vs end-to-end checking (paper section 8.4)\n";
+  Printf.printf "%-6s %-12s %-10s %s\n" "fault" "level" "detected" "median seqs-to-detect";
+  Printf.printf "%s\n" (String.make 56 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "#%-5d %-12s %d/%-8d %s\n" (Faults.number r.fault) r.level r.detected
+        r.trials
+        (match r.median_sequences with Some m -> string_of_int m | None -> "-"))
+    report.rows;
+  Printf.printf "%s\n" (String.make 56 '-');
+  Printf.printf "throughput: component %.0f seqs/s, end-to-end %.0f seqs/s\n"
+    report.component_seqs_per_sec report.store_seqs_per_sec;
+  Printf.printf "(%.1f s total)\n" report.seconds

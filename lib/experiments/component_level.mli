@@ -1,0 +1,30 @@
+(** Experiment E10 — component-level vs end-to-end checking (paper
+    section 8.4):
+
+    "We found it much easier to exercise corner case scenarios (especially
+    fault scenarios) by writing tests that directly exercise internal
+    component APIs, and engineers have found it easier to debug and fix
+    failures ... by not having to trace them back through the entire
+    implementation stack."
+
+    For the chunk-store faults, measures sequences-to-detection (median
+    over trials) with the component-level harness ({!Lfm.Chunk_harness})
+    versus the end-to-end store harness, plus throughput of each. *)
+
+type row = {
+  fault : Faults.t;
+  level : string;  (** "component" or "end-to-end" *)
+  detected : int;
+  trials : int;
+  median_sequences : int option;
+}
+
+type report = {
+  rows : row list;
+  component_seqs_per_sec : float;
+  store_seqs_per_sec : float;
+  seconds : float;
+}
+
+val run : ?trials:int -> ?max_sequences:int -> ?seed:int -> unit -> report
+val print : report -> unit

@@ -1,0 +1,132 @@
+type row = {
+  fault : Faults.t;
+  method_ : string;
+  detected : bool;
+  effort : string;
+  counterexample : string;
+}
+
+type report = {
+  rows : row list;
+  seconds : float;
+}
+
+type budget = {
+  pbt_sequences : int;
+  pbt_length : int;
+  f10_sequences : int;
+  smc_schedules : int;
+  minimize : bool;
+  seed : int;
+}
+
+let default_budget =
+  {
+    pbt_sequences = 5_000;
+    pbt_length = 60;
+    f10_sequences = 60_000;
+    smc_schedules = 200_000;
+    minimize = true;
+    seed = 42;
+  }
+
+let quick_budget =
+  {
+    pbt_sequences = 800;
+    pbt_length = 60;
+    f10_sequences = 2_000;
+    smc_schedules = 50_000;
+    minimize = false;
+    seed = 42;
+  }
+
+let pbt_row budget fault =
+  let max_sequences =
+    if fault = Faults.F10_uuid_magic_collision then budget.f10_sequences
+    else budget.pbt_sequences
+  in
+  let length =
+    if fault = Faults.F10_uuid_magic_collision then 80 else budget.pbt_length
+  in
+  let r =
+    Lfm.Detect.detect ~length ~max_sequences ~minimize:budget.minimize ~seed:budget.seed fault
+  in
+  let counterexample =
+    match r.Lfm.Detect.original, r.Lfm.Detect.minimized with
+    | Some o, Some m ->
+      Format.asprintf "%a -> %a" Lfm.Op.pp_summary o Lfm.Op.pp_summary m
+    | Some o, None -> Format.asprintf "%a" Lfm.Op.pp_summary o
+    | _ -> "-"
+  in
+  {
+    fault;
+    method_ = Lfm.Detect.method_name (Lfm.Detect.method_for fault);
+    detected = r.Lfm.Detect.found;
+    effort =
+      Printf.sprintf "%d sequences (%d ops)" r.Lfm.Detect.sequences r.Lfm.Detect.total_ops;
+    counterexample;
+  }
+
+let smc_row budget fault =
+  let strategy = Smc.Pct { seed = budget.seed; schedules = budget.smc_schedules; depth = 3 } in
+  let outcome = Conc.Conc_detect.detect strategy fault in
+  let detected = outcome.Smc.violation <> None in
+  (* When PCT misses within budget, fall back to DFS (sound for these
+     small harnesses). *)
+  let outcome, detected, method_ =
+    if detected then (outcome, detected, "stateless model checking (PCT)")
+    else begin
+      let o = Conc.Conc_detect.detect (Smc.Dfs { max_schedules = budget.smc_schedules }) fault in
+      (o, o.Smc.violation <> None, "stateless model checking (DFS)")
+    end
+  in
+  {
+    fault;
+    method_;
+    detected;
+    effort =
+      Printf.sprintf "%d schedules (%d steps)" outcome.Smc.schedules_run outcome.Smc.total_steps;
+    counterexample =
+      (match outcome.Smc.violation with
+      | Some v -> Format.asprintf "%a" Smc.pp_violation v
+      | None -> "-");
+  }
+
+let run budget =
+  let t0 = Unix.gettimeofday () in
+  let rows =
+    List.map
+      (fun fault ->
+        match Lfm.Detect.method_for fault with
+        | Lfm.Detect.Smc -> smc_row budget fault
+        | Lfm.Detect.Pbt _ | Lfm.Detect.Model_validation -> pbt_row budget fault)
+      Faults.all
+  in
+  { rows; seconds = Unix.gettimeofday () -. t0 }
+
+let print report =
+  let class_of row = Faults.property_class row.fault in
+  Printf.printf
+    "Figure 5: ShardStore issues prevented from reaching production by our validation effort\n";
+  Printf.printf "%s\n" (String.make 100 '-');
+  List.iter
+    (fun cls ->
+      Printf.printf "%s\n" (Faults.property_class_name cls);
+      List.iter
+        (fun row ->
+          if class_of row = cls then begin
+            Printf.printf "  #%-3d %-12s %s\n"
+              (Faults.number row.fault)
+              (Faults.component row.fault)
+              (Faults.description row.fault);
+            Printf.printf "       %-10s via %s; %s\n"
+              (if row.detected then "DETECTED" else "NOT FOUND")
+              row.method_ row.effort;
+            if row.counterexample <> "-" then
+              Printf.printf "       counterexample: %s\n" row.counterexample
+          end)
+        report.rows)
+    [ Faults.Functional_correctness; Faults.Crash_consistency; Faults.Concurrency ];
+  let detected = List.length (List.filter (fun r -> r.detected) report.rows) in
+  Printf.printf "%s\n%d / %d issues detected in %.1f s\n" (String.make 100 '-') detected
+    (List.length report.rows) report.seconds

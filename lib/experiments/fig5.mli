@@ -1,0 +1,38 @@
+(** Experiment E1 — regenerate the paper's Figure 5: the catalog of issues
+    prevented, with the checker that detects each.
+
+    For every seeded defect the experiment runs the checker its property
+    class prescribes (property-based conformance testing, a model-validation
+    property, or stateless model checking) until detection or budget
+    exhaustion, then minimizes property-based counterexamples. *)
+
+type row = {
+  fault : Faults.t;
+  method_ : string;
+  detected : bool;
+  effort : string;  (** sequences/schedules until detection *)
+  counterexample : string;  (** original → minimized summary, when applicable *)
+}
+
+type report = {
+  rows : row list;
+  seconds : float;
+}
+
+type budget = {
+  pbt_sequences : int;  (** per-fault cap on random sequences *)
+  pbt_length : int;
+  f10_sequences : int;  (** issue #10 needs a much larger budget *)
+  smc_schedules : int;
+  minimize : bool;
+  seed : int;
+}
+
+val default_budget : budget
+
+(** A cut-down budget for smoke runs and benchmarks; issue #10 will
+    usually be reported as not found at this size. *)
+val quick_budget : budget
+
+val run : budget -> report
+val print : report -> unit

@@ -1,0 +1,27 @@
+(** Experiment E2/E5 — regenerate the paper's Figure 6: lines of code for
+    implementation and validation artifacts, and the effort ratios of
+    section 8.2 (validation ≈ 20 % of the implementation, reference models
+    ≈ 1 %, against 3-10x for full verification).
+
+    Counts non-blank lines of [.ml]/[.mli] files in the source tree,
+    categorized the way the paper's table is. *)
+
+type row = {
+  category : string;
+  files : int;
+  lines : int;
+}
+
+type report = {
+  rows : row list;
+  total : int;
+  implementation : int;
+  models : int;
+  validation : int;  (** all checker code: conformance, crash, concurrency *)
+}
+
+(** [run ~root ()] — [root] is the repository root (default ["."];
+    the executables must run from the repo root, as [dune exec] does). *)
+val run : ?root:string -> unit -> report
+
+val print : report -> unit

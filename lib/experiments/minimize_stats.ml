@@ -1,0 +1,74 @@
+type sample = {
+  fault : Faults.t;
+  seed : int;
+  original : Lfm.Op.summary;
+  minimized : Lfm.Op.summary;
+  executions : int;
+}
+
+type report = {
+  samples : sample list;
+  seconds : float;
+}
+
+let default_faults =
+  [
+    Faults.F3_shutdown_skips_metadata;
+    Faults.F4_disk_return_loses_shards;
+    Faults.F7_soft_hard_pointer_mismatch;
+    Faults.F9_model_crash_reconcile;
+  ]
+
+let run ?(faults = default_faults) ?(samples_per_fault = 5) ?(seed = 7_000) () =
+  let t0 = Unix.gettimeofday () in
+  let samples = ref [] in
+  List.iter
+    (fun fault ->
+      let collected = ref 0 in
+      let s = ref seed in
+      while !collected < samples_per_fault && !s < seed + 40_000 do
+        let r = Lfm.Detect.detect ~max_sequences:2_000 ~minimize:true ~seed:!s fault in
+        (match r.Lfm.Detect.original, r.Lfm.Detect.minimized, r.Lfm.Detect.min_stats with
+        | Some original, Some minimized, Some stats when r.Lfm.Detect.found ->
+          samples :=
+            {
+              fault;
+              seed = !s;
+              original;
+              minimized;
+              executions = stats.Lfm.Minimize.executions;
+            }
+            :: !samples;
+          incr collected
+        | _ -> ());
+        (* jump far enough that hunts use fresh seeds *)
+        s := !s + 2_001
+      done)
+    faults;
+  { samples = List.rev !samples; seconds = Unix.gettimeofday () -. t0 }
+
+let print report =
+  Printf.printf
+    "E3: test-case minimization (paper anecdote: 61 ops / 9 crashes / 226 KiB -> 6 ops / 1 \
+     crash / 2 B)\n";
+  Printf.printf "%-6s %-6s %-34s %-34s %s\n" "fault" "seed" "original" "minimized" "runs";
+  Printf.printf "%s\n" (String.make 100 '-');
+  List.iter
+    (fun s ->
+      Printf.printf "#%-5d %-6d %-34s %-34s %d\n" (Faults.number s.fault) s.seed
+        (Format.asprintf "%a" Lfm.Op.pp_summary s.original)
+        (Format.asprintf "%a" Lfm.Op.pp_summary s.minimized)
+        s.executions)
+    report.samples;
+  if report.samples <> [] then begin
+    let avg f =
+      List.fold_left (fun acc s -> acc + f s) 0 report.samples * 100
+      / List.length report.samples
+    in
+    Printf.printf "%s\n" (String.make 100 '-');
+    Printf.printf "mean reduction: ops %d%%, payload bytes %d%% (%.1f s)\n"
+      (100 - (avg (fun s -> 100 * s.minimized.Lfm.Op.ops / max 1 s.original.Lfm.Op.ops) / 100))
+      (100
+      - (avg (fun s -> 100 * s.minimized.Lfm.Op.bytes / max 1 s.original.Lfm.Op.bytes) / 100))
+      report.seconds
+  end

@@ -1,0 +1,24 @@
+(** Experiment E3 — the paper's minimization anecdote (section 4.3): "the
+    first random sequence that failed had 61 operations, including 9
+    crashes and 14 writes totalling 226 KiB; the final automatically
+    minimized sequence had 6 operations, including 1 crash and 2 writes
+    totalling 2 B".
+
+    Collects several counterexamples per fault (different seeds), minimizes
+    each, and reports the raw vs minimized distributions. *)
+
+type sample = {
+  fault : Faults.t;
+  seed : int;
+  original : Lfm.Op.summary;
+  minimized : Lfm.Op.summary;
+  executions : int;  (** test runs spent minimizing *)
+}
+
+type report = {
+  samples : sample list;
+  seconds : float;
+}
+
+val run : ?faults:Faults.t list -> ?samples_per_fault:int -> ?seed:int -> unit -> report
+val print : report -> unit

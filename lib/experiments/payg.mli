@@ -1,0 +1,27 @@
+(** Experiment E6 — pay-as-you-go scaling (paper sections 1 and 4.2: "we
+    can run them for longer to increase the chance of finding issues (like
+    fuzzing) ... we routinely run tens of millions of random test
+    sequences before every deployment").
+
+    For each fault, runs many independent hunts and reports the empirical
+    probability of detection within increasing sequence budgets (the CDF of
+    sequences-to-detection). *)
+
+type curve = {
+  fault : Faults.t;
+  trials : int;
+  hits : int list;  (** sequences-to-detection for the successful trials *)
+  budgets : int list;
+  probability : float list;  (** P(detected within budget), aligned with [budgets] *)
+}
+
+type report = {
+  curves : curve list;
+  seconds : float;
+}
+
+val run :
+  ?faults:Faults.t list -> ?trials:int -> ?max_sequences:int -> ?budgets:int list ->
+  ?seed:int -> unit -> report
+
+val print : report -> unit

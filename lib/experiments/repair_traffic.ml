@@ -1,0 +1,71 @@
+type arm = {
+  label : string;
+  shards_repaired : int;
+  bytes_moved : int;
+}
+
+type report = {
+  shards : int;
+  shard_bytes : int;
+  crash : arm;
+  loss : arm;
+  seconds : float;
+}
+
+let fleet_config =
+  {
+    Fleet.nodes = 6;
+    replication = 3;
+    store = Store.Default.default_config;
+  }
+
+let populate f ~shards ~shard_bytes ~seed =
+  let rng = Util.Rng.create (Int64.of_int seed) in
+  for i = 0 to shards - 1 do
+    let value = Bytes.to_string (Util.Rng.bytes rng shard_bytes) in
+    match Fleet.put f ~key:(Printf.sprintf "shard-%04d" i) ~value with
+    | Ok () -> ()
+    | Error e -> Format.kasprintf failwith "populate: %a" Fleet.pp_error e
+  done
+
+let measure ~label ~shards ~shard_bytes ~seed damage =
+  let f = Fleet.create fleet_config in
+  populate f ~shards ~shard_bytes ~seed;
+  damage f;
+  match Fleet.repair f with
+  | Ok r ->
+    { label; shards_repaired = r.Fleet.shards_repaired; bytes_moved = r.Fleet.bytes_moved }
+  | Error e -> Format.kasprintf failwith "repair: %a" Fleet.pp_error e
+
+let run ?(shards = 120) ?(shard_bytes = 4096) ?(seed = 11_000) () =
+  let t0 = Unix.gettimeofday () in
+  let crash =
+    measure ~label:"node crash (crash-consistent recovery)" ~shards ~shard_bytes ~seed
+      (fun f ->
+        let rng = Util.Rng.create (Int64.of_int (seed + 1)) in
+        Fleet.crash_node f ~rng ~node:0)
+  in
+  let loss =
+    measure ~label:"node loss (disk replacement)" ~shards ~shard_bytes ~seed (fun f ->
+        Fleet.destroy_node f ~node:0)
+  in
+  { shards; shard_bytes; crash; loss; seconds = Unix.gettimeofday () -. t0 }
+
+let print report =
+  Printf.printf "E11: repair traffic after node crash vs node loss (paper section 2.2)\n";
+  Printf.printf "fleet: %d nodes, replication %d, %d shards x %d B\n\n" fleet_config.Fleet.nodes
+    fleet_config.Fleet.replication report.shards report.shard_bytes;
+  Printf.printf "%-42s %18s %14s\n" "scenario" "shards repaired" "bytes moved";
+  Printf.printf "%s\n" (String.make 76 '-');
+  List.iter
+    (fun a -> Printf.printf "%-42s %18d %14d\n" a.label a.shards_repaired a.bytes_moved)
+    [ report.crash; report.loss ];
+  Printf.printf "%s\n" (String.make 76 '-');
+  if report.crash.bytes_moved = 0 then
+    Printf.printf
+      "crash-consistent recovery required no repair traffic; losing the node\n\
+       re-replicated %d shards (%d B) across the fleet. (%.1f s)\n"
+      report.loss.shards_repaired report.loss.bytes_moved report.seconds
+  else
+    Printf.printf "(crash arm unexpectedly moved %d bytes) (%.1f s)\n" report.crash.bytes_moved
+      report.seconds

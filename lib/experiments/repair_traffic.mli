@@ -1,0 +1,29 @@
+(** Experiment E11 — why be crash consistent (paper section 2.2):
+
+    "Recovering from a crash that loses an entire storage node's data
+    creates large amounts of repair network traffic and IO load across the
+    storage node fleet. Crash consistency also ensures that the storage
+    node recovers to a safe state after a crash."
+
+    Quantifies that motivation on the {!Fleet} layer: populate a replicated
+    fleet, then compare the repair traffic after (a) a node {e crash}
+    (dirty reboot; crash-consistent recovery keeps the durable shards) and
+    (b) a node {e loss} (disk replacement; everything the node held must be
+    re-replicated). *)
+
+type arm = {
+  label : string;
+  shards_repaired : int;
+  bytes_moved : int;
+}
+
+type report = {
+  shards : int;
+  shard_bytes : int;
+  crash : arm;
+  loss : arm;
+  seconds : float;
+}
+
+val run : ?shards:int -> ?shard_bytes:int -> ?seed:int -> unit -> report
+val print : report -> unit

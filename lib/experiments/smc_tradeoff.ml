@@ -1,0 +1,101 @@
+type strategy_result = {
+  strategy : string;
+  fault : Faults.t;
+  detected : int;
+  trials : int;
+  median_schedules : int option;
+  schedules_per_sec : float;
+}
+
+type verification = {
+  fault : Faults.t;
+  schedules : int;
+  exhausted : bool;
+  seconds : float;
+}
+
+type report = {
+  results : strategy_result list;
+  verifications : verification list;
+  seconds : float;
+}
+
+let strategies ~seed ~budget =
+  [
+    ("DFS", fun _trial -> Smc.Dfs { max_schedules = budget });
+    ("Random", fun trial -> Smc.Random_walk { seed = seed + trial; schedules = budget });
+    ("PCT d=3", fun trial -> Smc.Pct { seed = seed + trial; schedules = budget; depth = 3 });
+  ]
+
+let measure ~trials fault (name, mk) =
+  let hits = ref [] in
+  let schedules_total = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for trial = 0 to trials - 1 do
+    let outcome = Conc.Conc_detect.detect (mk trial) fault in
+    schedules_total := !schedules_total + outcome.Smc.schedules_run;
+    if outcome.Smc.violation <> None then hits := outcome.Smc.schedules_run :: !hits
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let hits = List.sort compare !hits in
+  {
+    strategy = name;
+    fault;
+    detected = List.length hits;
+    trials;
+    median_schedules =
+      (match hits with [] -> None | _ -> Some (List.nth hits (List.length hits / 2)));
+    schedules_per_sec = float_of_int !schedules_total /. dt;
+  }
+
+let verify ~budget fault =
+  let t0 = Unix.gettimeofday () in
+  let outcome = Conc.Conc_detect.check_correct (Smc.Dfs { max_schedules = budget }) fault in
+  assert (outcome.Smc.violation = None);
+  {
+    fault;
+    schedules = outcome.Smc.schedules_run;
+    exhausted = outcome.Smc.exhausted;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let run ?(trials = 5) ?(schedule_budget = 100_000) ?(seed = 3_000) () =
+  let t0 = Unix.gettimeofday () in
+  let hunt_faults = [ Faults.F14_compaction_reclaim_race; Faults.F11_locator_race ] in
+  let results =
+    List.concat_map
+      (fun fault ->
+        List.map (measure ~trials fault) (strategies ~seed ~budget:schedule_budget))
+      hunt_faults
+  in
+  let verifications =
+    List.map (verify ~budget:schedule_budget)
+      [
+        Faults.F11_locator_race;
+        Faults.F12_buffer_pool_deadlock;
+        Faults.F13_list_remove_race;
+        Faults.F16_bulk_create_remove_race;
+      ]
+  in
+  { results; verifications; seconds = Unix.gettimeofday () -. t0 }
+
+let print report =
+  Printf.printf "E8: stateless model checking strategies (Loom-vs-Shuttle trade-off, section 6)\n";
+  Printf.printf "%-10s %-6s %-12s %-20s %s\n" "strategy" "fault" "detected" "median schedules"
+    "schedules/s";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s #%-5d %d/%-10d %-20s %.0f\n" r.strategy (Faults.number r.fault)
+        r.detected r.trials
+        (match r.median_schedules with Some m -> string_of_int m | None -> "-")
+        r.schedules_per_sec)
+    report.results;
+  Printf.printf "\nExhaustive verification of the corrected code (DFS):\n";
+  List.iter
+    (fun v ->
+      Printf.printf "  #%-3d %d schedules, %s, %.2f s\n" (Faults.number v.fault) v.schedules
+        (if v.exhausted then "exhaustive" else "budget reached")
+        v.seconds)
+    report.verifications;
+  Printf.printf "(%.1f s total)\n" report.seconds

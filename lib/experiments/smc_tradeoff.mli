@@ -1,0 +1,33 @@
+(** Experiment E8 — the Loom/Shuttle soundness-scalability trade-off
+    (paper section 6): exhaustive DFS soundly checks small harnesses;
+    randomized PCT scales to larger ones at the cost of possibly missing
+    bugs.
+
+    On the Fig. 4 race (#14) and the other concurrency harnesses, measures
+    schedules-to-violation per strategy (median over seeds) and the cost of
+    exhaustively verifying the corrected code. *)
+
+type strategy_result = {
+  strategy : string;
+  fault : Faults.t;
+  detected : int;  (** trials that found the violation *)
+  trials : int;
+  median_schedules : int option;
+  schedules_per_sec : float;
+}
+
+type verification = {
+  fault : Faults.t;
+  schedules : int;
+  exhausted : bool;  (** the whole interleaving space was covered *)
+  seconds : float;
+}
+
+type report = {
+  results : strategy_result list;
+  verifications : verification list;  (** DFS on the corrected code *)
+  seconds : float;
+}
+
+val run : ?trials:int -> ?schedule_budget:int -> ?seed:int -> unit -> report
+val print : report -> unit

@@ -1,0 +1,171 @@
+module S = Store.Default
+
+type config = {
+  nodes : int;
+  replication : int;
+  store : S.config;
+}
+
+let default_config = { nodes = 6; replication = 3; store = S.default_config }
+
+type error =
+  | Node_failed of { node : int; message : string }
+  | No_live_replica of string
+
+let pp_error fmt = function
+  | Node_failed { node; message } -> Format.fprintf fmt "node %d failed: %s" node message
+  | No_live_replica key -> Format.fprintf fmt "no live replica of %S" key
+
+type t = {
+  config : config;
+  stores : S.t array;
+}
+
+let create config =
+  if config.nodes < config.replication then
+    invalid_arg "Fleet.create: fewer nodes than the replication factor";
+  {
+    config;
+    stores =
+      Array.init config.nodes (fun i ->
+          S.create
+            { config.store with S.seed = Int64.add config.store.S.seed (Int64.of_int (i * 131)) });
+  }
+
+let node_count t = Array.length t.stores
+
+(* Rendezvous (highest-random-weight) hashing: stable placement that moves
+   a minimal number of shards when membership changes. *)
+let placement t key =
+  let score node =
+    Util.Crc32.digest_string (Printf.sprintf "%s/%d" key node)
+  in
+  List.init (node_count t) Fun.id
+  |> List.sort (fun a b -> Int32.unsigned_compare (score b) (score a))
+  |> List.filteri (fun i _ -> i < t.config.replication)
+
+let node_err node r =
+  Result.map_error (fun e -> Node_failed { node; message = Format.asprintf "%a" S.pp_error e }) r
+
+let ( let* ) = Result.bind
+
+(* Durable acknowledgement: flush the index and superblock and drain the
+   writeback so the shard survives a crash of this node. *)
+let durable_put store node ~key ~value =
+  let* _dep = node_err node (S.put store ~key ~value) in
+  let* _dep = node_err node (S.flush_index store) in
+  let* _dep = node_err node (S.flush_superblock store) in
+  ignore (S.pump store max_int);
+  Ok ()
+
+let put t ~key ~value =
+  List.fold_left
+    (fun acc node ->
+      let* () = acc in
+      durable_put t.stores.(node) node ~key ~value)
+    (Ok ()) (placement t key)
+
+let get t ~key =
+  let rec go misses = function
+    | [] -> if misses > 0 then Error (No_live_replica key) else Ok None
+    | node :: rest -> (
+      match S.get t.stores.(node) ~key with
+      | Ok (Some v) -> Ok (Some v)
+      | Ok None -> go misses rest
+      | Error _ -> go (misses + 1) rest)
+  in
+  go 0 (placement t key)
+
+(* Deletes need the same durable acknowledgement as puts: a tombstone that
+   does not survive a replica's crash resurrects the shard there. *)
+let delete t ~key =
+  List.fold_left
+    (fun acc node ->
+      let* () = acc in
+      let store = t.stores.(node) in
+      let* _dep = node_err node (S.delete store ~key) in
+      let* _dep = node_err node (S.flush_index store) in
+      let* _dep = node_err node (S.flush_superblock store) in
+      ignore (S.pump store max_int);
+      Ok ())
+    (Ok ()) (placement t key)
+
+let crash_node t ~rng ~node =
+  match
+    S.dirty_reboot t.stores.(node) ~rng
+      {
+        S.flush_index_first = false;
+        flush_superblock_first = false;
+        persist_probability = 0.5;
+        split_pages = true;
+      }
+  with
+  | Ok () -> ()
+  | Error e -> Format.kasprintf failwith "crash_node: %a" S.pp_error e
+
+let destroy_node t ~node =
+  t.stores.(node) <-
+    S.create
+      {
+        t.config.store with
+        S.seed = Int64.add t.config.store.S.seed (Int64.of_int ((node * 131) + 7_777));
+      }
+
+type repair_report = {
+  shards_scanned : int;
+  shards_repaired : int;
+  bytes_moved : int;
+}
+
+let repair t =
+  (* The control plane's view: the union of every node's listing. *)
+  let* keys =
+    Array.to_seq t.stores
+    |> Seq.fold_lefti
+         (fun acc node store ->
+           let* acc = acc in
+           let* keys = node_err node (S.list store) in
+           Ok (List.rev_append keys acc))
+         (Ok [])
+  in
+  let keys = List.sort_uniq String.compare keys in
+  let report = ref { shards_scanned = 0; shards_repaired = 0; bytes_moved = 0 } in
+  let* () =
+    List.fold_left
+      (fun acc key ->
+        let* () = acc in
+        report := { !report with shards_scanned = !report.shards_scanned + 1 };
+        (* Find a live copy among the placements. *)
+        let nodes = placement t key in
+        let copy =
+          List.find_map
+            (fun node ->
+              match S.get t.stores.(node) ~key with Ok (Some v) -> Some v | _ -> None)
+            nodes
+        in
+        match copy with
+        | None -> Ok ()  (* unreadable everywhere: nothing to repair from *)
+        | Some value ->
+          List.fold_left
+            (fun acc node ->
+              let* () = acc in
+              match S.get t.stores.(node) ~key with
+              | Ok (Some _) -> Ok ()
+              | Ok None | Error _ ->
+                let* () = durable_put t.stores.(node) node ~key ~value in
+                report :=
+                  {
+                    !report with
+                    shards_repaired = !report.shards_repaired + 1;
+                    bytes_moved = !report.bytes_moved + String.length value;
+                  };
+                Ok ())
+            (Ok ()) nodes)
+      (Ok ()) keys
+  in
+  Ok !report
+
+let replica_count t ~key =
+  List.fold_left
+    (fun n node -> match S.get t.stores.(node) ~key with Ok (Some _) -> n + 1 | _ -> n)
+    0 (placement t key)

@@ -1,0 +1,75 @@
+(** A fleet of ShardStore storage nodes with shard replication — the layer
+    above the paper's scope that motivates its design decisions.
+
+    Context from the paper: "Amazon S3 is designed for eleven nines of
+    data durability, and replicates object data across multiple storage
+    nodes, so single-node crash consistency issues do not cause data loss.
+    We instead see crash consistency as reducing the cost and operational
+    impact of storage node failures" (section 2.2), and section 8.4 lists
+    validating ShardStore's role in the wider system as future work.
+
+    This module implements the minimum of that wider system: rendezvous-
+    hashed placement of each shard on [replication] nodes, durable
+    acknowledgement (each replica flushes before the put returns), node
+    crash (dirty reboot: survives with its durable data) versus node loss
+    (disk replacement: empty), and {!repair}, which re-replicates
+    under-replicated shards and reports how many bytes had to move — the
+    quantity crash consistency is meant to keep small. *)
+
+type t
+
+type config = {
+  nodes : int;
+  replication : int;  (** replicas per shard *)
+  store : Store.Default.config;
+}
+
+val default_config : config
+
+type error =
+  | Node_failed of { node : int; message : string }
+  | No_live_replica of string  (** key unreadable on every placement *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : config -> t
+val node_count : t -> int
+
+(** Placement of a key: the [replication] nodes ranked by rendezvous
+    hashing. Deterministic. *)
+val placement : t -> string -> int list
+
+(** {2 Request plane} *)
+
+(** [put t ~key ~value] writes and {e durably flushes} the shard on every
+    placement before returning (the acknowledgement S3's durability story
+    requires). *)
+val put : t -> key:string -> value:string -> (unit, error) result
+
+(** [get t ~key] reads from the first placement that has the shard. *)
+val get : t -> key:string -> (string option, error) result
+
+val delete : t -> key:string -> (unit, error) result
+
+(** {2 Failures and repair} *)
+
+(** [crash_node t ~rng ~node] — power loss: the node reboots and recovers
+    its durable state. *)
+val crash_node : t -> rng:Util.Rng.t -> node:int -> unit
+
+(** [destroy_node t ~node] — total loss (disk replacement): the node comes
+    back empty. *)
+val destroy_node : t -> node:int -> unit
+
+type repair_report = {
+  shards_scanned : int;
+  shards_repaired : int;  (** replicas re-created *)
+  bytes_moved : int;  (** repair network traffic *)
+}
+
+(** [repair t] restores full replication for every shard readable from at
+    least one replica. *)
+val repair : t -> (repair_report, error) result
+
+(** Live replicas of a key (placements that can currently serve it). *)
+val replica_count : t -> key:string -> int

@@ -1,0 +1,106 @@
+type status = Pending | Durable | Dropped | Failed
+
+type kind =
+  | Append of { off : int; data : string }
+  | Reset of { epoch : int }
+
+type write = {
+  id : int;
+  extent : int;
+  kind : kind;
+  input : t;
+  mutable status : status;
+}
+
+and t =
+  | Trivial
+  | Of_write of write
+  | And of t * t
+  | Of_promise of promise
+
+and promise = { mutable bound : t option }
+
+let trivial = Trivial
+
+let and_ a b =
+  match a, b with
+  | Trivial, d | d, Trivial -> d
+  | _ -> And (a, b)
+
+let all deps = List.fold_left and_ Trivial deps
+
+(* Promises can alias (the same cadence promise flows into many deps), so
+   traversals track visited promises by physical identity to stay linear and
+   to survive accidental cycles. *)
+let rec eval ~on_write ~on_unbound ~combine ~base visited t =
+  match t with
+  | Trivial -> base
+  | Of_write w -> on_write w
+  | And (a, b) ->
+    combine
+      (fun () -> eval ~on_write ~on_unbound ~combine ~base visited a)
+      (fun () -> eval ~on_write ~on_unbound ~combine ~base visited b)
+  | Of_promise p ->
+    if List.memq p !visited then base
+    else begin
+      visited := p :: !visited;
+      match p.bound with
+      | None -> on_unbound
+      | Some d -> eval ~on_write ~on_unbound ~combine ~base visited d
+    end
+
+let persistent_under pred t =
+  let on_write w =
+    match w.status with
+    | Durable -> true
+    | Pending -> pred w
+    | Dropped | Failed -> false
+  in
+  eval ~on_write ~on_unbound:false
+    ~combine:(fun a b -> a () && b ())
+    ~base:true (ref []) t
+
+let is_persistent t = persistent_under (fun _ -> false) t
+
+let has_failed t =
+  let on_write w = match w.status with Dropped | Failed -> true | Pending | Durable -> false in
+  eval ~on_write ~on_unbound:false
+    ~combine:(fun a b -> a () || b ())
+    ~base:false (ref []) t
+
+let writes t =
+  let acc = ref [] in
+  let on_write w =
+    acc := w :: !acc;
+    true
+  in
+  let (_ : bool) =
+    eval ~on_write ~on_unbound:true ~combine:(fun a b -> a () && b ()) ~base:true (ref []) t
+  in
+  List.rev !acc
+
+let pp fmt t =
+  let ws = writes t in
+  Format.fprintf fmt "dep{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       (fun fmt w -> Format.fprintf fmt "w%d" w.id))
+    ws
+
+module Promise = struct
+  type nonrec promise = promise
+
+  let create () = { bound = None }
+  let dep p = Of_promise p
+
+  let bind p d =
+    match p.bound with
+    | Some _ -> invalid_arg "Dep.Promise.bind: already bound"
+    | None -> p.bound <- Some d
+
+  let is_bound p = Option.is_some p.bound
+end
+
+let make_write ~id ~extent ~kind ~input = { id; extent; kind; input; status = Pending }
+let of_write w = Of_write w
+let set_status w s = w.status <- s

@@ -1,0 +1,411 @@
+type error =
+  | Io of Disk.io_error
+  | Extent_full of { extent : int; wanted : int; available : int }
+  | Stuck of { blocked : int }
+
+let pp_error fmt = function
+  | Io e -> Disk.pp_io_error fmt e
+  | Extent_full { extent; wanted; available } ->
+    Format.fprintf fmt "extent %d full: wanted %d bytes, %d available" extent wanted available
+  | Stuck { blocked } -> Format.fprintf fmt "scheduler stuck: %d writes blocked" blocked
+
+type volatile = {
+  image : Bytes.t;
+  mutable soft_ptr : int;
+  mutable vepoch : int;
+  mutable epoch_ceiling : int;
+      (** highest epoch ever minted this session; resets continue above it
+          so locators of writes lost to a permanent failure can never be
+          re-minted for different data *)
+  mutable quarantined : bool;
+      (** a permanent failure destroyed staged writes here; the extent is
+          retired from new appends until a reset gives it a fresh epoch *)
+  pending : Dep.write Queue.t;
+}
+
+type stats = {
+  appends : int;
+  resets : int;
+  ios_issued : int;
+  bytes_written : int;
+  crashes : int;
+}
+
+type t = {
+  disk : Disk.t;
+  volatiles : volatile array;
+  rng : Util.Rng.t;
+  mutable next_id : int;
+  mutable pending_total : int;
+  mutable st_appends : int;
+  mutable st_resets : int;
+  mutable st_ios : int;
+  mutable st_bytes : int;
+  mutable st_crashes : int;
+}
+
+let extent_size t = Disk.extent_size (Disk.config t.disk)
+let page_size t = (Disk.config t.disk).Disk.page_size
+let extent_count t = (Disk.config t.disk).Disk.extent_count
+let disk t = t.disk
+
+let create ?(seed = 0x5EEDL) disk =
+  let config = Disk.config disk in
+  let size = Disk.extent_size config in
+  let mk i =
+    {
+      image = Bytes.make size '\000';
+      soft_ptr = Disk.hard_ptr disk ~extent:i;
+      vepoch = Disk.epoch disk ~extent:i;
+      epoch_ceiling = Disk.epoch disk ~extent:i;
+      quarantined = false;
+      pending = Queue.create ();
+    }
+  in
+  let t =
+    {
+      disk;
+      volatiles = Array.init config.Disk.extent_count mk;
+      rng = Util.Rng.create seed;
+      next_id = 0;
+      pending_total = 0;
+      st_appends = 0;
+      st_resets = 0;
+      st_ios = 0;
+      st_bytes = 0;
+      st_crashes = 0;
+    }
+  in
+  (* Seed the volatile images from whatever is already durable (recovery
+     after a crash reuses the same disk). *)
+  Array.iteri
+    (fun i v ->
+      let len = Disk.hard_ptr disk ~extent:i in
+      if len > 0 then Bytes.blit_string (Disk.durable_image disk ~extent:i) 0 v.image 0 len)
+    t.volatiles;
+  t
+
+let volatile t extent =
+  if extent < 0 || extent >= Array.length t.volatiles then
+    invalid_arg (Printf.sprintf "Io_sched: bad extent %d" extent);
+  t.volatiles.(extent)
+
+let soft_ptr t ~extent = (volatile t extent).soft_ptr
+let epoch t ~extent = (volatile t extent).vepoch
+let quarantined t ~extent = (volatile t extent).quarantined
+let capacity_left t ~extent = extent_size t - (volatile t extent).soft_ptr
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let enqueue t v w =
+  Queue.add w v.pending;
+  t.pending_total <- t.pending_total + 1
+
+let append t ~extent ~data ~input =
+  if String.length data = 0 then invalid_arg "Io_sched.append: empty data";
+  let v = volatile t extent in
+  if v.quarantined then Error (Io Disk.Permanent)
+  else begin
+  let len = String.length data in
+  let available = extent_size t - v.soft_ptr in
+  if len > available then Error (Extent_full { extent; wanted = len; available })
+  else begin
+    let off = v.soft_ptr in
+    Bytes.blit_string data 0 v.image off len;
+    v.soft_ptr <- off + len;
+    let w = Dep.make_write ~id:(fresh_id t) ~extent ~kind:(Append { off; data }) ~input in
+    enqueue t v w;
+    t.st_appends <- t.st_appends + 1;
+    Ok (Dep.of_write w)
+  end
+  end
+
+let reset t ~extent ~input =
+  let v = volatile t extent in
+  Bytes.fill v.image 0 (Bytes.length v.image) '\000';
+  v.soft_ptr <- 0;
+  v.vepoch <- max v.vepoch v.epoch_ceiling + 1;
+  v.epoch_ceiling <- v.vepoch;
+  v.quarantined <- false;
+  let w = Dep.make_write ~id:(fresh_id t) ~extent ~kind:(Reset { epoch = v.vepoch }) ~input in
+  enqueue t v w;
+  t.st_resets <- t.st_resets + 1;
+  Ok (Dep.of_write w)
+
+let read t ~extent ~off ~len =
+  let v = volatile t extent in
+  match Disk.consume_fault t.disk ~extent with
+  | Error e -> Error (Io e)
+  | Ok () ->
+    if len < 0 || off < 0 then Error (Io (Disk.Out_of_bounds "negative offset or length"))
+    else if off + len > v.soft_ptr then
+      Error
+        (Io
+           (Disk.Out_of_bounds
+              (Printf.sprintf "read [%d, %d) beyond soft pointer %d" off (off + len) v.soft_ptr)))
+    else Ok (Bytes.sub_string v.image off len)
+
+let resync_extent t extent v =
+  Bytes.fill v.image 0 (Bytes.length v.image) '\000';
+  let len = Disk.hard_ptr t.disk ~extent in
+  if len > 0 then Bytes.blit_string (Disk.durable_image t.disk ~extent) 0 v.image 0 len;
+  v.soft_ptr <- len;
+  v.vepoch <- Disk.epoch t.disk ~extent;
+  v.epoch_ceiling <- max v.epoch_ceiling v.vepoch
+
+(* Issue the head write of [v] to the disk. Returns [`Issued], [`Transient]
+   (retry later), or [`Blocked] (dependency not yet persistent). A permanent
+   failure loses the whole extent queue — later sequential writes can never
+   be issued once a predecessor is lost — and the volatile state is
+   resynchronized from the durable state: staged-but-lost bytes, pointers
+   and reset epochs must not linger, or later reuse of the extent would
+   mint locators whose epoch can never exist on disk. *)
+let try_issue_head t extent v =
+  match Queue.peek_opt v.pending with
+  | None -> `Empty
+  | Some w ->
+    if not (Dep.is_persistent w.Dep.input) then `Blocked
+    else begin
+      let result =
+        match w.Dep.kind with
+        | Dep.Append { off; data } -> Disk.write t.disk ~extent ~off data
+        | Dep.Reset { epoch } -> Disk.reset ~epoch t.disk ~extent
+      in
+      match result with
+      | Ok () ->
+        Dep.set_status w Dep.Durable;
+        ignore (Queue.pop v.pending);
+        t.pending_total <- t.pending_total - 1;
+        t.st_ios <- t.st_ios + 1;
+        (match w.Dep.kind with
+        | Dep.Append { data; _ } -> t.st_bytes <- t.st_bytes + String.length data
+        | Dep.Reset _ -> ());
+        `Issued
+      | Error Disk.Transient -> `Transient
+      | Error Disk.Permanent | Error (Disk.Out_of_bounds _) ->
+        (* Out_of_bounds here would be a scheduler logic bug for appends, but
+           it also arises when an injected permanent failure earlier broke
+           the sequential chain; treat both as failing the queue. *)
+        Queue.iter
+          (fun w' ->
+            Dep.set_status w' Dep.Failed;
+            t.pending_total <- t.pending_total - 1)
+          v.pending;
+        Queue.clear v.pending;
+        resync_extent t extent v;
+        v.quarantined <- true;
+        `Failed
+    end
+
+let pump ?(max_ios = max_int) t =
+  let issued = ref 0 in
+  let progress = ref true in
+  let order = Array.init (Array.length t.volatiles) Fun.id in
+  while !progress && !issued < max_ios do
+    progress := false;
+    Util.Rng.shuffle t.rng order;
+    Array.iter
+      (fun extent ->
+        if !issued < max_ios then
+          match try_issue_head t extent t.volatiles.(extent) with
+          | `Issued ->
+            incr issued;
+            progress := true
+          | `Failed -> progress := true
+          | `Empty | `Blocked | `Transient -> ())
+      order
+  done;
+  !issued
+
+let pending_count t = t.pending_total
+
+let pending_writes t =
+  let acc = ref [] in
+  Array.iter (fun v -> Queue.iter (fun w -> acc := w :: !acc) v.pending) t.volatiles;
+  List.sort (fun a b -> compare a.Dep.id b.Dep.id) !acc
+
+let has_pending_reset t ~extent =
+  let v = volatile t extent in
+  Queue.fold
+    (fun acc w -> acc || match w.Dep.kind with Dep.Reset _ -> true | Dep.Append _ -> false)
+    false v.pending
+
+let pp_blocked fmt t =
+  Array.iteri
+    (fun extent v ->
+      Queue.iter
+        (fun w ->
+          Format.fprintf fmt
+            "extent %d: w%d %s input{persistent=%b writes=%a (%s)}@."
+            extent w.Dep.id
+            (match w.Dep.kind with
+            | Dep.Append { off; data } -> Printf.sprintf "append@%d+%d" off (String.length data)
+            | Dep.Reset _ -> "reset")
+            (Dep.is_persistent w.Dep.input) Dep.pp w.Dep.input
+            (String.concat ","
+               (List.map
+                  (fun w' ->
+                    Printf.sprintf "w%d:%s" w'.Dep.id
+                      (match w'.Dep.status with
+                      | Dep.Pending -> "pending"
+                      | Dep.Durable -> "durable"
+                      | Dep.Dropped -> "dropped"
+                      | Dep.Failed -> "failed"))
+                  (Dep.writes w.Dep.input))))
+        v.pending)
+    t.volatiles
+
+let flush t =
+  let rec go guard =
+    if t.pending_total = 0 then Ok ()
+    else if guard = 0 then Error (Stuck { blocked = t.pending_total })
+    else begin
+      let before = t.pending_total in
+      let issued = pump t in
+      if issued = 0 && t.pending_total = before then
+        (* Nothing moved: either transient failures (retry a bounded number
+           of times) or genuinely stuck dependencies. *)
+        go (guard - 1)
+      else go guard
+    end
+  in
+  go 4
+
+(* A reboot empties every volatile structure that could hold a lost
+   locator, so quarantines lift. *)
+let reload_volatile t =
+  Array.iteri
+    (fun extent v ->
+      resync_extent t extent v;
+      v.quarantined <- false)
+    t.volatiles
+
+let discard_volatile t =
+  Array.iter
+    (fun v ->
+      Queue.iter
+        (fun w ->
+          Dep.set_status w Dep.Dropped;
+          t.pending_total <- t.pending_total - 1)
+        v.pending;
+      Queue.clear v.pending)
+    t.volatiles;
+  reload_volatile t
+
+type crash_report = { persisted : int; partial : int; dropped : int }
+
+let crash t ~rng ~persist_probability ~split_pages =
+  t.st_crashes <- t.st_crashes + 1;
+  (* Select a dependency-closed, per-extent prefix subset of the pending
+     writes to persist. Dependencies may point at writes scheduled later
+     (promises bind to future superblock records), so selection iterates to
+     a fixpoint: each pass walks every open extent's queue cursor and
+     persists the next write once its input holds under the current
+     selection. The per-write coin is flipped at most once. *)
+  let chosen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let partial : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let n = Array.length t.volatiles in
+  let queues = Array.map (fun v -> Array.of_seq (Queue.to_seq v.pending)) t.volatiles in
+  let cursor = Array.make n 0 in
+  let closed = Array.make n false in
+  let psize = page_size t in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for extent = 0 to n - 1 do
+      let queue = queues.(extent) in
+      let continue_extent = ref true in
+      while !continue_extent && (not closed.(extent)) && cursor.(extent) < Array.length queue do
+        let w = queue.(cursor.(extent)) in
+        let eligible =
+          Dep.persistent_under (fun w' -> Hashtbl.mem chosen w'.Dep.id) w.Dep.input
+        in
+        if not eligible then continue_extent := false
+        else if Util.Rng.chance rng persist_probability then begin
+          let cut =
+            match w.Dep.kind with
+            | Dep.Append { off; data } when split_pages && Util.Rng.chance rng 0.25 ->
+              (* Cut at a page boundary strictly inside the write, modelling
+                 a crash mid-way through a multi-page IO. *)
+              let len = String.length data in
+              let first_boundary = ((off / psize) + 1) * psize in
+              let boundaries = ref [] in
+              let b = ref first_boundary in
+              while !b < off + len do
+                boundaries := (!b - off) :: !boundaries;
+                b := !b + psize
+              done;
+              (match !boundaries with
+              | [] -> None
+              | bs -> Some (Util.Rng.pick_list rng bs))
+            | _ -> None
+          in
+          match cut with
+          | Some bytes ->
+            Util.Coverage.hit "crash.torn_append";
+            Hashtbl.replace partial w.Dep.id bytes;
+            closed.(extent) <- true
+          | None ->
+            Hashtbl.replace chosen w.Dep.id ();
+            cursor.(extent) <- cursor.(extent) + 1;
+            progress := true
+        end
+        else closed.(extent) <- true
+      done
+    done
+  done;
+  let report = ref { persisted = 0; partial = 0; dropped = 0 } in
+  (* Apply the selection to the disk, per extent in queue order. *)
+  Disk.with_faults_suspended t.disk (fun () ->
+      Array.iteri
+        (fun extent v ->
+          Queue.iter
+            (fun w ->
+              if Hashtbl.mem chosen w.Dep.id then begin
+                (match w.Dep.kind with
+                | Dep.Append { off; data } -> (
+                  match Disk.write t.disk ~extent ~off data with
+                  | Ok () -> ()
+                  | Error e ->
+                    Format.kasprintf failwith "crash apply: %a" Disk.pp_io_error e)
+                | Dep.Reset { epoch } -> (
+                  match Disk.reset ~epoch t.disk ~extent with
+                  | Ok () -> ()
+                  | Error e ->
+                    Format.kasprintf failwith "crash apply: %a" Disk.pp_io_error e));
+                Dep.set_status w Dep.Durable;
+                report := { !report with persisted = !report.persisted + 1 }
+              end
+              else
+                match Hashtbl.find_opt partial w.Dep.id with
+                | Some n ->
+                  (match w.Dep.kind with
+                  | Dep.Append { off; data } -> (
+                    match Disk.write t.disk ~extent ~off (String.sub data 0 n) with
+                    | Ok () -> ()
+                    | Error e ->
+                      Format.kasprintf failwith "crash apply: %a" Disk.pp_io_error e)
+                  | Dep.Reset _ -> assert false);
+                  Dep.set_status w Dep.Dropped;
+                  report := { !report with partial = !report.partial + 1 }
+                | None ->
+                  Dep.set_status w Dep.Dropped;
+                  report := { !report with dropped = !report.dropped + 1 })
+            v.pending;
+          Queue.clear v.pending)
+        t.volatiles);
+  t.pending_total <- 0;
+  reload_volatile t;
+  !report
+
+let stats t =
+  {
+    appends = t.st_appends;
+    resets = t.st_resets;
+    ios_issued = t.st_ios;
+    bytes_written = t.st_bytes;
+    crashes = t.st_crashes;
+  }

@@ -1,0 +1,121 @@
+(** The IO scheduler: volatile staging of writes plus soft-updates
+    writeback ordering (paper section 2.2).
+
+    Layers above mutate only through {!append} and {!reset}; both take and
+    return a {!Dep.t}. A write is {e pending} (visible to reads through the
+    volatile extent image, not yet durable) until the scheduler issues it,
+    which it may do only when the write's input dependency has persisted
+    and, within an extent, in FIFO order (extents are sequential-write).
+
+    {!pump} issues ready writes in a randomized order — the orderings a real
+    writeback thread could pick — seeded for determinism. {!crash} generates
+    a crash state: it persists a dependency-closed, per-extent-prefix subset
+    of the pending writes (optionally cutting the last append of an extent
+    at a page boundary, the block-level mode of paper section 5) and drops
+    the rest. *)
+
+type t
+
+type error =
+  | Io of Disk.io_error
+  | Extent_full of { extent : int; wanted : int; available : int }
+  | Stuck of { blocked : int }
+      (** forward-progress violation: pending writes whose dependencies can
+          never persist *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : ?seed:int64 -> Disk.t -> t
+val disk : t -> Disk.t
+val page_size : t -> int
+val extent_count : t -> int
+val extent_size : t -> int
+
+(** {2 Volatile view} *)
+
+(** [soft_ptr t ~extent] — next write position (includes pending writes). *)
+val soft_ptr : t -> extent:int -> int
+
+(** [epoch t ~extent] — volatile reset epoch (includes pending resets). *)
+val epoch : t -> extent:int -> int
+
+val capacity_left : t -> extent:int -> int
+
+(** [quarantined t ~extent] — true after a permanent IO failure destroyed
+    staged writes on the extent. Appends are rejected (allocators must
+    skip it) until a reset mints a fresh epoch; reset epochs are monotone
+    within a session, so locators of the lost writes can never re-appear
+    attached to different data. *)
+val quarantined : t -> extent:int -> bool
+
+(** [append t ~extent ~data ~input] stages a sequential write at the soft
+    pointer. Returns the dependency for this write. Fails with
+    [Extent_full] when the data does not fit. *)
+val append : t -> extent:int -> data:string -> input:Dep.t -> (Dep.t, error) result
+
+(** [reset t ~extent ~input] stages a write-pointer reset (epoch bump). *)
+val reset : t -> extent:int -> input:Dep.t -> (Dep.t, error) result
+
+(** [read t ~extent ~off ~len] reads through the volatile image (sees
+    pending writes). Subject to injected IO failures; rejects reads at or
+    beyond the soft pointer. *)
+val read : t -> extent:int -> off:int -> len:int -> (string, error) result
+
+(** {2 Writeback} *)
+
+(** [pump ?max_ios t] issues ready writes in randomized dependency-respecting
+    order; returns the number issued. *)
+val pump : ?max_ios:int -> t -> int
+
+(** [flush t] pumps until nothing is pending. [Error (Stuck _)] reports a
+    forward-progress violation (a dependency cycle or an unbound promise
+    reachable from a pending write). *)
+val flush : t -> (unit, error) result
+
+val pending_count : t -> int
+
+(** [pending_writes t] — every staged write in scheduling order (the
+    crash-state enumerator inspects them non-destructively). *)
+val pending_writes : t -> Dep.write list
+
+(** [has_pending_reset t ~extent] — true while a staged reset has not been
+    issued. Allocators must not reuse such an extent: chunks written behind
+    the reset could be referenced by the very index flush the reset waits
+    on, deadlocking writeback. *)
+val has_pending_reset : t -> extent:int -> bool
+
+(** Debug: one line per blocked extent-queue head (extent, kind, input
+    dependency state). *)
+val pp_blocked : Format.formatter -> t -> unit
+
+(** {2 Crash states} *)
+
+type crash_report = {
+  persisted : int;  (** pending writes persisted whole *)
+  partial : int;  (** appends persisted up to a page boundary *)
+  dropped : int;
+}
+
+(** [crash t ~rng ~persist_probability ~split_pages] — see module doc. After
+    the call the volatile view equals the durable state and all previously
+    pending dependencies are either persistent or failed. *)
+val crash :
+  t -> rng:Util.Rng.t -> persist_probability:float -> split_pages:bool -> crash_report
+
+(** [discard_volatile t] drops every pending write and reloads the
+    volatile images from the durable state — the effect of a process
+    restart without a disk crash. Recovery paths call it so they never
+    observe staged-but-failed writes as if they were on disk. *)
+val discard_volatile : t -> unit
+
+(** {2 Statistics} *)
+
+type stats = {
+  appends : int;
+  resets : int;
+  ios_issued : int;
+  bytes_written : int;
+  crashes : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,45 @@
+open Util
+
+type t =
+  | Put of Chunk.Locator.t list
+  | Tombstone
+
+let equal a b =
+  match a, b with
+  | Tombstone, Tombstone -> true
+  | Put l1, Put l2 -> List.length l1 = List.length l2 && List.for_all2 Chunk.Locator.equal l1 l2
+  | (Put _ | Tombstone), _ -> false
+
+let pp fmt = function
+  | Tombstone -> Format.pp_print_string fmt "tombstone"
+  | Put locs ->
+    Format.fprintf fmt "put[%a]"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ";") Chunk.Locator.pp)
+      locs
+
+let encode w = function
+  | Put locs ->
+    Codec.Writer.u8 w 0;
+    Codec.Writer.u32 w (Int32.of_int (List.length locs));
+    List.iter (Chunk.Locator.encode w) locs
+  | Tombstone -> Codec.Writer.u8 w 1
+
+let decode r =
+  let open Codec.Syntax in
+  let* tag = Codec.Reader.u8 r in
+  match tag with
+  | 0 ->
+    let* count32 = Codec.Reader.u32 r in
+    let count = Int32.to_int count32 in
+    if count < 0 || count > 1 lsl 20 then Error (Codec.Invalid "locator count")
+    else begin
+      let rec go acc i =
+        if i = count then Ok (Put (List.rev acc))
+        else
+          let* loc = Chunk.Locator.decode r in
+          go (loc :: acc) (i + 1)
+      in
+      go [] 0
+    end
+  | 1 -> Ok Tombstone
+  | _ -> Error (Codec.Invalid "entry tag")

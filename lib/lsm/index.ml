@@ -1,0 +1,324 @@
+open Util
+module Smap = Map.Make (String)
+
+type error =
+  | Chunk of Chunk.Chunk_store.error
+  | Roll of Logroll.error
+  | Corrupt of Codec.error
+
+let pp_error fmt = function
+  | Chunk e -> Chunk.Chunk_store.pp_error fmt e
+  | Roll e -> Logroll.pp_error fmt e
+  | Corrupt e -> Codec.pp_error fmt e
+
+let error_is_no_space = function
+  | Chunk Chunk.Chunk_store.No_space -> true
+  (* A metadata record outgrowing its extent is also resource pressure:
+     compaction shrinks the run list and with it the record. *)
+  | Roll (Logroll.Record_too_large _) -> true
+  | Chunk _ | Roll _ | Corrupt _ -> false
+
+type run_ref = {
+  run_id : int;
+  mutable loc : Chunk.Locator.t;
+  dep : Dep.t;  (** dependency covering this run and its metadata record *)
+}
+
+type t = {
+  chunks : Chunk.Chunk_store.t;
+  roll : Logroll.t;
+  mutable memtable : (Entry.t * Dep.t) Smap.t;
+  mutable runs : run_ref list;  (** newest first *)
+  mutable next_run_id : int;
+  mutable flush_promise : Dep.Promise.promise;
+  run_contents : (int, Run.t) Hashtbl.t;
+  mutable reset_seen : bool;
+  max_run_payload : int;
+}
+
+let create ?(max_run_payload = 16 * 1024) chunks ~metadata_extents =
+  let sched = Chunk.Chunk_store.sched chunks in
+  {
+    chunks;
+    roll = Logroll.create sched ~extents:metadata_extents ~name:"lsm-metadata";
+    memtable = Smap.empty;
+    runs = [];
+    next_run_id = 1;
+    flush_promise = Dep.Promise.create ();
+    run_contents = Hashtbl.create 16;
+    reset_seen = false;
+    max_run_payload;
+  }
+
+let memtable_size t = Smap.cardinal t.memtable
+let run_count t = List.length t.runs
+let note_extent_reset t = t.reset_seen <- true
+let run_locators t = List.map (fun r -> (r.run_id, r.loc)) t.runs
+
+let stage t key entry dep =
+  t.memtable <- Smap.add key (entry, dep) t.memtable;
+  Dep.and_ dep (Dep.Promise.dep t.flush_promise)
+
+let put t ~key ~locators ~value_dep = stage t key (Entry.Put locators) value_dep
+let delete t ~key = stage t key Entry.Tombstone Dep.trivial
+
+let ( let* ) = Result.bind
+
+let load_run t (r : run_ref) =
+  match Hashtbl.find_opt t.run_contents r.run_id with
+  | Some run -> Ok run
+  | None ->
+    let* chunk = Result.map_error (fun e -> Chunk e) (Chunk.Chunk_store.get t.chunks r.loc) in
+    let* run = Result.map_error (fun e -> Corrupt e) (Run.decode chunk.Chunk.Chunk_format.payload) in
+    Hashtbl.replace t.run_contents r.run_id run;
+    Ok run
+
+let find_entry t key =
+  match Smap.find_opt key t.memtable with
+  | Some (entry, _) ->
+    Util.Coverage.hit "index.get.memtable";
+    Ok (Some entry)
+  | None ->
+    let rec search = function
+      | [] -> Ok None
+      | r :: rest -> (
+        let* run = load_run t r in
+        match Run.find run key with
+        | Some entry ->
+          Util.Coverage.hit "index.get.run";
+          Ok (Some entry)
+        | None -> search rest)
+    in
+    search t.runs
+
+let get t ~key =
+  let* entry = find_entry t key in
+  match entry with
+  | Some (Entry.Put locs) -> Ok (Some locs)
+  | Some Entry.Tombstone | None -> Ok None
+
+let keys t =
+  let add_pair acc (k, entry) =
+    match entry with
+    | Entry.Put _ -> Smap.add k true acc
+    | Entry.Tombstone -> Smap.add k false acc
+  in
+  (* Oldest runs first so newer bindings overwrite. *)
+  let* from_runs =
+    List.fold_left
+      (fun acc r ->
+        let* acc = acc in
+        let* run = load_run t r in
+        Ok (List.fold_left add_pair acc (Run.to_list run)))
+      (Ok Smap.empty) (List.rev t.runs)
+  in
+  let all = Smap.fold (fun k (e, _) acc -> add_pair acc (k, e)) t.memtable from_runs in
+  Ok (Smap.fold (fun k live acc -> if live then k :: acc else acc) all [] |> List.rev)
+
+let encode_metadata t =
+  let w = Codec.Writer.create ~capacity:(16 + (List.length t.runs * 40)) () in
+  Codec.Writer.uint w t.next_run_id;
+  Codec.Writer.u32 w (Int32.of_int (List.length t.runs));
+  List.iter
+    (fun r ->
+      Codec.Writer.uint w r.run_id;
+      Chunk.Locator.encode w r.loc)
+    t.runs;
+  Codec.Writer.contents w
+
+let decode_metadata payload =
+  let open Codec.Syntax in
+  let r = Codec.Reader.of_string payload in
+  let* next_run_id = Codec.Reader.uint r in
+  let* count32 = Codec.Reader.u32 r in
+  let count = Int32.to_int count32 in
+  if count < 0 || count > 1 lsl 16 then Error (Codec.Invalid "run count")
+  else begin
+    let rec go acc i =
+      if i = count then
+        let* () = Codec.Reader.expect_end r in
+        Ok (next_run_id, List.rev acc)
+      else
+        let* run_id = Codec.Reader.uint r in
+        let* loc = Chunk.Locator.decode r in
+        go ((run_id, loc) :: acc) (i + 1)
+    in
+    go [] 0
+  end
+
+let append_metadata t ~input =
+  Result.map_error (fun e -> Roll e) (Logroll.append t.roll ~payload:(encode_metadata t) ~input)
+
+(* Split key-sorted pairs into batches whose serialized run stays within
+   the payload budget (at least one pair per batch). *)
+let batch_pairs t pairs =
+  let rec go current current_size batches = function
+    | [] -> List.rev (if current = [] then batches else List.rev current :: batches)
+    | ((k, e) as pair) :: rest ->
+      let size =
+        let w = Codec.Writer.create () in
+        Codec.Writer.lstring w k;
+        Entry.encode w e;
+        Codec.Writer.length w
+      in
+      if current <> [] && current_size + size > t.max_run_payload then
+        go [ pair ] size (List.rev current :: batches) rest
+      else go (pair :: current) (current_size + size) batches rest
+  in
+  go [] 4 [] pairs
+
+(* Write one batch of pairs as a fresh run whose input dependency covers
+   [input]. *)
+let write_run t ~input pairs =
+  Util.Coverage.hit "index.run_written";
+  let run = Run.of_pairs pairs in
+  let run_id = t.next_run_id in
+  t.next_run_id <- run_id + 1;
+  let* loc, run_dep =
+    Result.map_error (fun e -> Chunk e)
+      (Chunk.Chunk_store.put ~input t.chunks
+         ~owner:(Chunk.Chunk_format.Index_run run_id) ~payload:(Run.encode run))
+  in
+  t.runs <- { run_id; loc; dep = run_dep } :: t.runs;
+  Hashtbl.replace t.run_contents run_id run;
+  Ok run_dep
+
+let flush t ~for_shutdown =
+  if Smap.is_empty t.memtable then Ok Dep.trivial
+  else begin
+    let pairs = Smap.bindings t.memtable in
+    let value_deps = Dep.all (List.map (fun (_, (_, d)) -> d) pairs) in
+    let batches = batch_pairs t (List.map (fun (k, (e, _)) -> (k, e)) pairs) in
+    let* run_dep =
+      List.fold_left
+        (fun acc batch ->
+          let* acc = acc in
+          let* dep = write_run t ~input:value_deps batch in
+          Ok (Dep.and_ acc dep))
+        (Ok Dep.trivial) batches
+    in
+    (* Fault #3: metadata was not flushed correctly during shutdown if an
+       extent was reset. *)
+    let skip_metadata =
+      for_shutdown && t.reset_seen && Faults.enabled Faults.F3_shutdown_skips_metadata
+    in
+    let* meta_dep =
+      if skip_metadata then begin
+        Faults.record_fired Faults.F3_shutdown_skips_metadata;
+        Ok Dep.trivial
+      end
+      else append_metadata t ~input:run_dep
+    in
+    let dep = Dep.and_ run_dep meta_dep in
+    Dep.Promise.bind t.flush_promise dep;
+    t.flush_promise <- Dep.Promise.create ();
+    t.memtable <- Smap.empty;
+    t.reset_seen <- false;
+    Ok dep
+  end
+
+let compact t =
+  match t.runs with
+  | [] | [ _ ] -> Ok Dep.trivial
+  | runs ->
+    Util.Coverage.hit "index.compact";
+    let* contents =
+      List.fold_left
+        (fun acc r ->
+          let* acc = acc in
+          let* run = load_run t r in
+          Ok (run :: acc))
+        (Ok []) runs
+    in
+    let merged = Run.merge (List.rev contents) in
+    let source_deps = Dep.all (List.map (fun r -> r.dep) runs) in
+    if Run.is_empty merged then begin
+      t.runs <- [];
+      append_metadata t ~input:source_deps
+    end
+    else begin
+      (* Transactional: only commit the new run list once every batch chunk
+         is written; a mid-compaction failure (extent exhaustion) must not
+         lose entries. Partially written batches become garbage chunks for
+         reclamation. *)
+      let saved = t.runs in
+      t.runs <- [];
+      let batches = batch_pairs t (Run.to_list merged) in
+      let run_dep =
+        List.fold_left
+          (fun acc batch ->
+            let* acc = acc in
+            let* dep = write_run t ~input:source_deps batch in
+            Ok (Dep.and_ acc dep))
+          (Ok Dep.trivial) batches
+      in
+      match run_dep with
+      | Error e ->
+        t.runs <- saved;
+        Error e
+      | Ok run_dep ->
+        let* meta_dep = append_metadata t ~input:run_dep in
+        Ok (Dep.and_ run_dep meta_dep)
+    end
+
+let update_locator t ~key ~old_loc ~new_loc ~new_dep =
+  match Smap.find_opt key t.memtable with
+  | Some (Entry.Put locs, dep) when List.exists (Chunk.Locator.equal old_loc) locs ->
+    let locs =
+      List.map (fun l -> if Chunk.Locator.equal l old_loc then new_loc else l) locs
+    in
+    ignore (stage t key (Entry.Put locs) (Dep.and_ dep new_dep));
+    Dep.Promise.dep t.flush_promise
+  | Some _ -> Dep.trivial
+  | None -> (
+    (* The entry lives in a run: shadow it through the memtable; the old
+       run keeps the stale locator but the memtable entry wins, and the
+       reset waits on this entry's flush. *)
+    let rec search = function
+      | [] -> Dep.trivial
+      | r :: rest -> (
+        match load_run t r with
+        | Error _ -> Dep.trivial
+        | Ok run -> (
+          match Run.find run key with
+          | Some (Entry.Put locs) when List.exists (Chunk.Locator.equal old_loc) locs ->
+            let locs =
+              List.map (fun l -> if Chunk.Locator.equal l old_loc then new_loc else l) locs
+            in
+            ignore (stage t key (Entry.Put locs) new_dep);
+            Dep.Promise.dep t.flush_promise
+          | Some _ -> Dep.trivial
+          | None -> search rest))
+    in
+    search t.runs)
+
+let basis_dep t =
+  let runs = Dep.all (List.map (fun r -> r.dep) t.runs) in
+  let meta = Logroll.last_record_dep t.roll in
+  let memtable =
+    if Smap.is_empty t.memtable then Dep.trivial else Dep.Promise.dep t.flush_promise
+  in
+  Dep.and_ runs (Dep.and_ meta memtable)
+
+let relocate_run t ~run_id ~new_loc ~new_dep =
+  match List.find_opt (fun r -> r.run_id = run_id) t.runs with
+  | None -> Ok Dep.trivial
+  | Some r ->
+    r.loc <- new_loc;
+    append_metadata t ~input:new_dep
+
+let recover t =
+  t.memtable <- Smap.empty;
+  t.flush_promise <- Dep.Promise.create ();
+  Hashtbl.reset t.run_contents;
+  t.reset_seen <- false;
+  match Logroll.recover t.roll with
+  | None ->
+    t.runs <- [];
+    t.next_run_id <- 1;
+    Ok ()
+  | Some (_gen, payload) ->
+    let* next_run_id, runs = Result.map_error (fun e -> Corrupt e) (decode_metadata payload) in
+    t.next_run_id <- next_run_id;
+    t.runs <- List.map (fun (run_id, loc) -> { run_id; loc; dep = Dep.trivial }) runs;
+    Ok ()

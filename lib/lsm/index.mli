@@ -1,0 +1,93 @@
+(** The LSM-tree index: shard key → chunk locators (paper section 2.1).
+
+    Mutations land in a volatile memtable. {!flush} serializes the
+    memtable as a sorted {!Run} stored through the chunk store (the tree's
+    own storage is chunks, Fig. 1), then appends a metadata record (the
+    run-locator list) to the reserved metadata extents. An index entry's
+    durability is the {e flush promise}: it persists only when both the
+    covering run chunk and the covering metadata record are durable — and
+    the run chunk's write depends on the entry's value chunks, so a durable
+    index never references non-durable data.
+
+    {!compact} merges every on-disk run into one, orphaning the old run
+    chunks for reclamation to collect. Reclamation calls back into
+    {!update_locator} (shard chunks) and {!relocate_run} (the tree's own
+    chunks) to keep references crash-consistently ordered ahead of the
+    extent reset.
+
+    Fault site #3: metadata not flushed during shutdown after an extent
+    reset. *)
+
+type t
+
+type error =
+  | Chunk of Chunk.Chunk_store.error
+  | Roll of Logroll.error
+  | Corrupt of Util.Codec.error
+
+val pp_error : Format.formatter -> error -> unit
+
+(** True for extent-exhaustion errors that reclamation might cure. *)
+val error_is_no_space : error -> bool
+
+(** [create ?max_run_payload chunks ~metadata_extents] — runs are split so
+    their serialized size stays at or below [max_run_payload] (default
+    16 KiB), keeping each run chunk small enough for its extent. *)
+val create : ?max_run_payload:int -> Chunk.Chunk_store.t -> metadata_extents:int * int -> t
+
+(** [put t ~key ~locators ~value_dep] stages a mapping; [value_dep] must
+    cover the writes of every locator's chunk. Returns the entry's
+    dependency (value deps and the flush promise). *)
+val put : t -> key:string -> locators:Chunk.Locator.t list -> value_dep:Dep.t -> Dep.t
+
+(** [delete t ~key] stages a tombstone; returns its dependency. *)
+val delete : t -> key:string -> Dep.t
+
+(** [get t ~key] resolves through memtable then runs, newest first. *)
+val get : t -> key:string -> (Chunk.Locator.t list option, error) result
+
+(** All live keys, sorted (loads every run). *)
+val keys : t -> (string list, error) result
+
+(** [flush t ~for_shutdown] writes the memtable as a run plus a metadata
+    record and binds the flush promise. No-op on an empty memtable. *)
+val flush : t -> for_shutdown:bool -> (Dep.t, error) result
+
+(** [compact t] merges all on-disk runs into one. *)
+val compact : t -> (Dep.t, error) result
+
+(** [update_locator t ~key ~old_loc ~new_loc ~new_dep] — reclamation
+    callback for shard chunks: rewrites the entry so it references
+    [new_loc]; returns a dependency persisting when the updated reference
+    does. [Dep.trivial] when [key] no longer references [old_loc]. *)
+val update_locator :
+  t ->
+  key:string ->
+  old_loc:Chunk.Locator.t ->
+  new_loc:Chunk.Locator.t ->
+  new_dep:Dep.t ->
+  Dep.t
+
+(** Current run list, newest first, as (run id, locator). *)
+val run_locators : t -> (int * Chunk.Locator.t) list
+
+(** [relocate_run t ~run_id ~new_loc ~new_dep] — reclamation callback for
+    the tree's own chunks: repoints the metadata at the evacuated run and
+    appends a metadata record immediately. *)
+val relocate_run :
+  t -> run_id:int -> new_loc:Chunk.Locator.t -> new_dep:Dep.t -> (Dep.t, error) result
+
+(** Dependency covering the index state visible right now (runs, newest
+    metadata record, pending memtable flush); see {!Store_intf.INDEX}. *)
+val basis_dep : t -> Dep.t
+
+(** Mark that some extent was reset since the last flush (fault #3's
+    trigger condition). *)
+val note_extent_reset : t -> unit
+
+(** [recover t] reloads the run list from the newest durable metadata
+    record and empties volatile state. *)
+val recover : t -> (unit, error) result
+
+val memtable_size : t -> int
+val run_count : t -> int

@@ -1,0 +1,34 @@
+(** Immutable sorted runs of the LSM tree.
+
+    A run is the serialized form of one memtable flush (or compaction
+    output): key-sorted [(key, entry)] pairs, stored as a single chunk via
+    the chunk store, so the tree's own backing storage is subject to the
+    same reclamation as shard data (paper Fig. 1). *)
+
+type t
+
+(** [of_pairs pairs] builds a run; pairs need not be pre-sorted, later
+    duplicates win. *)
+val of_pairs : (string * Entry.t) list -> t
+
+val length : t -> int
+val is_empty : t -> bool
+
+(** [find t key] — binary search. *)
+val find : t -> string -> Entry.t option
+
+(** All pairs in key order. *)
+val to_list : t -> (string * Entry.t) list
+
+(** [merge newest_first] merges runs (head shadows tail), dropping
+    tombstones: valid only for full compactions where no older run
+    remains. *)
+val merge : t list -> t
+
+(** [replace_locator t ~key ~old_loc ~new_loc] — a copy with one locator
+    substituted, or [None] if [key]'s entry does not reference [old_loc]. *)
+val replace_locator :
+  t -> key:string -> old_loc:Chunk.Locator.t -> new_loc:Chunk.Locator.t -> t option
+
+val encode : t -> string
+val decode : string -> (t, Util.Codec.error) result

@@ -1,0 +1,9 @@
+(** The index reference model as a mock (paper section 3.2, "Mocking").
+
+    Implements {!Store_intf.INDEX} with a plain hash table so unit tests of
+    the store's API layer can run against the model instead of the real
+    LSM tree — the reuse that keeps models maintained as the code evolves.
+    Volatile only: recovery empties it, so crash tests must use the real
+    index. *)
+
+include Store_intf.INDEX

@@ -1,0 +1,22 @@
+type t = (string, string) Hashtbl.t
+
+let create () = Hashtbl.create 64
+let put t ~key ~value = Hashtbl.replace t key value
+let get t ~key = Hashtbl.find_opt t key
+let delete t ~key = Hashtbl.remove t key
+let mem t ~key = Hashtbl.mem t key
+let list t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+let size t = Hashtbl.length t
+
+let copy = Hashtbl.copy
+
+let equal a b =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold (fun k v acc -> acc && Hashtbl.find_opt b k = Some v) a true
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+       (fun f k -> Format.fprintf f "%S" k))
+    (list t)

@@ -1,0 +1,25 @@
+(** The sequential crash-free reference model of the store (paper
+    section 3.2): "for the index component ... a simple hash table".
+
+    The conformance checker (section 4) runs every operation against both
+    this model and the implementation and compares results; the model is
+    the specification of the allowed sequential behaviours. *)
+
+type t
+
+val create : unit -> t
+val put : t -> key:string -> value:string -> unit
+val get : t -> key:string -> string option
+val delete : t -> key:string -> unit
+val mem : t -> key:string -> bool
+
+(** Live keys, sorted. *)
+val list : t -> string list
+
+val size : t -> int
+val copy : t -> t
+
+(** Structural equality of the key-value mapping. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

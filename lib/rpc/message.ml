@@ -1,0 +1,191 @@
+open Util
+
+type request =
+  | Put of { key : string; value : string }
+  | Get of { key : string }
+  | Delete of { key : string }
+  | List
+  | Remove_disk of { disk : int }
+  | Return_disk of { disk : int }
+  | Bulk_delete of { keys : string list }
+  | Migrate of { key : string; to_disk : int }
+  | Node_stats
+
+type response =
+  | Ack
+  | Value of string option
+  | Keys of string list
+  | Stats of { disks : int; in_service : int; keys : int }
+  | Error_response of string
+
+let pp_request fmt = function
+  | Put { key; value } -> Format.fprintf fmt "put %S (%d bytes)" key (String.length value)
+  | Get { key } -> Format.fprintf fmt "get %S" key
+  | Delete { key } -> Format.fprintf fmt "delete %S" key
+  | List -> Format.pp_print_string fmt "list"
+  | Remove_disk { disk } -> Format.fprintf fmt "remove-disk %d" disk
+  | Return_disk { disk } -> Format.fprintf fmt "return-disk %d" disk
+  | Bulk_delete { keys } -> Format.fprintf fmt "bulk-delete (%d keys)" (List.length keys)
+  | Migrate { key; to_disk } -> Format.fprintf fmt "migrate %S -> disk %d" key to_disk
+  | Node_stats -> Format.pp_print_string fmt "stats"
+
+let pp_response fmt = function
+  | Ack -> Format.pp_print_string fmt "ack"
+  | Value None -> Format.pp_print_string fmt "value: none"
+  | Value (Some v) -> Format.fprintf fmt "value: %d bytes" (String.length v)
+  | Keys keys -> Format.fprintf fmt "keys: %d" (List.length keys)
+  | Stats { disks; in_service; keys } ->
+    Format.fprintf fmt "stats: %d disks (%d in service), %d keys" disks in_service keys
+  | Error_response msg -> Format.fprintf fmt "error: %s" msg
+
+let request_equal = Stdlib.( = )
+let response_equal = Stdlib.( = )
+
+let magic = "SR"
+let max_keys = 1 lsl 20
+
+let encode_strings w keys =
+  Codec.Writer.u32 w (Int32.of_int (List.length keys));
+  List.iter (Codec.Writer.lstring w) keys
+
+let decode_strings r =
+  let open Codec.Syntax in
+  let* count32 = Codec.Reader.u32 r in
+  let count = Int32.to_int count32 in
+  if count < 0 || count > max_keys then Error (Codec.Invalid "string count")
+  else begin
+    let rec go acc i =
+      if i = count then Ok (List.rev acc)
+      else
+        let* s = Codec.Reader.lstring r in
+        go (s :: acc) (i + 1)
+    in
+    go [] 0
+  end
+
+let with_frame body =
+  let w = Codec.Writer.create () in
+  Codec.Writer.raw_string w magic;
+  body w;
+  Codec.Writer.contents w
+
+let encode_request req =
+  with_frame (fun w ->
+      match req with
+      | Put { key; value } ->
+        Codec.Writer.u8 w 0;
+        Codec.Writer.lstring w key;
+        Codec.Writer.lstring w value
+      | Get { key } ->
+        Codec.Writer.u8 w 1;
+        Codec.Writer.lstring w key
+      | Delete { key } ->
+        Codec.Writer.u8 w 2;
+        Codec.Writer.lstring w key
+      | List -> Codec.Writer.u8 w 3
+      | Remove_disk { disk } ->
+        Codec.Writer.u8 w 4;
+        Codec.Writer.uint w disk
+      | Return_disk { disk } ->
+        Codec.Writer.u8 w 5;
+        Codec.Writer.uint w disk
+      | Bulk_delete { keys } ->
+        Codec.Writer.u8 w 6;
+        encode_strings w keys
+      | Node_stats -> Codec.Writer.u8 w 7
+      | Migrate { key; to_disk } ->
+        Codec.Writer.u8 w 8;
+        Codec.Writer.lstring w key;
+        Codec.Writer.uint w to_disk)
+
+let decode_request s =
+  let open Codec.Syntax in
+  let r = Codec.Reader.of_string s in
+  let* () = Codec.Reader.magic r magic in
+  let* tag = Codec.Reader.u8 r in
+  let* req =
+    match tag with
+    | 0 ->
+      let* key = Codec.Reader.lstring r in
+      let+ value = Codec.Reader.lstring r in
+      Put { key; value }
+    | 1 ->
+      let+ key = Codec.Reader.lstring r in
+      Get { key }
+    | 2 ->
+      let+ key = Codec.Reader.lstring r in
+      Delete { key }
+    | 3 -> Ok List
+    | 4 ->
+      let+ disk = Codec.Reader.uint r in
+      Remove_disk { disk }
+    | 5 ->
+      let+ disk = Codec.Reader.uint r in
+      Return_disk { disk }
+    | 6 ->
+      let+ keys = decode_strings r in
+      Bulk_delete { keys }
+    | 7 -> Ok Node_stats
+    | 8 ->
+      let* key = Codec.Reader.lstring r in
+      let+ to_disk = Codec.Reader.uint r in
+      Migrate { key; to_disk }
+    | _ -> Error (Codec.Invalid "request tag")
+  in
+  let* () = Codec.Reader.expect_end r in
+  Ok req
+
+let encode_response resp =
+  with_frame (fun w ->
+      match resp with
+      | Ack -> Codec.Writer.u8 w 0
+      | Value None ->
+        Codec.Writer.u8 w 1;
+        Codec.Writer.u8 w 0
+      | Value (Some v) ->
+        Codec.Writer.u8 w 1;
+        Codec.Writer.u8 w 1;
+        Codec.Writer.lstring w v
+      | Keys keys ->
+        Codec.Writer.u8 w 2;
+        encode_strings w keys
+      | Stats { disks; in_service; keys } ->
+        Codec.Writer.u8 w 3;
+        Codec.Writer.uint w disks;
+        Codec.Writer.uint w in_service;
+        Codec.Writer.uint w keys
+      | Error_response msg ->
+        Codec.Writer.u8 w 4;
+        Codec.Writer.lstring w msg)
+
+let decode_response s =
+  let open Codec.Syntax in
+  let r = Codec.Reader.of_string s in
+  let* () = Codec.Reader.magic r magic in
+  let* tag = Codec.Reader.u8 r in
+  let* resp =
+    match tag with
+    | 0 -> Ok Ack
+    | 1 -> (
+      let* present = Codec.Reader.u8 r in
+      match present with
+      | 0 -> Ok (Value None)
+      | 1 ->
+        let+ v = Codec.Reader.lstring r in
+        Value (Some v)
+      | _ -> Error (Codec.Invalid "value presence flag"))
+    | 2 ->
+      let+ keys = decode_strings r in
+      Keys keys
+    | 3 ->
+      let* disks = Codec.Reader.uint r in
+      let* in_service = Codec.Reader.uint r in
+      let+ keys = Codec.Reader.uint r in
+      Stats { disks; in_service; keys }
+    | 4 ->
+      let+ msg = Codec.Reader.lstring r in
+      Error_response msg
+    | _ -> Error (Codec.Invalid "response tag")
+  in
+  let* () = Codec.Reader.expect_end r in
+  Ok resp

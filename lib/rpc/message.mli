@@ -1,0 +1,36 @@
+(** The storage node's wire protocol.
+
+    ShardStore runs on hosts with many disks behind a shared RPC interface
+    that steers requests to target disks (paper section 2.1): request-plane
+    calls (put/get/delete) and control-plane operations for migration and
+    repair. Decoders are total — on-wire bytes are untrusted, and the
+    paper's section 7 requires deserializers that cannot crash on any
+    input; [prop_decode_total] in the test suite checks exactly that. *)
+
+type request =
+  | Put of { key : string; value : string }
+  | Get of { key : string }
+  | Delete of { key : string }
+  | List
+  | Remove_disk of { disk : int }  (** control plane: take a disk out of service *)
+  | Return_disk of { disk : int }
+  | Bulk_delete of { keys : string list }
+  | Migrate of { key : string; to_disk : int }
+      (** control plane: move a shard to another disk (repair/rebalance) *)
+  | Node_stats
+
+type response =
+  | Ack
+  | Value of string option
+  | Keys of string list
+  | Stats of { disks : int; in_service : int; keys : int }
+  | Error_response of string
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit
+val request_equal : request -> request -> bool
+val response_equal : response -> response -> bool
+val encode_request : request -> string
+val decode_request : string -> (request, Util.Codec.error) result
+val encode_response : response -> string
+val decode_response : string -> (response, Util.Codec.error) result

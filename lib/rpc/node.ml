@@ -1,0 +1,135 @@
+module S = Store.Default
+
+type t = {
+  stores : S.t array;
+  (* Explicit placements from control-plane migrations override hashing;
+     in S3 this mapping lives in the metadata subsystem. *)
+  placements : (string, int) Hashtbl.t;
+}
+
+let create ?(disks = 4) (config : S.config) =
+  if disks <= 0 then invalid_arg "Node.create: need at least one disk";
+  {
+    stores =
+      Array.init disks (fun i ->
+          S.create { config with S.seed = Int64.add config.S.seed (Int64.of_int i) });
+    placements = Hashtbl.create 16;
+  }
+
+let disk_count t = Array.length t.stores
+
+let disk_of_key t key =
+  match Hashtbl.find_opt t.placements key with
+  | Some disk -> disk
+  | None ->
+    Int32.to_int (Int32.logand (Util.Crc32.digest_string key) 0x7FFFFFFFl)
+    mod Array.length t.stores
+
+let store t ~disk =
+  if disk < 0 || disk >= Array.length t.stores then invalid_arg "Node.store: bad disk";
+  t.stores.(disk)
+
+let err fmt = Format.kasprintf (fun msg -> Message.Error_response msg) fmt
+
+let handle t req =
+  match req with
+  | Message.Put { key; value } -> (
+    match S.put t.stores.(disk_of_key t key) ~key ~value with
+    | Ok _ -> Message.Ack
+    | Error e -> err "%a" S.pp_error e)
+  | Message.Get { key } -> (
+    match S.get t.stores.(disk_of_key t key) ~key with
+    | Ok v -> Message.Value v
+    | Error e -> err "%a" S.pp_error e)
+  | Message.Delete { key } -> (
+    match S.delete t.stores.(disk_of_key t key) ~key with
+    | Ok _ -> Message.Ack
+    | Error e -> err "%a" S.pp_error e)
+  | Message.List -> (
+    (* Union over in-service disks; an out-of-service disk makes the
+       listing partial, which the control plane must know about. *)
+    let out_of_service =
+      Array.exists (fun s -> not (S.in_service s)) t.stores
+    in
+    if out_of_service then err "listing unavailable: some disks out of service"
+    else
+      let rec collect i acc =
+        if i = Array.length t.stores then Ok acc
+        else
+          match S.list t.stores.(i) with
+          | Ok keys -> collect (i + 1) (List.rev_append keys acc)
+          | Error e -> Error e
+      in
+      match collect 0 [] with
+      | Ok keys -> Message.Keys (List.sort String.compare keys)
+      | Error e -> err "%a" S.pp_error e)
+  | Message.Remove_disk { disk } -> (
+    if disk < 0 || disk >= Array.length t.stores then err "no such disk %d" disk
+    else
+      match S.remove_from_service t.stores.(disk) with
+      | Ok () -> Message.Ack
+      | Error e -> err "%a" S.pp_error e)
+  | Message.Return_disk { disk } -> (
+    if disk < 0 || disk >= Array.length t.stores then err "no such disk %d" disk
+    else
+      match S.return_to_service t.stores.(disk) with
+      | Ok () -> Message.Ack
+      | Error e -> err "%a" S.pp_error e)
+  | Message.Bulk_delete { keys } -> (
+    let rec go = function
+      | [] -> Message.Ack
+      | key :: rest -> (
+        match S.delete t.stores.(disk_of_key t key) ~key with
+        | Ok _ -> go rest
+        | Error e -> err "bulk delete %S: %a" key S.pp_error e)
+    in
+    go keys)
+  | Message.Migrate { key; to_disk } ->
+    if to_disk < 0 || to_disk >= Array.length t.stores then err "no such disk %d" to_disk
+    else begin
+      let from_disk = disk_of_key t key in
+      if from_disk = to_disk then Message.Ack
+      else begin
+        (* Copy, commit the new placement, then delete the source copy —
+           the shard is reachable at every step. *)
+        match S.get t.stores.(from_disk) ~key with
+        | Error e -> err "%a" S.pp_error e
+        | Ok None -> err "no such shard %S" key
+        | Ok (Some value) -> (
+          match S.put t.stores.(to_disk) ~key ~value with
+          | Error e -> err "%a" S.pp_error e
+          | Ok _ -> (
+            Hashtbl.replace t.placements key to_disk;
+            match S.delete t.stores.(from_disk) ~key with
+            | Ok _ -> Message.Ack
+            | Error e -> err "%a" S.pp_error e))
+      end
+    end
+  | Message.Node_stats ->
+    let in_service =
+      Array.fold_left (fun acc s -> if S.in_service s then acc + 1 else acc) 0 t.stores
+    in
+    let keys =
+      Array.fold_left
+        (fun acc s -> match S.list s with Ok ks -> acc + List.length ks | Error _ -> acc)
+        0 t.stores
+    in
+    Message.Stats { disks = Array.length t.stores; in_service; keys }
+
+let handle_wire t bytes =
+  let resp =
+    match Message.decode_request bytes with
+    | Ok req -> ( try handle t req with e -> err "internal: %s" (Printexc.to_string e))
+    | Error e -> err "bad request: %a" Util.Codec.pp_error e
+  in
+  Message.encode_response resp
+
+let tick t =
+  Array.iter
+    (fun s ->
+      if S.in_service s then begin
+        ignore (S.flush_index s);
+        ignore (S.flush_superblock s)
+      end;
+      ignore (S.pump s 64))
+    t.stores

@@ -1,0 +1,30 @@
+(** A multi-disk ShardStore storage node behind the RPC interface.
+
+    Each disk is an isolated failure domain running an independent
+    key-value store; requests are steered to disks by shard id
+    (paper section 2.1). *)
+
+type t
+
+(** [create ?disks config] — [disks] independent stores (default 4). *)
+val create : ?disks:int -> Store.Default.config -> t
+
+val disk_count : t -> int
+
+(** Deterministic steering: the disk serving a key, honouring explicit
+    migrations. *)
+val disk_of_key : t -> string -> int
+
+(** Direct access to one disk's store (tests, maintenance). *)
+val store : t -> disk:int -> Store.Default.t
+
+(** [handle t req] — dispatch one request. Implementation failures map to
+    [Error_response]; no exception escapes. *)
+val handle : t -> Message.request -> Message.response
+
+(** [handle_wire t bytes] — decode, dispatch, encode. Corrupt requests get
+    an encoded [Error_response]. *)
+val handle_wire : t -> string -> string
+
+(** Run background maintenance (pump, flush cadences) on every disk. *)
+val tick : t -> unit

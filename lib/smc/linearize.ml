@@ -1,0 +1,52 @@
+type ('op, 'res) event = {
+  thread : int;
+  op : 'op;
+  result : 'res;
+  invoked : int;
+  returned : int;
+}
+
+module Recorder = struct
+  type ('op, 'res) t = {
+    mutable clock : int;
+    mutable events : ('op, 'res) event list;
+  }
+
+  let create () = { clock = 0; events = [] }
+
+  let tick t =
+    let now = t.clock in
+    t.clock <- now + 1;
+    now
+
+  let record t op run =
+    let thread = Smc.thread_id () in
+    let invoked = tick t in
+    let result = run () in
+    let returned = tick t in
+    t.events <- { thread; op; result; invoked; returned } :: t.events;
+    result
+
+  let history t = List.sort (fun a b -> compare a.invoked b.invoked) t.events
+end
+
+(* An event is minimal among [pending] when no other pending event returned
+   before it was invoked (nothing strictly precedes it in real time). *)
+let minimal pending e =
+  List.for_all (fun e' -> e' == e || e'.returned >= e.invoked) pending
+
+let check ~init ~apply ~equal_res history =
+  let rec go state pending =
+    match pending with
+    | [] -> true
+    | _ ->
+      List.exists
+        (fun e ->
+          if not (minimal pending e) then false
+          else begin
+            let state', res = apply state e.op in
+            equal_res res e.result && go state' (List.filter (fun e' -> e' != e) pending)
+          end)
+        pending
+  in
+  go init history

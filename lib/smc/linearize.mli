@@ -1,0 +1,39 @@
+(** Linearizability checking against a sequential model (paper section 6:
+    "concurrent executions of ShardStore are linearizable with respect to
+    the sequential reference models").
+
+    Concurrent test threads record their operations with {!Recorder};
+    {!check} then searches (Wing–Gong style) for a linearization: a total
+    order of the operations consistent with real-time precedence whose
+    results the sequential reference model reproduces. Exponential in
+    history length — use short histories (≤ 10 operations). *)
+
+type ('op, 'res) event = {
+  thread : int;
+  op : 'op;
+  result : 'res;
+  invoked : int;  (** logical time at invocation *)
+  returned : int;  (** logical time at response *)
+}
+
+module Recorder : sig
+  type ('op, 'res) t
+
+  val create : unit -> ('op, 'res) t
+
+  (** [record t op run] executes [run ()] (which may hit scheduling
+      points), capturing invocation/response times. *)
+  val record : ('op, 'res) t -> 'op -> (unit -> 'res) -> 'res
+
+  (** Events in invocation order. *)
+  val history : ('op, 'res) t -> ('op, 'res) event list
+end
+
+(** [check ~init ~apply ~equal_res history] — true iff a linearization
+    exists. [apply state op] is the sequential reference model. *)
+val check :
+  init:'state ->
+  apply:('state -> 'op -> 'state * 'res) ->
+  equal_res:('res -> 'res -> bool) ->
+  ('op, 'res) event list ->
+  bool

@@ -1,0 +1,373 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Spawn : (unit -> unit) -> unit Effect.t
+  | Block : (unit -> bool) -> unit Effect.t
+  | Tid : int Effect.t
+
+(* {2 Primitives} *)
+
+let yield () = try perform Yield with Effect.Unhandled _ -> ()
+let spawn f = try perform (Spawn f) with Effect.Unhandled _ -> f ()
+let thread_id () = try perform Tid with Effect.Unhandled _ -> 0
+let block pred = try perform (Block pred) with Effect.Unhandled _ -> assert (pred ())
+
+let rec wait_until pred =
+  yield ();
+  if not (pred ()) then begin
+    block pred;
+    wait_until pred
+  end
+
+module Cell = struct
+  type 'a t = { mutable v : 'a }
+
+  let make v = { v }
+
+  let get t =
+    yield ();
+    t.v
+
+  let set t v =
+    yield ();
+    t.v <- v
+
+  let update t f =
+    yield ();
+    let old = t.v in
+    t.v <- f old;
+    old
+
+  let peek t = t.v
+end
+
+module Mutex = struct
+  type t = { mutable held_by : int option }
+
+  let create () = { held_by = None }
+
+  let rec lock t =
+    yield ();
+    match t.held_by with
+    | None -> t.held_by <- Some (thread_id ())
+    | Some owner ->
+      if owner = thread_id () then failwith "Smc.Mutex: recursive lock";
+      block (fun () -> t.held_by = None);
+      lock t
+
+  let unlock t =
+    match t.held_by with
+    | Some owner when owner = thread_id () -> t.held_by <- None
+    | Some _ -> failwith "Smc.Mutex: unlock by non-owner"
+    | None -> failwith "Smc.Mutex: unlock of free mutex"
+
+  let with_lock t f =
+    lock t;
+    Fun.protect ~finally:(fun () -> unlock t) f
+end
+
+module Semaphore = struct
+  type t = { mutable count : int }
+
+  let create count =
+    assert (count >= 0);
+    { count }
+
+  let rec acquire t =
+    yield ();
+    if t.count > 0 then t.count <- t.count - 1
+    else begin
+      block (fun () -> t.count > 0);
+      acquire t
+    end
+
+  let try_acquire t =
+    yield ();
+    if t.count > 0 then begin
+      t.count <- t.count - 1;
+      true
+    end
+    else false
+
+  let release t = t.count <- t.count + 1
+end
+
+(* {2 The scheduler} *)
+
+type slice_result =
+  | Done
+  | Yielded of resumption
+  | Blocked_on of (unit -> bool) * resumption
+  | Spawned of (unit -> unit) * resumption
+  | Raised of exn
+
+and resumption = unit -> slice_result
+
+let current_tid = ref 0
+
+let start_thread (body : unit -> unit) : resumption =
+ fun () ->
+  match_with body ()
+    {
+      retc = (fun () -> Done);
+      exnc = (fun e -> Raised e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some (fun (k : (a, slice_result) continuation) -> Yielded (fun () -> continue k ()))
+          | Block pred -> Some (fun k -> Blocked_on (pred, fun () -> continue k ()))
+          | Spawn g -> Some (fun k -> Spawned (g, fun () -> continue k ()))
+          | Tid -> Some (fun k -> continue k !current_tid)
+          | _ -> None);
+    }
+
+type strategy =
+  | Dfs of { max_schedules : int }
+  | Random_walk of { seed : int; schedules : int }
+  | Pct of { seed : int; schedules : int; depth : int }
+
+type violation_kind =
+  | Assertion of string
+  | Exception of string
+  | Deadlock of { blocked : int }
+
+type violation = {
+  kind : violation_kind;
+  schedule : int list;
+  steps : int;
+}
+
+let pp_violation fmt v =
+  let kind =
+    match v.kind with
+    | Assertion msg -> Printf.sprintf "assertion failed: %s" msg
+    | Exception msg -> Printf.sprintf "exception: %s" msg
+    | Deadlock { blocked } -> Printf.sprintf "deadlock: %d threads blocked" blocked
+  in
+  Format.fprintf fmt "%s after %d steps (schedule [%s])" kind v.steps
+    (String.concat ";" (List.map string_of_int v.schedule))
+
+type outcome = {
+  schedules_run : int;
+  total_steps : int;
+  exhausted : bool;
+  violation : violation option;
+}
+
+let pp_outcome fmt o =
+  match o.violation with
+  | None ->
+    Format.fprintf fmt "no violation in %d schedules (%d steps%s)" o.schedules_run o.total_steps
+      (if o.exhausted then ", exhaustive" else "")
+  | Some v -> Format.fprintf fmt "%a [%d schedules explored]" pp_violation v o.schedules_run
+
+type thread = {
+  id : int;
+  mutable res : resumption;
+}
+
+exception Too_many_steps
+
+(* Run one schedule. [choose ~step ~runnable:ids] receives the ids of the
+   runnable threads (sorted) and returns the position of the one to
+   execute. Returns the recorded choices (with arity, for DFS), the step
+   count, and the violation if any. *)
+let run_one ~choose body =
+  let runnable : thread list ref = ref [ { id = 0; res = start_thread body } ] in
+  let blocked : (thread * (unit -> bool)) list ref = ref [] in
+  let next_id = ref 1 in
+  let trace = ref [] in
+  let step = ref 0 in
+  let violation = ref None in
+  let max_steps = 1_000_000 in
+  (try
+     while !violation = None && (!runnable <> [] || !blocked <> []) do
+       (* Wake blocked threads whose predicate holds. *)
+       let wake, still = List.partition (fun (_, pred) -> pred ()) !blocked in
+       blocked := still;
+       runnable := !runnable @ List.map fst wake;
+       runnable := List.sort (fun a b -> compare a.id b.id) !runnable;
+       match !runnable with
+       | [] ->
+         violation := Some (Deadlock { blocked = List.length !blocked })
+       | threads ->
+         let n = List.length threads in
+         let ids = List.map (fun t -> t.id) threads in
+         let idx = if n = 1 then 0 else choose ~step:!step ~runnable:ids in
+         let idx = if idx < 0 || idx >= n then 0 else idx in
+         trace := (idx, n) :: !trace;
+         incr step;
+         if !step > max_steps then raise Too_many_steps;
+         let t = List.nth threads idx in
+         runnable := List.filter (fun t' -> t'.id <> t.id) threads;
+         current_tid := t.id;
+         (match t.res () with
+         | Done -> ()
+         | Yielded r ->
+           t.res <- r;
+           runnable := t :: !runnable
+         | Blocked_on (pred, r) ->
+           t.res <- r;
+           blocked := (t, pred) :: !blocked
+         | Spawned (g, r) ->
+           t.res <- r;
+           let child = { id = !next_id; res = start_thread g } in
+           incr next_id;
+           runnable := t :: child :: !runnable
+         | Raised (Assert_failure (file, line, _)) ->
+           violation := Some (Assertion (Printf.sprintf "%s:%d" file line))
+         | Raised (Failure msg) -> violation := Some (Assertion msg)
+         | Raised e -> violation := Some (Exception (Printexc.to_string e)))
+     done
+   with Too_many_steps -> violation := Some (Exception "step budget exhausted (livelock?)"));
+  (List.rev !trace, !step, !violation)
+
+let finish ~schedules_run ~total_steps ~exhausted trace steps kind =
+  {
+    schedules_run;
+    total_steps;
+    exhausted;
+    violation = Some { kind; schedule = List.map fst trace; steps };
+  }
+
+let explore_dfs ~max_schedules body =
+  (* Iterative DFS over the schedule tree: re-execute with a forced prefix,
+     then advance the deepest branch point with unexplored siblings. *)
+  let prefix = ref [||] in
+  let schedules = ref 0 in
+  let total_steps = ref 0 in
+  let result = ref None in
+  let exhausted = ref false in
+  while !result = None && not !exhausted && !schedules < max_schedules do
+    let p = !prefix in
+    let choose ~step ~runnable:(_ : int list) = if step < Array.length p then p.(step) else 0 in
+    let trace, steps, violation = run_one ~choose body in
+    incr schedules;
+    total_steps := !total_steps + steps;
+    match violation with
+    | Some kind ->
+      result :=
+        Some
+          (finish ~schedules_run:!schedules ~total_steps:!total_steps ~exhausted:false trace
+             steps kind)
+    | None ->
+      (* Find the deepest choice with an unexplored sibling. *)
+      let arr = Array.of_list trace in
+      let rec advance i =
+        if i < 0 then exhausted := true
+        else begin
+          let choice, arity = arr.(i) in
+          if choice + 1 < arity then begin
+            let next = Array.make (i + 1) 0 in
+            Array.blit (Array.map fst arr) 0 next 0 i;
+            next.(i) <- choice + 1;
+            prefix := next
+          end
+          else advance (i - 1)
+        end
+      in
+      advance (Array.length arr - 1)
+  done;
+  match !result with
+  | Some r -> r
+  | None ->
+    {
+      schedules_run = !schedules;
+      total_steps = !total_steps;
+      exhausted = !exhausted;
+      violation = None;
+    }
+
+let explore_random ~seed ~schedules body =
+  let rng = Util.Rng.of_int seed in
+  let total_steps = ref 0 in
+  let result = ref None in
+  let run = ref 0 in
+  while !result = None && !run < schedules do
+    let choose ~step:_ ~runnable:ids = Util.Rng.int rng (List.length ids) in
+    let trace, steps, violation = run_one ~choose body in
+    incr run;
+    total_steps := !total_steps + steps;
+    match violation with
+    | Some kind ->
+      result :=
+        Some (finish ~schedules_run:!run ~total_steps:!total_steps ~exhausted:false trace steps kind)
+    | None -> ()
+  done;
+  match !result with
+  | Some r -> r
+  | None ->
+    { schedules_run = !run; total_steps = !total_steps; exhausted = false; violation = None }
+
+(* PCT (Burckhardt et al., ASPLOS 2010): each thread gets a random
+   priority on first appearance; the highest-priority runnable thread runs;
+   at [depth - 1] randomly chosen steps the running thread's priority is
+   demoted below every other, forcing a context switch. Few random
+   decisions per run give the O(1/(n k^(d-1))) bug-finding guarantee. *)
+let explore_pct ~seed ~schedules ~depth body =
+  let rng = Util.Rng.of_int seed in
+  let total_steps = ref 0 in
+  let result = ref None in
+  let run = ref 0 in
+  let estimated_len = ref 256 in
+  while !result = None && !run < schedules do
+    let priorities : (int, float) Hashtbl.t = Hashtbl.create 8 in
+    let lowest = ref 0.0 in
+    let change_points : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+    for _ = 1 to max 0 (depth - 1) do
+      Hashtbl.replace change_points (Util.Rng.int rng (max 1 !estimated_len)) ()
+    done;
+    let prio_of id =
+      match Hashtbl.find_opt priorities id with
+      | Some p -> p
+      | None ->
+        let p = 1.0 +. Util.Rng.float rng 1.0 in
+        Hashtbl.replace priorities id p;
+        p
+    in
+    let choose ~step ~runnable:ids =
+      let best_pos = ref 0 and best_p = ref neg_infinity in
+      List.iteri
+        (fun pos id ->
+          let p = prio_of id in
+          if p > !best_p then begin
+            best_p := p;
+            best_pos := pos
+          end)
+        ids;
+      if Hashtbl.mem change_points step then begin
+        (* demote the thread we are about to run below everything *)
+        lowest := !lowest -. 1.0;
+        Hashtbl.replace priorities (List.nth ids !best_pos) !lowest
+      end;
+      !best_pos
+    in
+    let trace, steps, violation = run_one ~choose body in
+    incr run;
+    total_steps := !total_steps + steps;
+    estimated_len := max 16 steps;
+    match violation with
+    | Some kind ->
+      result :=
+        Some (finish ~schedules_run:!run ~total_steps:!total_steps ~exhausted:false trace steps kind)
+    | None -> ()
+  done;
+  match !result with
+  | Some r -> r
+  | None ->
+    { schedules_run = !run; total_steps = !total_steps; exhausted = false; violation = None }
+
+let explore strategy body =
+  match strategy with
+  | Dfs { max_schedules } -> explore_dfs ~max_schedules body
+  | Random_walk { seed; schedules } -> explore_random ~seed ~schedules body
+  | Pct { seed; schedules; depth } -> explore_pct ~seed ~schedules ~depth body
+
+let replay body schedule =
+  let p = Array.of_list schedule in
+  let choose ~step ~runnable:(_ : int list) = if step < Array.length p then p.(step) else 0 in
+  let _, steps, violation = run_one ~choose body in
+  Option.map (fun kind -> { kind; schedule; steps }) violation

@@ -1,0 +1,115 @@
+(** Stateless model checking of concurrent code (paper section 6).
+
+    The paper validates concurrency with two tools: Loom, which soundly
+    enumerates all interleavings of small tests, and Shuttle, which
+    randomly samples interleavings of large ones (probabilistic
+    concurrency testing). This module reproduces both over a cooperative
+    runtime built on OCaml effects:
+
+    - test code runs inside {!explore} and uses {!spawn}, {!Cell},
+      {!Mutex} and {!Semaphore} instead of real threads and atomics; every
+      primitive access is a scheduling point;
+    - the scheduler repeatedly executes the test, one interleaving per
+      {e schedule}: exhaustive DFS over the schedule tree ({!Dfs}, the
+      Loom analogue), uniform random ({!Random_walk}), or PCT with
+      priority change points ({!Pct}, the Shuttle analogue);
+    - assertion failures, uncaught exceptions and deadlocks (all threads
+      blocked) are reported with a replayable schedule.
+
+    Checking is sound for programs whose only inter-thread communication
+    goes through these primitives: the scheduler is the only source of
+    non-determinism, and a single domain executes everything, so there are
+    no data races outside the modelled scheduling points. *)
+
+(** {2 Primitives (valid only inside a running exploration)} *)
+
+(** [spawn f] starts a new thread; a scheduling point. *)
+val spawn : (unit -> unit) -> unit
+
+(** [yield ()] — pure scheduling point. *)
+val yield : unit -> unit
+
+(** Id of the running thread (0 = the test body). *)
+val thread_id : unit -> int
+
+(** [wait_until pred] blocks the thread until [pred ()] holds. Use this
+    instead of busy-waiting on a {!Cell}: a spin loop gives the scheduler
+    an unbounded number of pointless interleavings, blowing up DFS, while
+    a blocked thread is simply not runnable. [pred] must be monotone (once
+    true, stays true until the waiter runs). *)
+val wait_until : (unit -> bool) -> unit
+
+(** Atomic cells; every access is a scheduling point. *)
+module Cell : sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+
+  (** [update t f] — atomic read-modify-write; returns the old value. *)
+  val update : 'a t -> ('a -> 'a) -> 'a
+
+  (** [peek t] — read without a scheduling point (assertions only). *)
+  val peek : 'a t -> 'a
+end
+
+module Mutex : sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+module Semaphore : sig
+  type t
+
+  val create : int -> t
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+end
+
+(** {2 Exploration} *)
+
+type strategy =
+  | Dfs of { max_schedules : int }
+      (** exhaustive enumeration (sound up to the budget); the Loom analogue *)
+  | Random_walk of { seed : int; schedules : int }
+      (** uniform random choice at every scheduling point *)
+  | Pct of { seed : int; schedules : int; depth : int }
+      (** probabilistic concurrency testing with [depth - 1] priority
+          change points; the Shuttle analogue *)
+
+type violation_kind =
+  | Assertion of string  (** [Assert_failure] or [Failure] inside a thread *)
+  | Exception of string
+  | Deadlock of { blocked : int }
+
+type violation = {
+  kind : violation_kind;
+  schedule : int list;  (** replayable choice sequence *)
+  steps : int;  (** scheduling points executed in the failing run *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type outcome = {
+  schedules_run : int;
+  total_steps : int;
+  exhausted : bool;  (** DFS explored the entire tree within budget *)
+  violation : violation option;
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** [explore strategy body] — runs [body] under many schedules. [body] is
+    re-executed from scratch per schedule and must be deterministic apart
+    from scheduling. Returns on the first violation. *)
+val explore : strategy -> (unit -> unit) -> outcome
+
+(** [replay body schedule] re-executes one schedule (for debugging).
+    Returns the violation it reproduces, if any. *)
+val replay : (unit -> unit) -> int list -> violation option

@@ -1,0 +1,543 @@
+module type S = sig
+  type t
+  type index_error
+
+  type error =
+    | Out_of_service
+    | No_space
+    | Io of Io_sched.error
+    | Index of index_error
+    | Chunk_error of Chunk.Chunk_store.error
+    | Superblock_error of Superblock.error
+    | Wrong_owner of string
+
+  val pp_error : Format.formatter -> error -> unit
+
+  type config = {
+    disk : Disk.config;
+    max_chunk_payload : int;
+    superblock_cadence : int;
+    index_flush_threshold : int;
+    compact_threshold : int;
+    auto_pump : int;
+    cache_pages : int;
+    cache_write_allocate : bool;
+    seed : int64;
+  }
+
+  val default_config : config
+  val test_config : config
+  val create : config -> t
+  val of_disk : config -> Disk.t -> t
+  val config : t -> config
+  val disk : t -> Disk.t
+  val sched : t -> Io_sched.t
+  val chunk_store : t -> Chunk.Chunk_store.t
+  val put : t -> key:string -> value:string -> (Dep.t, error) result
+  val get : t -> key:string -> (string option, error) result
+  val delete : t -> key:string -> (Dep.t, error) result
+  val list : t -> (string list, error) result
+
+  (** Raw index lookup (introspection for tests and tools). *)
+  val locators : t -> key:string -> (Chunk.Locator.t list option, error) result
+  val flush_index : t -> (Dep.t, error) result
+  val flush_superblock : t -> (Dep.t, error) result
+  val compact : t -> (Dep.t, error) result
+  val reclaim : t -> ?extent:int -> ?avoid:int list -> unit -> (Dep.t option, error) result
+  val pump : t -> int -> int
+
+  type reboot_spec = {
+    flush_index_first : bool;
+    flush_superblock_first : bool;
+    persist_probability : float;
+    split_pages : bool;
+  }
+
+  val clean_reboot_spec : reboot_spec
+  val dirty_reboot : t -> rng:Util.Rng.t -> reboot_spec -> (unit, error) result
+  val clean_shutdown : t -> (unit, error) result
+  val recover : t -> (unit, error) result
+  val remove_from_service : t -> (unit, error) result
+  val return_to_service : t -> (unit, error) result
+  val in_service : t -> bool
+  val live_bytes : t -> extent:int -> (int, error) result
+  val reclaimable_extents : t -> (int * int) list
+  val index_memtable_size : t -> int
+  val index_run_count : t -> int
+end
+
+(* Reserved extent layout: the superblock and LSM metadata each own an
+   alternating pair; everything above is data. *)
+let sb_extents = (0, 1)
+let meta_extents = (2, 3)
+let reserved = [ 0; 1; 2; 3 ]
+let first_data_extent = 4
+
+module Make (Index : Store_intf.INDEX) = struct
+  type index_error = Index.error
+
+  type error =
+    | Out_of_service
+    | No_space
+    | Io of Io_sched.error
+    | Index of index_error
+    | Chunk_error of Chunk.Chunk_store.error
+    | Superblock_error of Superblock.error
+    | Wrong_owner of string
+
+  let pp_error fmt = function
+    | Out_of_service -> Format.pp_print_string fmt "store is out of service"
+    | No_space -> Format.pp_print_string fmt "out of space"
+    | Io e -> Io_sched.pp_error fmt e
+    | Index e -> Index.pp_error fmt e
+    | Chunk_error e -> Chunk.Chunk_store.pp_error fmt e
+    | Superblock_error e -> Superblock.pp_error fmt e
+    | Wrong_owner k -> Format.fprintf fmt "chunk owned by wrong shard (expected %S)" k
+
+  type config = {
+    disk : Disk.config;
+    max_chunk_payload : int;
+    superblock_cadence : int;
+    index_flush_threshold : int;
+    compact_threshold : int;
+    auto_pump : int;
+    cache_pages : int;
+    cache_write_allocate : bool;
+    seed : int64;
+  }
+
+  let default_config =
+    {
+      disk = { Disk.extent_count = 64; pages_per_extent = 64; page_size = 512 };
+      max_chunk_payload = 8 * 1024;
+      superblock_cadence = 8;
+      index_flush_threshold = 32;
+      compact_threshold = 6;
+      auto_pump = 4;
+      cache_pages = 128;
+      cache_write_allocate = false;
+      seed = 0x5EED_CAFEL;
+    }
+
+  let test_config =
+    {
+      disk = { Disk.extent_count = 12; pages_per_extent = 8; page_size = 64 };
+      max_chunk_payload = 96;
+      superblock_cadence = 0;
+      index_flush_threshold = 0;
+      compact_threshold = 0;
+      auto_pump = 0;
+      cache_pages = 16;
+      cache_write_allocate = false;
+      seed = 0x5EED_CAFEL;
+    }
+
+  type t = {
+    cfg : config;
+    disk : Disk.t;
+    sched : Io_sched.t;
+    cache : Cache.t;
+    sb : Superblock.t;
+    chunks : Chunk.Chunk_store.t;
+    index : Index.t;
+    mutable in_service : bool;
+    mutable mutations : int;
+    mutable in_flight : int list;
+        (** extents holding chunks of an in-progress multi-chunk put, not
+            yet referenced by the index: reclamation must not target them *)
+  }
+
+  let of_disk (cfg : config) disk =
+    let sched = Io_sched.create ~seed:cfg.seed disk in
+    let cache =
+      Cache.create ~capacity_pages:cfg.cache_pages ~write_allocate:cfg.cache_write_allocate
+        sched
+    in
+    let sb = Superblock.create sched ~extents:sb_extents ~reserved in
+    let rng = Util.Rng.create (Int64.add cfg.seed 17L) in
+    let chunks = Chunk.Chunk_store.create sched ~cache ~superblock:sb ~rng in
+    let index = Index.create chunks ~metadata_extents:meta_extents in
+    {
+      cfg;
+      disk;
+      sched;
+      cache;
+      sb;
+      chunks;
+      index;
+      in_service = true;
+      mutations = 0;
+      in_flight = [];
+    }
+
+  let create (cfg : config) =
+    if cfg.disk.Disk.extent_count <= first_data_extent then
+      invalid_arg "Store.create: need more extents than the reserved four";
+    of_disk cfg (Disk.create cfg.disk)
+
+  let config t = t.cfg
+  let disk t = t.disk
+  let sched t = t.sched
+  let chunk_store t = t.chunks
+  let in_service t = t.in_service
+  let index_memtable_size t = Index.memtable_size t.index
+  let index_run_count t = Index.run_count t.index
+
+  let ( let* ) = Result.bind
+  let chunk_err r = Result.map_error (fun e -> Chunk_error e) r
+  let index_err r = Result.map_error (fun e -> Index e) r
+  let sb_err r = Result.map_error (fun e -> Superblock_error e) r
+
+  let check_service t = if t.in_service then Ok () else Error Out_of_service
+
+  let flush_superblock t = sb_err (Superblock.flush t.sb)
+
+  let pump t n = Io_sched.pump ~max_ios:n t.sched
+
+  (* {2 Reclamation} *)
+
+  (* Padded frame footprint of a locator on its extent. *)
+  let footprint t (loc : Chunk.Locator.t) =
+    let ps = Io_sched.page_size t.sched in
+    (loc.Chunk.Locator.frame_len + ps - 1) / ps * ps
+
+  let live_bytes_map t =
+    let live = Hashtbl.create 16 in
+    let add (loc : Chunk.Locator.t) =
+      if loc.Chunk.Locator.epoch = Io_sched.epoch t.sched ~extent:loc.Chunk.Locator.extent then begin
+        let prev = Option.value ~default:0 (Hashtbl.find_opt live loc.Chunk.Locator.extent) in
+        Hashtbl.replace live loc.Chunk.Locator.extent (prev + footprint t loc)
+      end
+    in
+    let* keys = index_err (Index.keys t.index) in
+    let* () =
+      List.fold_left
+        (fun acc key ->
+          let* () = acc in
+          let* locs = index_err (Index.get t.index ~key) in
+          List.iter add (Option.value ~default:[] locs);
+          Ok ())
+        (Ok ()) keys
+    in
+    List.iter (fun (_, loc) -> add loc) (Index.run_locators t.index);
+    Ok live
+
+  let live_bytes t ~extent =
+    let* live = live_bytes_map t in
+    Ok (Option.value ~default:0 (Hashtbl.find_opt live extent))
+
+  let reclaimable_extents t =
+    match live_bytes_map t with
+    | Error _ -> []
+    | Ok live ->
+      let data_extents =
+        List.filter (fun e -> e >= first_data_extent) (Superblock.data_extents t.sb)
+      in
+      data_extents
+      |> List.map (fun extent ->
+             let used = Io_sched.soft_ptr t.sched ~extent in
+             let alive = Option.value ~default:0 (Hashtbl.find_opt live extent) in
+             (extent, used - alive))
+      |> List.filter (fun (_, garbage) -> garbage > 0)
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+  exception Reclaim_abort of error
+
+  let reclaim t ?extent ?(avoid = []) () =
+    let* () = check_service t in
+    let target =
+      match extent with
+      | Some e -> Some e
+      | None -> (
+        (* In-flight extents hold chunks written by an ongoing multi-chunk
+           put, not yet referenced by the index; a scan would wrongly
+           classify them as dead. *)
+        let avoid = avoid @ t.in_flight in
+        match List.filter (fun (e, _) -> not (List.mem e avoid)) (reclaimable_extents t) with
+        | (e, _) :: _ -> Some e
+        | [] -> None)
+    in
+    match target with
+    | None -> Ok None
+    | Some extent ->
+      let classify owner loc =
+        match owner with
+        | Chunk.Chunk_format.Shard key -> (
+          match Index.get t.index ~key with
+          | Ok (Some locs) when List.exists (Chunk.Locator.equal loc) locs -> `Live
+          | Ok _ -> `Dead
+          | Error _ -> `Live (* conservative: never drop on lookup failure *))
+        | Chunk.Chunk_format.Index_run id ->
+          if
+            List.exists
+              (fun (rid, rloc) -> rid = id && Chunk.Locator.equal rloc loc)
+              (Index.run_locators t.index)
+          then `Live
+          else `Dead
+      in
+      let relocate owner ~old_loc ~new_loc ~new_dep =
+        match owner with
+        | Chunk.Chunk_format.Shard key ->
+          Index.update_locator t.index ~key ~old_loc ~new_loc ~new_dep
+        | Chunk.Chunk_format.Index_run run_id -> (
+          match Index.relocate_run t.index ~run_id ~new_loc ~new_dep with
+          | Ok dep -> dep
+          | Error e -> raise (Reclaim_abort (Index e)))
+      in
+      (match
+         Chunk.Chunk_store.reclaim t.chunks ~extent ~index_basis:(Index.basis_dep t.index)
+           ~classify ~relocate
+       with
+      | Ok dep ->
+        Index.note_extent_reset t.index;
+        Ok (Some dep)
+      | Error Chunk.Chunk_store.No_space ->
+        (* Not enough headroom to evacuate: nothing was reset, nothing
+           freed. The caller sees "no reclaimable space". *)
+        Ok None
+      | Error e -> Error (Chunk_error e)
+      | exception Reclaim_abort e -> Error e)
+
+  (* Flushes and compactions themselves write chunks, so extent exhaustion
+     inside them is cured the same way as on the put path: reclaim what we
+     can and retry once. A failed flush attempt leaves already-written runs
+     referenced (they are shadowed, never corrupt) and the memtable intact,
+     so the retry is safe. *)
+  (* Reclamation that could not complete for lack of resources is "nothing
+     reclaimed", not a hard failure. *)
+  let reclaim_soft ?avoid t =
+    match reclaim t ?avoid () with
+    | Ok r -> Ok r
+    | Error No_space -> Ok None
+    | Error (Index e) when Index.error_is_no_space e -> Ok None
+    | Error e -> Error e
+
+  let rec drain_reclaim ?avoid t =
+    let* r = reclaim_soft ?avoid t in
+    match r with
+    | Some _ -> drain_reclaim ?avoid t
+    | None -> Ok ()
+
+  let normalize_no_space = function
+    | Ok dep -> Ok dep
+    | Error e when Index.error_is_no_space e -> Error No_space
+    | Error e -> Error (Index e)
+
+  let compact t =
+    match Index.compact t.index with
+    | Ok dep -> Ok dep
+    | Error e when Index.error_is_no_space e ->
+      let* () = drain_reclaim t in
+      normalize_no_space (Index.compact t.index)
+    | Error e -> Error (Index e)
+
+  (* A rejected flush is retried after garbage collection: reclamation
+     frees extents, and compaction also shrinks the metadata record (an
+     oversized run list is resource pressure too). *)
+  let flush_index_gc t ~for_shutdown =
+    match Index.flush t.index ~for_shutdown with
+    | Ok dep -> Ok dep
+    | Error e when Index.error_is_no_space e -> (
+      let* () = drain_reclaim t in
+      match Index.flush t.index ~for_shutdown with
+      | Ok dep -> Ok dep
+      | Error e when Index.error_is_no_space e ->
+        let* () =
+          match compact t with Ok _ | Error No_space -> Ok () | Error e -> Error e
+        in
+        let* () = drain_reclaim t in
+        normalize_no_space (Index.flush t.index ~for_shutdown)
+      | Error e -> Error (Index e))
+    | Error e -> Error (Index e)
+
+  let flush_index t = flush_index_gc t ~for_shutdown:false
+
+  (* {2 Request plane} *)
+
+  let split_value t value =
+    let max_len = t.cfg.max_chunk_payload in
+    let rec go off acc =
+      if off >= String.length value then List.rev acc
+      else begin
+        let len = min max_len (String.length value - off) in
+        go (off + len) (String.sub value off len :: acc)
+      end
+    in
+    go 0 []
+
+  (* Store one chunk; on extent exhaustion, garbage-collect (reclaim, then
+     compact to orphan old runs, then reclaim again) and retry. *)
+  let put_chunk t ~owner ~payload =
+    let attempt () =
+      match Chunk.Chunk_store.put t.chunks ~owner ~payload with
+      | Ok r -> Ok (Some r)
+      | Error Chunk.Chunk_store.No_space -> Ok None
+      | Error e -> Error (Chunk_error e)
+    in
+    let* first = attempt () in
+    match first with
+    | Some r -> Ok r
+    | None -> (
+      Util.Coverage.hit "store.put.gc_fallback";
+      let* _ = reclaim_soft t in
+      let* second = attempt () in
+      match second with
+      | Some r -> Ok r
+      | None -> (
+        let* () =
+          match compact t with Ok _ | Error No_space -> Ok () | Error e -> Error e
+        in
+        let* () = drain_reclaim t in
+        (* Draining the scheduler lets pending resets complete, returning
+           reclaimed extents to the allocatable pool. *)
+        ignore (Io_sched.pump t.sched);
+        let* third = attempt () in
+        match third with
+        | Some r -> Ok r
+        | None -> Error No_space))
+
+  let after_mutation t =
+    t.mutations <- t.mutations + 1;
+    if
+      t.cfg.index_flush_threshold > 0
+      && Index.memtable_size t.index >= t.cfg.index_flush_threshold
+    then ignore (flush_index t);
+    if t.cfg.compact_threshold > 0 && Index.run_count t.index > t.cfg.compact_threshold then
+      ignore (compact t);
+    if
+      t.cfg.superblock_cadence > 0
+      && t.mutations mod t.cfg.superblock_cadence = 0
+      && Superblock.dirty t.sb
+    then ignore (flush_superblock t);
+    if t.cfg.auto_pump > 0 then ignore (pump t t.cfg.auto_pump)
+
+  let put t ~key ~value =
+    let* () = check_service t in
+    let owner = Chunk.Chunk_format.Shard key in
+    let* locators, value_dep =
+      Fun.protect
+        ~finally:(fun () -> t.in_flight <- [])
+        (fun () ->
+          List.fold_left
+            (fun acc payload ->
+              let* locs, dep = acc in
+              t.in_flight <-
+                List.map (fun (l : Chunk.Locator.t) -> l.Chunk.Locator.extent) locs;
+              let* loc, chunk_dep = put_chunk t ~owner ~payload in
+              Ok (loc :: locs, Dep.and_ dep chunk_dep))
+            (Ok ([], Dep.trivial))
+            (split_value t value))
+    in
+    let dep = Index.put t.index ~key ~locators:(List.rev locators) ~value_dep in
+    after_mutation t;
+    Ok dep
+
+  let get t ~key =
+    let* () = check_service t in
+    let* locs = index_err (Index.get t.index ~key) in
+    match locs with
+    | None -> Ok None
+    | Some locs ->
+      let buf = Buffer.create 256 in
+      let* () =
+        List.fold_left
+          (fun acc loc ->
+            let* () = acc in
+            let* chunk = chunk_err (Chunk.Chunk_store.get t.chunks loc) in
+            match chunk.Chunk.Chunk_format.owner with
+            | Chunk.Chunk_format.Shard k when String.equal k key ->
+              Buffer.add_string buf chunk.Chunk.Chunk_format.payload;
+              Ok ()
+            | Chunk.Chunk_format.Shard _ | Chunk.Chunk_format.Index_run _ ->
+              Error (Wrong_owner key))
+          (Ok ()) locs
+      in
+      Ok (Some (Buffer.contents buf))
+
+  let delete t ~key =
+    let* () = check_service t in
+    let dep = Index.delete t.index ~key in
+    after_mutation t;
+    Ok dep
+
+  let list t =
+    let* () = check_service t in
+    index_err (Index.keys t.index)
+
+  let locators t ~key = index_err (Index.get t.index ~key)
+
+  (* {2 Crash and recovery} *)
+
+  type reboot_spec = {
+    flush_index_first : bool;
+    flush_superblock_first : bool;
+    persist_probability : float;
+    split_pages : bool;
+  }
+
+  let clean_reboot_spec =
+    {
+      flush_index_first = true;
+      flush_superblock_first = true;
+      persist_probability = 1.0;
+      split_pages = false;
+    }
+
+  let recover t =
+    (* A restart loses volatile state: staged writes that never reached the
+       disk must not be visible to the recovery scans. *)
+    Io_sched.discard_volatile t.sched;
+    ignore (Superblock.recover t.sb);
+    let* () = index_err (Index.recover t.index) in
+    Chunk.Chunk_store.close_open_extent t.chunks;
+    Cache.invalidate_all t.cache;
+    t.in_service <- true;
+    Ok ()
+
+  let dirty_reboot t ~rng spec =
+    if spec.flush_index_first then ignore (Index.flush t.index ~for_shutdown:false);
+    if spec.flush_superblock_first then ignore (Superblock.flush t.sb);
+    let (_ : Io_sched.crash_report) =
+      Io_sched.crash t.sched ~rng ~persist_probability:spec.persist_probability
+        ~split_pages:spec.split_pages
+    in
+    recover t
+
+  let clean_shutdown t =
+    let* _dep = flush_index_gc t ~for_shutdown:true in
+    let* _dep = sb_err (Superblock.flush t.sb) in
+    Result.map_error (fun e -> Io e) (Io_sched.flush t.sched)
+
+  (* {2 Control plane} *)
+
+  let remove_from_service t =
+    let* () = check_service t in
+    (* Fault #4: shards could be lost if a disk was removed from service
+       and then later returned — the defect skips persisting the memtable
+       on the way out. *)
+    let* _dep =
+      if Faults.enabled Faults.F4_disk_return_loses_shards then begin
+        Faults.record_fired Faults.F4_disk_return_loses_shards;
+        Ok Dep.trivial
+      end
+      else flush_index_gc t ~for_shutdown:true
+    in
+    let* _dep = sb_err (Superblock.flush t.sb) in
+    let* () = Result.map_error (fun e -> Io e) (Io_sched.flush t.sched) in
+    t.in_service <- false;
+    Ok ()
+
+  let return_to_service t =
+    if t.in_service then Ok ()
+    else begin
+      let* () = recover t in
+      t.in_service <- true;
+      Ok ()
+    end
+end
+
+module Default = Make (struct
+  include Lsm.Index
+
+  let create chunks ~metadata_extents = Lsm.Index.create chunks ~metadata_extents
+end)

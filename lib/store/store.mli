@@ -1,0 +1,124 @@
+(** The ShardStore storage node for one disk (paper section 2).
+
+    Wires the full stack: in-memory disk → IO scheduler (soft updates) →
+    buffer cache → superblock → chunk store → LSM index, and exposes the
+    key-value API (put/get/delete/list), background maintenance
+    (index flush, compaction, chunk reclamation, scheduler pumping),
+    crash/reboot orchestration for the checkers, and the control-plane
+    remove/return-from-service operations (fault #4's site).
+
+    Every mutating operation returns a {!Dep.t}; the crash-consistency
+    checker polls these for the persistence and forward-progress
+    properties (paper section 5). *)
+
+module type S = sig
+  type t
+  type index_error
+
+  type error =
+    | Out_of_service
+    | No_space
+    | Io of Io_sched.error
+    | Index of index_error
+    | Chunk_error of Chunk.Chunk_store.error
+    | Superblock_error of Superblock.error
+    | Wrong_owner of string  (** chunk read back belongs to another shard *)
+
+  val pp_error : Format.formatter -> error -> unit
+
+  type config = {
+    disk : Disk.config;
+    max_chunk_payload : int;  (** shard values split into chunks of at most this size *)
+    superblock_cadence : int;  (** flush the superblock every N mutations *)
+    index_flush_threshold : int;  (** auto-flush the memtable at this size (0 = manual) *)
+    compact_threshold : int;  (** auto-compact beyond this many runs (0 = manual) *)
+    auto_pump : int;  (** background writeback IOs issued per operation *)
+    cache_pages : int;
+    cache_write_allocate : bool;  (** populate the cache on writes (section 8.3 experiment) *)
+    seed : int64;
+  }
+
+  val default_config : config
+
+  (** Small geometry for property-based tests: few, small extents so
+      reclamation, extent exhaustion and crash corner cases are reachable
+      in short operation sequences. *)
+  val test_config : config
+
+  val create : config -> t
+
+  (** [wrap t] re-opens a store on an existing disk (recovery path). *)
+  val of_disk : config -> Disk.t -> t
+
+  val config : t -> config
+  val disk : t -> Disk.t
+  val sched : t -> Io_sched.t
+  val chunk_store : t -> Chunk.Chunk_store.t
+
+  (** {2 Request plane} *)
+
+  val put : t -> key:string -> value:string -> (Dep.t, error) result
+  val get : t -> key:string -> (string option, error) result
+  val delete : t -> key:string -> (Dep.t, error) result
+  val list : t -> (string list, error) result
+
+  (** Raw index lookup (introspection for tests and tools). *)
+  val locators : t -> key:string -> (Chunk.Locator.t list option, error) result
+
+  (** {2 Background maintenance} *)
+
+  val flush_index : t -> (Dep.t, error) result
+  val flush_superblock : t -> (Dep.t, error) result
+  val compact : t -> (Dep.t, error) result
+
+  (** [reclaim t ?extent ?avoid ()] garbage-collects one extent (the one
+      with the most reclaimable bytes when [extent] is omitted, never one
+      in [avoid]). Returns [None] when nothing is worth reclaiming or no
+      evacuation headroom remains. *)
+  val reclaim : t -> ?extent:int -> ?avoid:int list -> unit -> (Dep.t option, error) result
+
+  val pump : t -> int -> int
+
+  (** {2 Crash and recovery} *)
+
+  type reboot_spec = {
+    flush_index_first : bool;  (** flush the memtable before crashing *)
+    flush_superblock_first : bool;
+    persist_probability : float;  (** chance each eligible pending write persisted *)
+    split_pages : bool;  (** enable page-granular torn writes (block-level mode) *)
+  }
+
+  val clean_reboot_spec : reboot_spec
+
+  (** [dirty_reboot t ~rng spec] crashes (dropping volatile state and a
+      dependency-respecting subset of pending writes) and recovers. *)
+  val dirty_reboot : t -> rng:Util.Rng.t -> reboot_spec -> (unit, error) result
+
+  (** [clean_shutdown t] flushes everything and drains the scheduler;
+      afterwards every returned dependency must be persistent (the forward
+      progress property). *)
+  val clean_shutdown : t -> (unit, error) result
+
+  (** [recover t] rebuilds volatile state from the disk. *)
+  val recover : t -> (unit, error) result
+
+  (** {2 Control plane} *)
+
+  val remove_from_service : t -> (unit, error) result
+  val return_to_service : t -> (unit, error) result
+  val in_service : t -> bool
+
+  (** {2 Introspection} *)
+
+  val live_bytes : t -> extent:int -> (int, error) result
+  val reclaimable_extents : t -> (int * int) list
+  (** (extent, garbage bytes), sorted most-garbage-first *)
+
+  val index_memtable_size : t -> int
+  val index_run_count : t -> int
+end
+
+module Make (Index : Store_intf.INDEX) : S with type index_error = Index.error
+
+(** The production wiring: the real LSM-tree index. *)
+module Default : S with type index_error = Lsm.Index.error

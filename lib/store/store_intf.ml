@@ -1,0 +1,49 @@
+(** Signature of the index component as the store consumes it.
+
+    Both the real LSM-tree index ({!Lsm.Index}) and the reference-model
+    mock ({!Model.Index_mock}) implement this, which is how the reference
+    models do double duty as mocks for unit tests (paper section 3.2). *)
+
+module type INDEX = sig
+  type t
+  type error
+
+  val pp_error : Format.formatter -> error -> unit
+
+  (** True when the error is extent exhaustion that garbage collection
+      (reclaim/compact) might cure; the store retries flushes on it. *)
+  val error_is_no_space : error -> bool
+
+  val create : Chunk.Chunk_store.t -> metadata_extents:int * int -> t
+  val put : t -> key:string -> locators:Chunk.Locator.t list -> value_dep:Dep.t -> Dep.t
+  val delete : t -> key:string -> Dep.t
+  val get : t -> key:string -> (Chunk.Locator.t list option, error) result
+  val keys : t -> (string list, error) result
+  val flush : t -> for_shutdown:bool -> (Dep.t, error) result
+  val compact : t -> (Dep.t, error) result
+
+  val update_locator :
+    t ->
+    key:string ->
+    old_loc:Chunk.Locator.t ->
+    new_loc:Chunk.Locator.t ->
+    new_dep:Dep.t ->
+    Dep.t
+
+  val run_locators : t -> (int * Chunk.Locator.t) list
+
+  val relocate_run :
+    t -> run_id:int -> new_loc:Chunk.Locator.t -> new_dep:Dep.t -> (Dep.t, error) result
+
+  (** Dependency covering the index state a reverse lookup ran against:
+      every current run, the newest metadata record, and — if entries are
+      staged — the pending flush. Reclamation folds it into the extent
+      reset's input: a chunk may only be destroyed once the index state
+      that no longer references it is durable. *)
+  val basis_dep : t -> Dep.t
+
+  val note_extent_reset : t -> unit
+  val recover : t -> (unit, error) result
+  val memtable_size : t -> int
+  val run_count : t -> int
+end

@@ -1,0 +1,109 @@
+type error =
+  | Truncated of { wanted : int; available : int }
+  | Bad_magic of { expected : string; found : string }
+  | Bad_checksum
+  | Invalid of string
+
+let pp_error fmt = function
+  | Truncated { wanted; available } ->
+    Format.fprintf fmt "truncated input: wanted %d bytes, %d available" wanted available
+  | Bad_magic { expected; found } ->
+    Format.fprintf fmt "bad magic: expected %S, found %S" expected found
+  | Bad_checksum -> Format.pp_print_string fmt "checksum mismatch"
+  | Invalid msg -> Format.fprintf fmt "invalid encoding: %s" msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 64) () = Buffer.create capacity
+  let length = Buffer.length
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xFF))
+  let u16 t v = Buffer.add_uint16_le t (v land 0xFFFF)
+  let u32 t v = Buffer.add_int32_le t v
+  let u64 t v = Buffer.add_int64_le t v
+
+  let uint t n =
+    assert (n >= 0);
+    u64 t (Int64.of_int n)
+
+  let raw_string = Buffer.add_string
+  let raw_bytes = Buffer.add_bytes
+
+  let lstring t s =
+    u32 t (Int32.of_int (String.length s));
+    raw_string t s
+
+  let contents = Buffer.contents
+  let to_bytes = Buffer.to_bytes
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string ?(pos = 0) data = { data; pos }
+  let of_bytes ?pos b = of_string ?pos (Bytes.to_string b)
+  let pos t = t.pos
+  let remaining t = String.length t.data - t.pos
+
+  let take t n =
+    if n < 0 then Error (Invalid "negative length")
+    else if remaining t < n then Error (Truncated { wanted = n; available = remaining t })
+    else begin
+      let s = String.sub t.data t.pos n in
+      t.pos <- t.pos + n;
+      Ok s
+    end
+
+  let u8 t =
+    match take t 1 with
+    | Error _ as e -> e
+    | Ok s -> Ok (Char.code s.[0])
+
+  let u16 t =
+    match take t 2 with
+    | Error _ as e -> e
+    | Ok s -> Ok (String.get_uint16_le s 0)
+
+  let u32 t =
+    match take t 4 with
+    | Error _ as e -> e
+    | Ok s -> Ok (String.get_int32_le s 0)
+
+  let u64 t =
+    match take t 8 with
+    | Error _ as e -> e
+    | Ok s -> Ok (String.get_int64_le s 0)
+
+  let uint t =
+    match u64 t with
+    | Error _ as e -> e
+    | Ok v ->
+      if v < 0L || v > Int64.of_int max_int then Error (Invalid "u64 out of int range")
+      else Ok (Int64.to_int v)
+
+  let raw t n = take t n
+
+  let lstring ?(max = 1 lsl 30) t =
+    match u32 t with
+    | Error _ as e -> e
+    | Ok len32 ->
+      let len = Int32.to_int len32 in
+      if len < 0 || len > max then Error (Invalid "length prefix out of range")
+      else take t len
+
+  let magic t expected =
+    match take t (String.length expected) with
+    | Error _ as e -> e
+    | Ok found ->
+      if String.equal found expected then Ok () else Error (Bad_magic { expected; found })
+
+  let expect_end t =
+    if remaining t = 0 then Ok () else Error (Invalid "trailing bytes after value")
+end
+
+module Syntax = struct
+  let ( let* ) r f = Result.bind r f
+  let ( let+ ) r f = Result.map f r
+end

@@ -1,0 +1,76 @@
+(** Total binary encoders and decoders.
+
+    Every on-disk and on-wire format in the repository is built from these
+    primitives. Decoding never raises: a truncated or corrupt input yields
+    [Error], reproducing the paper's panic-freedom requirement for
+    deserializers running on untrusted bytes (section 7). *)
+
+type error =
+  | Truncated of { wanted : int; available : int }
+  | Bad_magic of { expected : string; found : string }
+  | Bad_checksum
+  | Invalid of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** Append-only encoder on top of [Buffer]. *)
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int32 -> unit
+  val u64 : t -> int64 -> unit
+
+  (** [uint t n] encodes a non-negative OCaml int as a u64. *)
+  val uint : t -> int -> unit
+
+  val raw_string : t -> string -> unit
+  val raw_bytes : t -> bytes -> unit
+
+  (** [lstring t s] encodes a u32 length prefix followed by the bytes. *)
+  val lstring : t -> string -> unit
+
+  val contents : t -> string
+  val to_bytes : t -> bytes
+end
+
+(** Cursor-based decoder over an immutable string; all reads are total. *)
+module Reader : sig
+  type t
+
+  val of_string : ?pos:int -> string -> t
+  val of_bytes : ?pos:int -> bytes -> t
+  val pos : t -> int
+  val remaining : t -> int
+  val u8 : t -> (int, error) result
+  val u16 : t -> (int, error) result
+  val u32 : t -> (int32, error) result
+  val u64 : t -> (int64, error) result
+
+  (** [uint t] decodes a u64 and checks it fits a non-negative OCaml int. *)
+  val uint : t -> (int, error) result
+
+  val raw : t -> int -> (string, error) result
+
+  (** [lstring ?max t] decodes a u32-length-prefixed string, rejecting
+      lengths above [max] (default 1 GiB) to bound allocation on corrupt
+      input. *)
+  val lstring : ?max:int -> t -> (string, error) result
+
+  (** [magic t expected] consumes [String.length expected] bytes and checks
+      them. *)
+  val magic : t -> string -> (unit, error) result
+
+  (** [expect_end t] fails with [Invalid] if bytes remain. *)
+  val expect_end : t -> (unit, error) result
+end
+
+(** [let*] syntax for result-typed decoding pipelines. *)
+module Syntax : sig
+  val ( let* ) : ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+  val ( let+ ) : ('a, 'e) result -> ('a -> 'b) -> ('b, 'e) result
+end

@@ -1,0 +1,30 @@
+(** Code-coverage counters for the implementation's interesting paths
+    (paper section 4.2, "Coverage metrics").
+
+    Property-based tests only check states the harness can reach; as code
+    evolves, new functionality can silently fall outside that set. The
+    implementation bumps a named counter at each path worth reaching
+    (cache miss, reclamation evacuation, torn crash state, ...), and the
+    harnesses report the counters so blind spots are visible — the paper's
+    remedy for the missed cache-miss bug of section 8.3.
+
+    Counters are global and cheap (one hash lookup); tests reset them
+    around the region they measure. *)
+
+(** [hit name] increments the counter. *)
+val hit : string -> unit
+
+(** [count name] — current value (0 if never hit). *)
+val count : string -> int
+
+(** All counters with non-zero values, sorted by name. *)
+val snapshot : unit -> (string * int) list
+
+val reset : unit -> unit
+
+(** [pp_snapshot fmt ()] — one counter per line. *)
+val pp_snapshot : Format.formatter -> unit -> unit
+
+(** [blind_spots ~expected ()] — the subset of [expected] counter names
+    that were never hit: the blind-spot report. *)
+val blind_spots : expected:string list -> unit -> string list

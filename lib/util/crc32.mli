@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3 polynomial) for on-disk integrity checks.
+
+    Data read back from the disk is treated as untrusted (paper section 7);
+    every chunk frame and metadata record carries a CRC so corruption is
+    detected rather than propagated. *)
+
+(** [digest_bytes ?off ?len b] computes the CRC of the given slice
+    (defaults: whole buffer). *)
+val digest_bytes : ?off:int -> ?len:int -> bytes -> int32
+
+(** [digest_string s] computes the CRC of a string. *)
+val digest_string : string -> int32

@@ -1,0 +1,23 @@
+type t = string
+
+let size = 16
+
+let generate rng = Bytes.to_string (Rng.bytes rng size)
+
+let of_string s = if String.length s = size then Some s else None
+
+let of_string_exn s =
+  match of_string s with
+  | Some t -> t
+  | None -> invalid_arg "Uuid.of_string_exn: expected 16 bytes"
+
+let to_string t = t
+
+let to_hex t =
+  let buf = Buffer.create (2 * size) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t;
+  Buffer.contents buf
+
+let equal = String.equal
+let compare = String.compare
+let pp fmt t = Format.pp_print_string fmt (to_hex t)

@@ -1,0 +1,25 @@
+(** 16-byte identifiers used to frame chunks on disk.
+
+    Chunk frames repeat the UUID at both ends so a truncated or overwritten
+    chunk can be recognised (paper section 5, issue #10). Generation is
+    driven by the deterministic {!Rng} so crash scenarios that depend on a
+    particular UUID byte pattern are replayable. *)
+
+type t
+
+val size : int
+
+(** [generate rng] draws a fresh random identifier. *)
+val generate : Rng.t -> t
+
+(** [of_string s] validates that [s] has {!size} bytes. *)
+val of_string : string -> t option
+
+(** [of_string_exn s] raises [Invalid_argument] on bad length. *)
+val of_string_exn : string -> t
+
+val to_string : t -> string
+val to_hex : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

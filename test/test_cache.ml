@@ -1,0 +1,205 @@
+(* Tests for the buffer cache: hit/miss behaviour, invalidation on write
+   and reset, LRU eviction, and the fault #2 site. *)
+
+
+let config = { Disk.extent_count = 4; pages_per_extent = 4; page_size = 16 }
+
+let make ?capacity_pages () =
+  let disk = Disk.create config in
+  let sched = Io_sched.create ~seed:6L disk in
+  (disk, sched, Cache.create ?capacity_pages sched)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "error: %a" Io_sched.pp_error e
+
+let append sched ~extent data =
+  ignore (ok (Io_sched.append sched ~extent ~data ~input:Dep.trivial))
+
+let test_read_through () =
+  let _, sched, cache = make () in
+  append sched ~extent:0 "hello-world-data";
+  Alcotest.(check string) "read" "hello-world-data" (ok (Cache.read cache ~extent:0 ~off:0 ~len:16));
+  Alcotest.(check string) "cached read" "hello-world-data"
+    (ok (Cache.read cache ~extent:0 ~off:0 ~len:16));
+  let st = Cache.stats cache in
+  Alcotest.(check bool) "second read hit" true (st.Cache.hits > 0)
+
+let test_cross_page_read () =
+  let _, sched, cache = make () in
+  append sched ~extent:0 (String.init 40 (fun i -> Char.chr (65 + (i mod 26))));
+  let direct = ok (Io_sched.read sched ~extent:0 ~off:10 ~len:25) in
+  Alcotest.(check string) "spanning pages" direct (ok (Cache.read cache ~extent:0 ~off:10 ~len:25))
+
+let test_read_beyond_pointer () =
+  let _, _, cache = make () in
+  match Cache.read cache ~extent:0 ~off:0 ~len:4 with
+  | Error (Io_sched.Io (Disk.Out_of_bounds _)) -> ()
+  | _ -> Alcotest.fail "read beyond soft pointer must fail"
+
+let test_note_write_invalidates_tail () =
+  let _, sched, cache = make () in
+  append sched ~extent:0 "abc";
+  Alcotest.(check string) "partial page" "abc" (ok (Cache.read cache ~extent:0 ~off:0 ~len:3));
+  append sched ~extent:0 "def";
+  Cache.note_write cache ~extent:0 ~off:3 ~len:3;
+  Alcotest.(check string) "extended" "abcdef" (ok (Cache.read cache ~extent:0 ~off:0 ~len:6))
+
+let test_note_reset_invalidates () =
+  let _, sched, cache = make () in
+  append sched ~extent:0 "old-data-in-page";
+  ignore (ok (Cache.read cache ~extent:0 ~off:0 ~len:16));
+  ignore (ok (Io_sched.reset sched ~extent:0 ~input:Dep.trivial));
+  Cache.note_reset cache ~extent:0;
+  append sched ~extent:0 "new-data-in-page";
+  Alcotest.(check string) "fresh after reset" "new-data-in-page"
+    (ok (Cache.read cache ~extent:0 ~off:0 ~len:16))
+
+let test_f2_serves_stale_after_reset () =
+  Faults.disable_all ();
+  let _, sched, cache = make () in
+  append sched ~extent:0 "old-data-in-page";
+  ignore (ok (Cache.read cache ~extent:0 ~off:0 ~len:16));
+  ignore (ok (Io_sched.reset sched ~extent:0 ~input:Dep.trivial));
+  Faults.enable Faults.F2_cache_not_drained;
+  Cache.note_reset cache ~extent:0;
+  Faults.disable Faults.F2_cache_not_drained;
+  append sched ~extent:0 "new-data-in-page";
+  Alcotest.(check string) "stale page served" "old-data-in-page"
+    (ok (Cache.read cache ~extent:0 ~off:0 ~len:16));
+  Alcotest.(check bool) "fired" true (Faults.fired Faults.F2_cache_not_drained > 0)
+
+let test_eviction () =
+  let _, sched, cache = make ~capacity_pages:2 () in
+  append sched ~extent:0 (String.make 64 'a');
+  append sched ~extent:1 (String.make 64 'b');
+  (* Touch 6 distinct pages with capacity 2. *)
+  for page = 0 to 2 do
+    ignore (ok (Cache.read cache ~extent:0 ~off:(page * 16) ~len:16));
+    ignore (ok (Cache.read cache ~extent:1 ~off:(page * 16) ~len:16))
+  done;
+  let st = Cache.stats cache in
+  Alcotest.(check bool) "evictions happened" true (st.Cache.evictions > 0)
+
+let test_miss_hits_injected_fault () =
+  let disk, sched, cache = make () in
+  append sched ~extent:0 "payload-goes-here";
+  Disk.fail_once disk ~extent:0;
+  (match Cache.read cache ~extent:0 ~off:0 ~len:8 with
+  | Error (Io_sched.Io Disk.Transient) -> ()
+  | _ -> Alcotest.fail "miss must surface injected fault");
+  (* After the failure the entry is uncached; a retry succeeds. *)
+  Alcotest.(check string) "retry" "payload-" (ok (Cache.read cache ~extent:0 ~off:0 ~len:8))
+
+let test_hit_bypasses_injected_fault () =
+  let disk, sched, cache = make () in
+  append sched ~extent:0 "payload-goes-here";
+  ignore (ok (Cache.read cache ~extent:0 ~off:0 ~len:16));
+  Disk.fail_once disk ~extent:0;
+  Alcotest.(check string) "hit bypasses disk" "payload-"
+    (ok (Cache.read cache ~extent:0 ~off:0 ~len:8));
+  Disk.heal disk ~extent:0
+
+let test_invalidate_all () =
+  let _, sched, cache = make () in
+  append sched ~extent:0 "payload-goes-here";
+  ignore (ok (Cache.read cache ~extent:0 ~off:0 ~len:16));
+  Cache.invalidate_all cache;
+  ignore (ok (Cache.read cache ~extent:0 ~off:0 ~len:16));
+  let st = Cache.stats cache in
+  Alcotest.(check int) "two misses" 2 st.Cache.misses
+
+let test_write_allocate_hits () =
+  let disk = Disk.create config in
+  let sched = Io_sched.create ~seed:6L disk in
+  let cache = Cache.create ~write_allocate:true sched in
+  Alcotest.(check bool) "mode" true (Cache.write_allocate cache);
+  let data = String.make 32 'w' in
+  (match Io_sched.append sched ~extent:0 ~data ~input:Dep.trivial with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "append");
+  Cache.fill cache ~extent:0 ~off:0 data;
+  (match Cache.read cache ~extent:0 ~off:0 ~len:32 with
+  | Ok got -> Alcotest.(check string) "filled data" data got
+  | Error _ -> Alcotest.fail "read");
+  let st = Cache.stats cache in
+  Alcotest.(check int) "no miss" 0 st.Cache.misses
+
+let test_fill_noop_without_write_allocate () =
+  let disk = Disk.create config in
+  let sched = Io_sched.create ~seed:6L disk in
+  let cache = Cache.create sched in
+  (match Io_sched.append sched ~extent:0 ~data:(String.make 16 'x') ~input:Dep.trivial with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "append");
+  Cache.fill cache ~extent:0 ~off:0 (String.make 16 'x');
+  ignore (Cache.read cache ~extent:0 ~off:0 ~len:16);
+  let st = Cache.stats cache in
+  Alcotest.(check int) "read missed (fill was a no-op)" 1 st.Cache.misses
+
+let test_f17_corrupts_only_miss_path () =
+  Faults.disable_all ();
+  let disk = Disk.create config in
+  let sched = Io_sched.create ~seed:6L disk in
+  let cache = Cache.create ~write_allocate:true sched in
+  let data = String.make 16 'd' in
+  (match Io_sched.append sched ~extent:0 ~data ~input:Dep.trivial with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "append");
+  Cache.fill cache ~extent:0 ~off:0 data;
+  Faults.enable Faults.F17_cache_miss_path;
+  (* hit path: clean data despite the armed defect *)
+  (match Cache.read cache ~extent:0 ~off:0 ~len:16 with
+  | Ok got -> Alcotest.(check string) "hit unaffected" data got
+  | Error _ -> Alcotest.fail "read");
+  (* evict by invalidating, forcing the miss path *)
+  Cache.invalidate_all cache;
+  (match Cache.read cache ~extent:0 ~off:0 ~len:16 with
+  | Ok got -> Alcotest.(check bool) "miss corrupted" true (got <> data)
+  | Error _ -> Alcotest.fail "read");
+  Faults.disable_all ();
+  Alcotest.(check bool) "fired" true (Faults.fired Faults.F17_cache_miss_path > 0)
+
+let test_coverage_counters () =
+  Util.Coverage.reset ();
+  let disk = Disk.create config in
+  let sched = Io_sched.create ~seed:6L disk in
+  let cache = Cache.create sched in
+  (match Io_sched.append sched ~extent:0 ~data:(String.make 16 'x') ~input:Dep.trivial with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "append");
+  ignore (Cache.read cache ~extent:0 ~off:0 ~len:16);
+  ignore (Cache.read cache ~extent:0 ~off:0 ~len:16);
+  Alcotest.(check int) "miss counted" 1 (Util.Coverage.count "cache.miss");
+  Alcotest.(check int) "hit counted" 1 (Util.Coverage.count "cache.hit");
+  Alcotest.(check (list string)) "blind spot listing" [ "cache.eviction" ]
+    (Util.Coverage.blind_spots ~expected:[ "cache.hit"; "cache.miss"; "cache.eviction" ] ())
+
+let () =
+  Faults.disable_all ();
+  Faults.reset_counters ();
+  Alcotest.run "cache"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "read through" `Quick test_read_through;
+          Alcotest.test_case "cross page read" `Quick test_cross_page_read;
+          Alcotest.test_case "read beyond pointer" `Quick test_read_beyond_pointer;
+          Alcotest.test_case "write invalidates tail" `Quick test_note_write_invalidates_tail;
+          Alcotest.test_case "reset invalidates" `Quick test_note_reset_invalidates;
+          Alcotest.test_case "eviction" `Quick test_eviction;
+          Alcotest.test_case "invalidate all" `Quick test_invalidate_all;
+          Alcotest.test_case "write allocate" `Quick test_write_allocate_hits;
+          Alcotest.test_case "fill no-op without write allocate" `Quick
+            test_fill_noop_without_write_allocate;
+          Alcotest.test_case "coverage counters" `Quick test_coverage_counters;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "#2 stale after reset" `Quick test_f2_serves_stale_after_reset;
+          Alcotest.test_case "miss hits injected fault" `Quick test_miss_hits_injected_fault;
+          Alcotest.test_case "hit bypasses injected fault" `Quick test_hit_bypasses_injected_fault;
+          Alcotest.test_case "#17 corrupts only the miss path" `Quick
+            test_f17_corrupts_only_miss_path;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+(* Tests for the concurrency harnesses: every Fig. 5 concurrency issue is
+   found by stateless model checking, and the corrected components are
+   clean under the same exploration budgets. *)
+
+let dfs = Smc.Dfs { max_schedules = 100_000 }
+
+let expect_violation name outcome pred =
+  match outcome.Smc.violation with
+  | Some v when pred v.Smc.kind -> ()
+  | _ -> Alcotest.failf "%s: expected violation, got %a" name Smc.pp_outcome outcome
+
+let expect_clean name outcome =
+  match outcome.Smc.violation with
+  | None -> ()
+  | Some _ -> Alcotest.failf "%s: unexpected violation: %a" name Smc.pp_outcome outcome
+
+let is_assertion = function Smc.Assertion _ -> true | _ -> false
+let is_deadlock = function Smc.Deadlock _ -> true | _ -> false
+
+let test_f11 () =
+  expect_violation "#11" (Conc.Conc_detect.detect dfs Faults.F11_locator_race) is_assertion;
+  expect_clean "#11 correct" (Conc.Conc_detect.check_correct dfs Faults.F11_locator_race)
+
+let test_f12 () =
+  expect_violation "#12"
+    (Conc.Conc_detect.detect dfs Faults.F12_buffer_pool_deadlock)
+    is_deadlock;
+  expect_clean "#12 correct" (Conc.Conc_detect.check_correct dfs Faults.F12_buffer_pool_deadlock)
+
+let test_f13 () =
+  expect_violation "#13" (Conc.Conc_detect.detect dfs Faults.F13_list_remove_race) is_assertion;
+  expect_clean "#13 correct" (Conc.Conc_detect.check_correct dfs Faults.F13_list_remove_race)
+
+let test_f14 () =
+  expect_violation "#14"
+    (Conc.Conc_detect.detect dfs Faults.F14_compaction_reclaim_race)
+    is_assertion;
+  expect_clean "#14 correct"
+    (Conc.Conc_detect.check_correct (Smc.Dfs { max_schedules = 50_000 })
+       Faults.F14_compaction_reclaim_race)
+
+let test_f14_pct () =
+  (* The Shuttle-style randomized strategies find the Fig. 4 race too. *)
+  expect_violation "#14 pct"
+    (Conc.Conc_detect.detect (Smc.Pct { seed = 3; schedules = 50_000; depth = 3 })
+       Faults.F14_compaction_reclaim_race)
+    is_assertion;
+  expect_violation "#14 random"
+    (Conc.Conc_detect.detect (Smc.Random_walk { seed = 3; schedules = 50_000 })
+       Faults.F14_compaction_reclaim_race)
+    is_assertion
+
+let test_f16 () =
+  expect_violation "#16"
+    (Conc.Conc_detect.detect dfs Faults.F16_bulk_create_remove_race)
+    is_assertion;
+  expect_clean "#16 correct"
+    (Conc.Conc_detect.check_correct dfs Faults.F16_bulk_create_remove_race)
+
+let test_non_concurrency_fault_rejected () =
+  match Conc.Conc_detect.detect dfs Faults.F1_reclaim_off_by_one with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* {2 Sequential sanity of the concurrent components} *)
+
+let test_conc_index_sequential () =
+  Faults.disable_all ();
+  let index = Conc.Conc_index.create () in
+  Conc.Conc_index.put index ~key:1 ~value:10;
+  Conc.Conc_index.put index ~key:2 ~value:20;
+  Alcotest.(check (option int)) "memtable get" (Some 10) (Conc.Conc_index.get index ~key:1);
+  Conc.Conc_index.compact index;
+  Alcotest.(check (option int)) "chunk get" (Some 10) (Conc.Conc_index.get index ~key:1);
+  Alcotest.(check bool) "chunk on open extent" true (Conc.Conc_index.chunks_on index ~extent:0 > 0);
+  Conc.Conc_index.reclaim index ~extent:0;
+  Alcotest.(check int) "extent reset" 0 (Conc.Conc_index.chunks_on index ~extent:0);
+  Alcotest.(check (option int)) "evacuated get" (Some 10) (Conc.Conc_index.get index ~key:1);
+  Conc.Conc_index.put index ~key:1 ~value:11;
+  Alcotest.(check (option int)) "overwrite" (Some 11) (Conc.Conc_index.get index ~key:1);
+  Alcotest.(check (option int)) "missing" None (Conc.Conc_index.get index ~key:9)
+
+let test_shard_map_sequential () =
+  Faults.disable_all ();
+  let map = Conc.Shard_map.create () in
+  Conc.Shard_map.bulk_create map [ 1; 2; 3 ];
+  Alcotest.(check bool) "mem" true (Conc.Shard_map.mem map 2);
+  Conc.Shard_map.bulk_remove map [ 2 ];
+  Alcotest.(check bool) "removed" false (Conc.Shard_map.mem map 2);
+  Alcotest.(check int) "list" 2 (List.length (Conc.Shard_map.list map))
+
+let test_conc_chunks_sequential () =
+  Faults.disable_all ();
+  let store = Conc.Conc_chunks.create () in
+  Conc.Conc_chunks.put store ~payload:5;
+  (match Conc.Conc_chunks.published store with
+  | [ locator ] ->
+    Alcotest.(check (option int)) "read" (Some 5) (Conc.Conc_chunks.read store ~locator)
+  | _ -> Alcotest.fail "expected one locator");
+  Alcotest.(check (option int)) "bad locator" None (Conc.Conc_chunks.read store ~locator:99)
+
+(* {2 Linearizability of the concurrent index} *)
+
+type op = Put of int * int | Get of int
+
+let index_apply state = function
+  | Put (k, v) -> ((k, v) :: List.remove_assoc k state, None)
+  | Get k -> (state, List.assoc_opt k state)
+
+let test_conc_index_linearizable () =
+  Faults.disable_all ();
+  let body () =
+    let index = Conc.Conc_index.create () in
+    Conc.Conc_index.put index ~key:1 ~value:10;
+    Conc.Conc_index.compact index;
+    let rec_ = Linearize.Recorder.create () in
+    let done_ = Smc.Cell.make 0 in
+    Smc.spawn (fun () ->
+        Conc.Conc_index.reclaim index ~extent:0;
+        ignore (Smc.Cell.update done_ (fun d -> d + 1)));
+    Smc.spawn (fun () ->
+        ignore
+          (Linearize.Recorder.record rec_ (Put (1, 11)) (fun () ->
+               Conc.Conc_index.put index ~key:1 ~value:11;
+               None));
+        ignore
+          (Linearize.Recorder.record rec_ (Get 1) (fun () -> Conc.Conc_index.get index ~key:1));
+        ignore (Smc.Cell.update done_ (fun d -> d + 1)));
+    Smc.spawn (fun () ->
+        ignore
+          (Linearize.Recorder.record rec_ (Get 1) (fun () -> Conc.Conc_index.get index ~key:1));
+        ignore (Smc.Cell.update done_ (fun d -> d + 1)));
+    Smc.wait_until (fun () -> Smc.Cell.peek done_ = 3);
+    if
+      not
+        (Linearize.check ~init:[ (1, 10) ] ~apply:index_apply ~equal_res:( = )
+           (Linearize.Recorder.history rec_))
+    then failwith "index history not linearizable"
+  in
+  expect_clean "linearizable under reclamation"
+    (Smc.explore (Smc.Random_walk { seed = 11; schedules = 5_000 }) body)
+
+let () =
+  Faults.disable_all ();
+  Faults.reset_counters ();
+  Alcotest.run "conc"
+    [
+      ( "detection",
+        [
+          Alcotest.test_case "#11 locator race" `Quick test_f11;
+          Alcotest.test_case "#12 buffer pool deadlock" `Quick test_f12;
+          Alcotest.test_case "#13 list/remove race" `Quick test_f13;
+          Alcotest.test_case "#14 compaction/reclamation race" `Quick test_f14;
+          Alcotest.test_case "#14 via randomized strategies" `Quick test_f14_pct;
+          Alcotest.test_case "#16 bulk race" `Quick test_f16;
+          Alcotest.test_case "non-concurrency fault rejected" `Quick
+            test_non_concurrency_fault_rejected;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "index sequential" `Quick test_conc_index_sequential;
+          Alcotest.test_case "shard map sequential" `Quick test_shard_map_sequential;
+          Alcotest.test_case "chunk store sequential" `Quick test_conc_chunks_sequential;
+        ] );
+      ( "linearizability",
+        [ Alcotest.test_case "index linearizable" `Quick test_conc_index_linearizable ] );
+    ]

@@ -1,0 +1,131 @@
+(* Unit tests for the in-memory disk: sequential-write discipline, reset
+   epochs, read bounds, and failure injection. *)
+
+let small = { Disk.extent_count = 4; pages_per_extent = 4; page_size = 16 }
+
+let io_error = Alcotest.testable Disk.pp_io_error ( = )
+
+let test_write_read () =
+  let d = Disk.create small in
+  Alcotest.(check (result unit io_error)) "write" (Ok ()) (Disk.write d ~extent:0 ~off:0 "hello");
+  Alcotest.(check (result string io_error))
+    "read back" (Ok "hello")
+    (Disk.read d ~extent:0 ~off:0 ~len:5);
+  Alcotest.(check int) "pointer advanced" 5 (Disk.hard_ptr d ~extent:0)
+
+let test_sequential_discipline () =
+  let d = Disk.create small in
+  (match Disk.write d ~extent:0 ~off:3 "x" with
+  | Error (Disk.Out_of_bounds _) -> ()
+  | _ -> Alcotest.fail "non-sequential write must fail");
+  Alcotest.(check (result unit io_error)) "first" (Ok ()) (Disk.write d ~extent:0 ~off:0 "abc");
+  Alcotest.(check (result unit io_error)) "append" (Ok ()) (Disk.write d ~extent:0 ~off:3 "def")
+
+let test_read_beyond_pointer () =
+  let d = Disk.create small in
+  ignore (Disk.write d ~extent:1 ~off:0 "data");
+  match Disk.read d ~extent:1 ~off:2 ~len:10 with
+  | Error (Disk.Out_of_bounds _) -> ()
+  | _ -> Alcotest.fail "read beyond pointer must fail"
+
+let test_extent_capacity () =
+  let d = Disk.create small in
+  let full = String.make (Disk.extent_size small) 'x' in
+  Alcotest.(check (result unit io_error)) "fill" (Ok ()) (Disk.write d ~extent:0 ~off:0 full);
+  match Disk.write d ~extent:0 ~off:(String.length full) "y" with
+  | Error (Disk.Out_of_bounds _) -> ()
+  | _ -> Alcotest.fail "write past extent end must fail"
+
+let test_reset_epoch_and_scrub () =
+  let d = Disk.create small in
+  ignore (Disk.write d ~extent:2 ~off:0 "secret");
+  Alcotest.(check int) "epoch 0" 0 (Disk.epoch d ~extent:2);
+  Alcotest.(check (result unit io_error)) "reset" (Ok ()) (Disk.reset d ~extent:2);
+  Alcotest.(check int) "epoch bumped" 1 (Disk.epoch d ~extent:2);
+  Alcotest.(check int) "pointer rewound" 0 (Disk.hard_ptr d ~extent:2);
+  (match Disk.read d ~extent:2 ~off:0 ~len:6 with
+  | Error (Disk.Out_of_bounds _) -> ()
+  | _ -> Alcotest.fail "old data unreadable after reset");
+  ignore (Disk.write d ~extent:2 ~off:0 "abcdef");
+  Alcotest.(check (result string io_error))
+    "scrubbed" (Ok "abcdef")
+    (Disk.read d ~extent:2 ~off:0 ~len:6)
+
+let test_bad_extent () =
+  let d = Disk.create small in
+  match Disk.write d ~extent:99 ~off:0 "x" with
+  | Error (Disk.Out_of_bounds _) -> ()
+  | _ -> Alcotest.fail "bad extent must fail"
+
+let test_fail_once () =
+  let d = Disk.create small in
+  Disk.fail_once d ~extent:0;
+  (match Disk.write d ~extent:0 ~off:0 "x" with
+  | Error Disk.Transient -> ()
+  | _ -> Alcotest.fail "armed one-shot failure must fire");
+  Alcotest.(check (result unit io_error))
+    "retry succeeds" (Ok ())
+    (Disk.write d ~extent:0 ~off:0 "x");
+  Alcotest.(check int) "counted" 1 (Disk.injected_failures d)
+
+let test_fail_permanently_and_heal () =
+  let d = Disk.create small in
+  ignore (Disk.write d ~extent:0 ~off:0 "x");
+  Disk.fail_permanently d ~extent:0;
+  (match Disk.read d ~extent:0 ~off:0 ~len:1 with
+  | Error Disk.Permanent -> ()
+  | _ -> Alcotest.fail "permanent failure must fire");
+  (match Disk.read d ~extent:0 ~off:0 ~len:1 with
+  | Error Disk.Permanent -> ()
+  | _ -> Alcotest.fail "permanent failure persists");
+  Disk.heal d ~extent:0;
+  Alcotest.(check (result string io_error)) "healed" (Ok "x") (Disk.read d ~extent:0 ~off:0 ~len:1)
+
+let test_faults_suspended () =
+  let d = Disk.create small in
+  Disk.fail_once d ~extent:0;
+  Disk.with_faults_suspended d (fun () ->
+      Alcotest.(check (result unit io_error))
+        "suspended" (Ok ())
+        (Disk.write d ~extent:0 ~off:0 "x"));
+  (* Arming restored afterwards. *)
+  match Disk.read d ~extent:0 ~off:0 ~len:1 with
+  | Error Disk.Transient -> ()
+  | _ -> Alcotest.fail "arming must be restored"
+
+let test_consume_fault () =
+  let d = Disk.create small in
+  Alcotest.(check (result unit io_error)) "healthy" (Ok ()) (Disk.consume_fault d ~extent:1);
+  Disk.fail_once d ~extent:1;
+  (match Disk.consume_fault d ~extent:1 with
+  | Error Disk.Transient -> ()
+  | _ -> Alcotest.fail "consume_fault must deliver");
+  Alcotest.(check (result unit io_error)) "disarmed" (Ok ()) (Disk.consume_fault d ~extent:1)
+
+let test_durable_image () =
+  let d = Disk.create small in
+  ignore (Disk.write d ~extent:0 ~off:0 "abc");
+  Alcotest.(check string) "image" "abc" (Disk.durable_image d ~extent:0);
+  Alcotest.(check int) "page of offset" 1 (Disk.page_of_offset d 17)
+
+let () =
+  Alcotest.run "disk"
+    [
+      ( "io",
+        [
+          Alcotest.test_case "write/read" `Quick test_write_read;
+          Alcotest.test_case "sequential discipline" `Quick test_sequential_discipline;
+          Alcotest.test_case "read beyond pointer" `Quick test_read_beyond_pointer;
+          Alcotest.test_case "extent capacity" `Quick test_extent_capacity;
+          Alcotest.test_case "reset epoch and scrub" `Quick test_reset_epoch_and_scrub;
+          Alcotest.test_case "bad extent" `Quick test_bad_extent;
+          Alcotest.test_case "durable image" `Quick test_durable_image;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fail once" `Quick test_fail_once;
+          Alcotest.test_case "fail permanently / heal" `Quick test_fail_permanently_and_heal;
+          Alcotest.test_case "faults suspended" `Quick test_faults_suspended;
+          Alcotest.test_case "consume fault" `Quick test_consume_fault;
+        ] );
+    ]

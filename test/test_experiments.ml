@@ -1,0 +1,129 @@
+(* Smoke tests for the experiment drivers: each runs end-to-end at a tiny
+   budget and produces structurally sensible reports. *)
+
+let test_fig6 () =
+  let r = Experiments.Fig6.run () in
+  Alcotest.(check bool) "has rows" true (List.length r.Experiments.Fig6.rows >= 5);
+  Alcotest.(check bool) "counted implementation" true (r.Experiments.Fig6.implementation > 1000);
+  Alcotest.(check bool) "counted models" true (r.Experiments.Fig6.models > 100);
+  Alcotest.(check bool) "counted validation" true (r.Experiments.Fig6.validation > 500);
+  Alcotest.(check bool) "total adds up" true
+    (r.Experiments.Fig6.total
+    >= r.Experiments.Fig6.implementation + r.Experiments.Fig6.models
+       + r.Experiments.Fig6.validation)
+
+let test_fig5_single_rows () =
+  (* Exercise one row of each method kind at a small budget. *)
+  let budget =
+    {
+      Experiments.Fig5.quick_budget with
+      Experiments.Fig5.pbt_sequences = 300;
+      smc_schedules = 20_000;
+    }
+  in
+  ignore budget;
+  let r = Lfm.Detect.detect ~max_sequences:300 ~minimize:false ~seed:5 Faults.F4_disk_return_loses_shards in
+  Alcotest.(check bool) "pbt row detects" true r.Lfm.Detect.found;
+  let o = Conc.Conc_detect.detect (Smc.Dfs { max_schedules = 20_000 }) Faults.F12_buffer_pool_deadlock in
+  Alcotest.(check bool) "smc row detects" true (o.Smc.violation <> None)
+
+let test_payg () =
+  let r =
+    Experiments.Payg.run ~faults:[ Faults.F1_reclaim_off_by_one ] ~trials:3 ~max_sequences:200
+      ~budgets:[ 10; 200 ] ()
+  in
+  match r.Experiments.Payg.curves with
+  | [ c ] ->
+    Alcotest.(check int) "trials" 3 c.Experiments.Payg.trials;
+    Alcotest.(check bool) "monotone probabilities" true
+      (match c.Experiments.Payg.probability with
+      | [ p1; p2 ] -> p1 <= p2
+      | _ -> false)
+  | _ -> Alcotest.fail "expected one curve"
+
+let test_crash_modes () =
+  let r =
+    Experiments.Crash_modes.run
+      ~faults:[ Faults.F3_shutdown_skips_metadata ]
+      ~max_sequences:300 ~throughput_sequences:30 ()
+  in
+  Alcotest.(check int) "three modes" 3 (List.length r.Experiments.Crash_modes.detections);
+  List.iter
+    (fun d -> Alcotest.(check bool) "detected in every mode" true d.Experiments.Crash_modes.detected)
+    r.Experiments.Crash_modes.detections;
+  Alcotest.(check bool) "throughput measured" true
+    (List.for_all (fun (_, t) -> t > 0.0) r.Experiments.Crash_modes.throughput);
+  Alcotest.(check bool) "exhaustive states counted" true
+    (r.Experiments.Crash_modes.exhaustive_states > 0)
+
+let test_smc_tradeoff () =
+  let r = Experiments.Smc_tradeoff.run ~trials:1 ~schedule_budget:30_000 () in
+  Alcotest.(check bool) "has results" true (List.length r.Experiments.Smc_tradeoff.results >= 3);
+  List.iter
+    (fun (v : Experiments.Smc_tradeoff.verification) ->
+      Alcotest.(check bool) "verification ran" true (v.Experiments.Smc_tradeoff.schedules > 0))
+    r.Experiments.Smc_tradeoff.verifications
+
+let test_blindspot () =
+  let r = Experiments.Blindspot.run ~max_sequences:150 () in
+  match r.Experiments.Blindspot.arms with
+  | [ oversized; right_sized ] ->
+    Alcotest.(check bool) "oversized cache hides the bug" false
+      oversized.Experiments.Blindspot.detected;
+    Alcotest.(check bool) "coverage flags the blind spot" true
+      (List.mem "cache.miss" oversized.Experiments.Blindspot.blind_spots);
+    Alcotest.(check bool) "right-sized cache finds it" true
+      right_sized.Experiments.Blindspot.detected;
+    Alcotest.(check bool) "misses reached" true
+      (right_sized.Experiments.Blindspot.cache_misses > 0)
+  | _ -> Alcotest.fail "expected two arms"
+
+let test_minimize_stats () =
+  let r =
+    Experiments.Minimize_stats.run
+      ~faults:[ Faults.F4_disk_return_loses_shards ]
+      ~samples_per_fault:1 ()
+  in
+  match r.Experiments.Minimize_stats.samples with
+  | [ s ] ->
+    Alcotest.(check bool) "reduced" true
+      (s.Experiments.Minimize_stats.minimized.Lfm.Op.ops
+      <= s.Experiments.Minimize_stats.original.Lfm.Op.ops)
+  | _ -> Alcotest.fail "expected one sample"
+
+let test_component_level () =
+  let r = Experiments.Component_level.run ~trials:2 ~max_sequences:1_000 () in
+  Alcotest.(check int) "four rows" 4 (List.length r.Experiments.Component_level.rows);
+  List.iter
+    (fun (row : Experiments.Component_level.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d %s detects" (Faults.number row.Experiments.Component_level.fault)
+           row.Experiments.Component_level.level)
+        true
+        (row.Experiments.Component_level.detected = row.Experiments.Component_level.trials))
+    r.Experiments.Component_level.rows
+
+let test_repair_traffic () =
+  let r = Experiments.Repair_traffic.run ~shards:20 ~shard_bytes:1024 () in
+  Alcotest.(check int) "crash needs no repair" 0
+    r.Experiments.Repair_traffic.crash.Experiments.Repair_traffic.bytes_moved;
+  Alcotest.(check bool) "loss re-replicates" true
+    (r.Experiments.Repair_traffic.loss.Experiments.Repair_traffic.bytes_moved > 0)
+
+let () =
+  Faults.disable_all ();
+  Alcotest.run "experiments"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "fig6 loc" `Quick test_fig6;
+          Alcotest.test_case "fig5 rows" `Quick test_fig5_single_rows;
+          Alcotest.test_case "payg" `Quick test_payg;
+          Alcotest.test_case "crash modes" `Quick test_crash_modes;
+          Alcotest.test_case "smc tradeoff" `Quick test_smc_tradeoff;
+          Alcotest.test_case "minimize stats" `Quick test_minimize_stats;
+          Alcotest.test_case "blindspot" `Quick test_blindspot;
+          Alcotest.test_case "component level" `Quick test_component_level;
+          Alcotest.test_case "repair traffic" `Quick test_repair_traffic;
+        ] );
+    ]

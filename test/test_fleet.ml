@@ -1,0 +1,139 @@
+(* Tests for the fleet layer: placement, replication, node crash vs node
+   loss, repair, and the S3-level durability property (data survives up to
+   replication-1 node losses between repairs, and any number of crashes). *)
+
+open Util
+
+(* Roomier disks than the store's crash-corner-case geometry: the fleet
+   property keeps six shards times three replicas per node, and capacity
+   planning (not GC pressure) is what keeps real nodes from running full. *)
+let config =
+  {
+    Fleet.nodes = 5;
+    replication = 3;
+    store =
+      {
+        Store.Default.test_config with
+        Store.Default.disk = { Disk.extent_count = 16; pages_per_extent = 16; page_size = 64 };
+      };
+  }
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "fleet error: %a" Fleet.pp_error e
+
+let test_placement_deterministic_and_spread () =
+  let f = Fleet.create config in
+  let p = Fleet.placement f "shard-x" in
+  Alcotest.(check int) "replication factor" 3 (List.length p);
+  Alcotest.(check (list int)) "deterministic" p (Fleet.placement f "shard-x");
+  Alcotest.(check int) "distinct nodes" 3 (List.length (List.sort_uniq compare p));
+  (* different keys land on different placements eventually *)
+  let placements =
+    List.init 20 (fun i -> Fleet.placement f (Printf.sprintf "key-%d" i))
+  in
+  Alcotest.(check bool) "spread" true (List.length (List.sort_uniq compare placements) > 1)
+
+let test_put_get_replicated () =
+  let f = Fleet.create config in
+  ok (Fleet.put f ~key:"s" ~value:"data");
+  Alcotest.(check (option string)) "get" (Some "data") (ok (Fleet.get f ~key:"s"));
+  Alcotest.(check int) "fully replicated" 3 (Fleet.replica_count f ~key:"s");
+  ok (Fleet.delete f ~key:"s");
+  Alcotest.(check (option string)) "deleted" None (ok (Fleet.get f ~key:"s"))
+
+let test_survives_any_single_crash () =
+  let f = Fleet.create config in
+  ok (Fleet.put f ~key:"s" ~value:"durable");
+  let rng = Rng.create 3L in
+  (* crash every node once: acknowledged data is durable per replica *)
+  for node = 0 to Fleet.node_count f - 1 do
+    Fleet.crash_node f ~rng ~node
+  done;
+  Alcotest.(check (option string)) "survives crashes" (Some "durable") (ok (Fleet.get f ~key:"s"))
+
+let test_survives_node_loss_with_repair () =
+  let f = Fleet.create config in
+  ok (Fleet.put f ~key:"s" ~value:"replicated");
+  (match Fleet.placement f "s" with
+  | victim :: _ ->
+    Fleet.destroy_node f ~node:victim;
+    Alcotest.(check int) "one replica lost" 2 (Fleet.replica_count f ~key:"s")
+  | [] -> Alcotest.fail "no placement");
+  Alcotest.(check (option string)) "still readable" (Some "replicated")
+    (ok (Fleet.get f ~key:"s"));
+  let report = ok (Fleet.repair f) in
+  Alcotest.(check int) "one replica re-created" 1 report.Fleet.shards_repaired;
+  Alcotest.(check int) "bytes moved" (String.length "replicated") report.Fleet.bytes_moved;
+  Alcotest.(check int) "fully replicated again" 3 (Fleet.replica_count f ~key:"s")
+
+let test_repair_idempotent () =
+  let f = Fleet.create config in
+  ok (Fleet.put f ~key:"a" ~value:"1");
+  ok (Fleet.put f ~key:"b" ~value:"2");
+  let r1 = ok (Fleet.repair f) in
+  Alcotest.(check int) "nothing to repair" 0 r1.Fleet.shards_repaired;
+  Alcotest.(check int) "scanned all" 2 r1.Fleet.shards_scanned
+
+(* The durability property the paper's section 2.2 appeals to: acknowledged
+   data survives any number of node crashes plus up to replication-1 node
+   losses between repairs. *)
+let prop_fleet_durability =
+  QCheck.Test.make ~name:"fleet durability under crashes and bounded losses" ~count:25
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let f = Fleet.create config in
+      let model = Model.Kv_model.create () in
+      let rng = Rng.create (Int64.of_int seed) in
+      let keys = [| "a"; "b"; "c"; "d"; "e"; "f" |] in
+      let losses_since_repair = ref 0 in
+      let ok' = function
+        | Ok v -> v
+        | Error e -> QCheck.Test.fail_reportf "fleet: %a" Fleet.pp_error e
+      in
+      for _ = 1 to 40 do
+        let key = Rng.pick rng keys in
+        match Rng.int rng 8 with
+        | 0 | 1 | 2 -> (
+          let value = Bytes.to_string (Rng.bytes rng (Rng.int rng 100)) in
+          match Fleet.put f ~key ~value with
+          | Ok () -> Model.Kv_model.put model ~key ~value
+          | Error _ -> () (* a full replica rejected the put: not acknowledged *))
+        | 3 ->
+          ok' (Fleet.delete f ~key);
+          Model.Kv_model.delete model ~key
+        | 4 | 5 ->
+          let node = Rng.int rng (Fleet.node_count f) in
+          Fleet.crash_node f ~rng ~node
+        | 6 ->
+          if !losses_since_repair < config.Fleet.replication - 1 then begin
+            Fleet.destroy_node f ~node:(Rng.int rng (Fleet.node_count f));
+            incr losses_since_repair
+          end
+        | _ ->
+          ignore (ok' (Fleet.repair f));
+          losses_since_repair := 0
+      done;
+      ignore (ok' (Fleet.repair f));
+      Array.for_all
+        (fun key ->
+          match Fleet.get f ~key with
+          | Ok v -> v = Model.Kv_model.get model ~key
+          | Error _ -> false)
+        keys)
+
+let () =
+  Faults.disable_all ();
+  Alcotest.run "fleet"
+    [
+      ( "fleet",
+        [
+          Alcotest.test_case "placement" `Quick test_placement_deterministic_and_spread;
+          Alcotest.test_case "put/get replicated" `Quick test_put_get_replicated;
+          Alcotest.test_case "survives any single crash" `Quick test_survives_any_single_crash;
+          Alcotest.test_case "survives node loss with repair" `Quick
+            test_survives_node_loss_with_repair;
+          Alcotest.test_case "repair idempotent" `Quick test_repair_idempotent;
+          QCheck_alcotest.to_alcotest prop_fleet_durability;
+        ] );
+    ]

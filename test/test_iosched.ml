@@ -1,0 +1,352 @@
+(* Tests for the IO scheduler: volatile staging, dependency-ordered
+   writeback, promises, and crash-state generation. *)
+
+open Util
+
+let small = { Disk.extent_count = 4; pages_per_extent = 4; page_size = 16 }
+
+let make () =
+  let disk = Disk.create small in
+  (disk, Io_sched.create ~seed:1L disk)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected scheduler error: %a" Io_sched.pp_error e
+
+let test_volatile_read_sees_pending () =
+  let disk, s = make () in
+  let dep = ok (Io_sched.append s ~extent:0 ~data:"hello" ~input:Dep.trivial) in
+  Alcotest.(check bool) "not yet persistent" false (Dep.is_persistent dep);
+  Alcotest.(check string) "volatile read" "hello"
+    (ok (Io_sched.read s ~extent:0 ~off:0 ~len:5));
+  Alcotest.(check int) "nothing durable" 0 (Disk.hard_ptr disk ~extent:0);
+  let n = Io_sched.pump s in
+  Alcotest.(check int) "one io" 1 n;
+  Alcotest.(check bool) "persistent after pump" true (Dep.is_persistent dep);
+  Alcotest.(check int) "durable" 5 (Disk.hard_ptr disk ~extent:0)
+
+let test_dependency_orders_issuance () =
+  let disk, s = make () in
+  let d1 = ok (Io_sched.append s ~extent:0 ~data:"aa" ~input:Dep.trivial) in
+  let d2 = ok (Io_sched.append s ~extent:1 ~data:"bb" ~input:d1) in
+  (* d2 is on another extent but must not be issued before d1 persists. *)
+  let rec pump_until_d2 guard =
+    if guard = 0 then Alcotest.fail "d2 never issued";
+    ignore (Io_sched.pump ~max_ios:1 s);
+    if Disk.hard_ptr disk ~extent:1 > 0 then () else pump_until_d2 (guard - 1)
+  in
+  pump_until_d2 10;
+  Alcotest.(check bool) "d1 was issued first" true (Dep.is_persistent d1);
+  Alcotest.(check bool) "d2 done" true (Dep.is_persistent d2)
+
+let test_fifo_per_extent () =
+  let disk, s = make () in
+  ignore (ok (Io_sched.append s ~extent:0 ~data:"aa" ~input:Dep.trivial));
+  ignore (ok (Io_sched.append s ~extent:0 ~data:"bb" ~input:Dep.trivial));
+  ignore (Io_sched.pump ~max_ios:1 s);
+  Alcotest.(check string) "prefix issued in order" "aa" (Disk.durable_image disk ~extent:0)
+
+let test_and_dep () =
+  let _, s = make () in
+  let d1 = ok (Io_sched.append s ~extent:0 ~data:"aa" ~input:Dep.trivial) in
+  let d2 = ok (Io_sched.append s ~extent:1 ~data:"bb" ~input:Dep.trivial) in
+  let both = Dep.and_ d1 d2 in
+  Alcotest.(check bool) "not yet" false (Dep.is_persistent both);
+  ok (Io_sched.flush s);
+  Alcotest.(check bool) "both" true (Dep.is_persistent both)
+
+let test_promise () =
+  let _, s = make () in
+  let p = Dep.Promise.create () in
+  let d = Dep.Promise.dep p in
+  Alcotest.(check bool) "unbound not persistent" false (Dep.is_persistent d);
+  Alcotest.(check bool) "unbound not failed" false (Dep.has_failed d);
+  let w = ok (Io_sched.append s ~extent:0 ~data:"x" ~input:Dep.trivial) in
+  Dep.Promise.bind p w;
+  Alcotest.(check bool) "bound pending" false (Dep.is_persistent d);
+  ok (Io_sched.flush s);
+  Alcotest.(check bool) "bound persistent" true (Dep.is_persistent d);
+  (* Double bind rejected. *)
+  match Dep.Promise.bind p w with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double bind must raise"
+
+let test_promise_cycle_terminates () =
+  (* A promise accidentally bound into a dependency containing itself must
+     not send the traversals into a loop. *)
+  let p = Dep.Promise.create () in
+  let d = Dep.and_ (Dep.Promise.dep p) (Dep.Promise.dep p) in
+  Dep.Promise.bind p d;
+  Alcotest.(check bool) "is_persistent terminates" true (Dep.is_persistent d || true);
+  Alcotest.(check bool) "has_failed terminates" false (Dep.has_failed d);
+  Alcotest.(check bool) "writes terminates" true (Dep.writes d = [])
+
+let test_reset_epoch_volatile () =
+  let _, s = make () in
+  ignore (ok (Io_sched.append s ~extent:0 ~data:"old" ~input:Dep.trivial));
+  let r = ok (Io_sched.reset s ~extent:0 ~input:Dep.trivial) in
+  Alcotest.(check int) "volatile epoch" 1 (Io_sched.epoch s ~extent:0);
+  Alcotest.(check int) "volatile pointer" 0 (Io_sched.soft_ptr s ~extent:0);
+  ignore (ok (Io_sched.append s ~extent:0 ~data:"new" ~input:Dep.trivial));
+  Alcotest.(check string) "new data visible" "new" (ok (Io_sched.read s ~extent:0 ~off:0 ~len:3));
+  ok (Io_sched.flush s);
+  Alcotest.(check bool) "reset durable" true (Dep.is_persistent r)
+
+let test_extent_full () =
+  let _, s = make () in
+  let big = String.make (Io_sched.extent_size s) 'x' in
+  ignore (ok (Io_sched.append s ~extent:0 ~data:big ~input:Dep.trivial));
+  match Io_sched.append s ~extent:0 ~data:"y" ~input:Dep.trivial with
+  | Error (Io_sched.Extent_full _) -> ()
+  | _ -> Alcotest.fail "expected Extent_full"
+
+let test_crash_drops_pending () =
+  let disk, s = make () in
+  let d = ok (Io_sched.append s ~extent:0 ~data:"gone" ~input:Dep.trivial) in
+  let rng = Rng.create 5L in
+  let report = Io_sched.crash s ~rng ~persist_probability:0.0 ~split_pages:false in
+  Alcotest.(check int) "dropped" 1 report.Io_sched.dropped;
+  Alcotest.(check bool) "dep failed" true (Dep.has_failed d);
+  Alcotest.(check int) "nothing durable" 0 (Disk.hard_ptr disk ~extent:0);
+  Alcotest.(check int) "volatile reloaded" 0 (Io_sched.soft_ptr s ~extent:0)
+
+let test_crash_persists_all () =
+  let disk, s = make () in
+  let d = ok (Io_sched.append s ~extent:0 ~data:"kept" ~input:Dep.trivial) in
+  let rng = Rng.create 5L in
+  let report = Io_sched.crash s ~rng ~persist_probability:1.0 ~split_pages:false in
+  Alcotest.(check int) "persisted" 1 report.Io_sched.persisted;
+  Alcotest.(check bool) "dep persistent" true (Dep.is_persistent d);
+  Alcotest.(check string) "durable" "kept" (Disk.durable_image disk ~extent:0)
+
+(* Property: crash states respect dependencies — if a write persisted, its
+   input dependency's writes persisted too (soft updates' core invariant). *)
+let prop_crash_respects_deps =
+  QCheck.Test.make ~name:"crash respects dependency closure" ~count:200
+    QCheck.(pair small_nat (int_bound 1000))
+    (fun (n_ops, seed) ->
+      let n_ops = 1 + (n_ops mod 12) in
+      let disk = Disk.create { Disk.extent_count = 4; pages_per_extent = 8; page_size = 16 } in
+      let s = Io_sched.create ~seed:(Int64.of_int seed) disk in
+      let rng = Rng.create (Int64.of_int (seed + 1)) in
+      (* Build a random chain/diamond of appends across extents. *)
+      let deps = ref [ Dep.trivial ] in
+      let writes = ref [] in
+      for _ = 1 to n_ops do
+        let extent = Rng.int rng 4 in
+        let input = Rng.pick_list rng !deps in
+        let data = Bytes.to_string (Rng.bytes rng (1 + Rng.int rng 24)) in
+        match Io_sched.append s ~extent ~data ~input with
+        | Ok d ->
+          deps := d :: !deps;
+          writes := (d, input) :: !writes
+        | Error _ -> ()
+      done;
+      ignore (Io_sched.pump ~max_ios:(Rng.int rng 4) s);
+      let _ =
+        Io_sched.crash s ~rng ~persist_probability:0.5 ~split_pages:false
+      in
+      List.for_all
+        (fun (d, input) -> (not (Dep.is_persistent d)) || Dep.is_persistent input)
+        !writes)
+
+let test_crash_split_pages () =
+  (* Force a partial persist: a 3-page write cut at a page boundary. *)
+  let found = ref false in
+  let attempt seed =
+    let disk = Disk.create small in
+    let s = Io_sched.create ~seed:1L disk in
+    let data = String.make 40 'z' in
+    let d = ok (Io_sched.append s ~extent:0 ~data ~input:Dep.trivial) in
+    let rng = Rng.create (Int64.of_int seed) in
+    let report = Io_sched.crash s ~rng ~persist_probability:1.0 ~split_pages:true in
+    if report.Io_sched.partial = 1 then begin
+      found := true;
+      let hp = Disk.hard_ptr disk ~extent:0 in
+      Alcotest.(check bool) "cut at page boundary" true (hp mod 16 = 0 && hp > 0 && hp < 40);
+      Alcotest.(check bool) "partial write not persistent" true (Dep.has_failed d)
+    end
+  in
+  let seed = ref 0 in
+  while (not !found) && !seed < 200 do
+    attempt !seed;
+    incr seed
+  done;
+  Alcotest.(check bool) "found a partial crash state" true !found
+
+(* Property: for any random acyclic dependency graph over appends, flush
+   achieves forward progress (everything persists) and the durable bytes
+   equal the volatile image. *)
+let prop_flush_forward_progress =
+  QCheck.Test.make ~name:"flush persists arbitrary acyclic graphs" ~count:200
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let disk = Disk.create { Disk.extent_count = 4; pages_per_extent = 16; page_size = 16 } in
+      let s = Io_sched.create ~seed:(Int64.of_int seed) disk in
+      let rng = Rng.create (Int64.of_int (seed + 7)) in
+      let deps = ref [ Dep.trivial ] in
+      for _ = 1 to 1 + Rng.int rng 20 do
+        let extent = Rng.int rng 4 in
+        let input = Rng.pick_list rng !deps in
+        let data = Bytes.to_string (Rng.bytes rng (1 + Rng.int rng 24)) in
+        match Io_sched.append s ~extent ~data ~input with
+        | Ok d -> deps := d :: !deps
+        | Error (Io_sched.Extent_full _) -> ()
+        | Error e -> QCheck.Test.fail_reportf "append: %a" Io_sched.pp_error e
+      done;
+      let images =
+        List.init 4 (fun extent ->
+            let len = Io_sched.soft_ptr s ~extent in
+            if len = 0 then ""
+            else Result.get_ok (Io_sched.read s ~extent ~off:0 ~len))
+      in
+      (match Io_sched.flush s with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "flush: %a" Io_sched.pp_error e);
+      List.for_all Dep.is_persistent !deps
+      && List.for_all2
+           (fun extent image -> Disk.durable_image disk ~extent = image)
+           [ 0; 1; 2; 3 ] images)
+
+(* Property: a crash never invents bytes — durable data is always a
+   page-prefix of what was staged. *)
+let prop_crash_prefix_of_staged =
+  QCheck.Test.make ~name:"crash durable state is a staged prefix" ~count:200
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let disk = Disk.create { Disk.extent_count = 2; pages_per_extent = 16; page_size = 16 } in
+      let s = Io_sched.create ~seed:(Int64.of_int seed) disk in
+      let rng = Rng.create (Int64.of_int (seed + 3)) in
+      let staged = Array.make 2 "" in
+      for extent = 0 to 1 do
+        let b = Buffer.create 64 in
+        for _ = 1 to 1 + Rng.int rng 5 do
+          let data = Bytes.to_string (Rng.bytes rng (1 + Rng.int rng 30)) in
+          match Io_sched.append s ~extent ~data ~input:Dep.trivial with
+          | Ok _ -> Buffer.add_string b data
+          | Error _ -> ()
+        done;
+        staged.(extent) <- Buffer.contents b
+      done;
+      ignore (Io_sched.crash s ~rng ~persist_probability:0.6 ~split_pages:true);
+      List.for_all
+        (fun extent ->
+          let durable = Disk.durable_image disk ~extent in
+          String.length durable <= String.length staged.(extent)
+          && String.sub staged.(extent) 0 (String.length durable) = durable)
+        [ 0; 1 ])
+
+let test_flush_stuck_on_unbound_promise () =
+  let _, s = make () in
+  let p = Dep.Promise.create () in
+  ignore (ok (Io_sched.append s ~extent:0 ~data:"x" ~input:(Dep.Promise.dep p)));
+  match Io_sched.flush s with
+  | Error (Io_sched.Stuck { blocked = 1 }) -> ()
+  | Ok () -> Alcotest.fail "flush must not complete with an unbound promise"
+  | Error e -> Alcotest.failf "unexpected error: %a" Io_sched.pp_error e
+
+let test_transient_write_failure_retries () =
+  let disk, s = make () in
+  let d = ok (Io_sched.append s ~extent:0 ~data:"x" ~input:Dep.trivial) in
+  Disk.fail_once disk ~extent:0;
+  ok (Io_sched.flush s);
+  Alcotest.(check bool) "retried to durability" true (Dep.is_persistent d)
+
+let test_permanent_write_failure_poisons_queue () =
+  let disk, s = make () in
+  let d1 = ok (Io_sched.append s ~extent:0 ~data:"a" ~input:Dep.trivial) in
+  let d2 = ok (Io_sched.append s ~extent:0 ~data:"b" ~input:Dep.trivial) in
+  Disk.fail_permanently disk ~extent:0;
+  ok (Io_sched.flush s);
+  Alcotest.(check bool) "first failed" true (Dep.has_failed d1);
+  Alcotest.(check bool) "second failed" true (Dep.has_failed d2);
+  Alcotest.(check int) "queue drained" 0 (Io_sched.pending_count s)
+
+let test_quarantine_after_permanent_failure () =
+  let disk, s = make () in
+  ignore (ok (Io_sched.append s ~extent:0 ~data:"lost-data" ~input:Dep.trivial));
+  Disk.fail_permanently disk ~extent:0;
+  ok (Io_sched.flush s);
+  Disk.heal disk ~extent:0;
+  (* volatile state resynchronized and the extent retired *)
+  Alcotest.(check bool) "quarantined" true (Io_sched.quarantined s ~extent:0);
+  Alcotest.(check int) "soft pointer resynced" 0 (Io_sched.soft_ptr s ~extent:0);
+  (match Io_sched.append s ~extent:0 ~data:"nope" ~input:Dep.trivial with
+  | Error (Io_sched.Io Disk.Permanent) -> ()
+  | _ -> Alcotest.fail "appends on a quarantined extent must be rejected");
+  (* a reset lifts the quarantine with a fresh, never-used epoch *)
+  let before = Io_sched.epoch s ~extent:0 in
+  ignore (ok (Io_sched.reset s ~extent:0 ~input:Dep.trivial));
+  Alcotest.(check bool) "not quarantined" false (Io_sched.quarantined s ~extent:0);
+  Alcotest.(check bool) "epoch advanced" true (Io_sched.epoch s ~extent:0 > before);
+  ignore (ok (Io_sched.append s ~extent:0 ~data:"fresh" ~input:Dep.trivial));
+  ok (Io_sched.flush s);
+  Alcotest.(check int) "durable epoch matches minted epoch"
+    (Io_sched.epoch s ~extent:0) (Disk.epoch disk ~extent:0)
+
+let test_monotone_epochs_across_lost_resets () =
+  (* A reset lost to a permanent failure must not allow its epoch to be
+     re-minted: locators of lost writes would collide with new data. *)
+  let disk, s = make () in
+  ignore (ok (Io_sched.append s ~extent:0 ~data:"old" ~input:Dep.trivial));
+  ok (Io_sched.flush s);
+  ignore (ok (Io_sched.reset s ~extent:0 ~input:Dep.trivial));
+  let lost_epoch = Io_sched.epoch s ~extent:0 in
+  Disk.fail_permanently disk ~extent:0;
+  ok (Io_sched.flush s);
+  Disk.heal disk ~extent:0;
+  Alcotest.(check int) "epoch resynced to durable" (Disk.epoch disk ~extent:0)
+    (Io_sched.epoch s ~extent:0);
+  ignore (ok (Io_sched.reset s ~extent:0 ~input:Dep.trivial));
+  Alcotest.(check bool) "lost epoch never re-minted" true
+    (Io_sched.epoch s ~extent:0 > lost_epoch)
+
+let test_stats () =
+  let _, s = make () in
+  ignore (ok (Io_sched.append s ~extent:0 ~data:"aa" ~input:Dep.trivial));
+  ignore (ok (Io_sched.reset s ~extent:1 ~input:Dep.trivial));
+  ok (Io_sched.flush s);
+  let st = Io_sched.stats s in
+  Alcotest.(check int) "appends" 1 st.Io_sched.appends;
+  Alcotest.(check int) "resets" 1 st.Io_sched.resets;
+  Alcotest.(check int) "ios" 2 st.Io_sched.ios_issued;
+  Alcotest.(check int) "bytes" 2 st.Io_sched.bytes_written
+
+let () =
+  Alcotest.run "iosched"
+    [
+      ( "staging",
+        [
+          Alcotest.test_case "volatile read sees pending" `Quick test_volatile_read_sees_pending;
+          Alcotest.test_case "dependency orders issuance" `Quick test_dependency_orders_issuance;
+          Alcotest.test_case "fifo per extent" `Quick test_fifo_per_extent;
+          Alcotest.test_case "and dep" `Quick test_and_dep;
+          Alcotest.test_case "promise" `Quick test_promise;
+          Alcotest.test_case "promise cycle terminates" `Quick test_promise_cycle_terminates;
+          Alcotest.test_case "reset epoch volatile" `Quick test_reset_epoch_volatile;
+          Alcotest.test_case "extent full" `Quick test_extent_full;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "drops pending" `Quick test_crash_drops_pending;
+          Alcotest.test_case "persists all" `Quick test_crash_persists_all;
+          Alcotest.test_case "split pages" `Quick test_crash_split_pages;
+          QCheck_alcotest.to_alcotest prop_crash_respects_deps;
+          QCheck_alcotest.to_alcotest prop_crash_prefix_of_staged;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "stuck on unbound promise" `Quick
+            test_flush_stuck_on_unbound_promise;
+          QCheck_alcotest.to_alcotest prop_flush_forward_progress;
+          Alcotest.test_case "transient write retries" `Quick
+            test_transient_write_failure_retries;
+          Alcotest.test_case "permanent write poisons queue" `Quick
+            test_permanent_write_failure_poisons_queue;
+          Alcotest.test_case "quarantine after permanent failure" `Quick
+            test_quarantine_after_permanent_failure;
+          Alcotest.test_case "monotone epochs across lost resets" `Quick
+            test_monotone_epochs_across_lost_resets;
+        ] );
+    ]

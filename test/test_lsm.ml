@@ -1,0 +1,267 @@
+(* Tests for the LSM index: memtable/run/metadata lifecycle, durability
+   promises, compaction, recovery, and reclamation callbacks. *)
+
+open Util
+
+let config = { Disk.extent_count = 10; pages_per_extent = 8; page_size = 32 }
+let reserved = [ 0; 1; 2; 3 ]
+
+module Chunk_store = Chunk.Chunk_store
+
+let make () =
+  let disk = Disk.create config in
+  let sched = Io_sched.create ~seed:10L disk in
+  let cache = Cache.create sched in
+  let sb = Superblock.create sched ~extents:(0, 1) ~reserved in
+  let rng = Rng.create 11L in
+  let cs = Chunk_store.create sched ~cache ~superblock:sb ~rng in
+  let index = Lsm.Index.create ~max_run_payload:120 cs ~metadata_extents:(2, 3) in
+  (disk, sched, sb, cs, index)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "index error: %a" Lsm.Index.pp_error e
+
+let loc k = { Chunk.Locator.extent = 4; epoch = 0; off = k * 32; frame_len = 10 }
+
+let test_put_get_memtable () =
+  let _, _, _, _, index = make () in
+  ignore (Lsm.Index.put index ~key:"a" ~locators:[ loc 1 ] ~value_dep:Dep.trivial);
+  Alcotest.(check int) "memtable" 1 (Lsm.Index.memtable_size index);
+  match ok (Lsm.Index.get index ~key:"a") with
+  | Some [ l ] -> Alcotest.(check bool) "locator" true (Chunk.Locator.equal l (loc 1))
+  | _ -> Alcotest.fail "expected one locator"
+
+let test_delete_shadows () =
+  let _, _, _, _, index = make () in
+  ignore (Lsm.Index.put index ~key:"a" ~locators:[ loc 1 ] ~value_dep:Dep.trivial);
+  ignore (Lsm.Index.delete index ~key:"a");
+  Alcotest.(check bool) "deleted" true (ok (Lsm.Index.get index ~key:"a") = None)
+
+let test_flush_then_get_from_run () =
+  let _, _, _, _, index = make () in
+  ignore (Lsm.Index.put index ~key:"a" ~locators:[ loc 1 ] ~value_dep:Dep.trivial);
+  ignore (Lsm.Index.put index ~key:"b" ~locators:[ loc 2 ] ~value_dep:Dep.trivial);
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:false));
+  Alcotest.(check int) "memtable empty" 0 (Lsm.Index.memtable_size index);
+  Alcotest.(check bool) "runs exist" true (Lsm.Index.run_count index >= 1);
+  Alcotest.(check bool) "a found" true (ok (Lsm.Index.get index ~key:"a") <> None);
+  Alcotest.(check bool) "b found" true (ok (Lsm.Index.get index ~key:"b") <> None)
+
+let test_entry_dep_persists_after_full_flush () =
+  let _, sched, sb, _, index = make () in
+  let dep = Lsm.Index.put index ~key:"a" ~locators:[] ~value_dep:Dep.trivial in
+  Alcotest.(check bool) "pending" false (Dep.is_persistent dep);
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:false));
+  (match Superblock.flush sb with Ok _ -> () | Error _ -> Alcotest.fail "sb flush");
+  (match Io_sched.flush sched with Ok () -> () | Error _ -> Alcotest.fail "sched flush");
+  Alcotest.(check bool) "persistent" true (Dep.is_persistent dep)
+
+let test_keys_across_memtable_and_runs () =
+  let _, _, _, _, index = make () in
+  ignore (Lsm.Index.put index ~key:"b" ~locators:[ loc 1 ] ~value_dep:Dep.trivial);
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:false));
+  ignore (Lsm.Index.put index ~key:"a" ~locators:[ loc 2 ] ~value_dep:Dep.trivial);
+  ignore (Lsm.Index.put index ~key:"c" ~locators:[ loc 3 ] ~value_dep:Dep.trivial);
+  ignore (Lsm.Index.delete index ~key:"b");
+  Alcotest.(check (list string)) "keys" [ "a"; "c" ] (ok (Lsm.Index.keys index))
+
+let test_newer_run_shadows_older () =
+  let _, _, _, _, index = make () in
+  ignore (Lsm.Index.put index ~key:"a" ~locators:[ loc 1 ] ~value_dep:Dep.trivial);
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:false));
+  ignore (Lsm.Index.put index ~key:"a" ~locators:[ loc 2 ] ~value_dep:Dep.trivial);
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:false));
+  match ok (Lsm.Index.get index ~key:"a") with
+  | Some [ l ] -> Alcotest.(check bool) "newest wins" true (Chunk.Locator.equal l (loc 2))
+  | _ -> Alcotest.fail "expected one locator"
+
+let test_compact_merges_runs () =
+  let _, _, _, _, index = make () in
+  ignore (Lsm.Index.put index ~key:"a" ~locators:[ loc 1 ] ~value_dep:Dep.trivial);
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:false));
+  ignore (Lsm.Index.put index ~key:"b" ~locators:[ loc 2 ] ~value_dep:Dep.trivial);
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:false));
+  ignore (Lsm.Index.delete index ~key:"a");
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:false));
+  Alcotest.(check int) "three runs" 3 (Lsm.Index.run_count index);
+  ignore (ok (Lsm.Index.compact index));
+  Alcotest.(check int) "one run" 1 (Lsm.Index.run_count index);
+  Alcotest.(check bool) "a gone" true (ok (Lsm.Index.get index ~key:"a") = None);
+  Alcotest.(check bool) "b present" true (ok (Lsm.Index.get index ~key:"b") <> None)
+
+let test_recover_after_clean_flush () =
+  let _, sched, sb, _, index = make () in
+  ignore (Lsm.Index.put index ~key:"x" ~locators:[ loc 7 ] ~value_dep:Dep.trivial);
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:true));
+  (match Superblock.flush sb with Ok _ -> () | Error _ -> Alcotest.fail "sb flush");
+  (match Io_sched.flush sched with Ok () -> () | Error _ -> Alcotest.fail "flush");
+  ignore (Lsm.Index.put index ~key:"volatile" ~locators:[ loc 8 ] ~value_dep:Dep.trivial);
+  ignore (ok (Lsm.Index.recover index));
+  Alcotest.(check bool) "flushed key survives" true (ok (Lsm.Index.get index ~key:"x") <> None);
+  Alcotest.(check bool) "volatile key gone" true
+    (ok (Lsm.Index.get index ~key:"volatile") = None)
+
+let test_update_locator_in_memtable () =
+  let _, _, _, _, index = make () in
+  ignore (Lsm.Index.put index ~key:"a" ~locators:[ loc 1; loc 2 ] ~value_dep:Dep.trivial);
+  let d =
+    Lsm.Index.update_locator index ~key:"a" ~old_loc:(loc 1) ~new_loc:(loc 9)
+      ~new_dep:Dep.trivial
+  in
+  Alcotest.(check bool) "update staged" false (Dep.is_persistent d);
+  match ok (Lsm.Index.get index ~key:"a") with
+  | Some [ l1; l2 ] ->
+    Alcotest.(check bool) "replaced" true (Chunk.Locator.equal l1 (loc 9));
+    Alcotest.(check bool) "kept" true (Chunk.Locator.equal l2 (loc 2))
+  | _ -> Alcotest.fail "expected two locators"
+
+let test_update_locator_in_run () =
+  let _, _, _, _, index = make () in
+  ignore (Lsm.Index.put index ~key:"a" ~locators:[ loc 1 ] ~value_dep:Dep.trivial);
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:false));
+  ignore
+    (Lsm.Index.update_locator index ~key:"a" ~old_loc:(loc 1) ~new_loc:(loc 9)
+       ~new_dep:Dep.trivial);
+  match ok (Lsm.Index.get index ~key:"a") with
+  | Some [ l ] -> Alcotest.(check bool) "shadowed via memtable" true (Chunk.Locator.equal l (loc 9))
+  | _ -> Alcotest.fail "expected one locator"
+
+let test_update_locator_stale () =
+  let _, _, _, _, index = make () in
+  ignore (Lsm.Index.put index ~key:"a" ~locators:[ loc 1 ] ~value_dep:Dep.trivial);
+  let d =
+    Lsm.Index.update_locator index ~key:"a" ~old_loc:(loc 5) ~new_loc:(loc 9)
+      ~new_dep:Dep.trivial
+  in
+  Alcotest.(check bool) "no-op is trivially persistent" true (Dep.is_persistent d)
+
+let test_relocate_run () =
+  let _, _, _, _, index = make () in
+  ignore (Lsm.Index.put index ~key:"a" ~locators:[ loc 1 ] ~value_dep:Dep.trivial);
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:false));
+  match Lsm.Index.run_locators index with
+  | [ (run_id, _old) ] ->
+    ignore (ok (Lsm.Index.relocate_run index ~run_id ~new_loc:(loc 9) ~new_dep:Dep.trivial));
+    (match Lsm.Index.run_locators index with
+    | [ (_, l) ] -> Alcotest.(check bool) "moved" true (Chunk.Locator.equal l (loc 9))
+    | _ -> Alcotest.fail "expected one run")
+  | _ -> Alcotest.fail "expected one run"
+
+let test_f3_shutdown_skips_metadata () =
+  Faults.disable_all ();
+  let _, sched, _, _, index = make () in
+  ignore (Lsm.Index.put index ~key:"x" ~locators:[ loc 7 ] ~value_dep:Dep.trivial);
+  Lsm.Index.note_extent_reset index;
+  Faults.enable Faults.F3_shutdown_skips_metadata;
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:true));
+  Faults.disable Faults.F3_shutdown_skips_metadata;
+  (match Io_sched.flush sched with Ok () -> () | Error _ -> Alcotest.fail "flush");
+  ignore (ok (Lsm.Index.recover index));
+  (* The run was written but the metadata record was skipped: recovery
+     cannot see it. *)
+  Alcotest.(check bool) "entry lost" true (ok (Lsm.Index.get index ~key:"x") = None);
+  Alcotest.(check bool) "fired" true (Faults.fired Faults.F3_shutdown_skips_metadata > 0)
+
+let test_big_memtable_splits_runs () =
+  let _, _, _, _, index = make () in
+  for i = 0 to 9 do
+    ignore
+      (Lsm.Index.put index
+         ~key:(Printf.sprintf "key-%02d" i)
+         ~locators:[ loc i ] ~value_dep:Dep.trivial)
+  done;
+  ignore (ok (Lsm.Index.flush index ~for_shutdown:false));
+  Alcotest.(check bool) "multiple runs from one flush" true (Lsm.Index.run_count index > 1);
+  for i = 0 to 9 do
+    Alcotest.(check bool)
+      (Printf.sprintf "key-%02d found" i)
+      true
+      (ok (Lsm.Index.get index ~key:(Printf.sprintf "key-%02d" i)) <> None)
+  done
+
+(* Property: the index against a plain map under random put/delete/flush/
+   compact/recover traffic (the Fig. 3 pattern at the component level). *)
+let prop_index_matches_map =
+  QCheck.Test.make ~name:"index conforms to map under maintenance" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let _, sched, sb, _, index = make () in
+      let model : (string, Chunk.Locator.t list) Hashtbl.t = Hashtbl.create 16 in
+      let rng = Rng.create (Int64.of_int seed) in
+      let keys = [| "a"; "b"; "c"; "d" |] in
+      let ok = ref true in
+      let check key =
+        let expected = Hashtbl.find_opt model key in
+        match Lsm.Index.get index ~key with
+        | Ok actual ->
+          if actual <> expected then ok := false
+        | Error _ -> ok := false
+      in
+      for i = 0 to 39 do
+        let key = Rng.pick rng keys in
+        match Rng.int rng 7 with
+        | 0 | 1 ->
+          let locs = [ loc (i mod 13) ] in
+          ignore (Lsm.Index.put index ~key ~locators:locs ~value_dep:Dep.trivial);
+          Hashtbl.replace model key locs
+        | 2 ->
+          ignore (Lsm.Index.delete index ~key);
+          Hashtbl.remove model key
+        | 3 -> check key
+        (* Extent exhaustion is legal here: this harness runs no garbage
+           collection, so runs pile up until flushes are rejected. *)
+        | 4 -> (
+          match Lsm.Index.flush index ~for_shutdown:false with
+          | Ok _ -> ()
+          | Error e -> if not (Lsm.Index.error_is_no_space e) then ok := false)
+        | 5 -> (
+          match Lsm.Index.compact index with
+          | Ok _ -> ()
+          | Error e -> if not (Lsm.Index.error_is_no_space e) then ok := false)
+        | _ -> (
+          (* Clean reboot of the index component; a shutdown whose flush
+             was rejected (disk full) is aborted, like the store's
+             clean_shutdown — recovery would lose the unflushed memtable. *)
+          match Lsm.Index.flush index ~for_shutdown:true with
+          | Error e -> if not (Lsm.Index.error_is_no_space e) then ok := false
+          | Ok _ ->
+            (match Superblock.flush sb with Ok _ -> () | Error _ -> ok := false);
+            (match Io_sched.flush sched with Ok () -> () | Error _ -> ok := false);
+            (match Lsm.Index.recover index with Ok () -> () | Error _ -> ok := false))
+      done;
+      Array.iter check keys;
+      !ok)
+
+let () =
+  Faults.disable_all ();
+  Faults.reset_counters ();
+  Alcotest.run "lsm"
+    [
+      ( "index",
+        [
+          Alcotest.test_case "put/get memtable" `Quick test_put_get_memtable;
+          Alcotest.test_case "delete shadows" `Quick test_delete_shadows;
+          Alcotest.test_case "flush then get from run" `Quick test_flush_then_get_from_run;
+          Alcotest.test_case "entry dep persists after full flush" `Quick
+            test_entry_dep_persists_after_full_flush;
+          Alcotest.test_case "keys across memtable and runs" `Quick
+            test_keys_across_memtable_and_runs;
+          Alcotest.test_case "newer run shadows older" `Quick test_newer_run_shadows_older;
+          Alcotest.test_case "compact merges runs" `Quick test_compact_merges_runs;
+          Alcotest.test_case "recover after clean flush" `Quick test_recover_after_clean_flush;
+          Alcotest.test_case "big memtable splits runs" `Quick test_big_memtable_splits_runs;
+          QCheck_alcotest.to_alcotest prop_index_matches_map;
+        ] );
+      ( "reclamation callbacks",
+        [
+          Alcotest.test_case "update locator in memtable" `Quick test_update_locator_in_memtable;
+          Alcotest.test_case "update locator in run" `Quick test_update_locator_in_run;
+          Alcotest.test_case "update locator stale" `Quick test_update_locator_stale;
+          Alcotest.test_case "relocate run" `Quick test_relocate_run;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "#3 shutdown skips metadata" `Quick test_f3_shutdown_skips_metadata;
+        ] );
+    ]

@@ -1,0 +1,282 @@
+(* Tests for the RPC layer: wire-protocol roundtrips, decoder totality on
+   arbitrary bytes (paper section 7), and multi-disk request routing. *)
+
+module S = Store.Default
+
+let requests =
+  [
+    Rpc.Message.Put { key = "k"; value = "v" };
+    Rpc.Message.Put { key = ""; value = "" };
+    Rpc.Message.Get { key = "some key" };
+    Rpc.Message.Delete { key = "k" };
+    Rpc.Message.List;
+    Rpc.Message.Remove_disk { disk = 3 };
+    Rpc.Message.Return_disk { disk = 0 };
+    Rpc.Message.Bulk_delete { keys = [ "a"; "b"; "c" ] };
+    Rpc.Message.Bulk_delete { keys = [] };
+    Rpc.Message.Migrate { key = "shard"; to_disk = 2 };
+    Rpc.Message.Node_stats;
+  ]
+
+let responses =
+  [
+    Rpc.Message.Ack;
+    Rpc.Message.Value None;
+    Rpc.Message.Value (Some "payload");
+    Rpc.Message.Keys [ "a"; "b" ];
+    Rpc.Message.Keys [];
+    Rpc.Message.Stats { disks = 4; in_service = 3; keys = 17 };
+    Rpc.Message.Error_response "boom";
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      match Rpc.Message.decode_request (Rpc.Message.encode_request req) with
+      | Ok req' ->
+        Alcotest.(check bool)
+          (Format.asprintf "%a" Rpc.Message.pp_request req)
+          true
+          (Rpc.Message.request_equal req req')
+      | Error e -> Alcotest.failf "decode failed: %a" Util.Codec.pp_error e)
+    requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      match Rpc.Message.decode_response (Rpc.Message.encode_response resp) with
+      | Ok resp' ->
+        Alcotest.(check bool)
+          (Format.asprintf "%a" Rpc.Message.pp_response resp)
+          true
+          (Rpc.Message.response_equal resp resp')
+      | Error e -> Alcotest.failf "decode failed: %a" Util.Codec.pp_error e)
+    responses
+
+let test_trailing_bytes_rejected () =
+  let bytes = Rpc.Message.encode_request Rpc.Message.List ^ "x" in
+  match Rpc.Message.decode_request bytes with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes must be rejected"
+
+(* Paper section 7: deserializers running on untrusted bytes must be
+   total — for any sequence of on-disk/on-wire bytes, no panic. *)
+let prop_decode_total =
+  QCheck.Test.make ~name:"wire decoders total on arbitrary bytes" ~count:5000
+    QCheck.(string_of_size Gen.(0 -- 80))
+    (fun s ->
+      let _ = Rpc.Message.decode_request s in
+      let _ = Rpc.Message.decode_response s in
+      true)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"random put roundtrips" ~count:500
+    QCheck.(pair (string_of_size Gen.(0 -- 30)) (string_of_size Gen.(0 -- 200)))
+    (fun (key, value) ->
+      match Rpc.Message.(decode_request (encode_request (Put { key; value }))) with
+      | Ok (Rpc.Message.Put p) -> String.equal p.key key && String.equal p.value value
+      | _ -> false)
+
+let make_node () = Rpc.Node.create ~disks:3 S.test_config
+
+let test_put_get_across_disks () =
+  let node = make_node () in
+  let keys = List.init 12 (fun i -> Printf.sprintf "shard-%d" i) in
+  List.iter
+    (fun key ->
+      match Rpc.Node.handle node (Rpc.Message.Put { key; value = key ^ "!" }) with
+      | Rpc.Message.Ack -> ()
+      | r -> Alcotest.failf "put: %a" Rpc.Message.pp_response r)
+    keys;
+  (* keys actually spread over multiple disks *)
+  let disks = List.sort_uniq compare (List.map (Rpc.Node.disk_of_key node) keys) in
+  Alcotest.(check bool) "spread" true (List.length disks > 1);
+  List.iter
+    (fun key ->
+      match Rpc.Node.handle node (Rpc.Message.Get { key }) with
+      | Rpc.Message.Value (Some v) -> Alcotest.(check string) key (key ^ "!") v
+      | r -> Alcotest.failf "get: %a" Rpc.Message.pp_response r)
+    keys
+
+let test_list_unions_disks () =
+  let node = make_node () in
+  List.iter
+    (fun key -> ignore (Rpc.Node.handle node (Rpc.Message.Put { key; value = "v" })))
+    [ "a"; "b"; "c"; "d"; "e" ];
+  match Rpc.Node.handle node Rpc.Message.List with
+  | Rpc.Message.Keys keys ->
+    Alcotest.(check (list string)) "all keys" [ "a"; "b"; "c"; "d"; "e" ] keys
+  | r -> Alcotest.failf "list: %a" Rpc.Message.pp_response r
+
+let test_remove_return_disk () =
+  let node = make_node () in
+  let key = "routed" in
+  ignore (Rpc.Node.handle node (Rpc.Message.Put { key; value = "v" }));
+  let disk = Rpc.Node.disk_of_key node key in
+  (match Rpc.Node.handle node (Rpc.Message.Remove_disk { disk }) with
+  | Rpc.Message.Ack -> ()
+  | r -> Alcotest.failf "remove: %a" Rpc.Message.pp_response r);
+  (match Rpc.Node.handle node (Rpc.Message.Get { key }) with
+  | Rpc.Message.Error_response _ -> ()
+  | r -> Alcotest.failf "get on removed disk should fail: %a" Rpc.Message.pp_response r);
+  (match Rpc.Node.handle node Rpc.Message.List with
+  | Rpc.Message.Error_response _ -> ()
+  | r -> Alcotest.failf "partial listing must be an error: %a" Rpc.Message.pp_response r);
+  (match Rpc.Node.handle node (Rpc.Message.Return_disk { disk }) with
+  | Rpc.Message.Ack -> ()
+  | r -> Alcotest.failf "return: %a" Rpc.Message.pp_response r);
+  match Rpc.Node.handle node (Rpc.Message.Get { key }) with
+  | Rpc.Message.Value (Some "v") -> ()
+  | r -> Alcotest.failf "get after return: %a" Rpc.Message.pp_response r
+
+let test_bulk_delete () =
+  let node = make_node () in
+  List.iter
+    (fun key -> ignore (Rpc.Node.handle node (Rpc.Message.Put { key; value = "v" })))
+    [ "a"; "b"; "c" ];
+  (match Rpc.Node.handle node (Rpc.Message.Bulk_delete { keys = [ "a"; "c" ] }) with
+  | Rpc.Message.Ack -> ()
+  | r -> Alcotest.failf "bulk delete: %a" Rpc.Message.pp_response r);
+  match Rpc.Node.handle node Rpc.Message.List with
+  | Rpc.Message.Keys [ "b" ] -> ()
+  | r -> Alcotest.failf "list after bulk delete: %a" Rpc.Message.pp_response r
+
+let test_stats () =
+  let node = make_node () in
+  ignore (Rpc.Node.handle node (Rpc.Message.Put { key = "k"; value = "v" }));
+  match Rpc.Node.handle node Rpc.Message.Node_stats with
+  | Rpc.Message.Stats { disks = 3; in_service = 3; keys = 1 } -> ()
+  | r -> Alcotest.failf "stats: %a" Rpc.Message.pp_response r
+
+let test_handle_wire () =
+  let node = make_node () in
+  let resp_bytes =
+    Rpc.Node.handle_wire node
+      (Rpc.Message.encode_request (Rpc.Message.Put { key = "k"; value = "v" }))
+  in
+  (match Rpc.Message.decode_response resp_bytes with
+  | Ok Rpc.Message.Ack -> ()
+  | _ -> Alcotest.fail "expected ack");
+  (* corrupt request -> encoded error, no exception *)
+  let resp_bytes = Rpc.Node.handle_wire node "garbage bytes" in
+  match Rpc.Message.decode_response resp_bytes with
+  | Ok (Rpc.Message.Error_response _) -> ()
+  | _ -> Alcotest.fail "expected error response"
+
+let test_bad_disk () =
+  let node = make_node () in
+  match Rpc.Node.handle node (Rpc.Message.Remove_disk { disk = 99 }) with
+  | Rpc.Message.Error_response _ -> ()
+  | r -> Alcotest.failf "expected error: %a" Rpc.Message.pp_response r
+
+let test_migrate () =
+  let node = make_node () in
+  let key = "wanderer" in
+  ignore (Rpc.Node.handle node (Rpc.Message.Put { key; value = "v" }));
+  let from_disk = Rpc.Node.disk_of_key node key in
+  let to_disk = (from_disk + 1) mod Rpc.Node.disk_count node in
+  (match Rpc.Node.handle node (Rpc.Message.Migrate { key; to_disk }) with
+  | Rpc.Message.Ack -> ()
+  | r -> Alcotest.failf "migrate: %a" Rpc.Message.pp_response r);
+  Alcotest.(check int) "steering updated" to_disk (Rpc.Node.disk_of_key node key);
+  (match Rpc.Node.handle node (Rpc.Message.Get { key }) with
+  | Rpc.Message.Value (Some "v") -> ()
+  | r -> Alcotest.failf "get after migrate: %a" Rpc.Message.pp_response r);
+  (* the source disk no longer holds the shard *)
+  (match S.get (Rpc.Node.store node ~disk:from_disk) ~key with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "source copy should be deleted");
+  (* no shard / bad disk *)
+  (match Rpc.Node.handle node (Rpc.Message.Migrate { key = "ghost"; to_disk }) with
+  | Rpc.Message.Error_response _ -> ()
+  | r -> Alcotest.failf "migrate missing: %a" Rpc.Message.pp_response r);
+  (match Rpc.Node.handle node (Rpc.Message.Migrate { key; to_disk = 99 }) with
+  | Rpc.Message.Error_response _ -> ()
+  | r -> Alcotest.failf "migrate bad disk: %a" Rpc.Message.pp_response r);
+  (* idempotent when already there *)
+  match Rpc.Node.handle node (Rpc.Message.Migrate { key; to_disk }) with
+  | Rpc.Message.Ack -> ()
+  | r -> Alcotest.failf "migrate same disk: %a" Rpc.Message.pp_response r
+
+(* Node-level conformance: the whole multi-disk node against the hash-map
+   model under random request/control traffic. *)
+let prop_node_matches_model =
+  QCheck.Test.make ~name:"node conformance vs model" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let node = make_node () in
+      let model = Model.Kv_model.create () in
+      let rng = Util.Rng.create (Int64.of_int seed) in
+      let keys = [| "a"; "b"; "c"; "d"; "e" |] in
+      for _ = 1 to 60 do
+        let key = Util.Rng.pick rng keys in
+        match Util.Rng.int rng 7 with
+        | 0 | 1 -> (
+          let value = Bytes.to_string (Util.Rng.bytes rng (Util.Rng.int rng 120)) in
+          match Rpc.Node.handle node (Rpc.Message.Put { key; value }) with
+          | Rpc.Message.Ack -> Model.Kv_model.put model ~key ~value
+          | Rpc.Message.Error_response _ -> ()
+          | r -> QCheck.Test.fail_reportf "put: %a" Rpc.Message.pp_response r)
+        | 2 -> (
+          match Rpc.Node.handle node (Rpc.Message.Delete { key }) with
+          | Rpc.Message.Ack -> Model.Kv_model.delete model ~key
+          | r -> QCheck.Test.fail_reportf "delete: %a" Rpc.Message.pp_response r)
+        | 3 -> (
+          let expected = Model.Kv_model.get model ~key in
+          match Rpc.Node.handle node (Rpc.Message.Get { key }) with
+          | Rpc.Message.Value actual ->
+            if actual <> expected then QCheck.Test.fail_reportf "get divergence on %S" key
+          | r -> QCheck.Test.fail_reportf "get: %a" Rpc.Message.pp_response r)
+        | 4 -> (
+          let to_disk = Util.Rng.int rng 3 in
+          match Rpc.Node.handle node (Rpc.Message.Migrate { key; to_disk }) with
+          | Rpc.Message.Ack | Rpc.Message.Error_response _ -> ()
+          | r -> QCheck.Test.fail_reportf "migrate: %a" Rpc.Message.pp_response r)
+        | 5 -> (
+          match Rpc.Node.handle node Rpc.Message.List with
+          | Rpc.Message.Keys actual ->
+            if actual <> Model.Kv_model.list model then
+              QCheck.Test.fail_reportf "list divergence"
+          | r -> QCheck.Test.fail_reportf "list: %a" Rpc.Message.pp_response r)
+        | _ -> Rpc.Node.tick node
+      done;
+      Array.for_all
+        (fun key ->
+          match Rpc.Node.handle node (Rpc.Message.Get { key }) with
+          | Rpc.Message.Value actual -> actual = Model.Kv_model.get model ~key
+          | _ -> false)
+        keys)
+
+let test_tick () =
+  let node = make_node () in
+  ignore (Rpc.Node.handle node (Rpc.Message.Put { key = "k"; value = "v" }));
+  Rpc.Node.tick node;
+  let disk = Rpc.Node.disk_of_key node "k" in
+  Alcotest.(check int) "writeback drained" 0
+    (Io_sched.pending_count (S.sched (Rpc.Node.store node ~disk)))
+
+let () =
+  Alcotest.run "rpc"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "trailing bytes rejected" `Quick test_trailing_bytes_rejected;
+          QCheck_alcotest.to_alcotest prop_decode_total;
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+        ] );
+      ( "node",
+        [
+          Alcotest.test_case "put/get across disks" `Quick test_put_get_across_disks;
+          Alcotest.test_case "list unions disks" `Quick test_list_unions_disks;
+          Alcotest.test_case "remove/return disk" `Quick test_remove_return_disk;
+          Alcotest.test_case "bulk delete" `Quick test_bulk_delete;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "handle wire" `Quick test_handle_wire;
+          Alcotest.test_case "bad disk" `Quick test_bad_disk;
+          Alcotest.test_case "migrate" `Quick test_migrate;
+          Alcotest.test_case "tick" `Quick test_tick;
+          QCheck_alcotest.to_alcotest prop_node_matches_model;
+        ] );
+    ]

@@ -1,0 +1,362 @@
+(* Tests for the stateless model checker: classic races, deadlocks,
+   exhaustive DFS soundness, replay, and the linearizability checker. *)
+
+(* Two threads increment a counter with a non-atomic read-modify-write;
+   some interleaving loses an update. *)
+let racy_counter () =
+  let c = Smc.Cell.make 0 in
+  let body () =
+    let v = Smc.Cell.get c in
+    Smc.Cell.set c (v + 1)
+  in
+  Smc.spawn body;
+  Smc.spawn body;
+  ()
+
+let racy_counter_checked () =
+  let c = Smc.Cell.make 0 in
+  let done_ = Smc.Cell.make 0 in
+  let body () =
+    let v = Smc.Cell.get c in
+    Smc.Cell.set c (v + 1);
+    ignore (Smc.Cell.update done_ (fun d -> d + 1))
+  in
+  Smc.spawn body;
+  Smc.spawn body;
+  Smc.wait_until (fun () -> Smc.Cell.peek done_ = 2);
+  if Smc.Cell.get c <> 2 then failwith "lost update"
+
+let safe_counter_checked () =
+  let c = Smc.Cell.make 0 in
+  let done_ = Smc.Cell.make 0 in
+  let m = Smc.Mutex.create () in
+  let body () =
+    Smc.Mutex.with_lock m (fun () ->
+        let v = Smc.Cell.get c in
+        Smc.Cell.set c (v + 1));
+    ignore (Smc.Cell.update done_ (fun d -> d + 1))
+  in
+  Smc.spawn body;
+  Smc.spawn body;
+  Smc.wait_until (fun () -> Smc.Cell.peek done_ = 2);
+  if Smc.Cell.get c <> 2 then failwith "lost update"
+
+let test_dfs_finds_lost_update () =
+  let o = Smc.explore (Smc.Dfs { max_schedules = 10_000 }) racy_counter_checked in
+  match o.Smc.violation with
+  | Some { kind = Smc.Assertion "lost update"; _ } -> ()
+  | _ -> Alcotest.failf "expected lost update, got %a" Smc.pp_outcome o
+
+let test_dfs_exhausts_safe_counter () =
+  let o = Smc.explore (Smc.Dfs { max_schedules = 100_000 }) safe_counter_checked in
+  Alcotest.(check bool) "no violation" true (o.Smc.violation = None);
+  Alcotest.(check bool) "exhaustive" true o.Smc.exhausted;
+  Alcotest.(check bool) "explored multiple schedules" true (o.Smc.schedules_run > 10)
+
+let test_dfs_no_violation_without_assert () =
+  let o = Smc.explore (Smc.Dfs { max_schedules = 10_000 }) racy_counter in
+  Alcotest.(check bool) "no assertion, no violation" true (o.Smc.violation = None)
+
+let test_random_finds_lost_update () =
+  let o = Smc.explore (Smc.Random_walk { seed = 7; schedules = 2_000 }) racy_counter_checked in
+  match o.Smc.violation with
+  | Some { kind = Smc.Assertion _; _ } -> ()
+  | _ -> Alcotest.failf "expected violation, got %a" Smc.pp_outcome o
+
+let test_pct_finds_lost_update () =
+  let o = Smc.explore (Smc.Pct { seed = 7; schedules = 2_000; depth = 3 }) racy_counter_checked in
+  match o.Smc.violation with
+  | Some { kind = Smc.Assertion _; _ } -> ()
+  | _ -> Alcotest.failf "expected violation, got %a" Smc.pp_outcome o
+
+let deadlock_body () =
+  let a = Smc.Mutex.create () and b = Smc.Mutex.create () in
+  Smc.spawn (fun () ->
+      Smc.Mutex.lock a;
+      Smc.yield ();
+      Smc.Mutex.lock b;
+      Smc.Mutex.unlock b;
+      Smc.Mutex.unlock a);
+  Smc.spawn (fun () ->
+      Smc.Mutex.lock b;
+      Smc.yield ();
+      Smc.Mutex.lock a;
+      Smc.Mutex.unlock a;
+      Smc.Mutex.unlock b)
+
+let test_dfs_finds_deadlock () =
+  let o = Smc.explore (Smc.Dfs { max_schedules = 100_000 }) deadlock_body in
+  match o.Smc.violation with
+  | Some { kind = Smc.Deadlock _; _ } -> ()
+  | _ -> Alcotest.failf "expected deadlock, got %a" Smc.pp_outcome o
+
+let test_replay_reproduces () =
+  let o = Smc.explore (Smc.Dfs { max_schedules = 10_000 }) racy_counter_checked in
+  match o.Smc.violation with
+  | Some v -> (
+    match Smc.replay racy_counter_checked v.Smc.schedule with
+    | Some v' ->
+      Alcotest.(check bool) "same kind" true (v'.Smc.kind = v.Smc.kind)
+    | None -> Alcotest.fail "replay did not reproduce")
+  | None -> Alcotest.fail "no violation to replay"
+
+let test_semaphore () =
+  (* Two permits, three acquirers that never release: the third blocks and
+     since nobody releases, deadlock. *)
+  let body () =
+    let s = Smc.Semaphore.create 2 in
+    let spawn_acquire () = Smc.spawn (fun () -> Smc.Semaphore.acquire s) in
+    spawn_acquire ();
+    spawn_acquire ();
+    spawn_acquire ()
+  in
+  let o = Smc.explore (Smc.Dfs { max_schedules = 10_000 }) body in
+  match o.Smc.violation with
+  | Some { kind = Smc.Deadlock _; _ } -> ()
+  | _ -> Alcotest.failf "expected deadlock, got %a" Smc.pp_outcome o
+
+let test_semaphore_release_unblocks () =
+  let body () =
+    let s = Smc.Semaphore.create 1 in
+    let done_ = Smc.Cell.make 0 in
+    Smc.spawn (fun () ->
+        Smc.Semaphore.acquire s;
+        Smc.Semaphore.release s;
+        ignore (Smc.Cell.update done_ (fun d -> d + 1)));
+    Smc.spawn (fun () ->
+        Smc.Semaphore.acquire s;
+        Smc.Semaphore.release s;
+        ignore (Smc.Cell.update done_ (fun d -> d + 1)))
+  in
+  let o = Smc.explore (Smc.Dfs { max_schedules = 100_000 }) body in
+  Alcotest.(check bool) "no violation" true (o.Smc.violation = None);
+  Alcotest.(check bool) "exhaustive" true o.Smc.exhausted
+
+let test_mutex_misuse_detected () =
+  let o =
+    Smc.explore
+      (Smc.Dfs { max_schedules = 100 })
+      (fun () ->
+        let m = Smc.Mutex.create () in
+        Smc.Mutex.unlock m)
+  in
+  match o.Smc.violation with
+  | Some { kind = Smc.Assertion _; _ } -> ()
+  | _ -> Alcotest.fail "expected assertion"
+
+let test_primitives_work_outside_exploration () =
+  let c = Smc.Cell.make 1 in
+  Smc.Cell.set c 2;
+  Alcotest.(check int) "cell" 2 (Smc.Cell.get c);
+  let m = Smc.Mutex.create () in
+  Smc.Mutex.with_lock m (fun () -> ());
+  let hit = ref false in
+  Smc.spawn (fun () -> hit := true);
+  Alcotest.(check bool) "spawn runs inline" true !hit
+
+let test_dfs_budget_respected () =
+  let o = Smc.explore (Smc.Dfs { max_schedules = 5 }) racy_counter_checked in
+  Alcotest.(check bool) "at most budget schedules" true (o.Smc.schedules_run <= 5);
+  Alcotest.(check bool) "not exhaustive at tiny budget" false o.Smc.exhausted
+
+let test_single_thread_no_choices () =
+  (* A sequential body has exactly one schedule. *)
+  let o =
+    Smc.explore
+      (Smc.Dfs { max_schedules = 1000 })
+      (fun () ->
+        let c = Smc.Cell.make 0 in
+        Smc.Cell.set c 1;
+        Smc.Cell.set c (Smc.Cell.get c + 1);
+        if Smc.Cell.get c <> 2 then failwith "sequential arithmetic broke")
+  in
+  Alcotest.(check bool) "no violation" true (o.Smc.violation = None);
+  Alcotest.(check int) "one schedule" 1 o.Smc.schedules_run;
+  Alcotest.(check bool) "exhaustive" true o.Smc.exhausted
+
+let test_thread_ids_distinct () =
+  let o =
+    Smc.explore
+      (Smc.Dfs { max_schedules = 10_000 })
+      (fun () ->
+        let ids = Smc.Cell.make [] in
+        let record () = ignore (Smc.Cell.update ids (fun l -> Smc.thread_id () :: l)) in
+        Smc.spawn record;
+        Smc.spawn record;
+        Smc.wait_until (fun () -> List.length (Smc.Cell.peek ids) = 2);
+        let l = Smc.Cell.get ids in
+        if List.sort_uniq compare l <> List.sort compare l then failwith "duplicate thread id";
+        if List.mem (Smc.thread_id ()) l then failwith "child shares main's id")
+  in
+  Alcotest.(check bool) "no violation" true (o.Smc.violation = None)
+
+let test_exception_reported () =
+  let o =
+    Smc.explore (Smc.Dfs { max_schedules = 10 }) (fun () -> raise Exit)
+  in
+  match o.Smc.violation with
+  | Some { kind = Smc.Exception _; _ } -> ()
+  | _ -> Alcotest.fail "expected exception violation"
+
+(* Determinism: replaying any recorded schedule of a failing exploration
+   reproduces a violation of the same kind, repeatedly. *)
+let prop_replay_deterministic =
+  QCheck.Test.make ~name:"replay is deterministic" ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let o =
+        Smc.explore (Smc.Random_walk { seed; schedules = 500 }) racy_counter_checked
+      in
+      match o.Smc.violation with
+      | None -> true
+      | Some v -> (
+        match
+          ( Smc.replay racy_counter_checked v.Smc.schedule,
+            Smc.replay racy_counter_checked v.Smc.schedule )
+        with
+        | Some a, Some b -> a.Smc.kind = v.Smc.kind && b.Smc.kind = v.Smc.kind
+        | _ -> false))
+
+(* {2 Linearizability} *)
+
+type counter_op = Incr | Read
+
+let counter_apply state = function
+  | Incr -> (state + 1, state)  (* fetch-and-add returns old value *)
+  | Read -> (state, state)
+
+let test_linearizable_history_accepted () =
+  (* Sequential: incr()=0, incr()=1, read()=2. *)
+  let h =
+    [
+      { Linearize.thread = 1; op = Incr; result = 0; invoked = 0; returned = 1 };
+      { Linearize.thread = 2; op = Incr; result = 1; invoked = 2; returned = 3 };
+      { Linearize.thread = 1; op = Read; result = 2; invoked = 4; returned = 5 };
+    ]
+  in
+  Alcotest.(check bool) "linearizable" true
+    (Linearize.check ~init:0 ~apply:counter_apply ~equal_res:( = ) h)
+
+let test_overlapping_history_accepted () =
+  (* Two overlapping increments may linearize in either order. *)
+  let h =
+    [
+      { Linearize.thread = 1; op = Incr; result = 1; invoked = 0; returned = 3 };
+      { Linearize.thread = 2; op = Incr; result = 0; invoked = 1; returned = 2 };
+    ]
+  in
+  Alcotest.(check bool) "linearizable" true
+    (Linearize.check ~init:0 ~apply:counter_apply ~equal_res:( = ) h)
+
+let test_lost_update_history_rejected () =
+  (* Both increments return 0: no sequential counter does that. *)
+  let h =
+    [
+      { Linearize.thread = 1; op = Incr; result = 0; invoked = 0; returned = 2 };
+      { Linearize.thread = 2; op = Incr; result = 0; invoked = 1; returned = 3 };
+    ]
+  in
+  Alcotest.(check bool) "not linearizable" false
+    (Linearize.check ~init:0 ~apply:counter_apply ~equal_res:( = ) h)
+
+let test_realtime_order_respected () =
+  (* read()=0 strictly after incr()=0 completed is not linearizable. *)
+  let h =
+    [
+      { Linearize.thread = 1; op = Incr; result = 0; invoked = 0; returned = 1 };
+      { Linearize.thread = 2; op = Read; result = 0; invoked = 2; returned = 3 };
+    ]
+  in
+  Alcotest.(check bool) "stale read rejected" false
+    (Linearize.check ~init:0 ~apply:counter_apply ~equal_res:( = ) h)
+
+let test_recorder_under_smc () =
+  (* A mutex-protected fetch-and-add is linearizable under every
+     interleaving. *)
+  let body () =
+    let rec_ = Linearize.Recorder.create () in
+    let c = Smc.Cell.make 0 in
+    let m = Smc.Mutex.create () in
+    let done_ = Smc.Cell.make 0 in
+    let incr_thread () =
+      ignore
+        (Linearize.Recorder.record rec_ Incr (fun () ->
+             Smc.Mutex.with_lock m (fun () ->
+                 let v = Smc.Cell.get c in
+                 Smc.Cell.set c (v + 1);
+                 v)));
+      ignore (Smc.Cell.update done_ (fun d -> d + 1))
+    in
+    Smc.spawn incr_thread;
+    Smc.spawn incr_thread;
+    Smc.wait_until (fun () -> Smc.Cell.peek done_ = 2);
+    if not (Linearize.check ~init:0 ~apply:counter_apply ~equal_res:( = )
+              (Linearize.Recorder.history rec_))
+    then failwith "not linearizable"
+  in
+  let o = Smc.explore (Smc.Dfs { max_schedules = 200_000 }) body in
+  Alcotest.(check bool) "all interleavings linearizable" true (o.Smc.violation = None)
+
+let test_recorder_detects_racy_faa () =
+  (* Unprotected fetch-and-add: some interleaving yields a non-linearizable
+     history. *)
+  let body () =
+    let rec_ = Linearize.Recorder.create () in
+    let c = Smc.Cell.make 0 in
+    let done_ = Smc.Cell.make 0 in
+    let incr_thread () =
+      ignore
+        (Linearize.Recorder.record rec_ Incr (fun () ->
+             let v = Smc.Cell.get c in
+             Smc.Cell.set c (v + 1);
+             v));
+      ignore (Smc.Cell.update done_ (fun d -> d + 1))
+    in
+    Smc.spawn incr_thread;
+    Smc.spawn incr_thread;
+    Smc.wait_until (fun () -> Smc.Cell.peek done_ = 2);
+    if not (Linearize.check ~init:0 ~apply:counter_apply ~equal_res:( = )
+              (Linearize.Recorder.history rec_))
+    then failwith "not linearizable"
+  in
+  let o = Smc.explore (Smc.Dfs { max_schedules = 200_000 }) body in
+  match o.Smc.violation with
+  | Some { kind = Smc.Assertion "not linearizable"; _ } -> ()
+  | _ -> Alcotest.failf "expected non-linearizable history, got %a" Smc.pp_outcome o
+
+let () =
+  Alcotest.run "smc"
+    [
+      ( "exploration",
+        [
+          Alcotest.test_case "dfs finds lost update" `Quick test_dfs_finds_lost_update;
+          Alcotest.test_case "dfs exhausts safe counter" `Quick test_dfs_exhausts_safe_counter;
+          Alcotest.test_case "no assert, no violation" `Quick test_dfs_no_violation_without_assert;
+          Alcotest.test_case "random finds lost update" `Quick test_random_finds_lost_update;
+          Alcotest.test_case "pct finds lost update" `Quick test_pct_finds_lost_update;
+          Alcotest.test_case "dfs finds deadlock" `Quick test_dfs_finds_deadlock;
+          Alcotest.test_case "replay reproduces" `Quick test_replay_reproduces;
+          Alcotest.test_case "dfs budget respected" `Quick test_dfs_budget_respected;
+          Alcotest.test_case "single thread, one schedule" `Quick test_single_thread_no_choices;
+          Alcotest.test_case "thread ids distinct" `Quick test_thread_ids_distinct;
+          Alcotest.test_case "exception reported" `Quick test_exception_reported;
+          QCheck_alcotest.to_alcotest prop_replay_deterministic;
+        ] );
+      ( "primitives",
+        [
+          Alcotest.test_case "semaphore exhaustion deadlock" `Quick test_semaphore;
+          Alcotest.test_case "semaphore release unblocks" `Quick test_semaphore_release_unblocks;
+          Alcotest.test_case "mutex misuse" `Quick test_mutex_misuse_detected;
+          Alcotest.test_case "works outside exploration" `Quick
+            test_primitives_work_outside_exploration;
+        ] );
+      ( "linearizability",
+        [
+          Alcotest.test_case "linearizable accepted" `Quick test_linearizable_history_accepted;
+          Alcotest.test_case "overlapping accepted" `Quick test_overlapping_history_accepted;
+          Alcotest.test_case "lost update rejected" `Quick test_lost_update_history_rejected;
+          Alcotest.test_case "realtime order" `Quick test_realtime_order_respected;
+          Alcotest.test_case "recorder: locked faa linearizable" `Quick test_recorder_under_smc;
+          Alcotest.test_case "recorder: racy faa caught" `Quick test_recorder_detects_racy_faa;
+        ] );
+    ]

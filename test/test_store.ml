@@ -1,0 +1,339 @@
+(* Integration tests for the full ShardStore node: request plane,
+   maintenance, crash/recovery, control plane, and the mocked-index store
+   (the paper's section 3.2 model-as-mock reuse). *)
+
+open Util
+module S = Store.Default
+module Mocked = Store.Make (Model.Index_mock)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "store error: %a" S.pp_error e
+
+let make () = S.create S.test_config
+
+let put s k v = ignore (ok (S.put s ~key:k ~value:v))
+let get s k = ok (S.get s ~key:k)
+
+let test_put_get_delete () =
+  let s = make () in
+  put s "alpha" "one";
+  put s "beta" "two";
+  Alcotest.(check (option string)) "get alpha" (Some "one") (get s "alpha");
+  Alcotest.(check (option string)) "get beta" (Some "two") (get s "beta");
+  Alcotest.(check (option string)) "get missing" None (get s "gamma");
+  ignore (ok (S.delete s ~key:"alpha"));
+  Alcotest.(check (option string)) "deleted" None (get s "alpha");
+  Alcotest.(check (list string)) "list" [ "beta" ] (ok (S.list s))
+
+let test_overwrite () =
+  let s = make () in
+  put s "k" "first";
+  put s "k" "second";
+  Alcotest.(check (option string)) "latest wins" (Some "second") (get s "k")
+
+let test_empty_value () =
+  let s = make () in
+  put s "empty" "";
+  Alcotest.(check (option string)) "empty value" (Some "") (get s "empty")
+
+let test_multi_chunk_value () =
+  let s = make () in
+  (* test_config max_chunk_payload = 96; value of 250 bytes -> 3 chunks *)
+  let value = String.init 250 (fun i -> Char.chr (33 + (i mod 90))) in
+  put s "big" value;
+  Alcotest.(check (option string)) "multi-chunk roundtrip" (Some value) (get s "big")
+
+let test_clean_shutdown_forward_progress () =
+  let s = make () in
+  let deps = List.map (fun i -> ok (S.put s ~key:(string_of_int i) ~value:"v")) [ 1; 2; 3 ] in
+  let d = ok (S.delete s ~key:"1") in
+  ignore (ok (S.clean_shutdown s));
+  List.iter
+    (fun dep -> Alcotest.(check bool) "dep persistent after clean shutdown" true (Dep.is_persistent dep))
+    (d :: deps)
+
+let test_survives_clean_reboot () =
+  let s = make () in
+  put s "durable" "value";
+  ignore (ok (S.clean_shutdown s));
+  let s2 = S.of_disk S.test_config (S.disk s) in
+  ignore (ok (S.recover s2));
+  Alcotest.(check (option string)) "survives" (Some "value") (ok (S.get s2 ~key:"durable"))
+
+let test_dirty_reboot_keeps_persistent_data () =
+  let s = make () in
+  let dep = ok (S.put s ~key:"k" ~value:"v") in
+  ignore (ok (S.flush_index s));
+  ignore (ok (S.flush_superblock s));
+  ignore (S.pump s 1000);
+  Alcotest.(check bool) "persistent before crash" true (Dep.is_persistent dep);
+  let rng = Rng.create 77L in
+  ignore
+    (ok
+       (S.dirty_reboot s ~rng
+          {
+            S.flush_index_first = false;
+            flush_superblock_first = false;
+            persist_probability = 0.0;
+            split_pages = false;
+          }));
+  Alcotest.(check (option string)) "persistent data survives" (Some "v") (get s "k")
+
+let test_dirty_reboot_may_lose_volatile_data () =
+  let s = make () in
+  let dep = ok (S.put s ~key:"k" ~value:"v") in
+  Alcotest.(check bool) "not persistent" false (Dep.is_persistent dep);
+  let rng = Rng.create 78L in
+  ignore
+    (ok
+       (S.dirty_reboot s ~rng
+          {
+            S.flush_index_first = false;
+            flush_superblock_first = false;
+            persist_probability = 0.0;
+            split_pages = false;
+          }));
+  Alcotest.(check (option string)) "unflushed put lost" None (get s "k")
+
+let test_reclaim_recovers_space () =
+  let s = make () in
+  (* Fill with garbage: overwrite the same key repeatedly. *)
+  for i = 0 to 11 do
+    put s "churn" (String.make 90 (Char.chr (65 + i)))
+  done;
+  ignore (ok (S.flush_index s));
+  let candidates = S.reclaimable_extents s in
+  Alcotest.(check bool) "garbage exists" true (candidates <> []);
+  (match ok (S.reclaim s ()) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "reclamation should have work");
+  Alcotest.(check (option string))
+    "latest value intact" (Some (String.make 90 'L'))
+    (get s "churn")
+
+let test_reclaim_preserves_all_data () =
+  let s = make () in
+  let keys = List.init 6 (fun i -> Printf.sprintf "key%d" i) in
+  List.iteri (fun i k -> put s k (String.make 50 (Char.chr (97 + i)))) keys;
+  List.iter (fun k -> put s k "rewritten") keys;
+  ignore (ok (S.flush_index s));
+  let rec drain n =
+    if n > 0 then
+      match ok (S.reclaim s ()) with
+      | Some _ -> drain (n - 1)
+      | None -> ()
+  in
+  drain 10;
+  List.iter
+    (fun k -> Alcotest.(check (option string)) (k ^ " intact") (Some "rewritten") (get s k))
+    keys
+
+let test_put_until_full_then_reclaim () =
+  let s = make () in
+  (* Keep overwriting one key with large values until space pressure forces
+     reclamation through the put path; the store must not lose the key. *)
+  for i = 0 to 30 do
+    match S.put s ~key:"pressure" ~value:(String.make 90 (Char.chr (48 + (i mod 70)))) with
+    | Ok _ -> ()
+    | Error S.No_space -> ()
+    | Error e -> Alcotest.failf "unexpected error: %a" S.pp_error e
+  done;
+  Alcotest.(check bool) "key readable" true (get s "pressure" <> None)
+
+let test_out_of_service_rejects () =
+  let s = make () in
+  put s "k" "v";
+  ignore (ok (S.remove_from_service s));
+  (match S.put s ~key:"x" ~value:"y" with
+  | Error S.Out_of_service -> ()
+  | _ -> Alcotest.fail "out-of-service must reject");
+  ignore (ok (S.return_to_service s));
+  Alcotest.(check (option string)) "data intact after return" (Some "v") (get s "k")
+
+let test_f4_disk_return_loses_shards () =
+  Faults.disable_all ();
+  let s = make () in
+  put s "kept" "v1";
+  ignore (ok (S.flush_index s));
+  ignore (ok (S.flush_superblock s));
+  ignore (S.pump s 1000);
+  put s "lost" "v2";
+  Faults.enable Faults.F4_disk_return_loses_shards;
+  ignore (ok (S.remove_from_service s));
+  Faults.disable Faults.F4_disk_return_loses_shards;
+  ignore (ok (S.return_to_service s));
+  Alcotest.(check (option string)) "flushed shard survives" (Some "v1") (get s "kept");
+  Alcotest.(check (option string)) "unflushed shard lost" None (get s "lost");
+  Alcotest.(check bool) "fired" true (Faults.fired Faults.F4_disk_return_loses_shards > 0)
+
+let test_compact_via_store () =
+  let s = make () in
+  put s "a" "1";
+  ignore (ok (S.flush_index s));
+  put s "b" "2";
+  ignore (ok (S.flush_index s));
+  Alcotest.(check bool) "several runs" true (S.index_run_count s >= 2);
+  ignore (ok (S.compact s));
+  Alcotest.(check int) "one run" 1 (S.index_run_count s);
+  Alcotest.(check (option string)) "a" (Some "1") (get s "a");
+  Alcotest.(check (option string)) "b" (Some "2") (get s "b")
+
+(* The store against the mocked index: the reference model as mock. *)
+let test_mocked_store_basic () =
+  let s = Mocked.create Mocked.test_config in
+  (match Mocked.put s ~key:"m" ~value:"mock" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "mocked put: %a" Mocked.pp_error e);
+  (match Mocked.get s ~key:"m" with
+  | Ok (Some "mock") -> ()
+  | _ -> Alcotest.fail "mocked get");
+  (match Mocked.delete s ~key:"m" with Ok _ -> () | Error _ -> Alcotest.fail "mocked delete");
+  match Mocked.get s ~key:"m" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "mocked delete visible"
+
+let test_mocked_store_reclaim () =
+  let s = Mocked.create Mocked.test_config in
+  for i = 0 to 9 do
+    ignore (Mocked.put s ~key:"churn" ~value:(String.make 80 (Char.chr (65 + i))))
+  done;
+  (match Mocked.reclaim s () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "mocked reclaim: %a" Mocked.pp_error e);
+  match Mocked.get s ~key:"churn" with
+  | Ok (Some v) -> Alcotest.(check string) "value intact" (String.make 80 'J') v
+  | _ -> Alcotest.fail "mocked reclaim lost data"
+
+(* Property: random crash-free workloads match the plain reference model. *)
+let prop_random_workload_matches_model =
+  QCheck.Test.make ~name:"random crash-free workload matches hash-map model" ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let s = make () in
+      let model = Model.Kv_model.create () in
+      let rng = Rng.create (Int64.of_int seed) in
+      let keys = [| "a"; "b"; "c"; "d" |] in
+      let steps = 40 in
+      let okq = function
+        | Ok v -> v
+        | Error e -> QCheck.Test.fail_reportf "store error: %a" S.pp_error e
+      in
+      for _ = 1 to steps do
+        let key = Rng.pick rng keys in
+        match Rng.int rng 6 with
+        | 0 | 1 -> (
+          let value = Bytes.to_string (Rng.bytes rng (Rng.int rng 150)) in
+          match S.put s ~key ~value with
+          | Ok _ -> Model.Kv_model.put model ~key ~value
+          | Error S.No_space -> () (* full disk: op rejected, model unchanged *)
+          | Error e -> QCheck.Test.fail_reportf "store error: %a" S.pp_error e)
+        | 2 ->
+          ignore (okq (S.delete s ~key));
+          Model.Kv_model.delete model ~key
+        | 3 ->
+          let expected = Model.Kv_model.get model ~key in
+          let actual = okq (S.get s ~key) in
+          if expected <> actual then
+            QCheck.Test.fail_reportf "divergence on %S: model %s, impl %s" key
+              (Option.value ~default:"<none>" expected)
+              (Option.value ~default:"<none>" actual)
+        | 4 -> (
+          match S.flush_index s with
+          | Ok _ | Error S.No_space -> ()
+          | Error e -> QCheck.Test.fail_reportf "store error: %a" S.pp_error e)
+        | _ -> ignore (S.pump s (Rng.int rng 8))
+      done;
+      List.for_all
+        (fun key ->
+          let expected = Model.Kv_model.get model ~key in
+          expected = okq (S.get s ~key))
+        (Array.to_list keys))
+
+(* Property: after a random workload and a clean shutdown, a brand-new
+   store opened on the same disk recovers exactly the model's state. *)
+let prop_clean_reboot_equivalence =
+  QCheck.Test.make ~name:"clean reboot preserves the full mapping" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let s = make () in
+      let model = Model.Kv_model.create () in
+      let rng = Rng.create (Int64.of_int seed) in
+      let keys = [| "a"; "b"; "c"; "d" |] in
+      for _ = 1 to 30 do
+        let key = Rng.pick rng keys in
+        match Rng.int rng 4 with
+        | 0 | 1 -> (
+          let value = Bytes.to_string (Rng.bytes rng (Rng.int rng 120)) in
+          match S.put s ~key ~value with
+          | Ok _ -> Model.Kv_model.put model ~key ~value
+          | Error S.No_space -> ()
+          | Error e -> QCheck.Test.fail_reportf "put: %a" S.pp_error e)
+        | 2 -> (
+          match S.delete s ~key with
+          | Ok _ -> Model.Kv_model.delete model ~key
+          | Error e -> QCheck.Test.fail_reportf "delete: %a" S.pp_error e)
+        | _ -> ignore (S.pump s (Rng.int rng 6))
+      done;
+      match S.clean_shutdown s with
+      | Error S.No_space -> true (* full disk: shutdown rejected, nothing to check *)
+      | Error e -> QCheck.Test.fail_reportf "shutdown: %a" S.pp_error e
+      | Ok () -> (
+        let s2 = S.of_disk S.test_config (S.disk s) in
+        match S.recover s2 with
+        | Error e -> QCheck.Test.fail_reportf "recover: %a" S.pp_error e
+        | Ok () ->
+          (match S.list s2 with
+          | Ok keys' ->
+            if keys' <> Model.Kv_model.list model then
+              QCheck.Test.fail_reportf "key set diverged after reboot"
+          | Error e -> QCheck.Test.fail_reportf "list: %a" S.pp_error e);
+          Array.for_all
+            (fun key ->
+              match S.get s2 ~key with
+              | Ok v -> v = Model.Kv_model.get model ~key
+              | Error _ -> false)
+            keys))
+
+let () =
+  Faults.disable_all ();
+  Faults.reset_counters ();
+  Alcotest.run "store"
+    [
+      ( "request plane",
+        [
+          Alcotest.test_case "put/get/delete/list" `Quick test_put_get_delete;
+          Alcotest.test_case "overwrite" `Quick test_overwrite;
+          Alcotest.test_case "empty value" `Quick test_empty_value;
+          Alcotest.test_case "multi-chunk value" `Quick test_multi_chunk_value;
+          QCheck_alcotest.to_alcotest prop_random_workload_matches_model;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "clean shutdown forward progress" `Quick
+            test_clean_shutdown_forward_progress;
+          Alcotest.test_case "survives clean reboot" `Quick test_survives_clean_reboot;
+          Alcotest.test_case "dirty reboot keeps persistent data" `Quick
+            test_dirty_reboot_keeps_persistent_data;
+          Alcotest.test_case "dirty reboot may lose volatile data" `Quick
+            test_dirty_reboot_may_lose_volatile_data;
+          QCheck_alcotest.to_alcotest prop_clean_reboot_equivalence;
+        ] );
+      ( "maintenance",
+        [
+          Alcotest.test_case "reclaim recovers space" `Quick test_reclaim_recovers_space;
+          Alcotest.test_case "reclaim preserves data" `Quick test_reclaim_preserves_all_data;
+          Alcotest.test_case "space pressure" `Quick test_put_until_full_then_reclaim;
+          Alcotest.test_case "compact" `Quick test_compact_via_store;
+        ] );
+      ( "control plane",
+        [
+          Alcotest.test_case "out of service rejects" `Quick test_out_of_service_rejects;
+          Alcotest.test_case "#4 disk return loses shards" `Quick test_f4_disk_return_loses_shards;
+        ] );
+      ( "mocked index",
+        [
+          Alcotest.test_case "basic" `Quick test_mocked_store_basic;
+          Alcotest.test_case "reclaim with mock" `Quick test_mocked_store_reclaim;
+        ] );
+    ]
