@@ -237,8 +237,16 @@ let run_tables () =
        ~schedule_budget:(if quick then 20_000 else 100_000)
        ())
 
+(* The store micro-benchmarks above share one store; its unified registry
+   doubles as a sanity report on what the benchmarks actually exercised. *)
+let print_store_metrics () =
+  if Lazy.is_val store_for_bench then
+    Format.printf "@.store metrics after micro-benchmarks:@.%a@." Obs.pp_snapshot
+      (S.obs (Lazy.force store_for_bench))
+
 let () =
   Printf.printf "ShardStore lightweight-formal-methods benchmark harness%s\n\n"
     (if quick then " (quick mode)" else "");
   run_benchmarks ();
+  print_store_metrics ();
   if not skip_tables then run_tables ()

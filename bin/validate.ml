@@ -14,7 +14,34 @@ let expected_coverage =
     "superblock.free_claim_withheld"; "store.put.gc_fallback";
   ]
 
-let run sequences length seed =
+(* Replay one representative mixed sequence and report the unified metrics
+   registry it produced — the per-run view that complements the global
+   coverage table below. *)
+let metrics_summary config ~length ~seed metrics_out =
+  let rng = Util.Rng.create (Int64.of_int seed) in
+  let ops =
+    Lfm.Gen.sequence ~rng ~bias:Lfm.Gen.default_bias ~profile:Lfm.Gen.Full
+      ~page_size:config.Lfm.Harness.store_config.Lfm.Harness.S.disk.Disk.page_size
+      ~extent_count:config.Lfm.Harness.store_config.Lfm.Harness.S.disk.Disk.extent_count
+      ~length
+  in
+  let store = Lfm.Harness.replay config ops in
+  let obs = Lfm.Harness.S.obs store in
+  Format.printf "@.metrics (one %d-op full-profile sequence):@.%a@." length Obs.pp_snapshot obs;
+  match metrics_out with
+  | None -> true
+  | Some path -> (
+    match open_out path with
+    | oc ->
+      output_string oc (Obs.to_jsonl obs);
+      close_out oc;
+      Printf.printf "metrics written to %s\n" path;
+      true
+    | exception Sys_error msg ->
+      Printf.eprintf "validate: cannot write metrics: %s\n" msg;
+      false)
+
+let run sequences length seed metrics_out =
   Faults.disable_all ();
   Util.Coverage.reset ();
   let config = Lfm.Harness.default_config in
@@ -61,7 +88,8 @@ let run sequences length seed =
   (match Util.Coverage.blind_spots ~expected:expected_coverage () with
   | [] -> Printf.printf "  no blind spots among %d expected paths\n" (List.length expected_coverage)
   | spots -> Printf.printf "  BLIND SPOTS: %s\n" (String.concat ", " spots));
-  if !total_failures = 0 then begin
+  let metrics_ok = metrics_summary config ~length ~seed metrics_out in
+  if !total_failures = 0 && metrics_ok then begin
     Printf.printf "all profiles clean\n";
     0
   end
@@ -73,9 +101,16 @@ let sequences =
 let length = Arg.(value & opt int 60 & info [ "length" ] ~doc:"Operations per sequence.")
 let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Base random seed.")
 
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Export the metrics summary as JSONL to $(docv).")
+
 let cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Run the pre-deployment conformance checks")
-    Term.(const run $ sequences $ length $ seed)
+    Term.(const run $ sequences $ length $ seed $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,31 +1,47 @@
 type entry = { data : string; mutable last_used : int }
 
+type metrics = {
+  m_hits : Obs.Counter.t;
+  m_misses : Obs.Counter.t;
+  m_evictions : Obs.Counter.t;
+  m_fills : Obs.Counter.t;
+  m_resident : Obs.Gauge.t;
+}
+
 type t = {
   sched : Io_sched.t;
   capacity : int;
   write_allocate : bool;
   pages : (int * int, entry) Hashtbl.t;  (* (extent, page index) -> content *)
+  obs : Obs.t;
+  m : metrics;
   mutable tick : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
 }
 
 type stats = { hits : int; misses : int; evictions : int }
 
-let create ?(capacity_pages = 64) ?(write_allocate = false) sched =
+let create ?(capacity_pages = 64) ?(write_allocate = false) ?obs sched =
+  let obs = match obs with Some o -> o | None -> Io_sched.obs sched in
   {
     sched;
     capacity = max 1 capacity_pages;
     write_allocate;
     pages = Hashtbl.create 128;
+    obs;
+    m =
+      {
+        m_hits = Obs.counter ~coverage:true obs "cache.hit";
+        m_misses = Obs.counter ~coverage:true obs "cache.miss";
+        m_evictions = Obs.counter ~coverage:true obs "cache.eviction";
+        m_fills = Obs.counter ~coverage:true obs "cache.fill";
+        m_resident = Obs.gauge obs "cache.resident_pages";
+      };
     tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
   }
 
 let write_allocate t = t.write_allocate
+let obs t = t.obs
+let sync_resident t = Obs.Gauge.set_int t.m.m_resident (Hashtbl.length t.pages)
 
 let touch t entry =
   t.tick <- t.tick + 1;
@@ -41,10 +57,12 @@ let evict_if_needed t =
         | _ -> victim := Some (key, entry))
       t.pages;
     match !victim with
-    | Some (key, _) ->
-      Hashtbl.remove t.pages key;
-      Util.Coverage.hit "cache.eviction";
-      t.evictions <- t.evictions + 1
+    | Some ((extent, page), _) ->
+      Hashtbl.remove t.pages (extent, page);
+      Obs.Counter.incr t.m.m_evictions;
+      if Obs.tracing t.obs then
+        Obs.emit t.obs ~layer:"cache" "evict"
+          [ ("extent", string_of_int extent); ("page", string_of_int page) ]
     | None -> ()
   end
 
@@ -76,6 +94,7 @@ let fetch_page t ~extent ~page =
       touch t entry;
       Hashtbl.replace t.pages (extent, page) entry;
       evict_if_needed t;
+      sync_resident t;
       Ok data
 
 let read t ~extent ~off ~len =
@@ -95,13 +114,11 @@ let read t ~extent ~off ~len =
         let page_data =
           match Hashtbl.find_opt t.pages (extent, page) with
           | Some entry when String.length entry.data >= min ps (off + len - (page * ps)) ->
-            t.hits <- t.hits + 1;
-            Util.Coverage.hit "cache.hit";
+            Obs.Counter.incr t.m.m_hits;
             touch t entry;
             Ok entry.data
           | Some _ | None ->
-            t.misses <- t.misses + 1;
-            Util.Coverage.hit "cache.miss";
+            Obs.Counter.incr t.m.m_misses;
             fetch_page t ~extent ~page
         in
         match page_data with
@@ -119,7 +136,7 @@ let read t ~extent ~off ~len =
 
 let fill t ~extent ~off data =
   if t.write_allocate then begin
-    Util.Coverage.hit "cache.fill";
+    Obs.Counter.incr t.m.m_fills;
     let ps = Io_sched.page_size t.sched in
     let len = String.length data in
     let first = off / ps in
@@ -136,7 +153,8 @@ let fill t ~extent ~off data =
         Hashtbl.replace t.pages (extent, page) entry;
         evict_if_needed t
       end
-    done
+    done;
+    sync_resident t
   end
 
 let note_write t ~extent ~off ~len =
@@ -144,7 +162,8 @@ let note_write t ~extent ~off ~len =
     let ps = Io_sched.page_size t.sched in
     for page = off / ps to (off + len - 1) / ps do
       Hashtbl.remove t.pages (extent, page)
-    done
+    done;
+    sync_resident t
   end
 
 let note_reset t ~extent =
@@ -152,9 +171,18 @@ let note_reset t ~extent =
   if Faults.enabled Faults.F2_cache_not_drained then Faults.record_fired Faults.F2_cache_not_drained
   else begin
     let stale = Hashtbl.fold (fun (e, p) _ acc -> if e = extent then (e, p) :: acc else acc) t.pages [] in
-    List.iter (Hashtbl.remove t.pages) stale
+    List.iter (Hashtbl.remove t.pages) stale;
+    sync_resident t
   end
 
-let invalidate_all t = Hashtbl.reset t.pages
+let invalidate_all t =
+  Hashtbl.reset t.pages;
+  sync_resident t
 
-let stats (t : t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+(* A thin view over the registry counters; parity is by construction. *)
+let stats (t : t) =
+  {
+    hits = Obs.Counter.value t.m.m_hits;
+    misses = Obs.Counter.value t.m.m_misses;
+    evictions = Obs.Counter.value t.m.m_evictions;
+  }

@@ -16,10 +16,15 @@ type t
     reads of recently written data always hit. The section 8.3 experiment
     uses it: with a large write-allocating cache the miss path is
     unreachable by the test harness. *)
-val create : ?capacity_pages:int -> ?write_allocate:bool -> Io_sched.t -> t
+val create : ?capacity_pages:int -> ?write_allocate:bool -> ?obs:Obs.t -> Io_sched.t -> t
 
 (** True when the cache populates itself on writes. *)
 val write_allocate : t -> bool
+
+(** The registry receiving [cache.hit] / [cache.miss] / [cache.eviction] /
+    [cache.fill] counters and the [cache.resident_pages] gauge; defaults to
+    the scheduler's. *)
+val obs : t -> Obs.t
 
 (** [fill t ~extent ~off data] — write-allocate path: insert the written
     bytes' pages. No-op unless [write_allocate]. *)
@@ -42,4 +47,6 @@ val invalidate_all : t -> unit
 
 type stats = { hits : int; misses : int; evictions : int }
 
+(** A legacy view over the registry counters; always equal to the
+    corresponding {!Obs} values. *)
 val stats : t -> stats

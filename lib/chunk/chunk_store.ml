@@ -22,34 +22,70 @@ type stats = {
   reclamations : int;
 }
 
+type metrics = {
+  m_puts : Obs.Counter.t;
+  m_gets : Obs.Counter.t;
+  m_stale : Obs.Counter.t;
+  m_corrupt : Obs.Counter.t;
+  m_scan_valid : Obs.Counter.t;
+  m_scan_invalid : Obs.Counter.t;
+  m_evacuated : Obs.Counter.t;
+  m_dropped : Obs.Counter.t;
+  m_reclamations : Obs.Counter.t;
+}
+
 type t = {
   sched : Io_sched.t;
   cache : Cache.t;
   sb : Superblock.t;
   rng : Rng.t;
+  obs : Obs.t;
+  m : metrics;
   mutable open_ext : int option;
   mutable reclaiming : int option;
   mutable uuid_bias : float;
-  mutable st : stats;
 }
 
-let create sched ~cache ~superblock ~rng =
+let create ?obs sched ~cache ~superblock ~rng =
+  let obs = match obs with Some o -> o | None -> Io_sched.obs sched in
   {
     sched;
     cache;
     sb = superblock;
     rng;
+    obs;
+    m =
+      {
+        m_puts = Obs.counter obs "chunk.put";
+        m_gets = Obs.counter obs "chunk.get";
+        m_stale = Obs.counter ~coverage:true obs "chunk.get.stale_locator";
+        m_corrupt = Obs.counter ~coverage:true obs "chunk.get.corrupt";
+        m_scan_valid = Obs.counter ~coverage:true obs "reclaim.scan.valid_frame";
+        m_scan_invalid = Obs.counter ~coverage:true obs "reclaim.scan.invalid_frame";
+        m_evacuated = Obs.counter ~coverage:true obs "reclaim.evacuated";
+        m_dropped = Obs.counter ~coverage:true obs "reclaim.dropped";
+        m_reclamations = Obs.counter obs "chunk.reclamation";
+      };
     open_ext = None;
     reclaiming = None;
     uuid_bias = 0.0;
-    st = { puts = 0; gets = 0; evacuated = 0; dropped = 0; reclamations = 0 };
   }
 
 let sched t = t.sched
+let obs t = t.obs
 let set_uuid_bias t p = t.uuid_bias <- p
 let open_extent t = t.open_ext
 let close_open_extent t = t.open_ext <- None
-let stats t = t.st
+
+(* A thin view over the registry counters; parity is by construction. *)
+let stats t =
+  {
+    puts = Obs.Counter.value t.m.m_puts;
+    gets = Obs.Counter.value t.m.m_gets;
+    evacuated = Obs.Counter.value t.m.m_evacuated;
+    dropped = Obs.Counter.value t.m.m_dropped;
+    reclamations = Obs.Counter.value t.m.m_reclamations;
+  }
 
 let fresh_uuid t =
   let u = Uuid.generate t.rng in
@@ -141,16 +177,19 @@ let put ?(input = Dep.trivial) t ~owner ~payload =
     let locator =
       { Locator.extent; epoch = Io_sched.epoch t.sched ~extent; off; frame_len = flen }
     in
-    t.st <- { t.st with puts = t.st.puts + 1 };
+    Obs.Counter.incr t.m.m_puts;
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~layer:"chunk" "put"
+        [ ("extent", string_of_int extent); ("bytes", string_of_int flen) ];
     Ok (locator, Dep.and_ append_dep pointer_dep)
   end
 
 let get t (loc : Locator.t) =
-  t.st <- { t.st with gets = t.st.gets + 1 };
+  Obs.Counter.incr t.m.m_gets;
   if loc.Locator.extent < 0 || loc.Locator.extent >= Io_sched.extent_count t.sched then
     Error (Stale_locator loc)
   else if loc.Locator.epoch <> Io_sched.epoch t.sched ~extent:loc.Locator.extent then begin
-    Util.Coverage.hit "chunk.get.stale_locator";
+    Obs.Counter.incr t.m.m_stale;
     Error (Stale_locator loc)
   end
   else
@@ -161,7 +200,7 @@ let get t (loc : Locator.t) =
     in
     Result.map_error
       (fun e ->
-        Util.Coverage.hit "chunk.get.corrupt";
+        Obs.Counter.incr t.m.m_corrupt;
         Corrupt e)
       (Chunk_format.decode frame)
 
@@ -204,10 +243,10 @@ let scan t ~extent =
               in
               (match Chunk_format.decode ~check_crc:(not f10) frame with
               | Error _ ->
-                Util.Coverage.hit "reclaim.scan.invalid_frame";
+                Obs.Counter.incr t.m.m_scan_invalid;
                 go (pos + ps)
               | Ok chunk ->
-                Util.Coverage.hit "reclaim.scan.valid_frame";
+                Obs.Counter.incr t.m.m_scan_valid;
                 let locator =
                   {
                     Locator.extent;
@@ -229,7 +268,9 @@ let scan t ~extent =
   (List.rev !found, outcome)
 
 let reclaim t ~extent ~index_basis ~classify ~relocate =
-  t.st <- { t.st with reclamations = t.st.reclamations + 1 };
+  Obs.Counter.incr t.m.m_reclamations;
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~layer:"chunk" "reclaim" [ ("extent", string_of_int extent) ];
   if t.open_ext = Some extent then t.open_ext <- None;
   t.reclaiming <- Some extent;
   Fun.protect
@@ -254,16 +295,20 @@ let reclaim t ~extent ~index_basis ~classify ~relocate =
         | (old_loc, chunk) :: rest -> (
           match classify chunk.Chunk_format.owner old_loc with
           | `Dead ->
-            Util.Coverage.hit "reclaim.dropped";
-            t.st <- { t.st with dropped = t.st.dropped + 1 };
+            Obs.Counter.incr t.m.m_dropped;
             evacuate evac_deps ref_deps rest
           | `Live ->
             let* new_loc, new_dep =
               put t ~owner:chunk.Chunk_format.owner ~payload:chunk.Chunk_format.payload
             in
             let ref_dep = relocate chunk.Chunk_format.owner ~old_loc ~new_loc ~new_dep in
-            Util.Coverage.hit "reclaim.evacuated";
-            t.st <- { t.st with evacuated = t.st.evacuated + 1 };
+            Obs.Counter.incr t.m.m_evacuated;
+            if Obs.tracing t.obs then
+              Obs.emit t.obs ~layer:"chunk" "evacuate"
+                [
+                  ("from", string_of_int old_loc.Locator.extent);
+                  ("to", string_of_int new_loc.Locator.extent);
+                ];
             evacuate (new_dep :: evac_deps) (ref_dep :: ref_deps) rest)
       in
       let* evac_deps, ref_deps = evacuate [] [] found in

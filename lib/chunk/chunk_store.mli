@@ -29,10 +29,14 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+(** [create ?obs sched ~cache ~superblock ~rng] — metrics ([chunk.put],
+    [chunk.get], [chunk.reclamation], coverage-linked [chunk.get.*] and
+    [reclaim.*]) land in [obs], defaulting to the scheduler's registry. *)
 val create :
-  Io_sched.t -> cache:Cache.t -> superblock:Superblock.t -> rng:Util.Rng.t -> t
+  ?obs:Obs.t -> Io_sched.t -> cache:Cache.t -> superblock:Superblock.t -> rng:Util.Rng.t -> t
 
 val sched : t -> Io_sched.t
+val obs : t -> Obs.t
 
 (** [set_uuid_bias t p] — with probability [p], freshly generated chunk
     UUIDs end in the frame magic bytes. Test harnesses use this to bias
@@ -83,4 +87,6 @@ type stats = {
   reclamations : int;
 }
 
+(** A legacy view over the registry counters; always equal to the
+    corresponding {!Obs} values. *)
 val stats : t -> stats

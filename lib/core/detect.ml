@@ -173,6 +173,7 @@ let detect_model_validation ~max_sequences ~seed fault =
                 kind =
                   Harness.Unexpected_error
                     (Format.asprintf "mock re-used live locator %a" Chunk.Locator.pp loc);
+                trace = [];
               };
         }
     end

@@ -29,6 +29,9 @@ type failure = {
   step : int;
   op : Op.t;
   kind : failure_kind;
+  trace : Obs.event list;
+      (** the last events from the store's trace ring when the property
+          failed — what the stack was doing just before the counterexample *)
 }
 
 let pp_value fmt = function
@@ -47,7 +50,11 @@ let pp_failure_kind fmt = function
   | Forward_progress_violation msg -> Format.fprintf fmt "forward progress violation: %s" msg
 
 let pp_failure fmt f =
-  Format.fprintf fmt "step %d (%a): %a" f.step Op.pp f.op pp_failure_kind f.kind
+  Format.fprintf fmt "step %d (%a): %a" f.step Op.pp f.op pp_failure_kind f.kind;
+  if f.trace <> [] then begin
+    Format.fprintf fmt "@.trailing trace (%d events):" (List.length f.trace);
+    List.iter (fun e -> Format.fprintf fmt "@.  %a" Obs.pp_event e) f.trace
+  end
 
 type outcome = Passed | Failed of failure
 
@@ -335,7 +342,8 @@ let run config ops =
     | op :: rest -> (
       match step_op st op step with
       | () -> go (step + 1) rest
-      | exception Bug kind -> Failed { step; op; kind })
+      | exception Bug kind ->
+        Failed { step; op; kind; trace = Obs.recent ~n:32 (S.obs st.store) })
   in
   go 0 ops
 

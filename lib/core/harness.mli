@@ -44,6 +44,9 @@ type failure = {
   step : int;  (** 0-based index of the operation that exposed the bug *)
   op : Op.t;
   kind : failure_kind;
+  trace : Obs.event list;
+      (** trailing events from the store's trace ring — the stack's recent
+          activity leading up to the counterexample *)
 }
 
 val pp_failure : Format.formatter -> failure -> unit

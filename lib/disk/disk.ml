@@ -27,19 +27,40 @@ type extent = {
   mutable fault : fault_state;
 }
 
+(* Registry handles; resolved once per registry attachment. *)
+type metrics = {
+  reads : Obs.Counter.t;
+  writes : Obs.Counter.t;
+  resets : Obs.Counter.t;
+  bytes_written : Obs.Counter.t;
+  injected : Obs.Counter.t;
+}
+
+let make_metrics obs =
+  {
+    reads = Obs.counter obs "disk.read";
+    writes = Obs.counter obs "disk.write";
+    resets = Obs.counter obs "disk.reset";
+    bytes_written = Obs.counter obs "disk.bytes_written";
+    injected = Obs.counter obs "disk.fault_injected";
+  }
+
 type t = {
   config : config;
   extents : extent array;
-  mutable injected : int;
+  mutable obs : Obs.t;
+  mutable m : metrics;
 }
 
-let create config =
+let create ?obs config =
   assert (config.extent_count > 0 && config.pages_per_extent > 0 && config.page_size > 0);
   let size = extent_size config in
   let mk _ = { data = Bytes.make size '\000'; hard_ptr = 0; epoch = 0; fault = Healthy } in
-  { config; extents = Array.init config.extent_count mk; injected = 0 }
+  let obs = match obs with Some o -> o | None -> Obs.create ~scope:"disk" () in
+  { config; extents = Array.init config.extent_count mk; obs; m = make_metrics obs }
 
 let copy t =
+  let obs = Obs.create ~scope:"disk" () in
   {
     config = t.config;
     extents =
@@ -47,8 +68,24 @@ let copy t =
         (fun e ->
           { data = Bytes.copy e.data; hard_ptr = e.hard_ptr; epoch = e.epoch; fault = Healthy })
         t.extents;
-    injected = 0;
+    obs;
+    m = make_metrics obs;
   }
+
+let obs t = t.obs
+
+(* Re-home the disk's metrics onto [obs] (the store does this when opening
+   a stack on an existing disk, so one registry covers every layer).
+   Counts accumulated so far carry over. *)
+let attach_obs t obs =
+  let m = make_metrics obs in
+  Obs.Counter.add m.reads (Obs.Counter.value t.m.reads);
+  Obs.Counter.add m.writes (Obs.Counter.value t.m.writes);
+  Obs.Counter.add m.resets (Obs.Counter.value t.m.resets);
+  Obs.Counter.add m.bytes_written (Obs.Counter.value t.m.bytes_written);
+  Obs.Counter.add m.injected (Obs.Counter.value t.m.injected);
+  t.obs <- obs;
+  t.m <- m
 
 let config t = t.config
 
@@ -63,10 +100,12 @@ let check_fault t e =
   | Healthy -> Ok ()
   | Fail_once ->
     e.fault <- Healthy;
-    t.injected <- t.injected + 1;
+    Obs.Counter.incr t.m.injected;
+    if Obs.tracing t.obs then Obs.emit t.obs ~layer:"disk" "fault_injected" [ ("kind", "once") ];
     Error Transient
   | Fail_always ->
-    t.injected <- t.injected + 1;
+    Obs.Counter.incr t.m.injected;
+    if Obs.tracing t.obs then Obs.emit t.obs ~layer:"disk" "fault_injected" [ ("kind", "always") ];
     Error Permanent
 
 let hard_ptr t ~extent =
@@ -92,6 +131,8 @@ let write t ~extent ~off data =
   else begin
     Bytes.blit_string data 0 e.data off len;
     e.hard_ptr <- off + len;
+    Obs.Counter.incr t.m.writes;
+    Obs.Counter.add t.m.bytes_written len;
     Ok ()
   end
 
@@ -103,7 +144,10 @@ let read t ~extent ~off ~len =
     Error
       (Out_of_bounds
          (Printf.sprintf "read [%d, %d) beyond write pointer %d" off (off + len) e.hard_ptr))
-  else Ok (Bytes.sub_string e.data off len)
+  else begin
+    Obs.Counter.incr t.m.reads;
+    Ok (Bytes.sub_string e.data off len)
+  end
 
 let reset ?epoch t ~extent =
   let* e = get_extent t extent in
@@ -111,6 +155,7 @@ let reset ?epoch t ~extent =
   Bytes.fill e.data 0 (Bytes.length e.data) '\000';
   e.hard_ptr <- 0;
   e.epoch <- (match epoch with Some v -> v | None -> e.epoch + 1);
+  Obs.Counter.incr t.m.resets;
   Ok ()
 
 let consume_fault t ~extent =
@@ -125,7 +170,7 @@ let set_fault t ~extent st =
 let fail_once t ~extent = set_fault t ~extent Fail_once
 let fail_permanently t ~extent = set_fault t ~extent Fail_always
 let heal t ~extent = set_fault t ~extent Healthy
-let injected_failures t = t.injected
+let injected_failures t = Obs.Counter.value t.m.injected
 
 let with_faults_suspended t f =
   let saved = Array.map (fun e -> e.fault) t.extents in

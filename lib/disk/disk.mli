@@ -32,7 +32,10 @@ val pp_io_error : Format.formatter -> io_error -> unit
 
 type t
 
-val create : config -> t
+(** [create ?obs config] — a fresh, zeroed disk. Metrics ([disk.read],
+    [disk.write], [disk.reset], [disk.bytes_written], [disk.fault_injected])
+    land in [obs] when given, else in a private registry. *)
+val create : ?obs:Obs.t -> config -> t
 
 (** [copy t] — deep copy of the durable state (fault arming reset to
     healthy). The crash-state enumerator evaluates candidate crash states
@@ -40,6 +43,16 @@ val create : config -> t
 val copy : t -> t
 
 val config : t -> config
+
+(** {2 Observability} *)
+
+(** The registry this disk's metrics currently land in. *)
+val obs : t -> Obs.t
+
+(** [attach_obs t obs] re-homes the disk's metrics onto [obs], carrying
+    accumulated counts over. {!Store.S.of_disk} uses this so one registry
+    covers the whole stack when a store is opened on an existing disk. *)
+val attach_obs : t -> Obs.t -> unit
 
 (** [hard_ptr t ~extent] is the device write pointer: the number of bytes
     physically written since the last durable reset. Models the queryable

@@ -16,23 +16,51 @@ let pp_error fmt = function
   | Node_failed { node; message } -> Format.fprintf fmt "node %d failed: %s" node message
   | No_live_replica key -> Format.fprintf fmt "no live replica of %S" key
 
+type metrics = {
+  m_puts : Obs.Counter.t;
+  m_gets : Obs.Counter.t;
+  m_deletes : Obs.Counter.t;
+  m_crashes : Obs.Counter.t;
+  m_destroys : Obs.Counter.t;
+  m_repairs : Obs.Counter.t;
+  m_repaired : Obs.Counter.t;
+}
+
 type t = {
   config : config;
   stores : S.t array;
+  obs : Obs.t;
+  m : metrics;
 }
 
-let create config =
+let create ?obs config =
   if config.nodes < config.replication then
     invalid_arg "Fleet.create: fewer nodes than the replication factor";
+  (* Fleet-level counters get their own registry; each store keeps a
+     private per-instance one, so two nodes' series never collide. *)
+  let obs = match obs with Some o -> o | None -> Obs.create ~scope:"fleet" () in
   {
     config;
     stores =
       Array.init config.nodes (fun i ->
           S.create
             { config.store with S.seed = Int64.add config.store.S.seed (Int64.of_int (i * 131)) });
+    obs;
+    m =
+      {
+        m_puts = Obs.counter obs "fleet.put";
+        m_gets = Obs.counter obs "fleet.get";
+        m_deletes = Obs.counter obs "fleet.delete";
+        m_crashes = Obs.counter obs "fleet.node_crash";
+        m_destroys = Obs.counter obs "fleet.node_destroy";
+        m_repairs = Obs.counter obs "fleet.repair";
+        m_repaired = Obs.counter obs "fleet.shards_repaired";
+      };
   }
 
 let node_count t = Array.length t.stores
+let obs t = t.obs
+let node_obs t ~node = S.obs t.stores.(node)
 
 (* Rendezvous (highest-random-weight) hashing: stable placement that moves
    a minimal number of shards when membership changes. *)
@@ -59,6 +87,7 @@ let durable_put store node ~key ~value =
   Ok ()
 
 let put t ~key ~value =
+  Obs.Counter.incr t.m.m_puts;
   List.fold_left
     (fun acc node ->
       let* () = acc in
@@ -66,6 +95,7 @@ let put t ~key ~value =
     (Ok ()) (placement t key)
 
 let get t ~key =
+  Obs.Counter.incr t.m.m_gets;
   let rec go misses = function
     | [] -> if misses > 0 then Error (No_live_replica key) else Ok None
     | node :: rest -> (
@@ -79,6 +109,7 @@ let get t ~key =
 (* Deletes need the same durable acknowledgement as puts: a tombstone that
    does not survive a replica's crash resurrects the shard there. *)
 let delete t ~key =
+  Obs.Counter.incr t.m.m_deletes;
   List.fold_left
     (fun acc node ->
       let* () = acc in
@@ -91,6 +122,9 @@ let delete t ~key =
     (Ok ()) (placement t key)
 
 let crash_node t ~rng ~node =
+  Obs.Counter.incr t.m.m_crashes;
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~layer:"fleet" "node_crash" [ ("node", string_of_int node) ];
   match
     S.dirty_reboot t.stores.(node) ~rng
       {
@@ -104,6 +138,9 @@ let crash_node t ~rng ~node =
   | Error e -> Format.kasprintf failwith "crash_node: %a" S.pp_error e
 
 let destroy_node t ~node =
+  Obs.Counter.incr t.m.m_destroys;
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~layer:"fleet" "node_destroy" [ ("node", string_of_int node) ];
   t.stores.(node) <-
     S.create
       {
@@ -118,6 +155,7 @@ type repair_report = {
 }
 
 let repair t =
+  Obs.Counter.incr t.m.m_repairs;
   (* The control plane's view: the union of every node's listing. *)
   let* keys =
     Array.to_seq t.stores
@@ -153,6 +191,7 @@ let repair t =
               | Ok (Some _) -> Ok ()
               | Ok None | Error _ ->
                 let* () = durable_put t.stores.(node) node ~key ~value in
+                Obs.Counter.incr t.m.m_repaired;
                 report :=
                   {
                     !report with

@@ -32,8 +32,19 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-val create : config -> t
+(** [create ?obs config] — fleet-level counters ([fleet.put],
+    [fleet.node_crash], [fleet.repair], ...) land in [obs] or a fresh
+    fleet-scoped registry; each node's store keeps its own per-instance
+    registry (see {!node_obs}), so two nodes' series never collide. *)
+val create : ?obs:Obs.t -> config -> t
+
 val node_count : t -> int
+
+(** The fleet-level registry. *)
+val obs : t -> Obs.t
+
+(** [node_obs t ~node] — the per-store registry of one node. *)
+val node_obs : t -> node:int -> Obs.t
 
 (** Placement of a key: the [replication] nodes ranked by rendezvous
     hashing. Deterministic. *)

@@ -31,25 +31,44 @@ type stats = {
   crashes : int;
 }
 
+type metrics = {
+  m_appends : Obs.Counter.t;
+  m_resets : Obs.Counter.t;
+  m_ios : Obs.Counter.t;
+  m_bytes : Obs.Counter.t;
+  m_crashes : Obs.Counter.t;
+  m_torn : Obs.Counter.t;
+  m_pending : Obs.Gauge.t;
+}
+
+let make_metrics obs =
+  {
+    m_appends = Obs.counter obs "iosched.append";
+    m_resets = Obs.counter obs "iosched.reset";
+    m_ios = Obs.counter obs "iosched.io_issued";
+    m_bytes = Obs.counter obs "iosched.bytes_issued";
+    m_crashes = Obs.counter obs "iosched.crash";
+    m_torn = Obs.counter ~coverage:true obs "crash.torn_append";
+    m_pending = Obs.gauge obs "iosched.pending";
+  }
+
 type t = {
   disk : Disk.t;
   volatiles : volatile array;
   rng : Util.Rng.t;
+  obs : Obs.t;
+  m : metrics;
   mutable next_id : int;
   mutable pending_total : int;
-  mutable st_appends : int;
-  mutable st_resets : int;
-  mutable st_ios : int;
-  mutable st_bytes : int;
-  mutable st_crashes : int;
 }
 
 let extent_size t = Disk.extent_size (Disk.config t.disk)
 let page_size t = (Disk.config t.disk).Disk.page_size
 let extent_count t = (Disk.config t.disk).Disk.extent_count
 let disk t = t.disk
+let obs t = t.obs
 
-let create ?(seed = 0x5EEDL) disk =
+let create ?(seed = 0x5EEDL) ?obs disk =
   let config = Disk.config disk in
   let size = Disk.extent_size config in
   let mk i =
@@ -62,18 +81,16 @@ let create ?(seed = 0x5EEDL) disk =
       pending = Queue.create ();
     }
   in
+  let obs = match obs with Some o -> o | None -> Disk.obs disk in
   let t =
     {
       disk;
       volatiles = Array.init config.Disk.extent_count mk;
       rng = Util.Rng.create seed;
+      obs;
+      m = make_metrics obs;
       next_id = 0;
       pending_total = 0;
-      st_appends = 0;
-      st_resets = 0;
-      st_ios = 0;
-      st_bytes = 0;
-      st_crashes = 0;
     }
   in
   (* Seed the volatile images from whatever is already durable (recovery
@@ -100,9 +117,13 @@ let fresh_id t =
   t.next_id <- id + 1;
   id
 
+let set_pending t n =
+  t.pending_total <- n;
+  Obs.Gauge.set_int t.m.m_pending n
+
 let enqueue t v w =
   Queue.add w v.pending;
-  t.pending_total <- t.pending_total + 1
+  set_pending t (t.pending_total + 1)
 
 let append t ~extent ~data ~input =
   if String.length data = 0 then invalid_arg "Io_sched.append: empty data";
@@ -118,7 +139,7 @@ let append t ~extent ~data ~input =
     v.soft_ptr <- off + len;
     let w = Dep.make_write ~id:(fresh_id t) ~extent ~kind:(Append { off; data }) ~input in
     enqueue t v w;
-    t.st_appends <- t.st_appends + 1;
+    Obs.Counter.incr t.m.m_appends;
     Ok (Dep.of_write w)
   end
   end
@@ -132,7 +153,10 @@ let reset t ~extent ~input =
   v.quarantined <- false;
   let w = Dep.make_write ~id:(fresh_id t) ~extent ~kind:(Reset { epoch = v.vepoch }) ~input in
   enqueue t v w;
-  t.st_resets <- t.st_resets + 1;
+  Obs.Counter.incr t.m.m_resets;
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~layer:"iosched" "reset"
+      [ ("extent", string_of_int extent); ("epoch", string_of_int v.vepoch) ];
   Ok (Dep.of_write w)
 
 let read t ~extent ~off ~len =
@@ -178,11 +202,20 @@ let try_issue_head t extent v =
       | Ok () ->
         Dep.set_status w Dep.Durable;
         ignore (Queue.pop v.pending);
-        t.pending_total <- t.pending_total - 1;
-        t.st_ios <- t.st_ios + 1;
+        set_pending t (t.pending_total - 1);
+        Obs.Counter.incr t.m.m_ios;
         (match w.Dep.kind with
-        | Dep.Append { data; _ } -> t.st_bytes <- t.st_bytes + String.length data
+        | Dep.Append { data; _ } -> Obs.Counter.add t.m.m_bytes (String.length data)
         | Dep.Reset _ -> ());
+        if Obs.tracing t.obs then
+          Obs.emit t.obs ~layer:"iosched" "io_issue"
+            [
+              ("extent", string_of_int extent);
+              ( "kind",
+                match w.Dep.kind with
+                | Dep.Append { data; _ } -> Printf.sprintf "append:%d" (String.length data)
+                | Dep.Reset _ -> "reset" );
+            ];
         `Issued
       | Error Disk.Transient -> `Transient
       | Error Disk.Permanent | Error (Disk.Out_of_bounds _) ->
@@ -192,11 +225,13 @@ let try_issue_head t extent v =
         Queue.iter
           (fun w' ->
             Dep.set_status w' Dep.Failed;
-            t.pending_total <- t.pending_total - 1)
+            set_pending t (t.pending_total - 1))
           v.pending;
         Queue.clear v.pending;
         resync_extent t extent v;
         v.quarantined <- true;
+        if Obs.tracing t.obs then
+          Obs.emit t.obs ~layer:"iosched" "extent_failed" [ ("extent", string_of_int extent) ];
         `Failed
     end
 
@@ -289,7 +324,7 @@ let discard_volatile t =
       Queue.iter
         (fun w ->
           Dep.set_status w Dep.Dropped;
-          t.pending_total <- t.pending_total - 1)
+          set_pending t (t.pending_total - 1))
         v.pending;
       Queue.clear v.pending)
     t.volatiles;
@@ -298,7 +333,9 @@ let discard_volatile t =
 type crash_report = { persisted : int; partial : int; dropped : int }
 
 let crash t ~rng ~persist_probability ~split_pages =
-  t.st_crashes <- t.st_crashes + 1;
+  Obs.Counter.incr t.m.m_crashes;
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~layer:"iosched" "crash" [ ("pending", string_of_int t.pending_total) ];
   (* Select a dependency-closed, per-extent prefix subset of the pending
      writes to persist. Dependencies may point at writes scheduled later
      (promises bind to future superblock records), so selection iterates to
@@ -345,7 +382,10 @@ let crash t ~rng ~persist_probability ~split_pages =
           in
           match cut with
           | Some bytes ->
-            Util.Coverage.hit "crash.torn_append";
+            Obs.Counter.incr t.m.m_torn;
+            if Obs.tracing t.obs then
+              Obs.emit t.obs ~layer:"iosched" "torn_append"
+                [ ("extent", string_of_int extent); ("bytes", string_of_int bytes) ];
             Hashtbl.replace partial w.Dep.id bytes;
             closed.(extent) <- true
           | None ->
@@ -397,15 +437,17 @@ let crash t ~rng ~persist_probability ~split_pages =
             v.pending;
           Queue.clear v.pending)
         t.volatiles);
-  t.pending_total <- 0;
+  set_pending t 0;
   reload_volatile t;
   !report
 
+(* A thin view over the registry; parity with [Obs.snapshot] is by
+   construction. *)
 let stats t =
   {
-    appends = t.st_appends;
-    resets = t.st_resets;
-    ios_issued = t.st_ios;
-    bytes_written = t.st_bytes;
-    crashes = t.st_crashes;
+    appends = Obs.Counter.value t.m.m_appends;
+    resets = Obs.Counter.value t.m.m_resets;
+    ios_issued = Obs.Counter.value t.m.m_ios;
+    bytes_written = Obs.Counter.value t.m.m_bytes;
+    crashes = Obs.Counter.value t.m.m_crashes;
   }

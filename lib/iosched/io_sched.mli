@@ -25,8 +25,14 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-val create : ?seed:int64 -> Disk.t -> t
+(** [create ?seed ?obs disk] — metrics land in [obs] when given, defaulting
+    to the disk's registry so both layers share one by default. *)
+val create : ?seed:int64 -> ?obs:Obs.t -> Disk.t -> t
+
 val disk : t -> Disk.t
+
+(** The registry this scheduler's metrics land in. *)
+val obs : t -> Obs.t
 val page_size : t -> int
 val extent_count : t -> int
 val extent_size : t -> int
@@ -118,4 +124,7 @@ type stats = {
   crashes : int;
 }
 
+(** A legacy view assembled from the registry counters ([iosched.append],
+    [iosched.reset], [iosched.io_issued], [iosched.bytes_issued],
+    [iosched.crash]); always equal to the corresponding {!Obs} values. *)
 val stats : t -> stats

@@ -5,11 +5,13 @@ type t = {
   extent_a : int;
   extent_b : int;
   name : string;
+  m_appends : Obs.Counter.t;
+  m_switches : Obs.Counter.t;
+  m_recovers : Obs.Counter.t;
   mutable active : int;
   mutable gen : int;
   mutable last_dep : Dep.t;
   mutable pending_switch : bool;
-  mutable switches : int;
 }
 
 type error =
@@ -23,23 +25,29 @@ let pp_error fmt = function
 
 let magic = "LR"
 
-let create sched ~extents:(extent_a, extent_b) ~name =
+let create ?obs sched ~extents:(extent_a, extent_b) ~name =
   assert (extent_a <> extent_b);
+  let obs = match obs with Some o -> o | None -> Io_sched.obs sched in
+  (* Two rolls (superblock, index metadata) share one registry; the label
+     keeps their series apart. *)
+  let labels = [ ("roll", name) ] in
   {
     sched;
     extent_a;
     extent_b;
     name;
+    m_appends = Obs.counter ~labels obs "logroll.append";
+    m_switches = Obs.counter ~labels obs "logroll.switch";
+    m_recovers = Obs.counter ~labels obs "logroll.recover";
     active = extent_a;
     gen = 0;
     last_dep = Dep.trivial;
     pending_switch = false;
-    switches = 0;
   }
 
 let generation t = t.gen
 let last_record_dep t = t.last_dep
-let switches t = t.switches
+let switches t = Obs.Counter.value t.m_switches
 let sibling t extent = if extent = t.extent_a then t.extent_b else t.extent_a
 
 let encode ~gen ~payload =
@@ -112,7 +120,7 @@ let append t ~payload ~input =
         | Ok _reset_dep ->
           t.active <- other;
           t.pending_switch <- false;
-          t.switches <- t.switches + 1;
+          Obs.Counter.incr t.m_switches;
           Ok ()
       end
       else Ok ()
@@ -126,10 +134,12 @@ let append t ~payload ~input =
       | Ok dep ->
         t.gen <- t.gen + 1;
         t.last_dep <- dep;
+        Obs.Counter.incr t.m_appends;
         Ok dep)
   end
 
 let recover t =
+  Obs.Counter.incr t.m_recovers;
   (* Recovery reads are a controlled post-reboot sequence; injected runtime
      IO faults target the request path, so suspend arming here. *)
   Disk.with_faults_suspended (Io_sched.disk t.sched) (fun () ->

@@ -23,9 +23,12 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-(** [create sched ~extents:(a, b) ~name] manages records on reserved
-    extents [a] and [b]. [name] tags errors and debug output. *)
-val create : Io_sched.t -> extents:int * int -> name:string -> t
+(** [create ?obs sched ~extents:(a, b) ~name] manages records on reserved
+    extents [a] and [b]. [name] tags errors, debug output and the roll's
+    metric series (counters [logroll.append] / [logroll.switch] /
+    [logroll.recover] carry a [("roll", name)] label); metrics land in
+    [obs], defaulting to the scheduler's registry. *)
+val create : ?obs:Obs.t -> Io_sched.t -> extents:int * int -> name:string -> t
 
 (** Generation of the most recently appended record; 0 before any. *)
 val generation : t -> int

@@ -24,9 +24,24 @@ type run_ref = {
   dep : Dep.t;  (** dependency covering this run and its metadata record *)
 }
 
+type metrics = {
+  m_puts : Obs.Counter.t;
+  m_deletes : Obs.Counter.t;
+  m_get_memtable : Obs.Counter.t;
+  m_get_run : Obs.Counter.t;
+  m_runs_written : Obs.Counter.t;
+  m_flushes : Obs.Counter.t;
+  m_compacts : Obs.Counter.t;
+  m_recovers : Obs.Counter.t;
+  m_memtable_size : Obs.Gauge.t;
+  m_run_count : Obs.Gauge.t;
+}
+
 type t = {
   chunks : Chunk.Chunk_store.t;
   roll : Logroll.t;
+  obs : Obs.t;
+  m : metrics;
   mutable memtable : (Entry.t * Dep.t) Smap.t;
   mutable runs : run_ref list;  (** newest first *)
   mutable next_run_id : int;
@@ -36,11 +51,26 @@ type t = {
   max_run_payload : int;
 }
 
-let create ?(max_run_payload = 16 * 1024) chunks ~metadata_extents =
+let create ?(max_run_payload = 16 * 1024) ?obs chunks ~metadata_extents =
   let sched = Chunk.Chunk_store.sched chunks in
+  let obs = match obs with Some o -> o | None -> Chunk.Chunk_store.obs chunks in
   {
     chunks;
-    roll = Logroll.create sched ~extents:metadata_extents ~name:"lsm-metadata";
+    roll = Logroll.create ~obs sched ~extents:metadata_extents ~name:"lsm-metadata";
+    obs;
+    m =
+      {
+        m_puts = Obs.counter obs "index.put";
+        m_deletes = Obs.counter obs "index.delete";
+        m_get_memtable = Obs.counter ~coverage:true obs "index.get.memtable";
+        m_get_run = Obs.counter ~coverage:true obs "index.get.run";
+        m_runs_written = Obs.counter ~coverage:true obs "index.run_written";
+        m_flushes = Obs.counter obs "index.flush";
+        m_compacts = Obs.counter ~coverage:true obs "index.compact";
+        m_recovers = Obs.counter obs "index.recover";
+        m_memtable_size = Obs.gauge obs "index.memtable_size";
+        m_run_count = Obs.gauge obs "index.run_count";
+      };
     memtable = Smap.empty;
     runs = [];
     next_run_id = 1;
@@ -50,17 +80,29 @@ let create ?(max_run_payload = 16 * 1024) chunks ~metadata_extents =
     max_run_payload;
   }
 
+let obs t = t.obs
 let memtable_size t = Smap.cardinal t.memtable
 let run_count t = List.length t.runs
+
+let sync_gauges t =
+  Obs.Gauge.set_int t.m.m_memtable_size (memtable_size t);
+  Obs.Gauge.set_int t.m.m_run_count (run_count t)
+
 let note_extent_reset t = t.reset_seen <- true
 let run_locators t = List.map (fun r -> (r.run_id, r.loc)) t.runs
 
 let stage t key entry dep =
   t.memtable <- Smap.add key (entry, dep) t.memtable;
+  Obs.Gauge.set_int t.m.m_memtable_size (memtable_size t);
   Dep.and_ dep (Dep.Promise.dep t.flush_promise)
 
-let put t ~key ~locators ~value_dep = stage t key (Entry.Put locators) value_dep
-let delete t ~key = stage t key Entry.Tombstone Dep.trivial
+let put t ~key ~locators ~value_dep =
+  Obs.Counter.incr t.m.m_puts;
+  stage t key (Entry.Put locators) value_dep
+
+let delete t ~key =
+  Obs.Counter.incr t.m.m_deletes;
+  stage t key Entry.Tombstone Dep.trivial
 
 let ( let* ) = Result.bind
 
@@ -76,7 +118,7 @@ let load_run t (r : run_ref) =
 let find_entry t key =
   match Smap.find_opt key t.memtable with
   | Some (entry, _) ->
-    Util.Coverage.hit "index.get.memtable";
+    Obs.Counter.incr t.m.m_get_memtable;
     Ok (Some entry)
   | None ->
     let rec search = function
@@ -85,7 +127,7 @@ let find_entry t key =
         let* run = load_run t r in
         match Run.find run key with
         | Some entry ->
-          Util.Coverage.hit "index.get.run";
+          Obs.Counter.incr t.m.m_get_run;
           Ok (Some entry)
         | None -> search rest)
     in
@@ -170,7 +212,7 @@ let batch_pairs t pairs =
 (* Write one batch of pairs as a fresh run whose input dependency covers
    [input]. *)
 let write_run t ~input pairs =
-  Util.Coverage.hit "index.run_written";
+  Obs.Counter.incr t.m.m_runs_written;
   let run = Run.of_pairs pairs in
   let run_id = t.next_run_id in
   t.next_run_id <- run_id + 1;
@@ -181,6 +223,7 @@ let write_run t ~input pairs =
   in
   t.runs <- { run_id; loc; dep = run_dep } :: t.runs;
   Hashtbl.replace t.run_contents run_id run;
+  Obs.Gauge.set_int t.m.m_run_count (run_count t);
   Ok run_dep
 
 let flush t ~for_shutdown =
@@ -214,6 +257,10 @@ let flush t ~for_shutdown =
     t.flush_promise <- Dep.Promise.create ();
     t.memtable <- Smap.empty;
     t.reset_seen <- false;
+    Obs.Counter.incr t.m.m_flushes;
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~layer:"index" "flush" [ ("pairs", string_of_int (List.length pairs)) ];
+    sync_gauges t;
     Ok dep
   end
 
@@ -221,7 +268,9 @@ let compact t =
   match t.runs with
   | [] | [ _ ] -> Ok Dep.trivial
   | runs ->
-    Util.Coverage.hit "index.compact";
+    Obs.Counter.incr t.m.m_compacts;
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~layer:"index" "compact" [ ("runs", string_of_int (List.length runs)) ];
     let* contents =
       List.fold_left
         (fun acc r ->
@@ -234,6 +283,7 @@ let compact t =
     let source_deps = Dep.all (List.map (fun r -> r.dep) runs) in
     if Run.is_empty merged then begin
       t.runs <- [];
+      sync_gauges t;
       append_metadata t ~input:source_deps
     end
     else begin
@@ -255,9 +305,11 @@ let compact t =
       match run_dep with
       | Error e ->
         t.runs <- saved;
+        sync_gauges t;
         Error e
       | Ok run_dep ->
         let* meta_dep = append_metadata t ~input:run_dep in
+        sync_gauges t;
         Ok (Dep.and_ run_dep meta_dep)
     end
 
@@ -308,17 +360,22 @@ let relocate_run t ~run_id ~new_loc ~new_dep =
     append_metadata t ~input:new_dep
 
 let recover t =
+  Obs.Counter.incr t.m.m_recovers;
   t.memtable <- Smap.empty;
   t.flush_promise <- Dep.Promise.create ();
   Hashtbl.reset t.run_contents;
   t.reset_seen <- false;
-  match Logroll.recover t.roll with
-  | None ->
-    t.runs <- [];
-    t.next_run_id <- 1;
-    Ok ()
-  | Some (_gen, payload) ->
-    let* next_run_id, runs = Result.map_error (fun e -> Corrupt e) (decode_metadata payload) in
-    t.next_run_id <- next_run_id;
-    t.runs <- List.map (fun (run_id, loc) -> { run_id; loc; dep = Dep.trivial }) runs;
-    Ok ()
+  let result =
+    match Logroll.recover t.roll with
+    | None ->
+      t.runs <- [];
+      t.next_run_id <- 1;
+      Ok ()
+    | Some (_gen, payload) ->
+      let* next_run_id, runs = Result.map_error (fun e -> Corrupt e) (decode_metadata payload) in
+      t.next_run_id <- next_run_id;
+      t.runs <- List.map (fun (run_id, loc) -> { run_id; loc; dep = Dep.trivial }) runs;
+      Ok ()
+  in
+  sync_gauges t;
+  result

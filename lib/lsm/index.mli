@@ -30,10 +30,18 @@ val pp_error : Format.formatter -> error -> unit
 (** True for extent-exhaustion errors that reclamation might cure. *)
 val error_is_no_space : error -> bool
 
-(** [create ?max_run_payload chunks ~metadata_extents] — runs are split so
-    their serialized size stays at or below [max_run_payload] (default
-    16 KiB), keeping each run chunk small enough for its extent. *)
-val create : ?max_run_payload:int -> Chunk.Chunk_store.t -> metadata_extents:int * int -> t
+(** [create ?max_run_payload ?obs chunks ~metadata_extents] — runs are
+    split so their serialized size stays at or below [max_run_payload]
+    (default 16 KiB), keeping each run chunk small enough for its extent.
+    Metrics ([index.put], [index.flush], coverage-linked [index.get.*] /
+    [index.run_written] / [index.compact], gauges [index.memtable_size] /
+    [index.run_count]) land in [obs], defaulting to the chunk store's
+    registry. *)
+val create :
+  ?max_run_payload:int -> ?obs:Obs.t -> Chunk.Chunk_store.t -> metadata_extents:int * int -> t
+
+(** The registry this index's metrics land in. *)
+val obs : t -> Obs.t
 
 (** [put t ~key ~locators ~value_dep] stages a mapping; [value_dep] must
     cover the writes of every locator's chunk. Returns the entry's

@@ -8,7 +8,7 @@ type t = {
   mutable resets : int;
 }
 
-let create _chunks ~metadata_extents:_ = { table = Hashtbl.create 64; resets = 0 }
+let create ?obs:_ _chunks ~metadata_extents:_ = { table = Hashtbl.create 64; resets = 0 }
 
 let put t ~key ~locators ~value_dep =
   Hashtbl.replace t.table key (locators, value_dep);

@@ -11,11 +11,17 @@ type request =
   | Migrate of { key : string; to_disk : int }
   | Node_stats
 
+type metric = {
+  metric_name : string;
+  labels : (string * string) list;
+  value : float;
+}
+
 type response =
   | Ack
   | Value of string option
   | Keys of string list
-  | Stats of { disks : int; in_service : int; keys : int }
+  | Stats of { disks : int; in_service : int; keys : int; metrics : metric list }
   | Error_response of string
 
 let pp_request fmt = function
@@ -34,8 +40,9 @@ let pp_response fmt = function
   | Value None -> Format.pp_print_string fmt "value: none"
   | Value (Some v) -> Format.fprintf fmt "value: %d bytes" (String.length v)
   | Keys keys -> Format.fprintf fmt "keys: %d" (List.length keys)
-  | Stats { disks; in_service; keys } ->
-    Format.fprintf fmt "stats: %d disks (%d in service), %d keys" disks in_service keys
+  | Stats { disks; in_service; keys; metrics } ->
+    Format.fprintf fmt "stats: %d disks (%d in service), %d keys, %d metrics" disks in_service
+      keys (List.length metrics)
   | Error_response msg -> Format.fprintf fmt "error: %s" msg
 
 let request_equal = Stdlib.( = )
@@ -59,6 +66,57 @@ let decode_strings r =
       else
         let* s = Codec.Reader.lstring r in
         go (s :: acc) (i + 1)
+    in
+    go [] 0
+  end
+
+let max_metrics = 1 lsl 16
+let max_labels = 64
+
+(* Values travel as IEEE-754 bits so floats round-trip exactly. *)
+let encode_metric w m =
+  Codec.Writer.lstring w m.metric_name;
+  Codec.Writer.u8 w (List.length m.labels);
+  List.iter
+    (fun (k, v) ->
+      Codec.Writer.lstring w k;
+      Codec.Writer.lstring w v)
+    m.labels;
+  Codec.Writer.u64 w (Int64.bits_of_float m.value)
+
+let decode_metric r =
+  let open Codec.Syntax in
+  let* metric_name = Codec.Reader.lstring r in
+  let* nlabels = Codec.Reader.u8 r in
+  if nlabels > max_labels then Error (Codec.Invalid "label count")
+  else begin
+    let rec labels acc i =
+      if i = nlabels then Ok (List.rev acc)
+      else
+        let* k = Codec.Reader.lstring r in
+        let* v = Codec.Reader.lstring r in
+        labels ((k, v) :: acc) (i + 1)
+    in
+    let* labels = labels [] 0 in
+    let+ bits = Codec.Reader.u64 r in
+    { metric_name; labels; value = Int64.float_of_bits bits }
+  end
+
+let encode_metrics w metrics =
+  Codec.Writer.u32 w (Int32.of_int (List.length metrics));
+  List.iter (encode_metric w) metrics
+
+let decode_metrics r =
+  let open Codec.Syntax in
+  let* count32 = Codec.Reader.u32 r in
+  let count = Int32.to_int count32 in
+  if count < 0 || count > max_metrics then Error (Codec.Invalid "metric count")
+  else begin
+    let rec go acc i =
+      if i = count then Ok (List.rev acc)
+      else
+        let* m = decode_metric r in
+        go (m :: acc) (i + 1)
     in
     go [] 0
   end
@@ -149,11 +207,12 @@ let encode_response resp =
       | Keys keys ->
         Codec.Writer.u8 w 2;
         encode_strings w keys
-      | Stats { disks; in_service; keys } ->
+      | Stats { disks; in_service; keys; metrics } ->
         Codec.Writer.u8 w 3;
         Codec.Writer.uint w disks;
         Codec.Writer.uint w in_service;
-        Codec.Writer.uint w keys
+        Codec.Writer.uint w keys;
+        encode_metrics w metrics
       | Error_response msg ->
         Codec.Writer.u8 w 4;
         Codec.Writer.lstring w msg)
@@ -180,8 +239,9 @@ let decode_response s =
     | 3 ->
       let* disks = Codec.Reader.uint r in
       let* in_service = Codec.Reader.uint r in
-      let+ keys = Codec.Reader.uint r in
-      Stats { disks; in_service; keys }
+      let* keys = Codec.Reader.uint r in
+      let+ metrics = decode_metrics r in
+      Stats { disks; in_service; keys; metrics }
     | 4 ->
       let+ msg = Codec.Reader.lstring r in
       Error_response msg

@@ -19,11 +19,20 @@ type request =
       (** control plane: move a shard to another disk (repair/rebalance) *)
   | Node_stats
 
+(** One flattened metric sample from a disk's {!Obs} registry. Counters
+    and gauges ship their value; histograms ship [.count] / [.sum]
+    samples. Floats round-trip exactly (encoded as IEEE-754 bits). *)
+type metric = {
+  metric_name : string;
+  labels : (string * string) list;
+  value : float;
+}
+
 type response =
   | Ack
   | Value of string option
   | Keys of string list
-  | Stats of { disks : int; in_service : int; keys : int }
+  | Stats of { disks : int; in_service : int; keys : int; metrics : metric list }
   | Error_response of string
 
 val pp_request : Format.formatter -> request -> unit

@@ -5,18 +5,36 @@ type t = {
   (* Explicit placements from control-plane migrations override hashing;
      in S3 this mapping lives in the metadata subsystem. *)
   placements : (string, int) Hashtbl.t;
+  obs : Obs.t;
+  m_errors : Obs.Counter.t;
 }
 
-let create ?(disks = 4) (config : S.config) =
+let create ?(disks = 4) ?obs (config : S.config) =
   if disks <= 0 then invalid_arg "Node.create: need at least one disk";
+  let obs = match obs with Some o -> o | None -> Obs.create ~scope:"rpc" () in
   {
     stores =
       Array.init disks (fun i ->
           S.create { config with S.seed = Int64.add config.S.seed (Int64.of_int i) });
     placements = Hashtbl.create 16;
+    obs;
+    m_errors = Obs.counter obs "rpc.error";
   }
 
 let disk_count t = Array.length t.stores
+let obs t = t.obs
+let store_obs t ~disk = S.obs t.stores.(disk)
+
+let request_kind = function
+  | Message.Put _ -> "put"
+  | Message.Get _ -> "get"
+  | Message.Delete _ -> "delete"
+  | Message.List -> "list"
+  | Message.Remove_disk _ -> "remove_disk"
+  | Message.Return_disk _ -> "return_disk"
+  | Message.Bulk_delete _ -> "bulk_delete"
+  | Message.Migrate _ -> "migrate"
+  | Message.Node_stats -> "node_stats"
 
 let disk_of_key t key =
   match Hashtbl.find_opt t.placements key with
@@ -31,7 +49,28 @@ let store t ~disk =
 
 let err fmt = Format.kasprintf (fun msg -> Message.Error_response msg) fmt
 
-let handle t req =
+(* Flatten one store's registry into wire samples tagged with its disk
+   slot; histograms ship their [.count] / [.sum] moments. *)
+let metrics_of_store ~disk store =
+  let labels ls = ("disk", string_of_int disk) :: ls in
+  List.concat_map
+    (fun (s : Obs.sample) ->
+      match s.Obs.value with
+      | Obs.Counter_v n ->
+        [ { Message.metric_name = s.Obs.name; labels = labels s.Obs.labels; value = float_of_int n } ]
+      | Obs.Gauge_v v -> [ { Message.metric_name = s.Obs.name; labels = labels s.Obs.labels; value = v } ]
+      | Obs.Histogram_v { count; sum; _ } ->
+        [
+          {
+            Message.metric_name = s.Obs.name ^ ".count";
+            labels = labels s.Obs.labels;
+            value = float_of_int count;
+          };
+          { Message.metric_name = s.Obs.name ^ ".sum"; labels = labels s.Obs.labels; value = sum };
+        ])
+    (Obs.snapshot (S.obs store))
+
+let handle_inner t req =
   match req with
   | Message.Put { key; value } -> (
     match S.put t.stores.(disk_of_key t key) ~key ~value with
@@ -114,7 +153,16 @@ let handle t req =
         (fun acc s -> match S.list s with Ok ks -> acc + List.length ks | Error _ -> acc)
         0 t.stores
     in
-    Message.Stats { disks = Array.length t.stores; in_service; keys }
+    let metrics =
+      List.concat (List.mapi (fun disk s -> metrics_of_store ~disk s) (Array.to_list t.stores))
+    in
+    Message.Stats { disks = Array.length t.stores; in_service; keys; metrics }
+
+let handle t req =
+  Obs.Counter.incr (Obs.counter ~labels:[ ("kind", request_kind req) ] t.obs "rpc.request");
+  let resp = handle_inner t req in
+  (match resp with Message.Error_response _ -> Obs.Counter.incr t.m_errors | _ -> ());
+  resp
 
 let handle_wire t bytes =
   let resp =

@@ -6,10 +6,20 @@
 
 type t
 
-(** [create ?disks config] — [disks] independent stores (default 4). *)
-val create : ?disks:int -> Store.Default.config -> t
+(** [create ?disks ?obs config] — [disks] independent stores (default 4).
+    RPC-layer counters ([rpc.request] labelled by request kind, and
+    [rpc.error]) land in [obs] or a fresh rpc-scoped registry; each disk's
+    store keeps its own per-instance registry (see {!store_obs}). *)
+val create : ?disks:int -> ?obs:Obs.t -> Store.Default.config -> t
 
 val disk_count : t -> int
+
+(** The RPC-layer registry. *)
+val obs : t -> Obs.t
+
+(** [store_obs t ~disk] — one disk's store registry; [Node_stats] flattens
+    these into {!Message.metric} samples labelled [("disk", i)]. *)
+val store_obs : t -> disk:int -> Obs.t
 
 (** Deterministic steering: the disk serving a key, honouring explicit
     migrations. *)

@@ -27,12 +27,24 @@ module type S = sig
 
   val default_config : config
   val test_config : config
-  val create : config -> t
-  val of_disk : config -> Disk.t -> t
+
+  (** [create ?obs cfg] — a fresh store. All layers (disk, scheduler,
+      cache, superblock, logrolls, chunk store, index, store) share one
+      metrics registry: [obs] when given, else a fresh per-store registry
+      with a small trace ring enabled. *)
+  val create : ?obs:Obs.t -> config -> t
+
+  (** [of_disk ?obs cfg disk] opens a stack on an existing disk; the disk's
+      metrics are re-homed onto the store's registry. *)
+  val of_disk : ?obs:Obs.t -> config -> Disk.t -> t
+
   val config : t -> config
   val disk : t -> Disk.t
   val sched : t -> Io_sched.t
   val chunk_store : t -> Chunk.Chunk_store.t
+
+  (** The unified registry covering every layer of this store. *)
+  val obs : t -> Obs.t
   val put : t -> key:string -> value:string -> (Dep.t, error) result
   val get : t -> key:string -> (string option, error) result
   val delete : t -> key:string -> (Dep.t, error) result
@@ -132,6 +144,18 @@ module Make (Index : Store_intf.INDEX) = struct
       seed = 0x5EED_CAFEL;
     }
 
+  type metrics = {
+    m_puts : Obs.Counter.t;
+    m_gets : Obs.Counter.t;
+    m_deletes : Obs.Counter.t;
+    m_reclaims : Obs.Counter.t;
+    m_gc_fallback : Obs.Counter.t;
+    m_recovers : Obs.Counter.t;
+    m_dirty_reboots : Obs.Counter.t;
+    m_clean_shutdowns : Obs.Counter.t;
+    m_value_bytes : Obs.Histogram.t;
+  }
+
   type t = {
     cfg : config;
     disk : Disk.t;
@@ -140,6 +164,8 @@ module Make (Index : Store_intf.INDEX) = struct
     sb : Superblock.t;
     chunks : Chunk.Chunk_store.t;
     index : Index.t;
+    obs : Obs.t;
+    m : metrics;
     mutable in_service : bool;
     mutable mutations : int;
     mutable in_flight : int list;
@@ -147,16 +173,28 @@ module Make (Index : Store_intf.INDEX) = struct
             yet referenced by the index: reclamation must not target them *)
   }
 
-  let of_disk (cfg : config) disk =
-    let sched = Io_sched.create ~seed:cfg.seed disk in
+  (* Events from every layer land in one ring; this is how many trailing
+     events a counterexample report can show. *)
+  let default_trace_capacity = 256
+
+  let of_disk ?obs (cfg : config) disk =
+    let obs =
+      match obs with
+      | Some o -> o
+      | None -> Obs.create ~scope:"store" ~trace_capacity:default_trace_capacity ()
+    in
+    (* One registry for the whole stack: the pre-existing disk re-homes its
+       handles, every layer above is created pointing at the same [obs]. *)
+    Disk.attach_obs disk obs;
+    let sched = Io_sched.create ~seed:cfg.seed ~obs disk in
     let cache =
       Cache.create ~capacity_pages:cfg.cache_pages ~write_allocate:cfg.cache_write_allocate
-        sched
+        ~obs sched
     in
-    let sb = Superblock.create sched ~extents:sb_extents ~reserved in
+    let sb = Superblock.create ~obs sched ~extents:sb_extents ~reserved in
     let rng = Util.Rng.create (Int64.add cfg.seed 17L) in
-    let chunks = Chunk.Chunk_store.create sched ~cache ~superblock:sb ~rng in
-    let index = Index.create chunks ~metadata_extents:meta_extents in
+    let chunks = Chunk.Chunk_store.create ~obs sched ~cache ~superblock:sb ~rng in
+    let index = Index.create ~obs chunks ~metadata_extents:meta_extents in
     {
       cfg;
       disk;
@@ -165,20 +203,34 @@ module Make (Index : Store_intf.INDEX) = struct
       sb;
       chunks;
       index;
+      obs;
+      m =
+        {
+          m_puts = Obs.counter obs "store.put";
+          m_gets = Obs.counter obs "store.get";
+          m_deletes = Obs.counter obs "store.delete";
+          m_reclaims = Obs.counter obs "store.reclaim";
+          m_gc_fallback = Obs.counter ~coverage:true obs "store.put.gc_fallback";
+          m_recovers = Obs.counter obs "store.recover";
+          m_dirty_reboots = Obs.counter obs "store.dirty_reboot";
+          m_clean_shutdowns = Obs.counter obs "store.clean_shutdown";
+          m_value_bytes = Obs.histogram obs "store.value_bytes";
+        };
       in_service = true;
       mutations = 0;
       in_flight = [];
     }
 
-  let create (cfg : config) =
+  let create ?obs (cfg : config) =
     if cfg.disk.Disk.extent_count <= first_data_extent then
       invalid_arg "Store.create: need more extents than the reserved four";
-    of_disk cfg (Disk.create cfg.disk)
+    of_disk ?obs cfg (Disk.create cfg.disk)
 
   let config t = t.cfg
   let disk t = t.disk
   let sched t = t.sched
   let chunk_store t = t.chunks
+  let obs t = t.obs
   let in_service t = t.in_service
   let index_memtable_size t = Index.memtable_size t.index
   let index_run_count t = Index.run_count t.index
@@ -260,6 +312,9 @@ module Make (Index : Store_intf.INDEX) = struct
     match target with
     | None -> Ok None
     | Some extent ->
+      Obs.Counter.incr t.m.m_reclaims;
+      if Obs.tracing t.obs then
+        Obs.emit t.obs ~layer:"store" "reclaim" [ ("extent", string_of_int extent) ];
       let classify owner loc =
         match owner with
         | Chunk.Chunk_format.Shard key -> (
@@ -378,7 +433,8 @@ module Make (Index : Store_intf.INDEX) = struct
     match first with
     | Some r -> Ok r
     | None -> (
-      Util.Coverage.hit "store.put.gc_fallback";
+      Obs.Counter.incr t.m.m_gc_fallback;
+      if Obs.tracing t.obs then Obs.emit t.obs ~layer:"store" "gc_fallback" [];
       let* _ = reclaim_soft t in
       let* second = attempt () in
       match second with
@@ -413,6 +469,11 @@ module Make (Index : Store_intf.INDEX) = struct
 
   let put t ~key ~value =
     let* () = check_service t in
+    Obs.Counter.incr t.m.m_puts;
+    Obs.Histogram.observe t.m.m_value_bytes (float_of_int (String.length value));
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~layer:"store" "put"
+        [ ("key", key); ("bytes", string_of_int (String.length value)) ];
     let owner = Chunk.Chunk_format.Shard key in
     let* locators, value_dep =
       Fun.protect
@@ -434,6 +495,7 @@ module Make (Index : Store_intf.INDEX) = struct
 
   let get t ~key =
     let* () = check_service t in
+    Obs.Counter.incr t.m.m_gets;
     let* locs = index_err (Index.get t.index ~key) in
     match locs with
     | None -> Ok None
@@ -456,6 +518,8 @@ module Make (Index : Store_intf.INDEX) = struct
 
   let delete t ~key =
     let* () = check_service t in
+    Obs.Counter.incr t.m.m_deletes;
+    if Obs.tracing t.obs then Obs.emit t.obs ~layer:"store" "delete" [ ("key", key) ];
     let dep = Index.delete t.index ~key in
     after_mutation t;
     Ok dep
@@ -484,6 +548,8 @@ module Make (Index : Store_intf.INDEX) = struct
     }
 
   let recover t =
+    Obs.Counter.incr t.m.m_recovers;
+    if Obs.tracing t.obs then Obs.emit t.obs ~layer:"store" "recover" [];
     (* A restart loses volatile state: staged writes that never reached the
        disk must not be visible to the recovery scans. *)
     Io_sched.discard_volatile t.sched;
@@ -495,6 +561,8 @@ module Make (Index : Store_intf.INDEX) = struct
     Ok ()
 
   let dirty_reboot t ~rng spec =
+    Obs.Counter.incr t.m.m_dirty_reboots;
+    if Obs.tracing t.obs then Obs.emit t.obs ~layer:"store" "dirty_reboot" [];
     if spec.flush_index_first then ignore (Index.flush t.index ~for_shutdown:false);
     if spec.flush_superblock_first then ignore (Superblock.flush t.sb);
     let (_ : Io_sched.crash_report) =
@@ -504,6 +572,8 @@ module Make (Index : Store_intf.INDEX) = struct
     recover t
 
   let clean_shutdown t =
+    Obs.Counter.incr t.m.m_clean_shutdowns;
+    if Obs.tracing t.obs then Obs.emit t.obs ~layer:"store" "clean_shutdown" [];
     let* _dep = flush_index_gc t ~for_shutdown:true in
     let* _dep = sb_err (Superblock.flush t.sb) in
     Result.map_error (fun e -> Io e) (Io_sched.flush t.sched)
@@ -539,5 +609,5 @@ end
 module Default = Make (struct
   include Lsm.Index
 
-  let create chunks ~metadata_extents = Lsm.Index.create chunks ~metadata_extents
+  let create ?obs chunks ~metadata_extents = Lsm.Index.create ?obs chunks ~metadata_extents
 end)

@@ -45,15 +45,25 @@ module type S = sig
       in short operation sequences. *)
   val test_config : config
 
-  val create : config -> t
+  (** [create ?obs cfg] — a fresh store. One {!Obs.t} registry serves the
+      whole stack (disk, scheduler, cache, superblock, logrolls, chunk
+      store, index, store): [obs] when given, else a fresh per-store
+      registry with a small trace ring enabled, so two stores in a fleet
+      never share series. *)
+  val create : ?obs:Obs.t -> config -> t
 
-  (** [wrap t] re-opens a store on an existing disk (recovery path). *)
-  val of_disk : config -> Disk.t -> t
+  (** [of_disk ?obs cfg disk] re-opens a store on an existing disk
+      (recovery path); the disk's accumulated metrics are re-homed onto
+      the store's registry. *)
+  val of_disk : ?obs:Obs.t -> config -> Disk.t -> t
 
   val config : t -> config
   val disk : t -> Disk.t
   val sched : t -> Io_sched.t
   val chunk_store : t -> Chunk.Chunk_store.t
+
+  (** The unified metrics registry and trace ring for this store. *)
+  val obs : t -> Obs.t
 
   (** {2 Request plane} *)
 

@@ -14,7 +14,9 @@ module type INDEX = sig
       (reclaim/compact) might cure; the store retries flushes on it. *)
   val error_is_no_space : error -> bool
 
-  val create : Chunk.Chunk_store.t -> metadata_extents:int * int -> t
+  (** [create ?obs chunks ~metadata_extents] — index metrics land in [obs]
+      when given, defaulting to the chunk store's registry. *)
+  val create : ?obs:Obs.t -> Chunk.Chunk_store.t -> metadata_extents:int * int -> t
   val put : t -> key:string -> locators:Chunk.Locator.t list -> value_dep:Dep.t -> Dep.t
   val delete : t -> key:string -> Dep.t
   val get : t -> key:string -> (Chunk.Locator.t list option, error) result

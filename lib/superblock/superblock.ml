@@ -21,6 +21,10 @@ type t = {
   roll : Logroll.t;
   initial_owners : owner array;
   owners : owner array;
+  obs : Obs.t;
+  m_records : Obs.Counter.t;
+  m_withheld : Obs.Counter.t;
+  m_recovers : Obs.Counter.t;
   mutable pending_free : (int * Dep.t) list;
       (** Free transitions whose basis (evacuations, index updates, reset)
           may not be durable yet; recorded only by the second flush record *)
@@ -29,7 +33,8 @@ type t = {
   mutable just_rebooted : bool;
 }
 
-let create sched ~extents ~reserved =
+let create ?obs sched ~extents ~reserved =
+  let obs = match obs with Some o -> o | None -> Io_sched.obs sched in
   let n = Io_sched.extent_count sched in
   let owners = Array.make n Free in
   List.iter
@@ -42,9 +47,13 @@ let create sched ~extents ~reserved =
     invalid_arg "Superblock.create: own extents must be reserved";
   {
     sched;
-    roll = Logroll.create sched ~extents ~name:"superblock";
+    roll = Logroll.create ~obs sched ~extents ~name:"superblock";
     initial_owners = Array.copy owners;
     owners;
+    obs;
+    m_records = Obs.counter ~coverage:true obs "superblock.record";
+    m_withheld = Obs.counter ~coverage:true obs "superblock.free_claim_withheld";
+    m_recovers = Obs.counter obs "superblock.recover";
     pending_free = [];
     promise = Dep.Promise.create ();
     dirty = false;
@@ -148,8 +157,11 @@ let flush t =
     else t.pending_free <- List.filter (fun (_, dep) -> not (Dep.is_persistent dep)) t.pending_free
   in
   ripen ();
-  if t.pending_free <> [] then Util.Coverage.hit "superblock.free_claim_withheld";
-  Util.Coverage.hit "superblock.record";
+  if t.pending_free <> [] then Obs.Counter.incr t.m_withheld;
+  Obs.Counter.incr t.m_records;
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~layer:"superblock" "record"
+      [ ("withheld", string_of_int (List.length t.pending_free)) ];
   match Logroll.append t.roll ~payload:(encode t) ~input:Dep.trivial with
   | Error e -> Error (Roll e)
   | Ok dep ->
@@ -160,6 +172,7 @@ let flush t =
     Ok dep
 
 let recover t =
+  Obs.Counter.incr t.m_recovers;
   t.pending_free <- [];
   t.promise <- Dep.Promise.create ();
   t.dirty <- false;

@@ -33,11 +33,14 @@ type error = Roll of Logroll.error
 
 val pp_error : Format.formatter -> error -> unit
 
-(** [create sched ~extents ~reserved] — a fresh superblock on reserved
+(** [create ?obs sched ~extents ~reserved] — a fresh superblock on reserved
     extent pair [extents]; every extent in [reserved] (which must include
     the pair itself) starts [Reserved], all others [Free]. No record is
-    written until the first {!flush}. *)
-val create : Io_sched.t -> extents:int * int -> reserved:int list -> t
+    written until the first {!flush}. Metrics (coverage-linked
+    [superblock.record] / [superblock.free_claim_withheld], plus
+    [superblock.recover]) land in [obs], defaulting to the scheduler's
+    registry. *)
+val create : ?obs:Obs.t -> Io_sched.t -> extents:int * int -> reserved:int list -> t
 
 val owner : t -> extent:int -> owner
 val set_owner : t -> extent:int -> owner -> dep:Dep.t -> unit

@@ -1,19 +1,5 @@
-let table : (string, int ref) Hashtbl.t = Hashtbl.create 64
-
-let hit name =
-  match Hashtbl.find_opt table name with
-  | Some r -> incr r
-  | None -> Hashtbl.add table name (ref 1)
-
-let count name = match Hashtbl.find_opt table name with Some r -> !r | None -> 0
-
-let snapshot () =
-  Hashtbl.fold (fun name r acc -> if !r > 0 then (name, !r) :: acc else acc) table []
-  |> List.sort compare
-
-let reset () = Hashtbl.reset table
-
-let pp_snapshot fmt () =
-  List.iter (fun (name, n) -> Format.fprintf fmt "%-40s %d@." name n) (snapshot ())
-
-let blind_spots ~expected () = List.filter (fun name -> count name = 0) expected
+(* A facade over the unified observability layer's global coverage table:
+   instance counters registered with [Obs.counter ~coverage:true] and
+   direct [hit] calls land in the same cells, so blind-spot reports keep
+   working across the refactored stack. *)
+include Obs.Coverage

@@ -9,7 +9,12 @@
     remedy for the missed cache-miss bug of section 8.3.
 
     Counters are global and cheap (one hash lookup); tests reset them
-    around the region they measure. *)
+    around the region they measure.
+
+    Since the unified observability refactor this module is a facade over
+    {!Obs.Coverage}: per-instance registry counters created with
+    [Obs.counter ~coverage:true] feed the same global cells, so the
+    blind-spot report covers the whole refactored stack. *)
 
 (** [hit name] increments the counter. *)
 val hit : string -> unit

@@ -1,0 +1,345 @@
+(* Tests for the unified observability layer: the registry itself (labels,
+   scoping, histograms, trace ring), parity between the legacy stats views
+   and the registry they are built from, one registry spanning the whole
+   storage stack, the blind-spot gate (paper section 4.2), and trace
+   attachment to counterexamples. *)
+
+module S = Store.Default
+
+let contains s affix =
+  let n = String.length affix in
+  let rec go i = i + n <= String.length s && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+(* {2 Registry semantics} *)
+
+let test_counter_basics () =
+  let obs = Obs.create ~scope:"t" () in
+  let c = Obs.counter obs "req" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 4;
+  Alcotest.(check int) "value" 5 (Obs.Counter.value c);
+  (* resolving again yields the same series *)
+  Obs.Counter.incr (Obs.counter obs "req");
+  Alcotest.(check int) "shared series" 6 (Obs.counter_value obs "req")
+
+let test_label_scoping () =
+  let obs = Obs.create () in
+  let a = Obs.counter ~labels:[ ("disk", "0") ] obs "io" in
+  let b = Obs.counter ~labels:[ ("disk", "1") ] obs "io" in
+  Obs.Counter.incr a;
+  Obs.Counter.incr a;
+  Obs.Counter.incr b;
+  Alcotest.(check int) "disk 0" 2 (Obs.counter_value ~labels:[ ("disk", "0") ] obs "io");
+  Alcotest.(check int) "disk 1" 1 (Obs.counter_value ~labels:[ ("disk", "1") ] obs "io");
+  Alcotest.(check int) "unlabelled distinct" 0 (Obs.counter_value obs "io");
+  (* label order does not create a new series *)
+  let c1 = Obs.counter ~labels:[ ("a", "1"); ("b", "2") ] obs "multi" in
+  let c2 = Obs.counter ~labels:[ ("b", "2"); ("a", "1") ] obs "multi" in
+  Obs.Counter.incr c1;
+  Alcotest.(check int) "order-insensitive" 1 (Obs.Counter.value c2)
+
+let test_instance_scoping () =
+  (* two registries never collide — the fleet's per-store invariant *)
+  let o1 = Obs.create ~scope:"store-0" () in
+  let o2 = Obs.create ~scope:"store-1" () in
+  Obs.Counter.add (Obs.counter o1 "cache.hit") 7;
+  Alcotest.(check int) "o1 sees its own" 7 (Obs.counter_value o1 "cache.hit");
+  Alcotest.(check int) "o2 untouched" 0 (Obs.counter_value o2 "cache.hit")
+
+let test_kind_mismatch () =
+  let obs = Obs.create () in
+  ignore (Obs.counter obs "x");
+  match Obs.gauge obs "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "re-registering a counter as a gauge must fail"
+
+let test_gauge () =
+  let obs = Obs.create () in
+  let g = Obs.gauge obs "pending" in
+  Obs.Gauge.set_int g 3;
+  Alcotest.(check (float 0.0)) "set_int" 3.0 (Obs.Gauge.value g);
+  Obs.Gauge.set g 0.5;
+  Alcotest.(check (float 0.0)) "set" 0.5 (Obs.Gauge.value g)
+
+let test_histogram_bucketing () =
+  let obs = Obs.create () in
+  let h = Obs.histogram ~buckets:[ 10.0; 100.0 ] obs "bytes" in
+  List.iter (Obs.Histogram.observe h) [ 5.0; 10.0; 50.0; 500.0 ];
+  Alcotest.(check int) "count" 4 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.0)) "sum" 565.0 (Obs.Histogram.sum h);
+  (* bounds inclusive, last bucket is the overflow *)
+  match Obs.Histogram.buckets h with
+  | [ (10.0, 2); (100.0, 1); (bound, 1) ] when bound = infinity -> ()
+  | bs ->
+    Alcotest.failf "unexpected buckets: %s"
+      (String.concat "; " (List.map (fun (b, n) -> Printf.sprintf "(%g,%d)" b n) bs))
+
+let test_snapshot_and_reset () =
+  let obs = Obs.create () in
+  Obs.Counter.incr (Obs.counter obs "b");
+  Obs.Counter.incr (Obs.counter obs "a");
+  Obs.Gauge.set (Obs.gauge obs "g") 2.0;
+  let names = List.map (fun s -> s.Obs.name) (Obs.snapshot obs) in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "g" ] names;
+  Obs.reset obs;
+  Alcotest.(check int) "counter zeroed" 0 (Obs.counter_value obs "a");
+  (* handles stay live across reset *)
+  Obs.Counter.incr (Obs.counter obs "a");
+  Alcotest.(check int) "still wired" 1 (Obs.counter_value obs "a")
+
+let test_jsonl () =
+  let obs = Obs.create ~scope:"test" () in
+  Obs.Counter.add (Obs.counter ~labels:[ ("k", "v\"q") ] obs "c") 2;
+  Obs.Gauge.set (Obs.gauge obs "g") 1.5;
+  ignore (Obs.histogram ~buckets:[ 1.0 ] obs "h");
+  let lines = String.split_on_char '\n' (String.trim (Obs.to_jsonl obs)) in
+  Alcotest.(check int) "one line per metric" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "scope present" true (contains line {|"scope":"test"|}))
+    lines
+
+(* {2 Trace ring} *)
+
+let test_ring_wraparound () =
+  let obs = Obs.create ~trace_capacity:4 () in
+  Alcotest.(check bool) "tracing on" true (Obs.tracing obs);
+  for i = 0 to 9 do
+    Obs.emit obs ~layer:"l" "e" [ ("i", string_of_int i) ]
+  done;
+  Alcotest.(check int) "emitted survives wrap" 10 (Obs.events_emitted obs);
+  let seqs = List.map (fun (e : Obs.event) -> e.Obs.seq) (Obs.recent obs) in
+  Alcotest.(check (list int)) "last capacity events, oldest first" [ 6; 7; 8; 9 ] seqs;
+  let seqs = List.map (fun (e : Obs.event) -> e.Obs.seq) (Obs.recent ~n:2 obs) in
+  Alcotest.(check (list int)) "recent ~n trims from the old end" [ 8; 9 ] seqs;
+  match Obs.recent ~n:1 obs with
+  | [ e ] -> Alcotest.(check string) "attrs survive" "9" (List.assoc "i" e.Obs.attrs)
+  | _ -> Alcotest.fail "recent ~n:1"
+
+let test_tracing_disabled () =
+  let obs = Obs.create () in
+  Alcotest.(check bool) "off by default" false (Obs.tracing obs);
+  Obs.emit obs ~layer:"l" "e" [];
+  Alcotest.(check int) "no-op" 0 (Obs.events_emitted obs);
+  Alcotest.(check int) "empty" 0 (List.length (Obs.recent obs))
+
+let test_set_tracing () =
+  let obs = Obs.create ~trace_capacity:8 () in
+  Obs.set_tracing obs false;
+  Obs.emit obs ~layer:"l" "dropped" [];
+  Obs.set_tracing obs true;
+  Obs.emit obs ~layer:"l" "kept" [];
+  match Obs.recent obs with
+  | [ e ] -> Alcotest.(check string) "only resumed events" "kept" e.Obs.event
+  | es -> Alcotest.failf "expected 1 event, got %d" (List.length es)
+
+(* {2 Legacy stats views are views over the registry} *)
+
+let disk_config = { Disk.extent_count = 8; pages_per_extent = 8; page_size = 32 }
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "iosched error: %a" Io_sched.pp_error e
+
+let test_iosched_stats_parity () =
+  let sched = Io_sched.create ~seed:3L (Disk.create disk_config) in
+  for i = 0 to 5 do
+    ignore (ok (Io_sched.append sched ~extent:(i mod 4) ~data:"payload" ~input:Dep.trivial))
+  done;
+  ignore (Io_sched.pump sched);
+  ignore (ok (Io_sched.reset sched ~extent:7 ~input:Dep.trivial));
+  ignore (Io_sched.pump sched);
+  let st = Io_sched.stats sched in
+  let obs = Io_sched.obs sched in
+  Alcotest.(check int) "appends" st.Io_sched.appends (Obs.counter_value obs "iosched.append");
+  Alcotest.(check int) "resets" st.Io_sched.resets (Obs.counter_value obs "iosched.reset");
+  Alcotest.(check int) "ios" st.Io_sched.ios_issued (Obs.counter_value obs "iosched.io_issued");
+  Alcotest.(check int) "bytes" st.Io_sched.bytes_written
+    (Obs.counter_value obs "iosched.bytes_issued");
+  Alcotest.(check int) "crashes" st.Io_sched.crashes (Obs.counter_value obs "iosched.crash");
+  Alcotest.(check bool) "non-trivial" true (st.Io_sched.appends > 0 && st.Io_sched.ios_issued > 0);
+  (* the scheduler inherited the disk's registry: one registry, two layers *)
+  Alcotest.(check bool) "disk writes in same registry" true
+    (Obs.counter_value obs "disk.write" > 0)
+
+let test_cache_stats_parity () =
+  let sched = Io_sched.create ~seed:4L (Disk.create disk_config) in
+  let cache = Cache.create ~capacity_pages:2 sched in
+  ignore (ok (Io_sched.append sched ~extent:0 ~data:(String.make 96 'x') ~input:Dep.trivial));
+  ignore (Io_sched.pump sched);
+  for _ = 1 to 3 do
+    ignore (ok (Cache.read cache ~extent:0 ~off:0 ~len:32));
+    ignore (ok (Cache.read cache ~extent:0 ~off:0 ~len:32));
+    (* third distinct page overflows the 2-page capacity *)
+    ignore (ok (Cache.read cache ~extent:0 ~off:32 ~len:32));
+    ignore (ok (Cache.read cache ~extent:0 ~off:64 ~len:32))
+  done;
+  let st = Cache.stats cache in
+  let obs = Cache.obs cache in
+  Alcotest.(check int) "hits" st.Cache.hits (Obs.counter_value obs "cache.hit");
+  Alcotest.(check int) "misses" st.Cache.misses (Obs.counter_value obs "cache.miss");
+  Alcotest.(check int) "evictions" st.Cache.evictions (Obs.counter_value obs "cache.eviction");
+  Alcotest.(check bool) "non-trivial" true (st.Cache.hits > 0 && st.Cache.evictions > 0)
+
+(* {2 One registry across the whole stack} *)
+
+let layer_of_metric name =
+  match String.index_opt name '.' with
+  | Some i -> (
+    match String.sub name 0 i with
+    | "reclaim" -> "chunk"  (* reclaim counters are the chunk store's *)
+    | "crash" -> "iosched"
+    | l -> l)
+  | None -> name
+
+let test_store_unifies_layers () =
+  let s = S.create S.test_config in
+  for i = 0 to 19 do
+    match S.put s ~key:(Printf.sprintf "k%d" (i mod 8)) ~value:(String.make (20 + i) 'v') with
+    | Ok _ | Error S.No_space -> ()
+    | Error e -> Alcotest.failf "put: %a" S.pp_error e
+  done;
+  List.iter (fun k -> ignore (S.get s ~key:k)) [ "k0"; "k1"; "missing" ];
+  ignore (S.delete s ~key:"k2");
+  ignore (S.flush_index s);
+  ignore (S.flush_superblock s);
+  ignore (S.pump s 10_000);
+  let layers =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (sample : Obs.sample) ->
+           match sample.Obs.value with
+           | Obs.Counter_v n when n > 0 -> Some (layer_of_metric sample.Obs.name)
+           | _ -> None)
+         (Obs.snapshot (S.obs s)))
+  in
+  List.iter
+    (fun layer ->
+      Alcotest.(check bool) (layer ^ " instrumented") true (List.mem layer layers))
+    [ "disk"; "iosched"; "cache"; "chunk"; "index"; "store"; "superblock"; "logroll" ];
+  (* and the trace ring saw the traffic *)
+  Alcotest.(check bool) "events recorded" true (Obs.events_emitted (S.obs s) > 0)
+
+let test_store_registries_are_private () =
+  let a = S.create S.test_config in
+  let b = S.create S.test_config in
+  (match S.put a ~key:"k" ~value:"v" with Ok _ -> () | Error e -> Alcotest.failf "%a" S.pp_error e);
+  Alcotest.(check int) "a counted" 1 (Obs.counter_value (S.obs a) "store.put");
+  Alcotest.(check int) "b clean" 0 (Obs.counter_value (S.obs b) "store.put")
+
+(* {2 Coverage facade and the blind-spot gate} *)
+
+let test_coverage_facade () =
+  Util.Coverage.reset ();
+  Util.Coverage.hit "manual.path";
+  Alcotest.(check int) "direct hit" 1 (Util.Coverage.count "manual.path");
+  (* instance counters with ~coverage:true feed the same global table *)
+  let obs = Obs.create () in
+  let c = Obs.counter ~coverage:true obs "manual.path" in
+  Obs.Counter.incr c;
+  Obs.Counter.incr c;
+  Alcotest.(check int) "instance feeds global" 3 (Util.Coverage.count "manual.path");
+  Alcotest.(check int) "instance keeps its own" 2 (Obs.counter_value obs "manual.path");
+  Alcotest.(check (list string))
+    "blind spots" [ "never.hit" ]
+    (Util.Coverage.blind_spots ~expected:[ "manual.path"; "never.hit" ] ())
+
+(* The gate of paper section 4.2: after a standard validation workload,
+   every expected coverage path must have fired at least once. This is the
+   in-tree version of the check `bin/validate` runs before deployment. *)
+let expected_coverage =
+  [
+    "cache.hit"; "cache.miss"; "cache.eviction"; "chunk.get.stale_locator";
+    "index.get.memtable"; "index.get.run"; "index.run_written"; "index.compact";
+    "reclaim.scan.valid_frame"; "reclaim.scan.invalid_frame"; "reclaim.evacuated";
+    "reclaim.dropped"; "crash.torn_append"; "superblock.record";
+    "superblock.free_claim_withheld"; "store.put.gc_fallback";
+  ]
+
+let test_blind_spot_gate () =
+  Faults.disable_all ();
+  Util.Coverage.reset ();
+  let config = Lfm.Harness.default_config in
+  for seed = 0 to 79 do
+    let _, outcome =
+      Lfm.Harness.run_seed config ~profile:Lfm.Gen.Full ~bias:Lfm.Gen.default_bias ~length:60
+        ~seed
+    in
+    match outcome with
+    | Lfm.Harness.Passed -> ()
+    | Lfm.Harness.Failed f -> Alcotest.failf "baseline failure: %a" Lfm.Harness.pp_failure f
+  done;
+  Alcotest.(check (list string))
+    "no blind spots" []
+    (Util.Coverage.blind_spots ~expected:expected_coverage ())
+
+(* {2 Counterexamples carry the trace ring} *)
+
+let test_counterexample_has_trace () =
+  Faults.disable_all ();
+  let r = Lfm.Detect.detect ~max_sequences:500 ~minimize:true ~seed:11 Faults.F4_disk_return_loses_shards in
+  Alcotest.(check bool) "found" true r.Lfm.Detect.found;
+  (match r.Lfm.Detect.failure with
+  | None -> Alcotest.fail "no failure recorded"
+  | Some f ->
+    Alcotest.(check bool) "trace attached" true (f.Lfm.Harness.trace <> []);
+    (* events are in order and the report renders them *)
+    let seqs = List.map (fun (e : Obs.event) -> e.Obs.seq) f.Lfm.Harness.trace in
+    Alcotest.(check (list int)) "ordered" (List.sort compare seqs) seqs;
+    let rendered = Format.asprintf "%a" Lfm.Harness.pp_failure f in
+    Alcotest.(check bool) "rendered in report" true (contains rendered "trailing trace"));
+  (* the minimized counterexample replays to a failure whose report also
+     carries the trace *)
+  match r.Lfm.Detect.minimized_ops with
+  | None -> Alcotest.fail "no minimized counterexample"
+  | Some ops ->
+    Faults.enable Faults.F4_disk_return_loses_shards;
+    Fun.protect
+      ~finally:(fun () -> Faults.disable_all ())
+      (fun () ->
+        match Lfm.Harness.run Lfm.Harness.default_config ops with
+        | Lfm.Harness.Passed -> Alcotest.fail "minimized sequence no longer fails"
+        | Lfm.Harness.Failed f ->
+          let rendered = Format.asprintf "%a" Lfm.Harness.pp_failure f in
+          Alcotest.(check bool) "minimized report has trace" true
+            (contains rendered "trailing trace"))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "label scoping" `Quick test_label_scoping;
+          Alcotest.test_case "instance scoping" `Quick test_instance_scoping;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+          Alcotest.test_case "snapshot and reset" `Quick test_snapshot_and_reset;
+          Alcotest.test_case "jsonl export" `Quick test_jsonl;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "disabled is no-op" `Quick test_tracing_disabled;
+          Alcotest.test_case "pause and resume" `Quick test_set_tracing;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "iosched stats" `Quick test_iosched_stats_parity;
+          Alcotest.test_case "cache stats" `Quick test_cache_stats_parity;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "one registry, all layers" `Quick test_store_unifies_layers;
+          Alcotest.test_case "per-store registries" `Quick test_store_registries_are_private;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "facade" `Quick test_coverage_facade;
+          Alcotest.test_case "blind-spot gate" `Slow test_blind_spot_gate;
+        ] );
+      ( "counterexamples",
+        [ Alcotest.test_case "trace attached" `Slow test_counterexample_has_trace ] );
+    ]

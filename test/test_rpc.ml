@@ -25,7 +25,23 @@ let responses =
     Rpc.Message.Value (Some "payload");
     Rpc.Message.Keys [ "a"; "b" ];
     Rpc.Message.Keys [];
-    Rpc.Message.Stats { disks = 4; in_service = 3; keys = 17 };
+    Rpc.Message.Stats { disks = 4; in_service = 3; keys = 17; metrics = [] };
+    Rpc.Message.Stats
+      {
+        disks = 1;
+        in_service = 1;
+        keys = 0;
+        metrics =
+          [
+            { Rpc.Message.metric_name = "cache.hit"; labels = [ ("disk", "0") ]; value = 42.0 };
+            {
+              Rpc.Message.metric_name = "store.value_bytes.sum";
+              labels = [ ("disk", "0"); ("kind", "put") ];
+              value = 4097.25;
+            };
+            { Rpc.Message.metric_name = "iosched.pending"; labels = []; value = 0.1 };
+          ];
+      };
     Rpc.Message.Error_response "boom";
   ]
 
@@ -145,8 +161,46 @@ let test_stats () =
   let node = make_node () in
   ignore (Rpc.Node.handle node (Rpc.Message.Put { key = "k"; value = "v" }));
   match Rpc.Node.handle node Rpc.Message.Node_stats with
-  | Rpc.Message.Stats { disks = 3; in_service = 3; keys = 1 } -> ()
+  | Rpc.Message.Stats { disks = 3; in_service = 3; keys = 1; metrics } ->
+    Alcotest.(check bool) "metrics present" true (metrics <> []);
+    (* every sample is tagged with its disk slot *)
+    List.iter
+      (fun (m : Rpc.Message.metric) ->
+        match List.assoc_opt "disk" m.labels with
+        | Some ("0" | "1" | "2") -> ()
+        | _ -> Alcotest.failf "sample %s missing disk label" m.metric_name)
+      metrics;
+    (* the put we issued shows up in the serving disk's counters *)
+    let disk = string_of_int (Rpc.Node.disk_of_key node "k") in
+    let put_count =
+      List.filter_map
+        (fun (m : Rpc.Message.metric) ->
+          if m.metric_name = "store.put" && List.assoc_opt "disk" m.labels = Some disk then
+            Some m.value
+          else None)
+        metrics
+    in
+    Alcotest.(check (list (float 0.0))) "store.put on serving disk" [ 1.0 ] put_count
   | r -> Alcotest.failf "stats: %a" Rpc.Message.pp_response r
+
+(* Stats metrics survive the full wire round-trip through handle_wire. *)
+let test_stats_wire_roundtrip () =
+  let node = make_node () in
+  ignore (Rpc.Node.handle node (Rpc.Message.Put { key = "k"; value = "v" }));
+  let direct = Rpc.Node.handle node Rpc.Message.Node_stats in
+  let wire =
+    Rpc.Node.handle_wire node (Rpc.Message.encode_request Rpc.Message.Node_stats)
+  in
+  match direct, Rpc.Message.decode_response wire with
+  | Rpc.Message.Stats direct_stats, Ok (Rpc.Message.Stats wire_stats) ->
+    (* request counters move between the two calls, so compare the stable
+       fields and spot-check that both snapshots carry the same metric
+       names rather than demanding equal values *)
+    Alcotest.(check int) "disks" direct_stats.disks wire_stats.disks;
+    let names ms = List.sort_uniq compare (List.map (fun m -> m.Rpc.Message.metric_name) ms) in
+    Alcotest.(check (list string))
+      "metric names" (names direct_stats.metrics) (names wire_stats.metrics)
+  | r, _ -> Alcotest.failf "stats: %a" Rpc.Message.pp_response r
 
 let test_handle_wire () =
   let node = make_node () in
@@ -273,6 +327,7 @@ let () =
           Alcotest.test_case "remove/return disk" `Quick test_remove_return_disk;
           Alcotest.test_case "bulk delete" `Quick test_bulk_delete;
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "stats wire roundtrip" `Quick test_stats_wire_roundtrip;
           Alcotest.test_case "handle wire" `Quick test_handle_wire;
           Alcotest.test_case "bad disk" `Quick test_bad_disk;
           Alcotest.test_case "migrate" `Quick test_migrate;
