@@ -41,7 +41,122 @@ let metrics_summary config ~length ~seed metrics_out =
       Printf.eprintf "validate: cannot write metrics: %s\n" msg;
       false)
 
-let run sequences length seed metrics_out =
+(* [--sanitize]: run the dynamic-analysis detectors over known-clean
+   workloads. Two sweeps: (1) the vector-clock race detector plus
+   lock-order analysis over every Fig. 5 concurrency harness with its
+   fault disabled — any Race violation or acquisition-graph cycle is a
+   finding; (2) the page-lifecycle shadow over a put/flush/reclaim
+   workload on a real stack, ending with a leaked-extent audit — any
+   shadow report is a finding. Exit 1 on findings, so CI can gate on a
+   sanitizer-clean tree. *)
+let sanitize_run ~seed =
+  Faults.disable_all ();
+  let failures = ref 0 in
+  let cfg = Sanitize.default in
+  Printf.printf "sanitize: races + lock order over the clean Fig. 5 harnesses\n";
+  List.iter
+    (fun (name, fault) ->
+      let o =
+        Conc.Conc_detect.check_correct ~sanitize:cfg (Smc.Dfs { max_schedules = 20_000 }) fault
+      in
+      match (o.Smc.violation, o.Smc.lock_cycles) with
+      | None, [] ->
+        Printf.printf "  %-26s clean: %d schedules%s\n" name o.Smc.schedules_run
+          (if o.Smc.exhausted then " (exhaustive)" else "")
+      | _ ->
+        incr failures;
+        Format.printf "  %-26s %a@." name Smc.pp_outcome o)
+    [
+      ("#11 locator publication", Faults.F11_locator_race);
+      ("#12 buffer pool", Faults.F12_buffer_pool_deadlock);
+      ("#13 shard list/remove", Faults.F13_list_remove_race);
+      ("#14 compaction/reclaim", Faults.F14_compaction_reclaim_race);
+      ("#16 bulk create/remove", Faults.F16_bulk_create_remove_race);
+    ];
+  Printf.printf "sanitize: page-lifecycle shadow over put/flush/reclaim workloads\n";
+  List.iter
+    (fun seed ->
+      let config = { Disk.extent_count = 8; pages_per_extent = 8; page_size = 32 } in
+      let shadow =
+        Sanitize.Page_shadow.create ~extent_count:config.Disk.extent_count
+          ~pages_per_extent:config.Disk.pages_per_extent ~page_size:config.Disk.page_size ()
+      in
+      let disk = Disk.create ~shadow config in
+      let sched = Io_sched.create ~seed:(Int64.of_int seed) disk in
+      let cache = Cache.create sched in
+      let sb = Superblock.create sched ~extents:(0, 1) ~reserved:[ 0; 1 ] in
+      let rng = Util.Rng.create (Int64.of_int (seed + 1)) in
+      let cs = Chunk.Chunk_store.create sched ~cache ~superblock:sb ~rng in
+      let live : (string, Chunk.Locator.t) Hashtbl.t = Hashtbl.create 16 in
+      let fail msg =
+        incr failures;
+        Printf.printf "  seed %-4d FAILED: %s\n" seed msg
+      in
+      let put key =
+        match Chunk.Chunk_store.put cs ~owner:(Chunk.Chunk_format.Shard key) ~payload:key with
+        | Ok (loc, _) -> Hashtbl.replace live key loc
+        | Error e -> fail (Format.asprintf "put %s: %a" key Chunk.Chunk_store.pp_error e)
+      in
+      for i = 0 to 9 do
+        put (Printf.sprintf "k%d" i)
+      done;
+      (match Superblock.flush sb with Ok _ -> () | Error _ -> fail "superblock flush");
+      (match Io_sched.flush sched with Ok () -> () | Error _ -> fail "flush");
+      (* Reclaim every extent holding chunks, evacuating all of them. *)
+      let extents =
+        Hashtbl.fold (fun _ l acc -> if List.mem l.Chunk.Locator.extent acc then acc else l.Chunk.Locator.extent :: acc) live []
+      in
+      List.iter
+        (fun extent ->
+          match
+            Chunk.Chunk_store.reclaim cs ~extent ~index_basis:Dep.trivial
+              ~classify:(fun _ _ -> `Live)
+              ~relocate:(fun owner ~old_loc:_ ~new_loc ~new_dep ->
+                (match owner with
+                | Chunk.Chunk_format.Shard key -> Hashtbl.replace live key new_loc
+                | _ -> ());
+                new_dep)
+          with
+          | Ok _ -> ()
+          | Error e -> fail (Format.asprintf "reclaim %d: %a" extent Chunk.Chunk_store.pp_error e))
+        extents;
+      (match Superblock.flush sb with Ok _ -> () | Error _ -> fail "superblock flush");
+      (match Io_sched.flush sched with Ok () -> () | Error _ -> fail "flush");
+      (* Every get must still resolve; the shadow checks every read. *)
+      Hashtbl.iter
+        (fun key loc ->
+          match Chunk.Chunk_store.get cs loc with
+          | Ok c when c.Chunk.Chunk_format.payload = key -> ()
+          | Ok _ -> fail (Printf.sprintf "get %s: wrong payload" key)
+          | Error e -> fail (Format.asprintf "get %s: %a" key Chunk.Chunk_store.pp_error e))
+        live;
+      let in_use extent =
+        Hashtbl.fold (fun _ l acc -> acc || l.Chunk.Locator.extent = extent) live false
+      in
+      let leaks = Chunk.Chunk_store.close cs ~in_use in
+      List.iter
+        (fun (extent, pages) ->
+          incr failures;
+          Printf.printf "  seed %-4d LEAK: extent %d, %d pages\n" seed extent pages)
+        leaks;
+      let reports = Sanitize.Page_shadow.reports shadow in
+      List.iter
+        (fun r ->
+          incr failures;
+          Format.printf "  seed %-4d SHADOW: %a@." seed Sanitize.Page_shadow.pp_report r)
+        reports;
+      if leaks = [] && reports = [] then Printf.printf "  seed %-4d clean (shadow quiet)\n" seed)
+    [ seed; seed + 1; seed + 2 ];
+  if !failures = 0 then begin
+    Printf.printf "sanitizers clean\n";
+    0
+  end
+  else begin
+    Printf.printf "sanitizers reported %d finding(s)\n" !failures;
+    1
+  end
+
+let run_conformance sequences length seed metrics_out =
   Faults.disable_all ();
   Util.Coverage.reset ();
   let config = Lfm.Harness.default_config in
@@ -95,6 +210,9 @@ let run sequences length seed metrics_out =
   end
   else 1
 
+let run sequences length seed metrics_out sanitize =
+  if sanitize then sanitize_run ~seed else run_conformance sequences length seed metrics_out
+
 let sequences =
   Arg.(value & opt int 2000 & info [ "sequences"; "n" ] ~doc:"Sequences per profile.")
 
@@ -108,9 +226,19 @@ let metrics_out =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:"Export the metrics summary as JSONL to $(docv).")
 
+let sanitize =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Run the sanitizer suite instead of the conformance sweep: the vector-clock race \
+           detector and lock-order analysis over the known-clean concurrency harnesses, and \
+           the page-lifecycle shadow (plus a leaked-extent audit) over put/flush/reclaim \
+           workloads. Exit 1 on any finding.")
+
 let cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Run the pre-deployment conformance checks")
-    Term.(const run $ sequences $ length $ seed $ metrics_out)
+    Term.(const run $ sequences $ length $ seed $ metrics_out $ sanitize)
 
 let () = exit (Cmd.eval' cmd)

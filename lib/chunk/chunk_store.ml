@@ -32,6 +32,7 @@ type metrics = {
   m_evacuated : Obs.Counter.t;
   m_dropped : Obs.Counter.t;
   m_reclamations : Obs.Counter.t;
+  m_leaked : Obs.Counter.t;
 }
 
 type t = {
@@ -65,6 +66,7 @@ let create ?obs sched ~cache ~superblock ~rng =
         m_evacuated = Obs.counter ~coverage:true obs "reclaim.evacuated";
         m_dropped = Obs.counter ~coverage:true obs "reclaim.dropped";
         m_reclamations = Obs.counter obs "chunk.reclamation";
+        m_leaked = Obs.counter obs "chunk.leaked_extent";
       };
     open_ext = None;
     reclaiming = None;
@@ -329,3 +331,32 @@ let reclaim t ~extent ~index_basis ~classify ~relocate =
       Cache.note_reset t.cache ~extent;
       Superblock.set_owner t.sb ~extent Superblock.Free ~dep:reset_dep;
       Ok reset_dep)
+
+(* Leaked-extent audit: a data extent carrying bytes that no live reference
+   reaches ([in_use]) and that is not the open append target was written,
+   became unreachable, and was never reclaimed — its pages are leaked until
+   some future reclamation happens to pick it. Reported per extent, to the
+   attached page shadow (when any) and the [chunk.leaked_extent] counter. *)
+let close t ~in_use =
+  let ps = Io_sched.page_size t.sched in
+  let leaked =
+    List.filter_map
+      (fun extent ->
+        let soft = Io_sched.soft_ptr t.sched ~extent in
+        if soft > 0 && t.open_ext <> Some extent && not (in_use extent) then
+          Some (extent, (soft + ps - 1) / ps)
+        else None)
+      (Superblock.data_extents t.sb)
+  in
+  List.iter
+    (fun (extent, pages) ->
+      Obs.Counter.incr t.m.m_leaked;
+      (match Disk.shadow (Io_sched.disk t.sched) with
+      | Some s -> Sanitize.Page_shadow.report_leak s ~extent ~pages
+      | None -> ());
+      if Obs.tracing t.obs then
+        Obs.emit t.obs ~layer:"chunk" "leaked_extent"
+          [ ("extent", string_of_int extent); ("pages", string_of_int pages) ])
+    leaked;
+  t.open_ext <- None;
+  leaked

@@ -73,6 +73,14 @@ val reclaim :
     (Chunk_format.owner -> old_loc:Locator.t -> new_loc:Locator.t -> new_dep:Dep.t -> Dep.t) ->
   (Dep.t, error) result
 
+(** [close t ~in_use] audits for leaked extents at shutdown: data extents
+    carrying bytes ([soft_ptr > 0]) that are neither the open append
+    target nor reachable per [in_use extent]. Each leak is returned as
+    [(extent, written_pages)], counted under [chunk.leaked_extent], and —
+    when the underlying disk has a {!Sanitize.Page_shadow} attached —
+    reported to it as an [Extent_leak]. Forgets the open extent. *)
+val close : t -> in_use:(int -> bool) -> (int * int) list
+
 (** Extent currently open for allocation, if any. *)
 val open_extent : t -> int option
 

@@ -32,5 +32,8 @@ let put t ~payload =
     end
   end
 
-let published t = Smc.Cell.get t.visible
+(* Atomic snapshot: consuming the publication with an RMW gives readers
+   the happens-before edge from [publish], so slot reads that follow are
+   ordered after the writer's slot store. *)
+let published t = Smc.Cell.update t.visible Fun.id
 let read t ~locator = if locator < slot_count then Smc.Cell.get t.slots.(locator) else None

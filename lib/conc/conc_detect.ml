@@ -108,14 +108,14 @@ let get_harness fault =
     invalid_arg
       (Printf.sprintf "Conc_detect: fault #%d is not a concurrency fault" (Faults.number fault))
 
-let detect strategy fault =
+let detect ?sanitize strategy fault =
   let h = get_harness fault in
   Faults.disable_all ();
   Faults.reset_counters ();
   Faults.enable fault;
-  Fun.protect ~finally:(fun () -> Faults.disable fault) (fun () -> Smc.explore strategy h)
+  Fun.protect ~finally:(fun () -> Faults.disable fault) (fun () -> Smc.explore ?sanitize strategy h)
 
-let check_correct strategy fault =
+let check_correct ?sanitize strategy fault =
   let h = get_harness fault in
   Faults.disable_all ();
-  Smc.explore strategy h
+  Smc.explore ?sanitize strategy h

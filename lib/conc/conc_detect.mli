@@ -14,9 +14,12 @@
 val harness : Faults.t -> (unit -> unit) option
 
 (** [detect strategy fault] enables [fault], explores the harness,
-    disables it. Raises [Invalid_argument] for non-concurrency faults. *)
-val detect : Smc.strategy -> Faults.t -> Smc.outcome
+    disables it. Raises [Invalid_argument] for non-concurrency faults.
+    [sanitize] runs the {!Sanitize} detectors alongside. *)
+val detect : ?sanitize:Sanitize.config -> Smc.strategy -> Faults.t -> Smc.outcome
 
 (** [check_correct strategy fault] runs the same harness with no fault
-    enabled (expected: no violation). *)
-val check_correct : Smc.strategy -> Faults.t -> Smc.outcome
+    enabled (expected: no violation, and — the harnesses synchronize all
+    shared state through locks and atomic RMW cells — no sanitizer race
+    either). *)
+val check_correct : ?sanitize:Sanitize.config -> Smc.strategy -> Faults.t -> Smc.outcome

@@ -96,7 +96,8 @@ let reclaim t ~extent =
             ignore (Smc.Cell.update t.extents.(target) (fun cs -> c :: cs))
           (* else: unreferenced, dropped *))
         chunks;
-      (* reset the extent *)
-      Smc.Cell.set t.extents.(extent) [])
+      (* reset the extent — atomically, like every other mutation of the
+         shared extent lists *)
+      ignore (Smc.Cell.update t.extents.(extent) (fun _ -> [])))
 
 let chunks_on t ~extent = List.length (Smc.Cell.peek t.extents.(extent))

@@ -50,14 +50,15 @@ type t = {
   extents : extent array;
   mutable obs : Obs.t;
   mutable m : metrics;
+  mutable shadow : Sanitize.Page_shadow.t option;
 }
 
-let create ?obs config =
+let create ?obs ?shadow config =
   assert (config.extent_count > 0 && config.pages_per_extent > 0 && config.page_size > 0);
   let size = extent_size config in
   let mk _ = { data = Bytes.make size '\000'; hard_ptr = 0; epoch = 0; fault = Healthy } in
   let obs = match obs with Some o -> o | None -> Obs.create ~scope:"disk" () in
-  { config; extents = Array.init config.extent_count mk; obs; m = make_metrics obs }
+  { config; extents = Array.init config.extent_count mk; obs; m = make_metrics obs; shadow }
 
 let copy t =
   let obs = Obs.create ~scope:"disk" () in
@@ -70,7 +71,13 @@ let copy t =
         t.extents;
     obs;
     m = make_metrics obs;
+    (* Clones are scratch space for the crash-state enumerator; shadow
+       checking stays on the primary view only. *)
+    shadow = None;
   }
+
+let attach_shadow t shadow = t.shadow <- Some shadow
+let shadow t = t.shadow
 
 let obs t = t.obs
 
@@ -133,12 +140,22 @@ let write t ~extent ~off data =
     e.hard_ptr <- off + len;
     Obs.Counter.incr t.m.writes;
     Obs.Counter.add t.m.bytes_written len;
+    (* Shadow commits only on success: the shadow mirrors the durable view. *)
+    (match t.shadow with
+    | Some s -> Sanitize.Page_shadow.on_write s ~extent ~off ~len
+    | None -> ());
     Ok ()
   end
 
-let read t ~extent ~off ~len =
+let read ?expect_epoch t ~extent ~off ~len =
   let* e = get_extent t extent in
   let* () = check_fault t e in
+  (* Check-only, on the attempt: a faulting read (e.g. past the rewound
+     pointer of a reset extent) is reported here even though the bounds
+     check below rejects it. *)
+  (match t.shadow with
+  | Some s -> Sanitize.Page_shadow.on_read ?expect_epoch s ~extent ~off ~len
+  | None -> ());
   if len < 0 || off < 0 then Error (Out_of_bounds "negative offset or length")
   else if off + len > e.hard_ptr then
     Error
@@ -156,6 +173,9 @@ let reset ?epoch t ~extent =
   e.hard_ptr <- 0;
   e.epoch <- (match epoch with Some v -> v | None -> e.epoch + 1);
   Obs.Counter.incr t.m.resets;
+  (match t.shadow with
+  | Some s -> Sanitize.Page_shadow.on_reset s ~extent ~epoch:e.epoch
+  | None -> ());
   Ok ()
 
 let consume_fault t ~extent =

@@ -32,10 +32,12 @@ val pp_io_error : Format.formatter -> io_error -> unit
 
 type t
 
-(** [create ?obs config] — a fresh, zeroed disk. Metrics ([disk.read],
-    [disk.write], [disk.reset], [disk.bytes_written], [disk.fault_injected])
-    land in [obs] when given, else in a private registry. *)
-val create : ?obs:Obs.t -> config -> t
+(** [create ?obs ?shadow config] — a fresh, zeroed disk. Metrics
+    ([disk.read], [disk.write], [disk.reset], [disk.bytes_written],
+    [disk.fault_injected]) land in [obs] when given, else in a private
+    registry. [shadow] attaches a page-lifecycle sanitizer (see
+    {!attach_shadow}). *)
+val create : ?obs:Obs.t -> ?shadow:Sanitize.Page_shadow.t -> config -> t
 
 (** [copy t] — deep copy of the durable state (fault arming reset to
     healthy). The crash-state enumerator evaluates candidate crash states
@@ -54,6 +56,19 @@ val obs : t -> Obs.t
     covers the whole stack when a store is opened on an existing disk. *)
 val attach_obs : t -> Obs.t -> unit
 
+(** {2 Page-lifecycle sanitizer} *)
+
+(** [attach_shadow t shadow] enables shadow checking of this disk's
+    durable view: successful writes and resets commit shadow state, and
+    every read attempt is checked (read-after-reset, stale epoch,
+    unwritten pages) — see {!Sanitize.Page_shadow}. Attach a shadow to a
+    fresh disk only: the shadow assumes it observes the extent lifecycle
+    from the beginning. [copy] never carries the shadow over (crash-state
+    clones are scratch space). *)
+val attach_shadow : t -> Sanitize.Page_shadow.t -> unit
+
+val shadow : t -> Sanitize.Page_shadow.t option
+
 (** [hard_ptr t ~extent] is the device write pointer: the number of bytes
     physically written since the last durable reset. Models the queryable
     zone pointer of zoned devices; recovery trusts this value. *)
@@ -68,10 +83,13 @@ val epoch : t -> extent:int -> int
     guarantees this by issuing per-extent IOs in order. *)
 val write : t -> extent:int -> off:int -> string -> (unit, io_error) result
 
-(** [read t ~extent ~off ~len] reads durable bytes. Reading at or beyond
-    the hard pointer is rejected: ShardStore forbids reads past an extent's
-    write pointer. *)
-val read : t -> extent:int -> off:int -> len:int -> (string, io_error) result
+(** [read ?expect_epoch t ~extent ~off ~len] reads durable bytes. Reading
+    at or beyond the hard pointer is rejected: ShardStore forbids reads
+    past an extent's write pointer. [expect_epoch] is the epoch the caller
+    believes current (a locator epoch); when a shadow is attached, a
+    mismatch against the touched pages' birth epoch is reported as a read
+    of a recycled extent — at this faulting read, before any rejection. *)
+val read : ?expect_epoch:int -> t -> extent:int -> off:int -> len:int -> (string, io_error) result
 
 (** [reset ?epoch t ~extent] durably rewinds the write pointer and bumps
     the epoch (to [epoch] when given — the scheduler mints session-monotone

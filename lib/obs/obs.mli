@@ -71,7 +71,14 @@ val scope : t -> string
     the counter [name] with [labels]. With [~coverage:true] every increment
     also feeds the global {!Coverage} counter of the same name. Raises
     [Invalid_argument] if [name]+[labels] is already registered as another
-    metric kind. *)
+    metric kind.
+
+    Names are dot-separated, layer first ([disk.write], [cache.hit],
+    [chunk.put], ...). The [sanitize.*] namespace is reserved for the
+    dynamic-analysis detectors: [Sanitize.Page_shadow] reports one
+    [sanitize.page.<kind>] counter per report kind plus the
+    [sanitize.page.reports] total, and [chunk.leaked_extent] counts
+    extents the close-time audit found leaked. *)
 val counter : ?labels:(string * string) list -> ?coverage:bool -> t -> string -> Counter.t
 
 val gauge : ?labels:(string * string) list -> t -> string -> Gauge.t

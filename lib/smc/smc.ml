@@ -6,6 +6,9 @@ type _ Effect.t +=
   | Spawn : (unit -> unit) -> unit Effect.t
   | Block : (unit -> bool) -> unit Effect.t
   | Tid : int Effect.t
+  | Note : Sanitize.event -> unit Effect.t
+      (** instrumentation event; handled without a scheduling point, so
+          sanitizers never change the schedule tree *)
 
 (* {2 Primitives} *)
 
@@ -13,29 +16,55 @@ let yield () = try perform Yield with Effect.Unhandled _ -> ()
 let spawn f = try perform (Spawn f) with Effect.Unhandled _ -> f ()
 let thread_id () = try perform Tid with Effect.Unhandled _ -> 0
 let block pred = try perform (Block pred) with Effect.Unhandled _ -> assert (pred ())
+let note ev = try perform (Note ev) with Effect.Unhandled _ -> ()
 
-let rec wait_until pred =
-  yield ();
-  if not (pred ()) then begin
-    block pred;
-    wait_until pred
-  end
+let wait_until pred =
+  let rec go () =
+    yield ();
+    if not (pred ()) then begin
+      block pred;
+      go ()
+    end
+  in
+  go ();
+  (* The predicate was observed true: a barrier for the race detector,
+     which cannot rely on a wake (the predicate may hold on first check,
+     with no block ever issued). Non-scheduling. *)
+  note Sanitize.Barrier
+
+(* Location and lock ids, minted in creation order. [run_one] rewinds the
+   counters at the start of every schedule, so a deterministic body gives
+   every cell and lock the same id on every schedule and on replay. *)
+let next_cell_id = ref 0
+let next_lock_id = ref 0
+let next_sem_id = ref 0
 
 module Cell = struct
-  type 'a t = { mutable v : 'a }
+  type 'a t = {
+    id : int;
+    mutable v : 'a;
+  }
 
-  let make v = { v }
+  let make v =
+    let id = !next_cell_id in
+    incr next_cell_id;
+    { id; v }
+
+  let id t = t.id
 
   let get t =
     yield ();
+    note (Sanitize.Read t.id);
     t.v
 
   let set t v =
     yield ();
+    note (Sanitize.Write t.id);
     t.v <- v
 
   let update t f =
     yield ();
+    note (Sanitize.Rmw t.id);
     let old = t.v in
     t.v <- f old;
     old
@@ -44,14 +73,22 @@ module Cell = struct
 end
 
 module Mutex = struct
-  type t = { mutable held_by : int option }
+  type t = {
+    id : int;
+    mutable held_by : int option;
+  }
 
-  let create () = { held_by = None }
+  let create () =
+    let id = !next_lock_id in
+    incr next_lock_id;
+    { id; held_by = None }
 
   let rec lock t =
     yield ();
     match t.held_by with
-    | None -> t.held_by <- Some (thread_id ())
+    | None ->
+      t.held_by <- Some (thread_id ());
+      note (Sanitize.Lock_acquire t.id)
     | Some owner ->
       if owner = thread_id () then failwith "Smc.Mutex: recursive lock";
       block (fun () -> t.held_by = None);
@@ -59,7 +96,9 @@ module Mutex = struct
 
   let unlock t =
     match t.held_by with
-    | Some owner when owner = thread_id () -> t.held_by <- None
+    | Some owner when owner = thread_id () ->
+      t.held_by <- None;
+      note (Sanitize.Lock_release t.id)
     | Some _ -> failwith "Smc.Mutex: unlock by non-owner"
     | None -> failwith "Smc.Mutex: unlock of free mutex"
 
@@ -69,15 +108,23 @@ module Mutex = struct
 end
 
 module Semaphore = struct
-  type t = { mutable count : int }
+  type t = {
+    id : int;
+    mutable count : int;
+  }
 
   let create count =
     assert (count >= 0);
-    { count }
+    let id = !next_sem_id in
+    incr next_sem_id;
+    { id; count }
 
   let rec acquire t =
     yield ();
-    if t.count > 0 then t.count <- t.count - 1
+    if t.count > 0 then begin
+      t.count <- t.count - 1;
+      note (Sanitize.Sem_acquire t.id)
+    end
     else begin
       block (fun () -> t.count > 0);
       acquire t
@@ -87,11 +134,18 @@ module Semaphore = struct
     yield ();
     if t.count > 0 then begin
       t.count <- t.count - 1;
+      note (Sanitize.Sem_acquire t.id);
       true
     end
     else false
 
-  let release t = t.count <- t.count + 1
+  let release t =
+    (* The release is a scheduling point: without the yield, DFS never
+       explores interleavings where a waiter wakes between the release and
+       the releaser's next access. *)
+    yield ();
+    t.count <- t.count + 1;
+    note (Sanitize.Sem_release t.id)
 end
 
 (* {2 The scheduler} *)
@@ -107,6 +161,10 @@ and resumption = unit -> slice_result
 
 let current_tid = ref 0
 
+(* Where [Note] events land; [run_one] points this at the active monitor.
+   The sink runs with [current_tid] set to the emitting thread. *)
+let note_sink : (Sanitize.event -> unit) ref = ref (fun _ -> ())
+
 let start_thread (body : unit -> unit) : resumption =
  fun () ->
   match_with body ()
@@ -121,6 +179,11 @@ let start_thread (body : unit -> unit) : resumption =
           | Block pred -> Some (fun k -> Blocked_on (pred, fun () -> continue k ()))
           | Spawn g -> Some (fun k -> Spawned (g, fun () -> continue k ()))
           | Tid -> Some (fun k -> continue k !current_tid)
+          | Note ev ->
+            Some
+              (fun k ->
+                !note_sink ev;
+                continue k ())
           | _ -> None);
     }
 
@@ -133,6 +196,11 @@ type violation_kind =
   | Assertion of string
   | Exception of string
   | Deadlock of { blocked : int }
+  | Race of {
+      loc : int;
+      tids : int * int;
+      access : string;
+    }
 
 type violation = {
   kind : violation_kind;
@@ -146,6 +214,8 @@ let pp_violation fmt v =
     | Assertion msg -> Printf.sprintf "assertion failed: %s" msg
     | Exception msg -> Printf.sprintf "exception: %s" msg
     | Deadlock { blocked } -> Printf.sprintf "deadlock: %d threads blocked" blocked
+    | Race { loc; tids = (a, b); access } ->
+      Printf.sprintf "data race (%s) on cell #%d between threads %d and %d" access loc a b
   in
   Format.fprintf fmt "%s after %d steps (schedule [%s])" kind v.steps
     (String.concat ";" (List.map string_of_int v.schedule))
@@ -155,87 +225,173 @@ type outcome = {
   total_steps : int;
   exhausted : bool;
   violation : violation option;
+  lock_cycles : int list list;
 }
 
 let pp_outcome fmt o =
-  match o.violation with
+  (match o.violation with
   | None ->
     Format.fprintf fmt "no violation in %d schedules (%d steps%s)" o.schedules_run o.total_steps
       (if o.exhausted then ", exhaustive" else "")
-  | Some v -> Format.fprintf fmt "%a [%d schedules explored]" pp_violation v o.schedules_run
+  | Some v -> Format.fprintf fmt "%a [%d schedules explored]" pp_violation v o.schedules_run);
+  match o.lock_cycles with
+  | [] -> ()
+  | cycles ->
+    Format.fprintf fmt "; %d potential lock-order cycle(s):" (List.length cycles);
+    List.iter (fun c -> Format.fprintf fmt " %a" Sanitize.Lock_order.pp_cycle c) cycles
 
 type thread = {
   id : int;
   mutable res : resumption;
 }
 
+(* Runnable set: an array kept sorted by thread id — same order the old
+   sort-per-step list bookkeeping produced, without the O(n^2) step cost of
+   [List.nth]/[List.sort]/[List.filter]. *)
+module Runq = struct
+  type t = {
+    mutable a : thread array;
+    mutable n : int;
+  }
+
+  let dummy = { id = -1; res = (fun () -> Done) }
+  let create () = { a = Array.make 8 dummy; n = 0 }
+  let size t = t.n
+
+  let insert t th =
+    if t.n = Array.length t.a then begin
+      let b = Array.make (2 * t.n) dummy in
+      Array.blit t.a 0 b 0 t.n;
+      t.a <- b
+    end;
+    let i = ref t.n in
+    while !i > 0 && t.a.(!i - 1).id > th.id do
+      t.a.(!i) <- t.a.(!i - 1);
+      decr i
+    done;
+    t.a.(!i) <- th;
+    t.n <- t.n + 1
+
+  let remove t i =
+    let th = t.a.(i) in
+    Array.blit t.a (i + 1) t.a i (t.n - i - 1);
+    t.n <- t.n - 1;
+    t.a.(t.n) <- dummy;
+    th
+
+  let ids t = List.init t.n (fun i -> t.a.(i).id)
+end
+
 exception Too_many_steps
 
 (* Run one schedule. [choose ~step ~runnable:ids] receives the ids of the
    runnable threads (sorted) and returns the position of the one to
    execute. Returns the recorded choices (with arity, for DFS), the step
-   count, and the violation if any. *)
-let run_one ~choose body =
-  let runnable : thread list ref = ref [ { id = 0; res = start_thread body } ] in
+   count, and the violation if any. [monitor] receives instrumentation
+   events in execution order and may flag a race, which becomes the
+   schedule's violation. *)
+let run_one ?monitor ~choose body =
+  next_cell_id := 0;
+  next_lock_id := 0;
+  next_sem_id := 0;
+  let runq = Runq.create () in
+  Runq.insert runq { id = 0; res = start_thread body };
   let blocked : (thread * (unit -> bool)) list ref = ref [] in
   let next_id = ref 1 in
   let trace = ref [] in
   let step = ref 0 in
   let violation = ref None in
   let max_steps = 1_000_000 in
-  (try
-     while !violation = None && (!runnable <> [] || !blocked <> []) do
-       (* Wake blocked threads whose predicate holds. *)
-       let wake, still = List.partition (fun (_, pred) -> pred ()) !blocked in
-       blocked := still;
-       runnable := !runnable @ List.map fst wake;
-       runnable := List.sort (fun a b -> compare a.id b.id) !runnable;
-       match !runnable with
-       | [] ->
-         violation := Some (Deadlock { blocked = List.length !blocked })
-       | threads ->
-         let n = List.length threads in
-         let ids = List.map (fun t -> t.id) threads in
-         let idx = if n = 1 then 0 else choose ~step:!step ~runnable:ids in
-         let idx = if idx < 0 || idx >= n then 0 else idx in
-         trace := (idx, n) :: !trace;
-         incr step;
-         if !step > max_steps then raise Too_many_steps;
-         let t = List.nth threads idx in
-         runnable := List.filter (fun t' -> t'.id <> t.id) threads;
-         current_tid := t.id;
-         (match t.res () with
-         | Done -> ()
-         | Yielded r ->
-           t.res <- r;
-           runnable := t :: !runnable
-         | Blocked_on (pred, r) ->
-           t.res <- r;
-           blocked := (t, pred) :: !blocked
-         | Spawned (g, r) ->
-           t.res <- r;
-           let child = { id = !next_id; res = start_thread g } in
-           incr next_id;
-           runnable := t :: child :: !runnable
-         | Raised (Assert_failure (file, line, _)) ->
-           violation := Some (Assertion (Printf.sprintf "%s:%d" file line))
-         | Raised (Failure msg) -> violation := Some (Assertion msg)
-         | Raised e -> violation := Some (Exception (Printexc.to_string e)))
-     done
-   with Too_many_steps -> violation := Some (Exception "step budget exhausted (livelock?)"));
-  (List.rev !trace, !step, !violation)
+  let saved_sink = !note_sink in
+  (match monitor with
+  | Some m -> note_sink := (fun ev -> Sanitize.Monitor.on_event m ~tid:!current_tid ev)
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () -> note_sink := saved_sink)
+    (fun () ->
+      (try
+         while !violation = None && (Runq.size runq > 0 || !blocked <> []) do
+           (* Wake blocked threads whose predicate holds. *)
+           let wake, still = List.partition (fun (_, pred) -> pred ()) !blocked in
+           blocked := still;
+           List.iter
+             (fun (th, _) ->
+               (match monitor with
+               | Some m -> Sanitize.Monitor.on_wake m ~tid:th.id
+               | None -> ());
+               Runq.insert runq th)
+             wake;
+           if Runq.size runq = 0 then
+             violation := Some (Deadlock { blocked = List.length !blocked })
+           else begin
+             let n = Runq.size runq in
+             let idx = if n = 1 then 0 else choose ~step:!step ~runnable:(Runq.ids runq) in
+             let idx = if idx < 0 || idx >= n then 0 else idx in
+             trace := (idx, n) :: !trace;
+             incr step;
+             if !step > max_steps then raise Too_many_steps;
+             let t = Runq.remove runq idx in
+             current_tid := t.id;
+             (match t.res () with
+             | Done -> ()
+             | Yielded r ->
+               t.res <- r;
+               Runq.insert runq t
+             | Blocked_on (pred, r) ->
+               t.res <- r;
+               blocked := (t, pred) :: !blocked
+             | Spawned (g, r) ->
+               t.res <- r;
+               let child = { id = !next_id; res = start_thread g } in
+               incr next_id;
+               (match monitor with
+               | Some m -> Sanitize.Monitor.on_spawn m ~parent:t.id ~child:child.id
+               | None -> ());
+               Runq.insert runq t;
+               Runq.insert runq child
+             | Raised (Assert_failure (file, line, _)) ->
+               violation := Some (Assertion (Printf.sprintf "%s:%d" file line))
+             | Raised (Failure msg) -> violation := Some (Assertion msg)
+             | Raised e -> violation := Some (Exception (Printexc.to_string e)));
+             match monitor with
+             | Some m -> (
+               match Sanitize.Monitor.race m with
+               | Some r when !violation = None ->
+                 violation :=
+                   Some (Race { loc = r.Sanitize.loc; tids = r.Sanitize.tids; access = r.Sanitize.access })
+               | _ -> ())
+             | None -> ()
+           end
+         done
+       with Too_many_steps -> violation := Some (Exception "step budget exhausted (livelock?)"));
+      (List.rev !trace, !step, !violation))
 
-let finish ~schedules_run ~total_steps ~exhausted trace steps kind =
+(* Per-exploration sanitizer state: a monitor factory (fresh per schedule)
+   and the lock-order graph accumulated across every schedule. *)
+let sanitize_setup sanitize =
+  match sanitize with
+  | Some cfg when Sanitize.enabled cfg ->
+    let graph =
+      if cfg.Sanitize.lock_order then Some (Sanitize.Lock_order.create ()) else None
+    in
+    let mk () = Some (Sanitize.Monitor.create ?lock_order:graph ~mode:cfg.Sanitize.races ()) in
+    let cycles () = match graph with Some g -> Sanitize.Lock_order.cycles g | None -> [] in
+    (mk, cycles)
+  | _ -> ((fun () -> None), fun () -> [])
+
+let finish ~schedules_run ~total_steps ~exhausted ~lock_cycles trace steps kind =
   {
     schedules_run;
     total_steps;
     exhausted;
     violation = Some { kind; schedule = List.map fst trace; steps };
+    lock_cycles;
   }
 
-let explore_dfs ~max_schedules body =
+let explore_dfs ?sanitize ~max_schedules body =
   (* Iterative DFS over the schedule tree: re-execute with a forced prefix,
      then advance the deepest branch point with unexplored siblings. *)
+  let mk_monitor, cycles = sanitize_setup sanitize in
   let prefix = ref [||] in
   let schedules = ref 0 in
   let total_steps = ref 0 in
@@ -244,15 +400,15 @@ let explore_dfs ~max_schedules body =
   while !result = None && not !exhausted && !schedules < max_schedules do
     let p = !prefix in
     let choose ~step ~runnable:(_ : int list) = if step < Array.length p then p.(step) else 0 in
-    let trace, steps, violation = run_one ~choose body in
+    let trace, steps, violation = run_one ?monitor:(mk_monitor ()) ~choose body in
     incr schedules;
     total_steps := !total_steps + steps;
     match violation with
     | Some kind ->
       result :=
         Some
-          (finish ~schedules_run:!schedules ~total_steps:!total_steps ~exhausted:false trace
-             steps kind)
+          (finish ~schedules_run:!schedules ~total_steps:!total_steps ~exhausted:false
+             ~lock_cycles:(cycles ()) trace steps kind)
     | None ->
       (* Find the deepest choice with an unexplored sibling. *)
       let arr = Array.of_list trace in
@@ -279,35 +435,46 @@ let explore_dfs ~max_schedules body =
       total_steps = !total_steps;
       exhausted = !exhausted;
       violation = None;
+      lock_cycles = cycles ();
     }
 
-let explore_random ~seed ~schedules body =
+let explore_random ?sanitize ~seed ~schedules body =
+  let mk_monitor, cycles = sanitize_setup sanitize in
   let rng = Util.Rng.of_int seed in
   let total_steps = ref 0 in
   let result = ref None in
   let run = ref 0 in
   while !result = None && !run < schedules do
     let choose ~step:_ ~runnable:ids = Util.Rng.int rng (List.length ids) in
-    let trace, steps, violation = run_one ~choose body in
+    let trace, steps, violation = run_one ?monitor:(mk_monitor ()) ~choose body in
     incr run;
     total_steps := !total_steps + steps;
     match violation with
     | Some kind ->
       result :=
-        Some (finish ~schedules_run:!run ~total_steps:!total_steps ~exhausted:false trace steps kind)
+        Some
+          (finish ~schedules_run:!run ~total_steps:!total_steps ~exhausted:false
+             ~lock_cycles:(cycles ()) trace steps kind)
     | None -> ()
   done;
   match !result with
   | Some r -> r
   | None ->
-    { schedules_run = !run; total_steps = !total_steps; exhausted = false; violation = None }
+    {
+      schedules_run = !run;
+      total_steps = !total_steps;
+      exhausted = false;
+      violation = None;
+      lock_cycles = cycles ();
+    }
 
 (* PCT (Burckhardt et al., ASPLOS 2010): each thread gets a random
    priority on first appearance; the highest-priority runnable thread runs;
    at [depth - 1] randomly chosen steps the running thread's priority is
    demoted below every other, forcing a context switch. Few random
    decisions per run give the O(1/(n k^(d-1))) bug-finding guarantee. *)
-let explore_pct ~seed ~schedules ~depth body =
+let explore_pct ?sanitize ~seed ~schedules ~depth body =
+  let mk_monitor, cycles = sanitize_setup sanitize in
   let rng = Util.Rng.of_int seed in
   let total_steps = ref 0 in
   let result = ref None in
@@ -345,29 +512,38 @@ let explore_pct ~seed ~schedules ~depth body =
       end;
       !best_pos
     in
-    let trace, steps, violation = run_one ~choose body in
+    let trace, steps, violation = run_one ?monitor:(mk_monitor ()) ~choose body in
     incr run;
     total_steps := !total_steps + steps;
     estimated_len := max 16 steps;
     match violation with
     | Some kind ->
       result :=
-        Some (finish ~schedules_run:!run ~total_steps:!total_steps ~exhausted:false trace steps kind)
+        Some
+          (finish ~schedules_run:!run ~total_steps:!total_steps ~exhausted:false
+             ~lock_cycles:(cycles ()) trace steps kind)
     | None -> ()
   done;
   match !result with
   | Some r -> r
   | None ->
-    { schedules_run = !run; total_steps = !total_steps; exhausted = false; violation = None }
+    {
+      schedules_run = !run;
+      total_steps = !total_steps;
+      exhausted = false;
+      violation = None;
+      lock_cycles = cycles ();
+    }
 
-let explore strategy body =
+let explore ?sanitize strategy body =
   match strategy with
-  | Dfs { max_schedules } -> explore_dfs ~max_schedules body
-  | Random_walk { seed; schedules } -> explore_random ~seed ~schedules body
-  | Pct { seed; schedules; depth } -> explore_pct ~seed ~schedules ~depth body
+  | Dfs { max_schedules } -> explore_dfs ?sanitize ~max_schedules body
+  | Random_walk { seed; schedules } -> explore_random ?sanitize ~seed ~schedules body
+  | Pct { seed; schedules; depth } -> explore_pct ?sanitize ~seed ~schedules ~depth body
 
-let replay body schedule =
+let replay ?sanitize body schedule =
+  let mk_monitor, _cycles = sanitize_setup sanitize in
   let p = Array.of_list schedule in
   let choose ~step ~runnable:(_ : int list) = if step < Array.length p then p.(step) else 0 in
-  let _, steps, violation = run_one ~choose body in
+  let _, steps, violation = run_one ?monitor:(mk_monitor ()) ~choose body in
   Option.map (fun kind -> { kind; schedule; steps }) violation

@@ -19,7 +19,20 @@
     Checking is sound for programs whose only inter-thread communication
     goes through these primitives: the scheduler is the only source of
     non-determinism, and a single domain executes everything, so there are
-    no data races outside the modelled scheduling points. *)
+    no data races outside the modelled scheduling points.
+
+    {b Sanitizers.} Pass [~sanitize] to {!explore}/{!replay} to run the
+    {!Sanitize} detectors alongside checking. The memory model they assume:
+    [Cell.get]/[Cell.set] are {e plain} accesses (race-checked), while
+    [Cell.update] is an atomic read-modify-write and a pure
+    synchronization point (it orders, like a mutex, and is never itself
+    reported as racing). Publish shared state with [update] (or under a
+    lock) and the vector-clock detector stays quiet; publish with [set]
+    against a concurrent [get] and it reports a {!Race} on every schedule
+    that reorders the pair — even schedules where the final state is
+    correct. Instrumentation events are delivered through a
+    non-scheduling effect, so enabling sanitizers never changes the
+    schedule tree: schedule ids stay valid with sanitizers on or off. *)
 
 (** {2 Primitives (valid only inside a running exploration)} *)
 
@@ -39,11 +52,22 @@ val thread_id : unit -> int
     true, stays true until the waiter runs). *)
 val wait_until : (unit -> bool) -> unit
 
-(** Atomic cells; every access is a scheduling point. *)
+(** Atomic cells; every access is a scheduling point.
+
+    For the race detector, [get]/[set] are plain accesses and [update] is
+    an atomic RMW (a synchronization point). Cells are numbered in
+    creation order, restarting at 0 for every schedule, so a
+    deterministic body gives each cell the same {!Cell.id} on every
+    schedule and on replay — the [loc] in a {!Race} report. *)
 module Cell : sig
   type 'a t
 
   val make : 'a -> 'a t
+
+  (** Location id used in {!Race} reports (creation order within the
+      current run). *)
+  val id : 'a t -> int
+
   val get : 'a t -> 'a
   val set : 'a t -> 'a -> unit
 
@@ -69,6 +93,9 @@ module Semaphore : sig
   val create : int -> t
   val acquire : t -> unit
   val try_acquire : t -> bool
+
+  (** A scheduling point (so waiters can be explored waking between the
+      release and the releaser's next access). *)
   val release : t -> unit
 end
 
@@ -87,6 +114,14 @@ type violation_kind =
   | Assertion of string  (** [Assert_failure] or [Failure] inside a thread *)
   | Exception of string
   | Deadlock of { blocked : int }
+  | Race of {
+      loc : int;  (** {!Cell.id} of the racing cell *)
+      tids : int * int;  (** the two racing threads, earlier access first *)
+      access : string;
+          (** ["write/write"], ["read/write"], ["write/read"] or ["lockset"] *)
+    }
+      (** flagged by the sanitizer ([~sanitize]) even on schedules where
+          the race does not corrupt state *)
 
 type violation = {
   kind : violation_kind;
@@ -101,15 +136,23 @@ type outcome = {
   total_steps : int;
   exhausted : bool;  (** DFS explored the entire tree within budget *)
   violation : violation option;
+  lock_cycles : int list list;
+      (** potential-deadlock cycles in the lock-acquisition graph
+          accumulated across {e all} explored schedules (empty unless
+          [~sanitize] enables lock-order analysis); reported even when no
+          schedule deadlocked *)
 }
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-(** [explore strategy body] — runs [body] under many schedules. [body] is
-    re-executed from scratch per schedule and must be deterministic apart
-    from scheduling. Returns on the first violation. *)
-val explore : strategy -> (unit -> unit) -> outcome
+(** [explore ?sanitize strategy body] — runs [body] under many schedules.
+    [body] is re-executed from scratch per schedule and must be
+    deterministic apart from scheduling. Returns on the first violation
+    (including sanitizer-flagged {!Race}s). [sanitize] defaults to
+    {!Sanitize.off}; existing harnesses behave identically without it. *)
+val explore : ?sanitize:Sanitize.config -> strategy -> (unit -> unit) -> outcome
 
 (** [replay body schedule] re-executes one schedule (for debugging).
-    Returns the violation it reproduces, if any. *)
-val replay : (unit -> unit) -> int list -> violation option
+    Returns the violation it reproduces, if any. Pass the same [sanitize]
+    config used during exploration to reproduce {!Race} violations. *)
+val replay : ?sanitize:Sanitize.config -> (unit -> unit) -> int list -> violation option

@@ -132,6 +132,28 @@ let test_semaphore_release_unblocks () =
   Alcotest.(check bool) "no violation" true (o.Smc.violation = None);
   Alcotest.(check bool) "exhaustive" true o.Smc.exhausted
 
+(* [Semaphore.release] is a scheduling point: DFS must explore a waiter
+   waking between the release and the releaser's next step. Pinning the
+   exhaustive schedule count for the acquire/release body above guards
+   that — before release yielded, the same body exhausted at only 224
+   schedules, silently skipping every such interleaving. *)
+let test_semaphore_release_schedule_count () =
+  let body () =
+    let s = Smc.Semaphore.create 1 in
+    let done_ = Smc.Cell.make 0 in
+    let worker () =
+      Smc.Semaphore.acquire s;
+      Smc.Semaphore.release s;
+      ignore (Smc.Cell.update done_ (fun d -> d + 1))
+    in
+    Smc.spawn worker;
+    Smc.spawn worker
+  in
+  let o = Smc.explore (Smc.Dfs { max_schedules = 1_000_000 }) body in
+  Alcotest.(check bool) "no violation" true (o.Smc.violation = None);
+  Alcotest.(check bool) "exhaustive" true o.Smc.exhausted;
+  Alcotest.(check int) "schedule count" 1065 o.Smc.schedules_run
+
 let test_mutex_misuse_detected () =
   let o =
     Smc.explore
@@ -346,6 +368,8 @@ let () =
         [
           Alcotest.test_case "semaphore exhaustion deadlock" `Quick test_semaphore;
           Alcotest.test_case "semaphore release unblocks" `Quick test_semaphore_release_unblocks;
+          Alcotest.test_case "semaphore release is a scheduling point" `Quick
+            test_semaphore_release_schedule_count;
           Alcotest.test_case "mutex misuse" `Quick test_mutex_misuse_detected;
           Alcotest.test_case "works outside exploration" `Quick
             test_primitives_work_outside_exploration;
