@@ -1,0 +1,113 @@
+(* Batched request plane: put_batch (group commit) vs a sequential put
+   loop, same total work per arm. Reports ops/sec per batch size plus the
+   amortization counters, and the speedup over the sequential arm — the
+   number recorded in EXPERIMENTS.md ("Batch throughput").
+
+   Workload: small-object ingest (64 B values), the regime where
+   per-request overhead dominates and group commit pays. Both arms run
+   the same ingest-tuned maintenance cadence (index flush every 128 keys,
+   compaction at 12 runs) sized to the 1024-op workload, so LSM
+   maintenance — identical work in both arms — does not drown the
+   request-plane cost being measured.
+
+   Environment:
+     BATCH_BENCH_SMOKE=1   tiny op budget (CI smoke job, < 30 s) *)
+
+module S = Store.Default
+
+let smoke = Sys.getenv_opt "BATCH_BENCH_SMOKE" = Some "1"
+let ops_total = if smoke then 192 else 1024
+let value_bytes = 64
+let repeats = if smoke then 1 else 3
+
+let config =
+  { S.default_config with S.index_flush_threshold = 128; S.compact_threshold = 12 }
+
+let fail_on fmt = Format.kasprintf failwith fmt
+
+(* The workload is precomputed so the timed region measures the store, not
+   sprintf: [ops] is the flat key/value list, [batches n] the same ops cut
+   into groups of [n]. *)
+let ops =
+  Array.init ops_total (fun i ->
+      ( Printf.sprintf "k-%06d" i,
+        String.init value_bytes (fun j -> Char.chr (33 + ((i + j) mod 90))) ))
+
+let batches n =
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < ops_total do
+    let m = min n (ops_total - !i) in
+    out := List.init m (fun j -> ops.(!i + j)) :: !out;
+    i := !i + m
+  done;
+  List.rev !out
+
+(* One arm: write [ops_total] unique shards in batches of [n] (n = 1 uses
+   the scalar put path), then make everything durable so each arm pays for
+   the same end state. Returns (elapsed seconds, appends, ios issued). *)
+let run_arm ~batch_size:n =
+  let s = S.create config in
+  let work = if n = 1 then [] else batches n in
+  let t0 = Unix.gettimeofday () in
+  if n = 1 then
+    Array.iteri
+      (fun i (key, value) ->
+        match S.put s ~key ~value with
+        | Ok _ -> ()
+        | Error e -> fail_on "put %d: %a" i S.pp_error e)
+      ops
+  else
+    List.iter
+      (fun batch ->
+        match S.put_batch s batch with
+        | Ok { S.results; _ } ->
+          List.iter
+            (function Ok _ -> () | Error e -> fail_on "batch op: %a" S.pp_error e)
+            results
+        | Error e -> fail_on "put_batch: %a" S.pp_error e)
+      work;
+  (match S.flush_index s with Ok _ -> () | Error e -> fail_on "flush_index: %a" S.pp_error e);
+  (match S.flush_superblock s with
+  | Ok _ -> ()
+  | Error e -> fail_on "flush_superblock: %a" S.pp_error e);
+  ignore (S.pump s max_int);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let obs = S.obs s in
+  (elapsed, Obs.counter_value obs "iosched.append", Obs.counter_value obs "iosched.io_issued")
+
+let best_of_arm ~batch_size =
+  let best = ref infinity in
+  let counters = ref (0, 0) in
+  for _ = 1 to repeats do
+    let elapsed, appends, ios = run_arm ~batch_size in
+    if elapsed < !best then begin
+      best := elapsed;
+      counters := (appends, ios)
+    end
+  done;
+  let appends, ios = !counters in
+  (!best, appends, ios)
+
+let () =
+  Printf.printf "batch throughput: %d puts of %dB values per arm%s\n" ops_total value_bytes
+    (if smoke then " (smoke)" else "");
+  let arms = [ 1; 4; 16; 64 ] in
+  let results = List.map (fun n -> (n, best_of_arm ~batch_size:n)) arms in
+  let seq_elapsed = match results with (1, (e, _, _)) :: _ -> e | _ -> assert false in
+  Printf.printf "%-10s %12s %9s %9s %6s\n" "batch" "ops/sec" "appends" "ios" "vs seq";
+  List.iter
+    (fun (n, (elapsed, appends, ios)) ->
+      Printf.printf "%-10d %12.0f %9d %9d %5.2fx\n" n
+        (float_of_int ops_total /. elapsed)
+        appends ios (seq_elapsed /. elapsed))
+    results;
+  let speedup_16 =
+    match List.assoc_opt 16 results with
+    | Some (e, _, _) -> seq_elapsed /. e
+    | None -> 0.0
+  in
+  if (not smoke) && speedup_16 < 2.0 then begin
+    Printf.printf "FAIL: batch=16 speedup %.2fx < 2x\n" speedup_16;
+    exit 1
+  end

@@ -17,10 +17,10 @@ let expected_coverage =
 (* Replay one representative mixed sequence and report the unified metrics
    registry it produced — the per-run view that complements the global
    coverage table below. *)
-let metrics_summary config ~length ~seed metrics_out =
+let metrics_summary config ~bias ~length ~seed metrics_out =
   let rng = Util.Rng.create (Int64.of_int seed) in
   let ops =
-    Lfm.Gen.sequence ~rng ~bias:Lfm.Gen.default_bias ~profile:Lfm.Gen.Full
+    Lfm.Gen.sequence ~rng ~bias ~profile:Lfm.Gen.Full
       ~page_size:config.Lfm.Harness.store_config.Lfm.Harness.S.disk.Disk.page_size
       ~extent_count:config.Lfm.Harness.store_config.Lfm.Harness.S.disk.Disk.extent_count
       ~length
@@ -156,10 +156,14 @@ let sanitize_run ~seed =
     1
   end
 
-let run_conformance sequences length seed metrics_out =
+let run_conformance sequences length seed metrics_out batch_weight =
   Faults.disable_all ();
   Util.Coverage.reset ();
   let config = Lfm.Harness.default_config in
+  (* batch_weight = 0 (the default) keeps the seed-for-seed op streams of a
+     plain sweep; a positive weight mixes PutBatch/DeleteBatch into every
+     profile's alphabet so the sweep also exercises the group-commit path. *)
+  let bias = { Lfm.Gen.default_bias with Lfm.Gen.batch_weight } in
   let total_failures = ref 0 in
   List.iter
     (fun profile ->
@@ -168,7 +172,7 @@ let run_conformance sequences length seed metrics_out =
       let first = ref None in
       for i = 0 to sequences - 1 do
         let ops, outcome =
-          Lfm.Harness.run_seed config ~profile ~bias:Lfm.Gen.default_bias ~length
+          Lfm.Harness.run_seed config ~profile ~bias ~length
             ~seed:(seed + i)
         in
         match outcome with
@@ -203,15 +207,16 @@ let run_conformance sequences length seed metrics_out =
   (match Util.Coverage.blind_spots ~expected:expected_coverage () with
   | [] -> Printf.printf "  no blind spots among %d expected paths\n" (List.length expected_coverage)
   | spots -> Printf.printf "  BLIND SPOTS: %s\n" (String.concat ", " spots));
-  let metrics_ok = metrics_summary config ~length ~seed metrics_out in
+  let metrics_ok = metrics_summary config ~bias ~length ~seed metrics_out in
   if !total_failures = 0 && metrics_ok then begin
     Printf.printf "all profiles clean\n";
     0
   end
   else 1
 
-let run sequences length seed metrics_out sanitize =
-  if sanitize then sanitize_run ~seed else run_conformance sequences length seed metrics_out
+let run sequences length seed metrics_out sanitize batch_weight =
+  if sanitize then sanitize_run ~seed
+  else run_conformance sequences length seed metrics_out batch_weight
 
 let sequences =
   Arg.(value & opt int 2000 & info [ "sequences"; "n" ] ~doc:"Sequences per profile.")
@@ -236,9 +241,18 @@ let sanitize =
            the page-lifecycle shadow (plus a leaked-extent audit) over put/flush/reclaim \
            workloads. Exit 1 on any finding.")
 
+let batch_weight =
+  Arg.(
+    value & opt int 0
+    & info [ "batch-weight" ]
+        ~doc:
+          "Relative weight of PutBatch/DeleteBatch ops in the generated alphabet. 0 (default) \
+           generates the classic scalar-only streams; a positive weight exercises the batched \
+           request plane and group commit.")
+
 let cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Run the pre-deployment conformance checks")
-    Term.(const run $ sequences $ length $ seed $ metrics_out $ sanitize)
+    Term.(const run $ sequences $ length $ seed $ metrics_out $ sanitize $ batch_weight)
 
 let () = exit (Cmd.eval' cmd)

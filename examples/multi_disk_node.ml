@@ -40,7 +40,9 @@ let () =
   ignore (send node (Rpc.Message.Get { key = "shard-b" }));
 
   print_endline "\nmaintenance tick + stats:";
-  Rpc.Node.tick node;
+  let report = Rpc.Node.tick node in
+  Printf.printf "  tick: %d disks, %d errors, %d IOs pumped\n" report.Rpc.Node.disks
+    report.Rpc.Node.errors report.Rpc.Node.ios_pumped;
   ignore (send node Rpc.Message.Node_stats);
   ignore (send node (Rpc.Message.Bulk_delete { keys = [ "shard-a"; "shard-c" ] }));
   ignore (send node Rpc.Message.List);

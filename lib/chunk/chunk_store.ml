@@ -33,6 +33,8 @@ type metrics = {
   m_dropped : Obs.Counter.t;
   m_reclamations : Obs.Counter.t;
   m_leaked : Obs.Counter.t;
+  m_batch_groups : Obs.Counter.t;
+  m_batch_group_chunks : Obs.Histogram.t;
 }
 
 type t = {
@@ -67,6 +69,10 @@ let create ?obs sched ~cache ~superblock ~rng =
         m_dropped = Obs.counter ~coverage:true obs "reclaim.dropped";
         m_reclamations = Obs.counter obs "chunk.reclamation";
         m_leaked = Obs.counter obs "chunk.leaked_extent";
+        m_batch_groups = Obs.counter obs "chunk.batch_group";
+        m_batch_group_chunks =
+          Obs.histogram ~buckets:[ 1.; 2.; 4.; 8.; 16.; 32.; 64. ] obs
+            "chunk.batch_group_chunks";
       };
     open_ext = None;
     reclaiming = None;
@@ -184,6 +190,117 @@ let put ?(input = Dep.trivial) t ~owner ~payload =
       Obs.emit t.obs ~layer:"chunk" "put"
         [ ("extent", string_of_int extent); ("bytes", string_of_int flen) ];
     Ok (locator, Dep.and_ append_dep pointer_dep)
+  end
+
+(* Group commit for chunks. One group = a run of frames packed into a
+   single extent, staged as ONE append and covered by ONE superblock record
+   promise; every chunk of the group shares the merged write's dependency.
+   Errors mid-batch abandon the remaining items: already-staged groups are
+   unreferenced (the index has not seen their locators yet), which is the
+   same garbage an interrupted sequential put leaves, and reclamation
+   collects it. *)
+type group = {
+  g_extent : int;
+  g_start : int;
+  mutable g_bytes : int;
+  mutable g_bufs : string list;  (** reversed *)
+  mutable g_chunks : (int * int) list;  (** reversed [(rel_off, frame_len)] *)
+}
+
+let put_batch ?(input = Dep.trivial) t ~items =
+  let ps = Io_sched.page_size t.sched in
+  let esize = Io_sched.extent_size t.sched in
+  let encoded =
+    List.map
+      (fun (owner, payload) ->
+        let frame = Chunk_format.encode ~uuid:(fresh_uuid t) ~owner ~payload in
+        (frame, align_up (String.length frame) ps))
+      items
+  in
+  if List.exists (fun (_, padded) -> padded > esize) encoded then Error No_space
+  else begin
+    let results = ref [] in
+    let group = ref None in
+    let usable extent =
+      t.reclaiming <> Some extent
+      && (not (Io_sched.has_pending_reset t.sched ~extent))
+      && not (Io_sched.quarantined t.sched ~extent)
+    in
+    let flush_group () =
+      match !group with
+      | None -> Ok ()
+      | Some g ->
+        group := None;
+        let data = String.concat "" (List.rev g.g_bufs) in
+        let* append_dep =
+          Result.map_error (fun e -> Io e)
+            (Io_sched.append t.sched ~extent:g.g_extent ~data ~input)
+        in
+        Cache.fill t.cache ~extent:g.g_extent ~off:g.g_start data;
+        let pointer_dep = Superblock.note_append t.sb ~extent:g.g_extent in
+        let dep = Dep.and_ append_dep pointer_dep in
+        let epoch = Io_sched.epoch t.sched ~extent:g.g_extent in
+        let chunks = List.rev g.g_chunks in
+        List.iter
+          (fun (rel, flen) ->
+            Obs.Counter.incr t.m.m_puts;
+            results :=
+              ( {
+                  Locator.extent = g.g_extent;
+                  epoch;
+                  off = g.g_start + rel;
+                  frame_len = flen;
+                },
+                dep )
+              :: !results)
+          chunks;
+        Obs.Counter.incr t.m.m_batch_groups;
+        Obs.Histogram.observe t.m.m_batch_group_chunks (float_of_int (List.length chunks));
+        if Obs.tracing t.obs then
+          Obs.emit t.obs ~layer:"chunk" "put_group"
+            [
+              ("extent", string_of_int g.g_extent);
+              ("chunks", string_of_int (List.length chunks));
+              ("bytes", string_of_int (String.length data));
+            ];
+        Ok ()
+    in
+    let rec go = function
+      | [] -> flush_group ()
+      | (frame, padded) :: rest ->
+        let flen = String.length frame in
+        let pad = String.make (padded - flen) '\000' in
+        let extended =
+          match !group with
+          | Some g
+            when usable g.g_extent
+                 && g.g_bytes + padded <= Io_sched.capacity_left t.sched ~extent:g.g_extent
+            ->
+            (* [capacity_left] reads the soft pointer, which the buffered
+               group has not advanced yet; [g_bytes] accounts for it. *)
+            g.g_chunks <- (g.g_bytes, flen) :: g.g_chunks;
+            g.g_bufs <- (frame ^ pad) :: g.g_bufs;
+            g.g_bytes <- g.g_bytes + padded;
+            true
+          | _ -> false
+        in
+        if extended then go rest
+        else
+          let* () = flush_group () in
+          let* extent = allocate t ~need:padded in
+          group :=
+            Some
+              {
+                g_extent = extent;
+                g_start = Io_sched.soft_ptr t.sched ~extent;
+                g_bytes = padded;
+                g_bufs = [ frame ^ pad ];
+                g_chunks = [ (0, flen) ];
+              };
+          go rest
+    in
+    let* () = go encoded in
+    Ok (List.rev !results)
   end
 
 let get t (loc : Locator.t) =

@@ -54,6 +54,21 @@ val put :
   payload:string ->
   (Locator.t * Dep.t, error) result
 
+(** [put_batch t ~items] stores N chunks with group commit: frames are
+    packed into per-extent groups, each group staged as {e one} coalesced
+    append covered by {e one} superblock record promise, and every chunk of
+    a group shares the merged write's dependency. Results are in item
+    order. On a mid-batch error the already-staged groups are unreferenced
+    garbage (their locators were never returned to an index), exactly like
+    an interrupted sequential put; reclamation collects them.
+    Observability: [chunk.batch_group] counts groups and
+    [chunk.batch_group_chunks] records chunks per group. *)
+val put_batch :
+  ?input:Dep.t ->
+  t ->
+  items:(Chunk_format.owner * string) list ->
+  ((Locator.t * Dep.t) list, error) result
+
 (** [get t locator] reads a chunk back, validating epoch, framing and CRC.
     Never returns wrong data: corruption yields [Corrupt]. *)
 val get : t -> Locator.t -> (Chunk_format.chunk, error) result

@@ -13,12 +13,26 @@ type bias = {
   page_size_values : float;
   uuid_magic : float;
   max_value : int;
+  batch_weight : int;
 }
 
 let default_bias =
-  { key_reuse = 0.8; page_size_values = 0.5; uuid_magic = 0.05; max_value = 150 }
+  {
+    key_reuse = 0.8;
+    page_size_values = 0.5;
+    uuid_magic = 0.05;
+    max_value = 150;
+    batch_weight = 0;
+  }
 
-let unbiased = { key_reuse = 0.0; page_size_values = 0.0; uuid_magic = 0.0; max_value = 150 }
+let unbiased =
+  {
+    key_reuse = 0.0;
+    page_size_values = 0.0;
+    uuid_magic = 0.0;
+    max_value = 150;
+    batch_weight = 0;
+  }
 
 type state = {
   mutable known_keys : string list;  (** keys put at least once *)
@@ -85,6 +99,14 @@ let op ~rng ~bias ~profile ~page_size ~extent_count state =
         (1, `Remove);
       ]
     in
+    (* Batch ops join the alphabet only when [batch_weight > 0]: adding
+       choices changes every weighted draw after it, so the deterministic
+       fault-detection experiments keep their exact sequences by default. *)
+    let base =
+      if bias.batch_weight > 0 then
+        base @ [ (bias.batch_weight, `PutBatch); (max 1 (bias.batch_weight / 3), `DeleteBatch) ]
+      else base
+    in
     let crashing = [ (3, `DirtyReboot); (1, `CleanReboot) ] in
     let failing = [ (2, `FailOnce); (1, `FailPermanent); (2, `Heal) ] in
     let choices =
@@ -101,6 +123,17 @@ let op ~rng ~bias ~profile ~page_size ~extent_count state =
       Op.Put (key, value rng bias ~page_size)
     | `Get -> Op.Get (pick_key rng bias state)
     | `Delete -> Op.Delete (pick_key rng bias state)
+    | `PutBatch ->
+      let n = 2 + Rng.int rng 7 in
+      Op.PutBatch
+        (List.init n (fun _ ->
+             let key = pick_key rng bias state in
+             if not (List.mem key state.known_keys) then
+               state.known_keys <- key :: state.known_keys;
+             (key, value rng bias ~page_size)))
+    | `DeleteBatch ->
+      let n = 2 + Rng.int rng 4 in
+      Op.DeleteBatch (List.init n (fun _ -> pick_key rng bias state))
     | `List -> Op.List
     | `IndexFlush -> Op.IndexFlush
     | `SuperblockFlush -> Op.SuperblockFlush

@@ -21,6 +21,11 @@ type bias = {
   page_size_values : float;  (** P(value length near a page multiple) *)
   uuid_magic : float;  (** chunk-store UUID bias (see {!Chunk.Chunk_store.set_uuid_bias}) *)
   max_value : int;  (** maximum value length *)
+  batch_weight : int;
+      (** weight of [PutBatch] in the base alphabet ([DeleteBatch] gets a
+          third of it); 0 (the default) leaves the alphabet — and thus the
+          exact sequences of the deterministic detection experiments —
+          unchanged *)
 }
 
 val default_bias : bias

@@ -206,6 +206,35 @@ let apply st op =
       st.window_deps <- (op, dep) :: st.window_deps
     | Error S.Out_of_service when not (S.in_service st.store) -> ()
     | Error e -> tolerate_error st e)
+  | Op.PutBatch ops -> (
+    (* Group commit must be observationally the sequential puts: each per-op
+       outcome updates the model exactly as the scalar Put case would. *)
+    match S.put_batch st.store ops with
+    | Ok { S.results; barrier = _ } ->
+      List.iter2
+        (fun (key, value) result ->
+          match result with
+          | Ok dep ->
+            Model.Crash_model.put st.model ~key ~value ~dep;
+            st.window_deps <- (op, dep) :: st.window_deps
+          | Error S.No_space -> ()  (* rejected: model unchanged *)
+          | Error e -> tolerate_error st e)
+        ops results
+    | Error S.Out_of_service when not (S.in_service st.store) -> ()
+    | Error e -> tolerate_error st e)
+  | Op.DeleteBatch keys -> (
+    match S.delete_batch st.store keys with
+    | Ok { S.results; barrier = _ } ->
+      List.iter2
+        (fun key result ->
+          match result with
+          | Ok dep ->
+            Model.Crash_model.delete st.model ~key ~dep;
+            st.window_deps <- (op, dep) :: st.window_deps
+          | Error e -> tolerate_error st e)
+        keys results
+    | Error S.Out_of_service when not (S.in_service st.store) -> ()
+    | Error e -> tolerate_error st e)
   | Op.List -> check_list st
   | Op.IndexFlush -> (
     match S.flush_index st.store with

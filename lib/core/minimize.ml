@@ -18,6 +18,29 @@ let simplify_op op =
     if n = 0 then []
     else
       [ Op.Put (k, ""); Op.Put (k, String.make (n / 2) 'a'); Op.Put (k, String.make (n - 1) 'a') ]
+  | Op.PutBatch ops -> (
+    match ops with
+    | [] -> []
+    | [ (k, v) ] -> [ Op.Put (k, v) ]
+    | _ ->
+      let n = List.length ops in
+      let front = List.filteri (fun i _ -> i < n / 2) ops in
+      let back = List.filteri (fun i _ -> i >= n / 2) ops in
+      [
+        Op.PutBatch front;
+        Op.PutBatch back;
+        Op.PutBatch (List.map (fun (k, _) -> (k, "")) ops);
+      ])
+  | Op.DeleteBatch keys -> (
+    match keys with
+    | [] -> []
+    | [ k ] -> [ Op.Delete k ]
+    | _ ->
+      let n = List.length keys in
+      [
+        Op.DeleteBatch (List.filteri (fun i _ -> i < n / 2) keys);
+        Op.DeleteBatch (List.filteri (fun i _ -> i >= n / 2) keys);
+      ])
   | Op.Pump n -> if n > 1 then [ Op.Pump 1 ] else []
   | Op.FailDiskPermanent e -> [ Op.FailDiskOnce e ]
   | Op.DirtyReboot r ->

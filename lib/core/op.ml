@@ -9,6 +9,8 @@ type t =
   | Get of string
   | Put of string * string
   | Delete of string
+  | PutBatch of (string * string) list
+  | DeleteBatch of string list
   | List
   | IndexFlush
   | SuperblockFlush
@@ -27,6 +29,10 @@ let pp fmt = function
   | Get k -> Format.fprintf fmt "Get(%S)" k
   | Put (k, v) -> Format.fprintf fmt "Put(%S, %d bytes)" k (String.length v)
   | Delete k -> Format.fprintf fmt "Delete(%S)" k
+  | PutBatch ops ->
+    Format.fprintf fmt "PutBatch(%d ops, %d bytes)" (List.length ops)
+      (List.fold_left (fun acc (_, v) -> acc + String.length v) 0 ops)
+  | DeleteBatch keys -> Format.fprintf fmt "DeleteBatch(%d keys)" (List.length keys)
   | List -> Format.pp_print_string fmt "List"
   | IndexFlush -> Format.pp_print_string fmt "IndexFlush"
   | SuperblockFlush -> Format.pp_print_string fmt "SuperblockFlush"
@@ -48,20 +54,22 @@ let equal = Stdlib.( = )
 
 let is_reboot = function
   | CleanReboot | DirtyReboot _ -> true
-  | Get _ | Put _ | Delete _ | List | IndexFlush | SuperblockFlush | Compact | Reclaim
-  | Pump _ | FailDiskOnce _ | FailDiskPermanent _ | HealDisk _ | RemoveFromService
-  | ReturnToService -> false
+  | Get _ | Put _ | Delete _ | PutBatch _ | DeleteBatch _ | List | IndexFlush
+  | SuperblockFlush | Compact | Reclaim | Pump _ | FailDiskOnce _ | FailDiskPermanent _
+  | HealDisk _ | RemoveFromService | ReturnToService -> false
 
 let is_failure = function
   | FailDiskOnce _ | FailDiskPermanent _ | HealDisk _ -> true
-  | Get _ | Put _ | Delete _ | List | IndexFlush | SuperblockFlush | Compact | Reclaim
-  | Pump _ | RemoveFromService | ReturnToService | CleanReboot | DirtyReboot _ -> false
+  | Get _ | Put _ | Delete _ | PutBatch _ | DeleteBatch _ | List | IndexFlush
+  | SuperblockFlush | Compact | Reclaim | Pump _ | RemoveFromService | ReturnToService
+  | CleanReboot | DirtyReboot _ -> false
 
 let payload_bytes = function
   | Put (_, v) -> String.length v
-  | Get _ | Delete _ | List | IndexFlush | SuperblockFlush | Compact | Reclaim | Pump _
-  | FailDiskOnce _ | FailDiskPermanent _ | HealDisk _ | RemoveFromService | ReturnToService
-  | CleanReboot | DirtyReboot _ -> 0
+  | PutBatch ops -> List.fold_left (fun acc (_, v) -> acc + String.length v) 0 ops
+  | Get _ | Delete _ | DeleteBatch _ | List | IndexFlush | SuperblockFlush | Compact
+  | Reclaim | Pump _ | FailDiskOnce _ | FailDiskPermanent _ | HealDisk _
+  | RemoveFromService | ReturnToService | CleanReboot | DirtyReboot _ -> 0
 
 type summary = { ops : int; crashes : int; bytes : int }
 

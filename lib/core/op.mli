@@ -22,6 +22,9 @@ type t =
   | Get of string
   | Put of string * string
   | Delete of string
+  | PutBatch of (string * string) list
+      (** one group-committed batch through {!Store.S.put_batch} *)
+  | DeleteBatch of string list
   | List
   | IndexFlush
   | SuperblockFlush

@@ -9,17 +9,20 @@ type config = {
 let default_config = { nodes = 6; replication = 3; store = S.default_config }
 
 type error =
-  | Node_failed of { node : int; message : string }
+  | Node_failed of { node : int; error : S.error }
   | No_live_replica of string
 
 let pp_error fmt = function
-  | Node_failed { node; message } -> Format.fprintf fmt "node %d failed: %s" node message
+  | Node_failed { node; error } ->
+    Format.fprintf fmt "node %d failed: %a" node S.pp_error error
   | No_live_replica key -> Format.fprintf fmt "no live replica of %S" key
 
 type metrics = {
   m_puts : Obs.Counter.t;
   m_gets : Obs.Counter.t;
   m_deletes : Obs.Counter.t;
+  m_put_manys : Obs.Counter.t;
+  m_batch_size : Obs.Histogram.t;
   m_crashes : Obs.Counter.t;
   m_destroys : Obs.Counter.t;
   m_repairs : Obs.Counter.t;
@@ -51,6 +54,9 @@ let create ?obs config =
         m_puts = Obs.counter obs "fleet.put";
         m_gets = Obs.counter obs "fleet.get";
         m_deletes = Obs.counter obs "fleet.delete";
+        m_put_manys = Obs.counter obs "fleet.put_many";
+        m_batch_size =
+          Obs.histogram ~buckets:[ 1.; 2.; 4.; 8.; 16.; 32.; 64. ] obs "fleet.batch_size";
         m_crashes = Obs.counter obs "fleet.node_crash";
         m_destroys = Obs.counter obs "fleet.node_destroy";
         m_repairs = Obs.counter obs "fleet.repair";
@@ -72,8 +78,7 @@ let placement t key =
   |> List.sort (fun a b -> Int32.unsigned_compare (score b) (score a))
   |> List.filteri (fun i _ -> i < t.config.replication)
 
-let node_err node r =
-  Result.map_error (fun e -> Node_failed { node; message = Format.asprintf "%a" S.pp_error e }) r
+let node_err node r = Result.map_error (fun error -> Node_failed { node; error }) r
 
 let ( let* ) = Result.bind
 
@@ -93,6 +98,44 @@ let put t ~key ~value =
       let* () = acc in
       durable_put t.stores.(node) node ~key ~value)
     (Ok ()) (placement t key)
+
+(* Group commit across the fleet: keys are grouped by placement so each
+   replica node sees one [put_batch] and pays the durable-acknowledgement
+   flush (index + superblock + writeback drain) once per batch, not once
+   per key. *)
+let put_many t ops =
+  Obs.Counter.incr t.m.m_put_manys;
+  let buckets = Array.make (node_count t) [] in
+  List.iter
+    (fun (key, value) ->
+      List.iter
+        (fun node -> buckets.(node) <- (key, value) :: buckets.(node))
+        (placement t key))
+    ops;
+  let rec go node =
+    if node = node_count t then Ok ()
+    else
+      match List.rev buckets.(node) with
+      | [] -> go (node + 1)
+      | batch ->
+        Obs.Histogram.observe t.m.m_batch_size (float_of_int (List.length batch));
+        let store = t.stores.(node) in
+        let* { S.results; barrier = _ } = node_err node (S.put_batch store batch) in
+        let* () =
+          List.fold_left
+            (fun acc result ->
+              let* () = acc in
+              match result with
+              | Ok _ -> Ok ()
+              | Error error -> Error (Node_failed { node; error }))
+            (Ok ()) results
+        in
+        let* _dep = node_err node (S.flush_index store) in
+        let* _dep = node_err node (S.flush_superblock store) in
+        ignore (S.pump store max_int);
+        go (node + 1)
+  in
+  go 0
 
 let get t ~key =
   Obs.Counter.incr t.m.m_gets;

@@ -27,7 +27,9 @@ type config = {
 val default_config : config
 
 type error =
-  | Node_failed of { node : int; message : string }
+  | Node_failed of { node : int; error : Store.Default.error }
+      (** the structured store-level cause; callers can match on the
+          variant instead of parsing a rendered message *)
   | No_live_replica of string  (** key unreadable on every placement *)
 
 val pp_error : Format.formatter -> error -> unit
@@ -56,6 +58,15 @@ val placement : t -> string -> int list
     placement before returning (the acknowledgement S3's durability story
     requires). *)
 val put : t -> key:string -> value:string -> (unit, error) result
+
+(** [put_many t ops] writes a batch of shards with group commit: keys are
+    grouped by placement, each replica node applies its share through
+    [Store.put_batch], and the durable-acknowledgement flush (index +
+    superblock + writeback drain) runs {e once per node per batch} instead
+    of once per key. Any per-op failure surfaces as [Node_failed] with the
+    structured store error. Counted under [fleet.put_many]; per-node batch
+    sizes land in the [fleet.batch_size] histogram. *)
+val put_many : t -> (string * string) list -> (unit, error) result
 
 (** [get t ~key] reads from the first placement that has the shard. *)
 val get : t -> key:string -> (string option, error) result

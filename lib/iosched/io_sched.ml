@@ -39,6 +39,9 @@ type metrics = {
   m_crashes : Obs.Counter.t;
   m_torn : Obs.Counter.t;
   m_pending : Obs.Gauge.t;
+  m_batch_submit : Obs.Counter.t;
+  m_coalesced : Obs.Counter.t;
+  m_coalesce_width : Obs.Histogram.t;
 }
 
 let make_metrics obs =
@@ -50,6 +53,10 @@ let make_metrics obs =
     m_crashes = Obs.counter obs "iosched.crash";
     m_torn = Obs.counter ~coverage:true obs "crash.torn_append";
     m_pending = Obs.gauge obs "iosched.pending";
+    m_batch_submit = Obs.counter obs "iosched.batch_submit";
+    m_coalesced = Obs.counter obs "iosched.coalesced_append";
+    m_coalesce_width =
+      Obs.histogram ~buckets:[ 2.; 4.; 8.; 16.; 32.; 64. ] obs "iosched.coalesce_width";
   }
 
 type t = {
@@ -68,7 +75,7 @@ let extent_count t = (Disk.config t.disk).Disk.extent_count
 let disk t = t.disk
 let obs t = t.obs
 
-let create ?(seed = 0x5EEDL) ?obs disk =
+let create ?obs ?(seed = 0x5EEDL) disk =
   let config = Disk.config disk in
   let size = Disk.extent_size config in
   let mk i =
@@ -180,13 +187,25 @@ let resync_extent t extent v =
   v.vepoch <- Disk.epoch t.disk ~extent;
   v.epoch_ceiling <- max v.epoch_ceiling v.vepoch
 
+(* A permanent failure loses the whole extent queue — later sequential
+   writes can never be issued once a predecessor is lost — and the volatile
+   state is resynchronized from the durable state: staged-but-lost bytes,
+   pointers and reset epochs must not linger, or later reuse of the extent
+   would mint locators whose epoch can never exist on disk. *)
+let fail_extent t extent v =
+  Queue.iter
+    (fun w' ->
+      Dep.set_status w' Dep.Failed;
+      set_pending t (t.pending_total - 1))
+    v.pending;
+  Queue.clear v.pending;
+  resync_extent t extent v;
+  v.quarantined <- true;
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~layer:"iosched" "extent_failed" [ ("extent", string_of_int extent) ]
+
 (* Issue the head write of [v] to the disk. Returns [`Issued], [`Transient]
-   (retry later), or [`Blocked] (dependency not yet persistent). A permanent
-   failure loses the whole extent queue — later sequential writes can never
-   be issued once a predecessor is lost — and the volatile state is
-   resynchronized from the durable state: staged-but-lost bytes, pointers
-   and reset epochs must not linger, or later reuse of the extent would
-   mint locators whose epoch can never exist on disk. *)
+   (retry later), or [`Blocked] (dependency not yet persistent). *)
 let try_issue_head t extent v =
   match Queue.peek_opt v.pending with
   | None -> `Empty
@@ -222,16 +241,7 @@ let try_issue_head t extent v =
         (* Out_of_bounds here would be a scheduler logic bug for appends, but
            it also arises when an injected permanent failure earlier broke
            the sequential chain; treat both as failing the queue. *)
-        Queue.iter
-          (fun w' ->
-            Dep.set_status w' Dep.Failed;
-            set_pending t (t.pending_total - 1))
-          v.pending;
-        Queue.clear v.pending;
-        resync_extent t extent v;
-        v.quarantined <- true;
-        if Obs.tracing t.obs then
-          Obs.emit t.obs ~layer:"iosched" "extent_failed" [ ("extent", string_of_int extent) ];
+        fail_extent t extent v;
         `Failed
     end
 
@@ -252,6 +262,104 @@ let pump ?(max_ios = max_int) t =
           | `Failed -> progress := true
           | `Empty | `Blocked | `Transient -> ())
       order
+  done;
+  !issued
+
+(* The maximal ready run of appends at the head of [v]'s queue: each member
+   is contiguous with its predecessor (appends stage at the soft pointer, so
+   this holds by construction unless a reset intervenes) and its input holds
+   once the earlier members of the same run are treated as persistent —
+   intra-batch dependencies resolve because the merged IO is atomic. *)
+let ready_run v =
+  let run = ref [] in
+  let ids = Hashtbl.create 8 in
+  let next_off = ref (-1) in
+  (try
+     Queue.iter
+       (fun w ->
+         match w.Dep.kind with
+         | Dep.Reset _ -> raise Exit
+         | Dep.Append { off; data } ->
+           if !next_off >= 0 && off <> !next_off then raise Exit;
+           if not (Dep.persistent_under (fun w' -> Hashtbl.mem ids w'.Dep.id) w.Dep.input)
+           then raise Exit;
+           run := w :: !run;
+           Hashtbl.replace ids w.Dep.id ();
+           next_off := off + String.length data)
+       v.pending
+   with Exit -> ());
+  List.rev !run
+
+let issue_run t extent v run =
+  let first_off =
+    match (List.hd run).Dep.kind with
+    | Dep.Append { off; _ } -> off
+    | Dep.Reset _ -> assert false
+  in
+  let data =
+    String.concat ""
+      (List.map
+         (fun w ->
+           match w.Dep.kind with
+           | Dep.Append { data; _ } -> data
+           | Dep.Reset _ -> assert false)
+         run)
+  in
+  match Disk.write t.disk ~extent ~off:first_off data with
+  | Ok () ->
+    List.iter
+      (fun w ->
+        Dep.set_status w Dep.Durable;
+        ignore (Queue.pop v.pending);
+        set_pending t (t.pending_total - 1))
+      run;
+    let width = List.length run in
+    Obs.Counter.incr t.m.m_ios;
+    Obs.Counter.add t.m.m_bytes (String.length data);
+    Obs.Counter.add t.m.m_coalesced (width - 1);
+    Obs.Histogram.observe t.m.m_coalesce_width (float_of_int width);
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~layer:"iosched" "io_issue"
+        [
+          ("extent", string_of_int extent);
+          ("kind", Printf.sprintf "append:%d" (String.length data));
+          ("coalesced", string_of_int width);
+        ];
+    `Issued
+  | Error Disk.Transient -> `Transient
+  | Error Disk.Permanent | Error (Disk.Out_of_bounds _) ->
+    fail_extent t extent v;
+    `Failed
+
+let submit_batch ?(max_ios = max_int) t =
+  Obs.Counter.incr t.m.m_batch_submit;
+  let issued = ref 0 in
+  let progress = ref true in
+  (* Sorted extent order (vs [pump]'s shuffle): batch writeback favours
+     merge opportunity and locality over schedule exploration. The outer
+     loop re-walks the extents because issuing one extent's run can unblock
+     another's (cross-extent dependencies via superblock promises). *)
+  while !progress && !issued < max_ios do
+    progress := false;
+    Array.iteri
+      (fun extent v ->
+        if !issued < max_ios then
+          match ready_run v with
+          | [] | [ _ ] -> (
+            match try_issue_head t extent v with
+            | `Issued ->
+              incr issued;
+              progress := true
+            | `Failed -> progress := true
+            | `Empty | `Blocked | `Transient -> ())
+          | run -> (
+            match issue_run t extent v run with
+            | `Issued ->
+              incr issued;
+              progress := true
+            | `Failed -> progress := true
+            | `Transient -> ()))
+      t.volatiles
   done;
   !issued
 

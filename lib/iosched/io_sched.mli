@@ -25,9 +25,10 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-(** [create ?seed ?obs disk] — metrics land in [obs] when given, defaulting
-    to the disk's registry so both layers share one by default. *)
-val create : ?seed:int64 -> ?obs:Obs.t -> Disk.t -> t
+(** [create ?obs ?seed disk] — metrics land in [obs] when given, defaulting
+    to the disk's registry so both layers share one by default. [?obs]
+    first, per the convention in [lib/obs/obs.mli]. *)
+val create : ?obs:Obs.t -> ?seed:int64 -> Disk.t -> t
 
 val disk : t -> Disk.t
 
@@ -72,6 +73,17 @@ val read : t -> extent:int -> off:int -> len:int -> (string, error) result
 (** [pump ?max_ios t] issues ready writes in randomized dependency-respecting
     order; returns the number issued. *)
 val pump : ?max_ios:int -> t -> int
+
+(** [submit_batch ?max_ios t] — the group-commit writeback path. Walks
+    extents in sorted (not shuffled) order and, per extent, coalesces the
+    maximal ready run of contiguous queue-head appends into a single disk
+    IO; intra-run dependencies count as resolved because the merged IO is
+    atomic. Resets and non-mergeable heads fall back to single-IO issue.
+    Returns the number of IOs issued (each merged run counts once).
+    Observability: bumps [iosched.batch_submit] per call,
+    [iosched.coalesced_append] by [k-1] per [k]-wide merge, and records
+    merge widths in the [iosched.coalesce_width] histogram. *)
+val submit_batch : ?max_ios:int -> t -> int
 
 (** [flush t] pumps until nothing is pending. [Error (Stuck _)] reports a
     forward-progress violation (a dependency cycle or an unbound promise

@@ -43,6 +43,7 @@ type t = {
   obs : Obs.t;
   m : metrics;
   mutable memtable : (Entry.t * Dep.t) Smap.t;
+  mutable memtable_count : int;  (** [Smap.cardinal memtable], tracked O(1) *)
   mutable runs : run_ref list;  (** newest first *)
   mutable next_run_id : int;
   mutable flush_promise : Dep.Promise.promise;
@@ -72,6 +73,7 @@ let create ?(max_run_payload = 16 * 1024) ?obs chunks ~metadata_extents =
         m_run_count = Obs.gauge obs "index.run_count";
       };
     memtable = Smap.empty;
+    memtable_count = 0;
     runs = [];
     next_run_id = 1;
     flush_promise = Dep.Promise.create ();
@@ -81,7 +83,7 @@ let create ?(max_run_payload = 16 * 1024) ?obs chunks ~metadata_extents =
   }
 
 let obs t = t.obs
-let memtable_size t = Smap.cardinal t.memtable
+let memtable_size t = t.memtable_count
 let run_count t = List.length t.runs
 
 let sync_gauges t =
@@ -92,8 +94,9 @@ let note_extent_reset t = t.reset_seen <- true
 let run_locators t = List.map (fun r -> (r.run_id, r.loc)) t.runs
 
 let stage t key entry dep =
+  if not (Smap.mem key t.memtable) then t.memtable_count <- t.memtable_count + 1;
   t.memtable <- Smap.add key (entry, dep) t.memtable;
-  Obs.Gauge.set_int t.m.m_memtable_size (memtable_size t);
+  Obs.Gauge.set_int t.m.m_memtable_size t.memtable_count;
   Dep.and_ dep (Dep.Promise.dep t.flush_promise)
 
 let put t ~key ~locators ~value_dep =
@@ -256,6 +259,7 @@ let flush t ~for_shutdown =
     Dep.Promise.bind t.flush_promise dep;
     t.flush_promise <- Dep.Promise.create ();
     t.memtable <- Smap.empty;
+    t.memtable_count <- 0;
     t.reset_seen <- false;
     Obs.Counter.incr t.m.m_flushes;
     if Obs.tracing t.obs then
@@ -362,6 +366,7 @@ let relocate_run t ~run_id ~new_loc ~new_dep =
 let recover t =
   Obs.Counter.incr t.m.m_recovers;
   t.memtable <- Smap.empty;
+  t.memtable_count <- 0;
   t.flush_promise <- Dep.Promise.create ();
   Hashtbl.reset t.run_contents;
   t.reset_seen <- false;

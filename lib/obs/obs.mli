@@ -21,7 +21,14 @@
 
     Counters registered with [~coverage:true] additionally feed the global
     {!Coverage} table (the blind-spot report of paper section 4.2), which
-    {!Util.Coverage} re-exports for compatibility. *)
+    {!Util.Coverage} re-exports for compatibility.
+
+    {b Constructor convention}: every component constructor that accepts a
+    registry takes it as [?obs], and [?obs] is the {e first} optional
+    argument ([Store.create ?obs], [Rpc.Node.create ?obs ?disks],
+    [Fleet.create ?obs], [Io_sched.create ?obs ?seed], ...). Omitting
+    [?obs] always means "a fresh per-instance registry (or the parent
+    layer's)", never "no metrics". *)
 
 type t
 

@@ -1,5 +1,9 @@
 open Util
 
+type batch_op =
+  | Batch_put of { key : string; value : string }
+  | Batch_delete of { key : string }
+
 type request =
   | Put of { key : string; value : string }
   | Get of { key : string }
@@ -10,6 +14,7 @@ type request =
   | Bulk_delete of { keys : string list }
   | Migrate of { key : string; to_disk : int }
   | Node_stats
+  | Batch_request of { ops : batch_op list }
 
 type metric = {
   metric_name : string;
@@ -17,12 +22,15 @@ type metric = {
   value : float;
 }
 
+type op_status = Op_ok | Op_error of string
+
 type response =
   | Ack
   | Value of string option
   | Keys of string list
   | Stats of { disks : int; in_service : int; keys : int; metrics : metric list }
   | Error_response of string
+  | Batch_response of { statuses : op_status list }
 
 let pp_request fmt = function
   | Put { key; value } -> Format.fprintf fmt "put %S (%d bytes)" key (String.length value)
@@ -34,6 +42,12 @@ let pp_request fmt = function
   | Bulk_delete { keys } -> Format.fprintf fmt "bulk-delete (%d keys)" (List.length keys)
   | Migrate { key; to_disk } -> Format.fprintf fmt "migrate %S -> disk %d" key to_disk
   | Node_stats -> Format.pp_print_string fmt "stats"
+  | Batch_request { ops } ->
+    let puts =
+      List.length (List.filter (function Batch_put _ -> true | Batch_delete _ -> false) ops)
+    in
+    Format.fprintf fmt "batch (%d ops: %d puts, %d deletes)" (List.length ops) puts
+      (List.length ops - puts)
 
 let pp_response fmt = function
   | Ack -> Format.pp_print_string fmt "ack"
@@ -44,12 +58,20 @@ let pp_response fmt = function
     Format.fprintf fmt "stats: %d disks (%d in service), %d keys, %d metrics" disks in_service
       keys (List.length metrics)
   | Error_response msg -> Format.fprintf fmt "error: %s" msg
+  | Batch_response { statuses } ->
+    let failed =
+      List.length (List.filter (function Op_error _ -> true | Op_ok -> false) statuses)
+    in
+    Format.fprintf fmt "batch: %d statuses (%d failed)" (List.length statuses) failed
 
 let request_equal = Stdlib.( = )
 let response_equal = Stdlib.( = )
 
 let magic = "SR"
 let max_keys = 1 lsl 20
+let max_batch_ops = 1 lsl 16
+let max_op_key_bytes = 4096
+let max_op_value_bytes = 256 * 1024
 
 let encode_strings w keys =
   Codec.Writer.u32 w (Int32.of_int (List.length keys));
@@ -121,6 +143,78 @@ let decode_metrics r =
     go [] 0
   end
 
+let encode_batch_op w = function
+  | Batch_put { key; value } ->
+    Codec.Writer.u8 w 0;
+    Codec.Writer.lstring w key;
+    Codec.Writer.lstring w value
+  | Batch_delete { key } ->
+    Codec.Writer.u8 w 1;
+    Codec.Writer.lstring w key
+
+let decode_batch_op r =
+  let open Codec.Syntax in
+  let* kind = Codec.Reader.u8 r in
+  match kind with
+  | 0 ->
+    let* key = Codec.Reader.lstring r in
+    let+ value = Codec.Reader.lstring r in
+    Batch_put { key; value }
+  | 1 ->
+    let+ key = Codec.Reader.lstring r in
+    Batch_delete { key }
+  | _ -> Error (Codec.Invalid "batch op kind")
+
+let encode_batch_ops w ops =
+  Codec.Writer.u32 w (Int32.of_int (List.length ops));
+  List.iter (encode_batch_op w) ops
+
+let decode_batch_ops r =
+  let open Codec.Syntax in
+  let* count32 = Codec.Reader.u32 r in
+  let count = Int32.to_int count32 in
+  if count < 0 || count > max_batch_ops then Error (Codec.Invalid "batch op count")
+  else begin
+    let rec go acc i =
+      if i = count then Ok (List.rev acc)
+      else
+        let* op = decode_batch_op r in
+        go (op :: acc) (i + 1)
+    in
+    go [] 0
+  end
+
+let encode_statuses w statuses =
+  Codec.Writer.u32 w (Int32.of_int (List.length statuses));
+  List.iter
+    (fun s ->
+      match s with
+      | Op_ok -> Codec.Writer.u8 w 0
+      | Op_error msg ->
+        Codec.Writer.u8 w 1;
+        Codec.Writer.lstring w msg)
+    statuses
+
+let decode_statuses r =
+  let open Codec.Syntax in
+  let* count32 = Codec.Reader.u32 r in
+  let count = Int32.to_int count32 in
+  if count < 0 || count > max_batch_ops then Error (Codec.Invalid "status count")
+  else begin
+    let rec go acc i =
+      if i = count then Ok (List.rev acc)
+      else
+        let* tag = Codec.Reader.u8 r in
+        match tag with
+        | 0 -> go (Op_ok :: acc) (i + 1)
+        | 1 ->
+          let* msg = Codec.Reader.lstring r in
+          go (Op_error msg :: acc) (i + 1)
+        | _ -> Error (Codec.Invalid "op status tag")
+    in
+    go [] 0
+  end
+
 let with_frame body =
   let w = Codec.Writer.create () in
   Codec.Writer.raw_string w magic;
@@ -154,7 +248,10 @@ let encode_request req =
       | Migrate { key; to_disk } ->
         Codec.Writer.u8 w 8;
         Codec.Writer.lstring w key;
-        Codec.Writer.uint w to_disk)
+        Codec.Writer.uint w to_disk
+      | Batch_request { ops } ->
+        Codec.Writer.u8 w 9;
+        encode_batch_ops w ops)
 
 let decode_request s =
   let open Codec.Syntax in
@@ -188,6 +285,9 @@ let decode_request s =
       let* key = Codec.Reader.lstring r in
       let+ to_disk = Codec.Reader.uint r in
       Migrate { key; to_disk }
+    | 9 ->
+      let+ ops = decode_batch_ops r in
+      Batch_request { ops }
     | _ -> Error (Codec.Invalid "request tag")
   in
   let* () = Codec.Reader.expect_end r in
@@ -215,7 +315,10 @@ let encode_response resp =
         encode_metrics w metrics
       | Error_response msg ->
         Codec.Writer.u8 w 4;
-        Codec.Writer.lstring w msg)
+        Codec.Writer.lstring w msg
+      | Batch_response { statuses } ->
+        Codec.Writer.u8 w 5;
+        encode_statuses w statuses)
 
 let decode_response s =
   let open Codec.Syntax in
@@ -245,6 +348,9 @@ let decode_response s =
     | 4 ->
       let+ msg = Codec.Reader.lstring r in
       Error_response msg
+    | 5 ->
+      let+ statuses = decode_statuses r in
+      Batch_response { statuses }
     | _ -> Error (Codec.Invalid "response tag")
   in
   let* () = Codec.Reader.expect_end r in

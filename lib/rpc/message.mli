@@ -7,6 +7,11 @@
     paper's section 7 requires deserializers that cannot crash on any
     input; [prop_decode_total] in the test suite checks exactly that. *)
 
+(** One operation of a {!Batch_request}. *)
+type batch_op =
+  | Batch_put of { key : string; value : string }
+  | Batch_delete of { key : string }
+
 type request =
   | Put of { key : string; value : string }
   | Get of { key : string }
@@ -18,6 +23,9 @@ type request =
   | Migrate of { key : string; to_disk : int }
       (** control plane: move a shard to another disk (repair/rebalance) *)
   | Node_stats
+  | Batch_request of { ops : batch_op list }
+      (** group-committed mutations; answered with {!Batch_response}
+          carrying one {!op_status} per op, in order *)
 
 (** One flattened metric sample from a disk's {!Obs} registry. Counters
     and gauges ship their value; histograms ship [.count] / [.sum]
@@ -28,12 +36,34 @@ type metric = {
   value : float;
 }
 
+(** Per-op outcome inside a {!Batch_response}: a bad op fails alone, the
+    rest of the batch is unaffected. *)
+type op_status = Op_ok | Op_error of string
+
 type response =
   | Ack
   | Value of string option
   | Keys of string list
   | Stats of { disks : int; in_service : int; keys : int; metrics : metric list }
   | Error_response of string
+  | Batch_response of { statuses : op_status list }
+
+(** {2 Protocol limits}
+
+    Decoders stay total and structural; semantic limits are enforced at
+    dispatch ({!Node.handle}) so one oversized op yields a per-op error
+    without poisoning its batch. *)
+
+(** Most ops a [Batch_request] / statuses a [Batch_response] may carry
+    (decoders reject larger counts outright — the count prefix itself is
+    untrusted). *)
+val max_batch_ops : int
+
+(** Longest key {!Node.handle} accepts in a batch op. *)
+val max_op_key_bytes : int
+
+(** Largest value {!Node.handle} accepts in a batch op. *)
+val max_op_value_bytes : int
 
 val pp_request : Format.formatter -> request -> unit
 val pp_response : Format.formatter -> response -> unit

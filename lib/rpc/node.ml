@@ -7,9 +7,11 @@ type t = {
   placements : (string, int) Hashtbl.t;
   obs : Obs.t;
   m_errors : Obs.Counter.t;
+  m_tick_errors : Obs.Counter.t;
+  m_batch_ops : Obs.Histogram.t;
 }
 
-let create ?(disks = 4) ?obs (config : S.config) =
+let create ?obs ?(disks = 4) (config : S.config) =
   if disks <= 0 then invalid_arg "Node.create: need at least one disk";
   let obs = match obs with Some o -> o | None -> Obs.create ~scope:"rpc" () in
   {
@@ -19,6 +21,9 @@ let create ?(disks = 4) ?obs (config : S.config) =
     placements = Hashtbl.create 16;
     obs;
     m_errors = Obs.counter obs "rpc.error";
+    m_tick_errors = Obs.counter obs "rpc.tick_error";
+    m_batch_ops =
+      Obs.histogram ~buckets:[ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. ] obs "rpc.batch_ops";
   }
 
 let disk_count t = Array.length t.stores
@@ -35,6 +40,7 @@ let request_kind = function
   | Message.Bulk_delete _ -> "bulk_delete"
   | Message.Migrate _ -> "migrate"
   | Message.Node_stats -> "node_stats"
+  | Message.Batch_request _ -> "batch"
 
 let disk_of_key t key =
   match Hashtbl.find_opt t.placements key with
@@ -144,6 +150,130 @@ let handle_inner t req =
             | Error e -> err "%a" S.pp_error e))
       end
     end
+  | Message.Batch_request { ops } ->
+    let n = List.length ops in
+    Obs.Histogram.observe t.m_batch_ops (float_of_int n);
+    let statuses = Array.make n Message.Op_ok in
+    let op_error i fmt =
+      Format.kasprintf (fun msg -> statuses.(i) <- Message.Op_error msg) fmt
+    in
+    (* Semantic validation happens here, not in the decoder (which stays
+       total and structural): a corrupt or oversized op fails alone and the
+       rest of the batch proceeds. *)
+    let validate op =
+      let check_key key =
+        if String.length key = 0 then Some "empty key"
+        else if String.length key > Message.max_op_key_bytes then
+          Some
+            (Printf.sprintf "key too large (%d > %d bytes)" (String.length key)
+               Message.max_op_key_bytes)
+        else None
+      in
+      match op with
+      | Message.Batch_put { key; value } -> (
+        match check_key key with
+        | Some _ as e -> e
+        | None ->
+          if String.length value > Message.max_op_value_bytes then
+            Some
+              (Printf.sprintf "value too large (%d > %d bytes)" (String.length value)
+                 Message.max_op_value_bytes)
+          else None)
+      | Message.Batch_delete { key } -> check_key key
+    in
+    (* Group valid ops by target disk, preserving request order within each
+       disk, so every disk sees one group-committed batch per kind-run
+       instead of N scalar calls. *)
+    let buckets = Array.make (Array.length t.stores) [] in
+    List.iteri
+      (fun i op ->
+        match validate op with
+        | Some msg -> op_error i "%s" msg
+        | None ->
+          let key =
+            match op with
+            | Message.Batch_put { key; _ } | Message.Batch_delete { key } -> key
+          in
+          let disk = disk_of_key t key in
+          buckets.(disk) <- (i, op) :: buckets.(disk))
+      ops;
+    let flush_put_run store run =
+      match run with
+      | [] -> ()
+      | _ -> (
+        let puts =
+          List.map
+            (function
+              | _, Message.Batch_put { key; value } -> (key, value)
+              | _, Message.Batch_delete _ -> assert false)
+            run
+        in
+        match S.put_batch store puts with
+        | Ok { S.results; barrier = _ } ->
+          List.iter2
+            (fun (i, _) result ->
+              match result with
+              | Ok _ -> ()
+              | Error e -> op_error i "%a" S.pp_error e)
+            run results
+        | Error e ->
+          let msg = Format.asprintf "%a" S.pp_error e in
+          List.iter (fun (i, _) -> op_error i "%s" msg) run)
+    in
+    let flush_delete_run store run =
+      match run with
+      | [] -> ()
+      | _ -> (
+        let keys =
+          List.map
+            (function
+              | _, Message.Batch_delete { key } -> key
+              | _, Message.Batch_put _ -> assert false)
+            run
+        in
+        match S.delete_batch store keys with
+        | Ok { S.results; barrier = _ } ->
+          List.iter2
+            (fun (i, _) result ->
+              match result with
+              | Ok _ -> ()
+              | Error e -> op_error i "%a" S.pp_error e)
+            run results
+        | Error e ->
+          let msg = Format.asprintf "%a" S.pp_error e in
+          List.iter (fun (i, _) -> op_error i "%s" msg) run)
+    in
+    Array.iteri
+      (fun disk bucket ->
+        let store = t.stores.(disk) in
+        (* Maximal same-kind runs keep request order while still batching:
+           put,put,delete,put becomes put_batch[2]; delete_batch[1];
+           put_batch[1]. *)
+        let flush_run run =
+          match run with
+          | [] -> ()
+          | (_, Message.Batch_put _) :: _ -> flush_put_run store (List.rev run)
+          | (_, Message.Batch_delete _) :: _ -> flush_delete_run store (List.rev run)
+        in
+        let same_kind a b =
+          match (a, b) with
+          | Message.Batch_put _, Message.Batch_put _
+          | Message.Batch_delete _, Message.Batch_delete _ -> true
+          | _ -> false
+        in
+        let run =
+          List.fold_left
+            (fun run (i, op) ->
+              match run with
+              | (_, prev) :: _ when not (same_kind prev op) ->
+                flush_run run;
+                [ (i, op) ]
+              | _ -> (i, op) :: run)
+            [] (List.rev bucket)
+        in
+        flush_run run)
+      buckets;
+    Message.Batch_response { statuses = Array.to_list statuses }
   | Message.Node_stats ->
     let in_service =
       Array.fold_left (fun acc s -> if S.in_service s then acc + 1 else acc) 0 t.stores
@@ -161,7 +291,15 @@ let handle_inner t req =
 let handle t req =
   Obs.Counter.incr (Obs.counter ~labels:[ ("kind", request_kind req) ] t.obs "rpc.request");
   let resp = handle_inner t req in
-  (match resp with Message.Error_response _ -> Obs.Counter.incr t.m_errors | _ -> ());
+  (match resp with
+  | Message.Error_response _ -> Obs.Counter.incr t.m_errors
+  | Message.Batch_response { statuses } ->
+    List.iter
+      (function
+        | Message.Op_error _ -> Obs.Counter.incr t.m_errors
+        | Message.Op_ok -> ())
+      statuses
+  | _ -> ());
   resp
 
 let handle_wire t bytes =
@@ -172,12 +310,23 @@ let handle_wire t bytes =
   in
   Message.encode_response resp
 
+type tick_report = { disks : int; errors : int; ios_pumped : int }
+
 let tick t =
+  let errors = ref 0 in
+  let ios = ref 0 in
+  let note = function
+    | Ok _ -> ()
+    | Error _ ->
+      incr errors;
+      Obs.Counter.incr t.m_tick_errors
+  in
   Array.iter
     (fun s ->
       if S.in_service s then begin
-        ignore (S.flush_index s);
-        ignore (S.flush_superblock s)
+        note (S.flush_index s);
+        note (S.flush_superblock s)
       end;
-      ignore (S.pump s 64))
-    t.stores
+      ios := !ios + S.pump s 64)
+    t.stores;
+  { disks = Array.length t.stores; errors = !errors; ios_pumped = !ios }

@@ -6,11 +6,13 @@
 
 type t
 
-(** [create ?disks ?obs config] — [disks] independent stores (default 4).
-    RPC-layer counters ([rpc.request] labelled by request kind, and
-    [rpc.error]) land in [obs] or a fresh rpc-scoped registry; each disk's
-    store keeps its own per-instance registry (see {!store_obs}). *)
-val create : ?disks:int -> ?obs:Obs.t -> Store.Default.config -> t
+(** [create ?obs ?disks config] — [disks] independent stores (default 4).
+    RPC-layer counters ([rpc.request] labelled by request kind,
+    [rpc.error], [rpc.tick_error] and the [rpc.batch_ops] histogram) land
+    in [obs] or a fresh rpc-scoped registry; each disk's store keeps its
+    own per-instance registry (see {!store_obs}). Per the repo convention
+    (see [lib/obs/obs.mli]), [?obs] is the first optional argument. *)
+val create : ?obs:Obs.t -> ?disks:int -> Store.Default.config -> t
 
 val disk_count : t -> int
 
@@ -29,12 +31,27 @@ val disk_of_key : t -> string -> int
 val store : t -> disk:int -> Store.Default.t
 
 (** [handle t req] — dispatch one request. Implementation failures map to
-    [Error_response]; no exception escapes. *)
+    [Error_response]; no exception escapes.
+
+    [Batch_request] dispatch: each op is validated (empty / oversized keys
+    and values per {!Message.max_op_key_bytes} and
+    {!Message.max_op_value_bytes}) — a bad op gets its own [Op_error] and
+    the rest proceed; valid ops are grouped by target disk (request order
+    preserved per disk), maximal same-kind runs go through
+    [Store.put_batch] / [Store.delete_batch] group commit, and the
+    response carries one status per op in request order. *)
 val handle : t -> Message.request -> Message.response
 
 (** [handle_wire t bytes] — decode, dispatch, encode. Corrupt requests get
     an encoded [Error_response]. *)
 val handle_wire : t -> string -> string
 
-(** Run background maintenance (pump, flush cadences) on every disk. *)
-val tick : t -> unit
+(** What one maintenance tick did: how many disks were visited, how many
+    per-disk flush failures occurred (also counted under [rpc.tick_error])
+    and how many writeback IOs were pumped. *)
+type tick_report = { disks : int; errors : int; ios_pumped : int }
+
+(** Run background maintenance (pump, flush cadences) on every disk.
+    Failures are reported, not swallowed: each failed flush bumps
+    [rpc.tick_error] and shows up in the report. *)
+val tick : t -> tick_report

@@ -52,6 +52,23 @@ module type S = sig
 
   (** Raw index lookup (introspection for tests and tools). *)
   val locators : t -> key:string -> (Chunk.Locator.t list option, error) result
+
+  (** Result of a group-committed batch: per-op outcomes in request order,
+      plus one barrier dependency that persists exactly when every
+      successful op of the batch does. *)
+  type batch_result = { results : (Dep.t, error) result list; barrier : Dep.t }
+
+  (** [put_batch t ops] applies N puts with group commit: one service
+      check, one memtable reservation, coalesced chunk allocation
+      ({!Chunk.Chunk_store.put_batch}) and one amortized maintenance pass
+      (superblock cadence, batched writeback) for the whole batch. The
+      outer [Error] is only [Out_of_service]; everything else is per-op.
+      Observationally equivalent to the sequential [put] loop, including
+      under a crash at any dependency-graph prefix. *)
+  val put_batch : t -> (string * string) list -> (batch_result, error) result
+
+  (** [delete_batch t keys] — the delete counterpart of {!put_batch}. *)
+  val delete_batch : t -> string list -> (batch_result, error) result
   val flush_index : t -> (Dep.t, error) result
   val flush_superblock : t -> (Dep.t, error) result
   val compact : t -> (Dep.t, error) result
@@ -154,6 +171,10 @@ module Make (Index : Store_intf.INDEX) = struct
     m_dirty_reboots : Obs.Counter.t;
     m_clean_shutdowns : Obs.Counter.t;
     m_value_bytes : Obs.Histogram.t;
+    m_put_batches : Obs.Counter.t;
+    m_delete_batches : Obs.Counter.t;
+    m_batch_ops : Obs.Histogram.t;
+    m_batch_fallback : Obs.Counter.t;
   }
 
   type t = {
@@ -215,6 +236,12 @@ module Make (Index : Store_intf.INDEX) = struct
           m_dirty_reboots = Obs.counter obs "store.dirty_reboot";
           m_clean_shutdowns = Obs.counter obs "store.clean_shutdown";
           m_value_bytes = Obs.histogram obs "store.value_bytes";
+          m_put_batches = Obs.counter obs "store.put_batch";
+          m_delete_batches = Obs.counter obs "store.delete_batch";
+          m_batch_ops =
+            Obs.histogram ~buckets:[ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. ] obs
+              "store.batch_ops";
+          m_batch_fallback = Obs.counter ~coverage:true obs "store.put_batch.fallback";
         };
       in_service = true;
       mutations = 0;
@@ -452,23 +479,36 @@ module Make (Index : Store_intf.INDEX) = struct
         | Some r -> Ok r
         | None -> Error No_space))
 
-  let after_mutation t =
-    t.mutations <- t.mutations + 1;
-    if
-      t.cfg.index_flush_threshold > 0
-      && Index.memtable_size t.index >= t.cfg.index_flush_threshold
-    then ignore (flush_index t);
-    if t.cfg.compact_threshold > 0 && Index.run_count t.index > t.cfg.compact_threshold then
-      ignore (compact t);
-    if
-      t.cfg.superblock_cadence > 0
-      && t.mutations mod t.cfg.superblock_cadence = 0
-      && Superblock.dirty t.sb
-    then ignore (flush_superblock t);
-    if t.cfg.auto_pump > 0 then ignore (pump t t.cfg.auto_pump)
+  (* Post-mutation maintenance, amortized over [n] operations: the flush /
+     compact / cadence checks run once per batch, and batched writeback
+     ([Io_sched.submit_batch]) replaces the per-op randomized pump when
+     [n > 1]. For [n = 1] the behaviour (including the cadence arithmetic
+     and the RNG consumption of [pump]) is exactly the pre-batching one. *)
+  let after_mutations t n =
+    if n > 0 then begin
+      let before = t.mutations in
+      t.mutations <- before + n;
+      if
+        t.cfg.index_flush_threshold > 0
+        && Index.memtable_size t.index >= t.cfg.index_flush_threshold
+      then ignore (flush_index t);
+      if t.cfg.compact_threshold > 0 && Index.run_count t.index > t.cfg.compact_threshold
+      then ignore (compact t);
+      if
+        t.cfg.superblock_cadence > 0
+        && t.mutations / t.cfg.superblock_cadence > before / t.cfg.superblock_cadence
+        && Superblock.dirty t.sb
+      then ignore (flush_superblock t);
+      if t.cfg.auto_pump > 0 then
+        if n = 1 then ignore (pump t t.cfg.auto_pump)
+        else ignore (Io_sched.submit_batch ~max_ios:(t.cfg.auto_pump * n) t.sched)
+    end
 
-  let put t ~key ~value =
-    let* () = check_service t in
+  let after_mutation t = after_mutations t 1
+
+  (* The body of [put] minus the service check and maintenance — batch
+     entry points pay those once for N ops. *)
+  let put_locked t ~key ~value =
     Obs.Counter.incr t.m.m_puts;
     Obs.Histogram.observe t.m.m_value_bytes (float_of_int (String.length value));
     if Obs.tracing t.obs then
@@ -489,7 +529,11 @@ module Make (Index : Store_intf.INDEX) = struct
             (Ok ([], Dep.trivial))
             (split_value t value))
     in
-    let dep = Index.put t.index ~key ~locators:(List.rev locators) ~value_dep in
+    Ok (Index.put t.index ~key ~locators:(List.rev locators) ~value_dep)
+
+  let put t ~key ~value =
+    let* () = check_service t in
+    let* dep = put_locked t ~key ~value in
     after_mutation t;
     Ok dep
 
@@ -516,13 +560,93 @@ module Make (Index : Store_intf.INDEX) = struct
       in
       Ok (Some (Buffer.contents buf))
 
-  let delete t ~key =
-    let* () = check_service t in
+  let delete_locked t ~key =
     Obs.Counter.incr t.m.m_deletes;
     if Obs.tracing t.obs then Obs.emit t.obs ~layer:"store" "delete" [ ("key", key) ];
-    let dep = Index.delete t.index ~key in
+    Index.delete t.index ~key
+
+  let delete t ~key =
+    let* () = check_service t in
+    let dep = delete_locked t ~key in
     after_mutation t;
     Ok dep
+
+  (* {2 Batched request plane (group commit)} *)
+
+  type batch_result = { results : (Dep.t, error) result list; barrier : Dep.t }
+
+  let barrier_of results =
+    Dep.all (List.filter_map (function Ok d -> Some d | Error _ -> None) results)
+
+  let put_batch t ops =
+    let* () = check_service t in
+    let n = List.length ops in
+    Obs.Counter.incr t.m.m_put_batches;
+    Obs.Histogram.observe t.m.m_batch_ops (float_of_int n);
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~layer:"store" "put_batch" [ ("ops", string_of_int n) ];
+    (* One memtable reservation for the whole batch: flush up front when the
+       N inserts would cross the threshold, instead of checking per op. *)
+    if
+      t.cfg.index_flush_threshold > 0
+      && Index.memtable_size t.index > 0
+      && Index.memtable_size t.index + n > t.cfg.index_flush_threshold
+    then ignore (flush_index t);
+    let per_op =
+      List.map
+        (fun (key, value) ->
+          (key, value, List.map (fun p -> (Chunk.Chunk_format.Shard key, p)) (split_value t value)))
+        ops
+    in
+    let items = List.concat_map (fun (_, _, items) -> items) per_op in
+    let results =
+      match Chunk.Chunk_store.put_batch t.chunks ~items with
+      | Ok chunk_results ->
+        (* Coalesced allocation succeeded for every chunk: regroup the
+           results per op (item order is the concatenation of the per-op
+           splits) and install the index entries, which cannot fail. *)
+        let rest = ref chunk_results in
+        List.map
+          (fun (key, value, op_items) ->
+            let k = List.length op_items in
+            let rec take k acc l =
+              if k = 0 then (List.rev acc, l)
+              else
+                match l with
+                | [] -> assert false
+                | x :: tl -> take (k - 1) (x :: acc) tl
+            in
+            let mine, others = take k [] !rest in
+            rest := others;
+            (* Telemetry is batch-granularity on this path: the [put_batch]
+               trace above covers the group; only the counters are per op. *)
+            Obs.Counter.incr t.m.m_puts;
+            Obs.Histogram.observe t.m.m_value_bytes (float_of_int (String.length value));
+            let locators = List.map fst mine in
+            let value_dep = Dep.all (List.map snd mine) in
+            Ok (Index.put t.index ~key ~locators ~value_dep))
+          per_op
+      | Error _ ->
+        (* Group allocation hit resource pressure (or an IO fault): fall
+           back to the sequential path per op, which carries the reclaim /
+           compact GC ladder, and record per-op outcomes. *)
+        Obs.Counter.incr t.m.m_batch_fallback;
+        if Obs.tracing t.obs then Obs.emit t.obs ~layer:"store" "put_batch_fallback" [];
+        List.map (fun (key, value, _) -> put_locked t ~key ~value) per_op
+    in
+    after_mutations t n;
+    Ok { results; barrier = barrier_of results }
+
+  let delete_batch t keys =
+    let* () = check_service t in
+    let n = List.length keys in
+    Obs.Counter.incr t.m.m_delete_batches;
+    Obs.Histogram.observe t.m.m_batch_ops (float_of_int n);
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~layer:"store" "delete_batch" [ ("ops", string_of_int n) ];
+    let results = List.map (fun key -> Ok (delete_locked t ~key)) keys in
+    after_mutations t n;
+    Ok { results; barrier = barrier_of results }
 
   let list t =
     let* () = check_service t in

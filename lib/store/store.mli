@@ -75,6 +75,32 @@ module type S = sig
   (** Raw index lookup (introspection for tests and tools). *)
   val locators : t -> key:string -> (Chunk.Locator.t list option, error) result
 
+  (** {2 Batched request plane (group commit)}
+
+      Result of a batch: per-op outcomes in request order, plus one barrier
+      dependency that persists exactly when every successful op of the
+      batch does — the natural durability handle for group commit. *)
+  type batch_result = { results : (Dep.t, error) result list; barrier : Dep.t }
+
+  (** [put_batch t ops] applies N puts with group commit: one service
+      check, one memtable reservation (the batch flushes the memtable up
+      front if the N inserts would cross the threshold), coalesced chunk
+      allocation ({!Chunk.Chunk_store.put_batch} — per-extent groups, one
+      append and one superblock record per group) and one amortized
+      maintenance pass (superblock-cadence check, batched writeback via
+      {!Io_sched.submit_batch}) for the whole batch. When group allocation
+      hits resource pressure the batch falls back to the sequential per-op
+      path with its GC ladder, so per-op outcomes match the loop exactly.
+      The outer [Error] is only ever [Out_of_service].
+
+      Observationally equivalent to the sequential [put] loop, including
+      under a crash at any dependency-graph prefix — the batch conformance
+      property in [test/test_lfm.ml] checks this. *)
+  val put_batch : t -> (string * string) list -> (batch_result, error) result
+
+  (** [delete_batch t keys] — the delete counterpart of {!put_batch}. *)
+  val delete_batch : t -> string list -> (batch_result, error) result
+
   (** {2 Background maintenance} *)
 
   val flush_index : t -> (Dep.t, error) result

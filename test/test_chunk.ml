@@ -111,6 +111,78 @@ let test_put_becomes_persistent_after_sb_flush () =
   ignore (Io_sched.flush sched);
   Alcotest.(check bool) "persistent once covered" true (Dep.is_persistent dep)
 
+let test_put_batch_roundtrip_one_append () =
+  let _, sched, _, cs = make () in
+  let obs = Io_sched.obs sched in
+  let items =
+    List.init 3 (fun i -> (Chunk_format.Shard (Printf.sprintf "b%d" i), Printf.sprintf "pay-%d" i))
+  in
+  let results = ok (Chunk_store.put_batch cs ~items) in
+  Alcotest.(check int) "one locator per item" 3 (List.length results);
+  List.iteri
+    (fun i (loc, _) ->
+      let chunk = ok (Chunk_store.get cs loc) in
+      Alcotest.(check string) (Printf.sprintf "payload %d" i) (Printf.sprintf "pay-%d" i)
+        chunk.Chunk_format.payload;
+      Alcotest.(check bool) (Printf.sprintf "owner %d" i) true
+        (Chunk_format.owner_equal (Chunk_format.Shard (Printf.sprintf "b%d" i))
+           chunk.Chunk_format.owner))
+    results;
+  (* The whole group staged as a single append: the group-commit win. *)
+  Alcotest.(check int) "one append for the group" 1 (Obs.counter_value obs "iosched.append");
+  Alcotest.(check int) "one group" 1 (Obs.counter_value obs "chunk.batch_group")
+
+let test_put_batch_shares_group_dep () =
+  let _, sched, sb, cs = make () in
+  let items = List.init 3 (fun i -> (Chunk_format.Shard (Printf.sprintf "d%d" i), "x")) in
+  let results = ok (Chunk_store.put_batch cs ~items) in
+  ignore (Io_sched.flush sched);
+  List.iter
+    (fun (_, dep) ->
+      Alcotest.(check bool) "pointer promise still open" false (Dep.is_persistent dep))
+    results;
+  (match Superblock.flush sb with Ok _ -> () | Error _ -> Alcotest.fail "sb flush");
+  ignore (Io_sched.flush sched);
+  List.iter
+    (fun (_, dep) ->
+      Alcotest.(check bool) "persistent once covered" true (Dep.is_persistent dep))
+    results
+
+let test_put_batch_spills_across_extents () =
+  let _, sched, _, cs = make () in
+  let obs = Io_sched.obs sched in
+  (* ~90-byte payloads occupy 5 of an extent's 8 pages, so consecutive items
+     cannot share an extent: every item opens its own group. *)
+  let items =
+    List.init 3 (fun i -> (Chunk_format.Shard (Printf.sprintf "s%d" i), String.make 90 'x'))
+  in
+  let results = ok (Chunk_store.put_batch cs ~items) in
+  let extents =
+    List.sort_uniq compare (List.map (fun (loc, _) -> loc.Locator.extent) results)
+  in
+  Alcotest.(check bool) "spilled to several extents" true (List.length extents >= 2);
+  Alcotest.(check bool) "several groups" true (Obs.counter_value obs "chunk.batch_group" >= 2);
+  List.iter
+    (fun (loc, _) ->
+      let chunk = ok (Chunk_store.get cs loc) in
+      Alcotest.(check string) "spilled payload intact" (String.make 90 'x')
+        chunk.Chunk_format.payload)
+    results;
+  ignore sched
+
+let test_put_batch_oversized_rejected () =
+  let _, _, _, cs = make () in
+  match
+    Chunk_store.put_batch cs
+      ~items:
+        [
+          (Chunk_format.Shard "ok", "small");
+          (Chunk_format.Shard "big", String.make (2 * Disk.extent_size config) 'x');
+        ]
+  with
+  | Error Chunk_store.No_space -> ()
+  | _ -> Alcotest.fail "batch with an oversized chunk must be rejected up front"
+
 let test_stale_locator_after_reset () =
   let _, sched, _, cs = make () in
   let loc, _ = ok (Chunk_store.put cs ~owner:(Chunk_format.Shard "a") ~payload:"hello") in
@@ -351,6 +423,13 @@ let () =
       ( "store",
         [
           Alcotest.test_case "put/get" `Quick test_put_get;
+          Alcotest.test_case "put_batch roundtrip, one append" `Quick
+            test_put_batch_roundtrip_one_append;
+          Alcotest.test_case "put_batch shares group dep" `Quick test_put_batch_shares_group_dep;
+          Alcotest.test_case "put_batch spills across extents" `Quick
+            test_put_batch_spills_across_extents;
+          Alcotest.test_case "put_batch oversized rejected" `Quick
+            test_put_batch_oversized_rejected;
           Alcotest.test_case "persistence needs sb flush" `Quick
             test_put_becomes_persistent_after_sb_flush;
           Alcotest.test_case "stale locator" `Quick test_stale_locator_after_reset;

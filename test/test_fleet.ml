@@ -42,6 +42,54 @@ let test_put_get_replicated () =
   ok (Fleet.delete f ~key:"s");
   Alcotest.(check (option string)) "deleted" None (ok (Fleet.get f ~key:"s"))
 
+let test_put_many_replicated () =
+  let f = Fleet.create config in
+  let ops = List.init 6 (fun i -> (Printf.sprintf "pk%d" i, Printf.sprintf "pv%d" i)) in
+  ok (Fleet.put_many f ops);
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check (option string)) ("get " ^ k) (Some v) (ok (Fleet.get f ~key:k));
+      Alcotest.(check int) ("replicated " ^ k) 3 (Fleet.replica_count f ~key:k))
+    ops;
+  Alcotest.(check int) "counted once" 1 (Obs.counter_value (Fleet.obs f) "fleet.put_many")
+
+let test_put_many_matches_sequential () =
+  let ops = List.init 8 (fun i -> (Printf.sprintf "mk%d" i, Printf.sprintf "mv%d" i)) in
+  let fb = Fleet.create config in
+  ok (Fleet.put_many fb ops);
+  let fs = Fleet.create config in
+  List.iter (fun (k, v) -> ok (Fleet.put fs ~key:k ~value:v)) ops;
+  List.iter
+    (fun (k, _) ->
+      Alcotest.(check (option string)) ("batch = sequential for " ^ k)
+        (ok (Fleet.get fs ~key:k))
+        (ok (Fleet.get fb ~key:k));
+      Alcotest.(check int) ("same replica count for " ^ k)
+        (Fleet.replica_count fs ~key:k)
+        (Fleet.replica_count fb ~key:k))
+    ops
+
+let test_node_failed_carries_store_error () =
+  let f = Fleet.create config in
+  (* 16 extents x 16 pages x 64 bytes = 16 KiB per node: this cannot fit. *)
+  let huge = String.make 50_000 'x' in
+  (match Fleet.put f ~key:"huge" ~value:huge with
+  | Error (Fleet.Node_failed { node; error = Store.Default.No_space }) ->
+    (* The structured payload must not have changed the rendered message. *)
+    let msg =
+      Format.asprintf "%a" Fleet.pp_error
+        (Fleet.Node_failed { node; error = Store.Default.No_space })
+    in
+    Alcotest.(check string) "pp output stable"
+      (Printf.sprintf "node %d failed: out of space" node)
+      msg
+  | Ok () -> Alcotest.fail "oversized put cannot succeed"
+  | Error e -> Alcotest.failf "expected structured No_space, got %a" Fleet.pp_error e);
+  match Fleet.put_many f [ ("small", "v"); ("huge2", huge) ] with
+  | Error (Fleet.Node_failed { error = Store.Default.No_space; _ }) -> ()
+  | Ok () -> Alcotest.fail "oversized batch cannot succeed"
+  | Error e -> Alcotest.failf "expected structured No_space, got %a" Fleet.pp_error e
+
 let test_survives_any_single_crash () =
   let f = Fleet.create config in
   ok (Fleet.put f ~key:"s" ~value:"durable");
@@ -130,6 +178,11 @@ let () =
         [
           Alcotest.test_case "placement" `Quick test_placement_deterministic_and_spread;
           Alcotest.test_case "put/get replicated" `Quick test_put_get_replicated;
+          Alcotest.test_case "put_many replicated" `Quick test_put_many_replicated;
+          Alcotest.test_case "put_many matches sequential" `Quick
+            test_put_many_matches_sequential;
+          Alcotest.test_case "structured node failure" `Quick
+            test_node_failed_carries_store_error;
           Alcotest.test_case "survives any single crash" `Quick test_survives_any_single_crash;
           Alcotest.test_case "survives node loss with repair" `Quick
             test_survives_node_loss_with_repair;

@@ -312,6 +312,59 @@ let test_stats () =
   Alcotest.(check int) "ios" 2 st.Io_sched.ios_issued;
   Alcotest.(check int) "bytes" 2 st.Io_sched.bytes_written
 
+(* Group-commit writeback: adjacent ready appends merge into one disk IO. *)
+let test_submit_batch_coalesces () =
+  let disk, s = make () in
+  let d1 = ok (Io_sched.append s ~extent:0 ~data:"aa" ~input:Dep.trivial) in
+  let d2 = ok (Io_sched.append s ~extent:0 ~data:"bb" ~input:Dep.trivial) in
+  let d3 = ok (Io_sched.append s ~extent:0 ~data:"cc" ~input:Dep.trivial) in
+  let n = Io_sched.submit_batch s in
+  Alcotest.(check int) "three appends, one io" 1 n;
+  Alcotest.(check bool) "all persistent" true
+    (Dep.is_persistent d1 && Dep.is_persistent d2 && Dep.is_persistent d3);
+  Alcotest.(check string) "durable image merged in order" "aabbcc"
+    (Disk.durable_image disk ~extent:0);
+  let obs = Io_sched.obs s in
+  Alcotest.(check int) "k-1 coalesced" 2 (Obs.counter_value obs "iosched.coalesced_append");
+  Alcotest.(check int) "one batch submit" 1 (Obs.counter_value obs "iosched.batch_submit")
+
+let test_submit_batch_intra_run_deps () =
+  (* A chain of same-extent appends each depending on the previous one: a
+     single-IO pump can only issue the head, but the merged IO is atomic, so
+     submit_batch may (and does) issue the whole chain as one write. *)
+  let disk, s = make () in
+  let d1 = ok (Io_sched.append s ~extent:0 ~data:"aa" ~input:Dep.trivial) in
+  let d2 = ok (Io_sched.append s ~extent:0 ~data:"bb" ~input:d1) in
+  let d3 = ok (Io_sched.append s ~extent:0 ~data:"cc" ~input:d2) in
+  let n = Io_sched.submit_batch s in
+  Alcotest.(check int) "chained run still one io" 1 n;
+  Alcotest.(check bool) "chain persistent" true (Dep.is_persistent d3);
+  Alcotest.(check string) "chain durable" "aabbcc" (Disk.durable_image disk ~extent:0)
+
+let test_submit_batch_respects_external_deps () =
+  let disk, s = make () in
+  let p = Dep.Promise.create () in
+  ignore (ok (Io_sched.append s ~extent:0 ~data:"aa" ~input:Dep.trivial));
+  let blocked = ok (Io_sched.append s ~extent:0 ~data:"bb" ~input:(Dep.Promise.dep p)) in
+  (* Extent 1's head is blocked outright: nothing may issue there. *)
+  let blocked1 = ok (Io_sched.append s ~extent:1 ~data:"zz" ~input:(Dep.Promise.dep p)) in
+  let n = Io_sched.submit_batch s in
+  Alcotest.(check int) "only the unblocked head issues" 1 n;
+  Alcotest.(check string) "merge stops at the external dep" "aa"
+    (Disk.durable_image disk ~extent:0);
+  Alcotest.(check string) "blocked extent untouched" "" (Disk.durable_image disk ~extent:1);
+  Alcotest.(check bool) "blocked writes still pending" false
+    (Dep.is_persistent blocked || Dep.is_persistent blocked1);
+  Alcotest.(check int) "still staged" 2 (Io_sched.pending_count s)
+
+let test_submit_batch_max_ios () =
+  let _, s = make () in
+  ignore (ok (Io_sched.append s ~extent:0 ~data:"aa" ~input:Dep.trivial));
+  ignore (ok (Io_sched.append s ~extent:1 ~data:"bb" ~input:Dep.trivial));
+  ignore (ok (Io_sched.append s ~extent:2 ~data:"cc" ~input:Dep.trivial));
+  Alcotest.(check int) "bounded" 2 (Io_sched.submit_batch ~max_ios:2 s);
+  Alcotest.(check int) "remainder" 1 (Io_sched.submit_batch s)
+
 let () =
   Alcotest.run "iosched"
     [
@@ -326,6 +379,15 @@ let () =
           Alcotest.test_case "reset epoch volatile" `Quick test_reset_epoch_volatile;
           Alcotest.test_case "extent full" `Quick test_extent_full;
           Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "coalesces adjacent appends" `Quick test_submit_batch_coalesces;
+          Alcotest.test_case "merges intra-run dependency chains" `Quick
+            test_submit_batch_intra_run_deps;
+          Alcotest.test_case "respects external dependencies" `Quick
+            test_submit_batch_respects_external_deps;
+          Alcotest.test_case "max_ios bound" `Quick test_submit_batch_max_ios;
         ] );
       ( "crash",
         [

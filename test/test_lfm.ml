@@ -52,6 +52,26 @@ let test_gen_key_reuse_bias () =
   Alcotest.(check bool) "bias increases hit rate" true
     (count_hits Lfm.Gen.default_bias > count_hits Lfm.Gen.unbiased)
 
+let batch_bias = { Lfm.Gen.default_bias with Lfm.Gen.batch_weight = 8 }
+
+let test_gen_batch_weight () =
+  let count_batches bias =
+    let rng = Util.Rng.create 9L in
+    let ops =
+      Lfm.Gen.sequence ~rng ~bias ~profile:Lfm.Gen.Crash_free ~page_size:64 ~extent_count:12
+        ~length:300
+    in
+    List.length
+      (List.filter
+         (function Lfm.Op.PutBatch _ | Lfm.Op.DeleteBatch _ -> true | _ -> false)
+         ops)
+  in
+  (* The deterministic detection experiments depend on the default alphabet
+     staying exactly as it was, so batch ops must be strictly opt-in. *)
+  Alcotest.(check int) "default alphabet has no batch ops" 0
+    (count_batches Lfm.Gen.default_bias);
+  Alcotest.(check bool) "batch_weight adds batch ops" true (count_batches batch_bias > 0)
+
 let test_summary () =
   let ops =
     [
@@ -78,6 +98,34 @@ let baseline_prop profile =
       Faults.disable_all ();
       let _, outcome =
         Lfm.Harness.run_seed config ~profile ~bias:Lfm.Gen.default_bias ~length:50 ~seed
+      in
+      match outcome with
+      | Lfm.Harness.Passed -> true
+      | Lfm.Harness.Failed f ->
+        QCheck.Test.fail_reportf "seed %d: %a" seed Lfm.Harness.pp_failure f)
+
+(* Batch conformance (the group-commit tentpole): sequences rich in
+   PutBatch/DeleteBatch must refine the same reference model as their
+   sequential expansion — the model applies a batch one key at a time, so
+   any divergence in the batched implementation (ordering, lost ops,
+   mis-shared dependencies from IO coalescing) fails refinement. The
+   crash-enumeration hook extends the check to every dependency-closed
+   crash prefix, i.e. every point at which a half-durable batch could be
+   torn by power loss. *)
+let batch_conformance_prop =
+  QCheck.Test.make ~name:"batch conformance (batch = sequential, incl. crash prefixes)"
+    ~count:1000
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      Faults.disable_all ();
+      let acc =
+        ref { Lfm.Crash_enum.states = 0; truncated = false; violations = 0; first_violation = None }
+      in
+      let cfg =
+        { config with Lfm.Harness.pre_crash_hook = Some (Lfm.Crash_enum.hook ~max_states:24 ~acc) }
+      in
+      let _, outcome =
+        Lfm.Harness.run_seed cfg ~profile:Lfm.Gen.Crashing ~bias:batch_bias ~length:40 ~seed
       in
       match outcome with
       | Lfm.Harness.Passed -> true
@@ -262,6 +310,7 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
           Alcotest.test_case "profiles" `Quick test_gen_profiles;
           Alcotest.test_case "key reuse bias" `Quick test_gen_key_reuse_bias;
+          Alcotest.test_case "batch weight opt-in" `Quick test_gen_batch_weight;
           Alcotest.test_case "summary" `Quick test_summary;
         ] );
       ( "conformance",
@@ -270,6 +319,7 @@ let () =
           QCheck_alcotest.to_alcotest (baseline_prop Lfm.Gen.Crashing);
           QCheck_alcotest.to_alcotest (baseline_prop Lfm.Gen.Failing);
           QCheck_alcotest.to_alcotest (baseline_prop Lfm.Gen.Full);
+          QCheck_alcotest.to_alcotest batch_conformance_prop;
           Alcotest.test_case "replay deterministic" `Quick test_replay_deterministic;
           Alcotest.test_case "catches seeded divergence" `Quick
             test_harness_catches_seeded_divergence;

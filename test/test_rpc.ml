@@ -16,6 +16,16 @@ let requests =
     Rpc.Message.Bulk_delete { keys = [] };
     Rpc.Message.Migrate { key = "shard"; to_disk = 2 };
     Rpc.Message.Node_stats;
+    Rpc.Message.Batch_request { ops = [] };
+    Rpc.Message.Batch_request
+      {
+        ops =
+          [
+            Rpc.Message.Batch_put { key = "a"; value = "1" };
+            Rpc.Message.Batch_delete { key = "b" };
+            Rpc.Message.Batch_put { key = ""; value = "" };
+          ];
+      };
   ]
 
 let responses =
@@ -43,6 +53,12 @@ let responses =
           ];
       };
     Rpc.Message.Error_response "boom";
+    Rpc.Message.Batch_response { statuses = [] };
+    Rpc.Message.Batch_response
+      {
+        statuses =
+          [ Rpc.Message.Op_ok; Rpc.Message.Op_error "no"; Rpc.Message.Op_ok ];
+      };
   ]
 
 let test_request_roundtrip () =
@@ -156,6 +172,89 @@ let test_bulk_delete () =
   match Rpc.Node.handle node Rpc.Message.List with
   | Rpc.Message.Keys [ "b" ] -> ()
   | r -> Alcotest.failf "list after bulk delete: %a" Rpc.Message.pp_response r
+
+let test_batch_request_dispatch () =
+  let node = make_node () in
+  let ops =
+    [
+      Rpc.Message.Batch_put { key = "a"; value = "1" };
+      Rpc.Message.Batch_put { key = "b"; value = "2" };
+      Rpc.Message.Batch_delete { key = "a" };
+      Rpc.Message.Batch_put { key = "c"; value = "3" };
+      Rpc.Message.Batch_put { key = "b"; value = "2bis" };
+    ]
+  in
+  (match Rpc.Node.handle node (Rpc.Message.Batch_request { ops }) with
+  | Rpc.Message.Batch_response { statuses } ->
+    Alcotest.(check int) "one status per op" 5 (List.length statuses);
+    List.iteri
+      (fun i -> function
+        | Rpc.Message.Op_ok -> ()
+        | Rpc.Message.Op_error msg -> Alcotest.failf "op %d failed: %s" i msg)
+      statuses
+  | r -> Alcotest.failf "batch: %a" Rpc.Message.pp_response r);
+  (* Per-disk run batching must preserve program order per key. *)
+  (match Rpc.Node.handle node (Rpc.Message.Get { key = "a" }) with
+  | Rpc.Message.Value None -> ()
+  | r -> Alcotest.failf "a should be put-then-deleted: %a" Rpc.Message.pp_response r);
+  (match Rpc.Node.handle node (Rpc.Message.Get { key = "b" }) with
+  | Rpc.Message.Value (Some "2bis") -> ()
+  | r -> Alcotest.failf "b should hold the later write: %a" Rpc.Message.pp_response r);
+  match Rpc.Node.handle node (Rpc.Message.Get { key = "c" }) with
+  | Rpc.Message.Value (Some "3") -> ()
+  | r -> Alcotest.failf "c: %a" Rpc.Message.pp_response r
+
+(* Satellite invariant: a batch containing one invalid operation reports a
+   per-op error for exactly that operation, the rest execute — and the
+   request survives encode/decode byte-exactly on the way. *)
+let prop_batch_one_bad_op =
+  QCheck.Test.make ~name:"batch: one bad op fails alone, wire roundtrip byte-exact"
+    ~count:300
+    QCheck.(
+      triple (int_bound 1000) bool
+        (list_of_size Gen.(1 -- 8)
+           (pair (string_of_size Gen.(1 -- 12)) (string_of_size Gen.(0 -- 40)))))
+    (fun (pos, oversize, pairs) ->
+      let n = List.length pairs in
+      let bad = pos mod n in
+      let ops =
+        List.mapi
+          (fun i (key, value) ->
+            if i = bad then
+              if oversize then
+                Rpc.Message.Batch_put
+                  { key = String.make (Rpc.Message.max_op_key_bytes + 1) 'k'; value }
+              else Rpc.Message.Batch_put { key = ""; value }
+            else if i mod 3 = 2 then Rpc.Message.Batch_delete { key = "d-" ^ key }
+            else Rpc.Message.Batch_put { key; value })
+          pairs
+      in
+      let req = Rpc.Message.Batch_request { ops } in
+      let bytes = Rpc.Message.encode_request req in
+      (match Rpc.Message.decode_request bytes with
+      | Ok req' ->
+        if not (Rpc.Message.request_equal req req') then
+          QCheck.Test.fail_reportf "decode changed the request";
+        let bytes' = Rpc.Message.encode_request req' in
+        if not (String.equal bytes bytes') then
+          QCheck.Test.fail_reportf "re-encode not byte-exact"
+      | Error e -> QCheck.Test.fail_reportf "decode: %a" Util.Codec.pp_error e);
+      let node = make_node () in
+      match Rpc.Message.decode_response (Rpc.Node.handle_wire node bytes) with
+      | Ok (Rpc.Message.Batch_response { statuses }) ->
+        if List.length statuses <> n then
+          QCheck.Test.fail_reportf "%d statuses for %d ops" (List.length statuses) n;
+        List.iteri
+          (fun i status ->
+            match status, i = bad with
+            | Rpc.Message.Op_error _, true | Rpc.Message.Op_ok, false -> ()
+            | Rpc.Message.Op_ok, true -> QCheck.Test.fail_reportf "bad op %d accepted" i
+            | Rpc.Message.Op_error msg, false ->
+              QCheck.Test.fail_reportf "healthy op %d rejected: %s" i msg)
+          statuses;
+        true
+      | Ok r -> QCheck.Test.fail_reportf "unexpected response: %a" Rpc.Message.pp_response r
+      | Error e -> QCheck.Test.fail_reportf "response decode: %a" Util.Codec.pp_error e)
 
 let test_stats () =
   let node = make_node () in
@@ -292,7 +391,7 @@ let prop_node_matches_model =
             if actual <> Model.Kv_model.list model then
               QCheck.Test.fail_reportf "list divergence"
           | r -> QCheck.Test.fail_reportf "list: %a" Rpc.Message.pp_response r)
-        | _ -> Rpc.Node.tick node
+        | _ -> ignore (Rpc.Node.tick node : Rpc.Node.tick_report)
       done;
       Array.for_all
         (fun key ->
@@ -304,10 +403,28 @@ let prop_node_matches_model =
 let test_tick () =
   let node = make_node () in
   ignore (Rpc.Node.handle node (Rpc.Message.Put { key = "k"; value = "v" }));
-  Rpc.Node.tick node;
+  let report = Rpc.Node.tick node in
+  Alcotest.(check int) "tick saw every disk" 3 report.Rpc.Node.disks;
+  Alcotest.(check int) "no maintenance errors" 0 report.Rpc.Node.errors;
   let disk = Rpc.Node.disk_of_key node "k" in
   Alcotest.(check int) "writeback drained" 0
-    (Io_sched.pending_count (S.sched (Rpc.Node.store node ~disk)))
+    (Io_sched.pending_count (S.sched (Rpc.Node.store node ~disk)));
+  (* Permanently fail both superblock extents on the serving disk: once
+     writeback quarantines them, maintenance flushes error out and the
+     report plus the rpc.tick_error counter must both say so. *)
+  let store = Rpc.Node.store node ~disk in
+  Disk.fail_permanently (S.disk store) ~extent:0;
+  Disk.fail_permanently (S.disk store) ~extent:1;
+  let errors = ref 0 in
+  for i = 1 to 5 do
+    if !errors = 0 then begin
+      ignore (S.put store ~key:(Printf.sprintf "dirty%d" i) ~value:"v");
+      errors := (Rpc.Node.tick node).Rpc.Node.errors
+    end
+  done;
+  Alcotest.(check bool) "maintenance errors surfaced" true (!errors > 0);
+  Alcotest.(check bool) "rpc.tick_error bumped" true
+    (Obs.counter_value (Rpc.Node.obs node) "rpc.tick_error" >= !errors)
 
 let () =
   Alcotest.run "rpc"
@@ -326,6 +443,8 @@ let () =
           Alcotest.test_case "list unions disks" `Quick test_list_unions_disks;
           Alcotest.test_case "remove/return disk" `Quick test_remove_return_disk;
           Alcotest.test_case "bulk delete" `Quick test_bulk_delete;
+          Alcotest.test_case "batch request dispatch" `Quick test_batch_request_dispatch;
+          QCheck_alcotest.to_alcotest prop_batch_one_bad_op;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "stats wire roundtrip" `Quick test_stats_wire_roundtrip;
           Alcotest.test_case "handle wire" `Quick test_handle_wire;

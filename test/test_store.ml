@@ -44,6 +44,92 @@ let test_multi_chunk_value () =
   put s "big" value;
   Alcotest.(check (option string)) "multi-chunk roundtrip" (Some value) (get s "big")
 
+let test_put_batch_matches_sequential () =
+  let batch = List.init 10 (fun i -> (Printf.sprintf "bk%d" i, Printf.sprintf "value-%d" i)) in
+  let sb = make () in
+  (match S.put_batch sb batch with
+  | Ok { S.results; barrier = _ } ->
+    Alcotest.(check int) "one result per op" (List.length batch) (List.length results);
+    List.iter
+      (function Ok _ -> () | Error e -> Alcotest.failf "batch op: %a" S.pp_error e)
+      results
+  | Error e -> Alcotest.failf "put_batch: %a" S.pp_error e);
+  (* Same workload through the scalar path: observable state must agree. *)
+  let ss = make () in
+  List.iter (fun (k, v) -> put ss k v) batch;
+  List.iter
+    (fun (k, _) ->
+      Alcotest.(check (option string)) ("batch = sequential for " ^ k) (get ss k) (get sb k))
+    batch;
+  Alcotest.(check (list string)) "same key set" (ok (S.list ss)) (ok (S.list sb))
+
+let test_put_batch_last_write_wins () =
+  let s = make () in
+  (match S.put_batch s [ ("dup", "first"); ("other", "x"); ("dup", "second") ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "put_batch: %a" S.pp_error e);
+  Alcotest.(check (option string)) "in-batch overwrite, last wins" (Some "second") (get s "dup");
+  Alcotest.(check (option string)) "other key intact" (Some "x") (get s "other")
+
+let test_put_batch_group_commit_amortizes () =
+  let s = make () in
+  let obs = S.obs s in
+  let appends_before = Obs.counter_value obs "iosched.append" in
+  let n = 12 in
+  (match S.put_batch s (List.init n (fun i -> (Printf.sprintf "g%d" i, String.make 20 'x'))) with
+  | Ok { S.results; _ } ->
+    List.iter
+      (function Ok _ -> () | Error e -> Alcotest.failf "batch op: %a" S.pp_error e)
+      results
+  | Error e -> Alcotest.failf "put_batch: %a" S.pp_error e);
+  let appends = Obs.counter_value obs "iosched.append" - appends_before in
+  Alcotest.(check bool)
+    (Printf.sprintf "group commit: %d appends for %d puts" appends n)
+    true (appends < n);
+  Alcotest.(check bool) "took the grouped chunk path" true
+    (Obs.counter_value obs "chunk.batch_group" >= 1);
+  Alcotest.(check int) "store.put_batch counted" 1 (Obs.counter_value obs "store.put_batch")
+
+let test_put_batch_barrier () =
+  let s = make () in
+  match S.put_batch s [ ("a", "1"); ("b", "2"); ("c", "3") ] with
+  | Error e -> Alcotest.failf "put_batch: %a" S.pp_error e
+  | Ok { S.results; barrier } ->
+    Alcotest.(check bool) "barrier volatile at first" false (Dep.is_persistent barrier);
+    ignore (ok (S.flush_index s));
+    ignore (ok (S.flush_superblock s));
+    ignore (S.pump s 1000);
+    Alcotest.(check bool) "barrier persistent after flush+pump" true (Dep.is_persistent barrier);
+    List.iter
+      (function
+        | Ok d -> Alcotest.(check bool) "per-op dep persistent" true (Dep.is_persistent d)
+        | Error e -> Alcotest.failf "batch op: %a" S.pp_error e)
+      results
+
+let test_delete_batch () =
+  let s = make () in
+  List.iter (fun k -> put s k ("v-" ^ k)) [ "a"; "b"; "c"; "d" ];
+  (match S.delete_batch s [ "a"; "c"; "missing" ] with
+  | Ok { S.results; _ } ->
+    Alcotest.(check int) "one result per key" 3 (List.length results);
+    List.iter
+      (function Ok _ -> () | Error e -> Alcotest.failf "batch delete: %a" S.pp_error e)
+      results
+  | Error e -> Alcotest.failf "delete_batch: %a" S.pp_error e);
+  Alcotest.(check (option string)) "a deleted" None (get s "a");
+  Alcotest.(check (option string)) "c deleted" None (get s "c");
+  Alcotest.(check (list string)) "survivors" [ "b"; "d" ] (ok (S.list s))
+
+let test_batch_out_of_service () =
+  let s = make () in
+  ignore (ok (S.remove_from_service s));
+  (match S.put_batch s [ ("k", "v") ] with
+  | Error S.Out_of_service -> ()
+  | _ -> Alcotest.fail "put_batch must reject out of service");
+  match S.delete_batch s [ "k" ] with
+  | Error S.Out_of_service -> ()
+  | _ -> Alcotest.fail "delete_batch must reject out of service"
+
 let test_clean_shutdown_forward_progress () =
   let s = make () in
   let deps = List.map (fun i -> ok (S.put s ~key:(string_of_int i) ~value:"v")) [ 1; 2; 3 ] in
@@ -307,6 +393,17 @@ let () =
           Alcotest.test_case "empty value" `Quick test_empty_value;
           Alcotest.test_case "multi-chunk value" `Quick test_multi_chunk_value;
           QCheck_alcotest.to_alcotest prop_random_workload_matches_model;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "put_batch matches sequential" `Quick
+            test_put_batch_matches_sequential;
+          Alcotest.test_case "in-batch overwrite" `Quick test_put_batch_last_write_wins;
+          Alcotest.test_case "group commit amortizes appends" `Quick
+            test_put_batch_group_commit_amortizes;
+          Alcotest.test_case "batch barrier durability" `Quick test_put_batch_barrier;
+          Alcotest.test_case "delete_batch" `Quick test_delete_batch;
+          Alcotest.test_case "batch rejects out of service" `Quick test_batch_out_of_service;
         ] );
       ( "durability",
         [
