@@ -156,6 +156,43 @@ let sanitize_run ~seed =
     1
   end
 
+(* [--chaos]: the E13 chaos campaign over the fleet's fault-tolerant
+   request plane. Three gates, any of which fails the run: (1) every
+   campaign must be clean — no acknowledged write may be lost under
+   randomized faults, crashes and node losses; (2) the request-plane
+   coverage counters must all have fired (a silent code path is a blind
+   spot); (3) the checker must still have teeth — with fault #18 (quorum
+   ack without durable flush) enabled it must catch violations. *)
+let chaos_expected_coverage =
+  [
+    "fleet.retry"; "fleet.breaker_open"; "fleet.quorum_ack"; "fleet.read_repair";
+    "fleet.partial_write";
+  ]
+
+let chaos_run ~campaigns ~length ~seed =
+  Faults.disable_all ();
+  Util.Coverage.reset ();
+  let summary = Experiments.Chaos.run ~campaigns ~length ~seed () in
+  Experiments.Chaos.print summary;
+  let blind = Util.Coverage.blind_spots ~expected:chaos_expected_coverage () in
+  (match blind with
+  | [] ->
+    Printf.printf "\ncoverage: all %d request-plane paths exercised\n"
+      (List.length chaos_expected_coverage)
+  | spots -> Printf.printf "\ncoverage BLIND SPOTS: %s\n" (String.concat ", " spots));
+  let teeth =
+    Experiments.Chaos.check_teeth ~campaigns:(min campaigns 20) ~length ~seed ()
+  in
+  Printf.printf "teeth (#18 quorum ack without durable flush): %d/%d campaigns caught it\n"
+    teeth (min campaigns 20);
+  if summary.Experiments.Chaos.clean = summary.Experiments.Chaos.campaigns && blind = []
+     && teeth > 0
+  then begin
+    Printf.printf "chaos campaign clean\n";
+    0
+  end
+  else 1
+
 let run_conformance sequences length seed metrics_out batch_weight =
   Faults.disable_all ();
   Util.Coverage.reset ();
@@ -214,8 +251,9 @@ let run_conformance sequences length seed metrics_out batch_weight =
   end
   else 1
 
-let run sequences length seed metrics_out sanitize batch_weight =
-  if sanitize then sanitize_run ~seed
+let run sequences length seed metrics_out sanitize batch_weight chaos campaigns chaos_length =
+  if chaos then chaos_run ~campaigns ~length:chaos_length ~seed
+  else if sanitize then sanitize_run ~seed
   else run_conformance sequences length seed metrics_out batch_weight
 
 let sequences =
@@ -250,9 +288,29 @@ let batch_weight =
            generates the classic scalar-only streams; a positive weight exercises the batched \
            request plane and group commit.")
 
+let chaos =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:
+          "Run the chaos campaign instead of the conformance sweep: seeded randomized \
+           workloads against a replicated fleet under disk faults, node crashes and node \
+           losses, checking that every acknowledged write stays readable and repair \
+           converges. Also asserts the request-plane coverage counters fired and that the \
+           checker catches fault #18 (quorum ack without durable flush). Exit 1 on any \
+           violation.")
+
+let campaigns =
+  Arg.(value & opt int 200 & info [ "campaigns" ] ~doc:"Chaos campaigns to run.")
+
+let chaos_length =
+  Arg.(value & opt int 40 & info [ "chaos-length" ] ~doc:"Operations per chaos campaign.")
+
 let cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Run the pre-deployment conformance checks")
-    Term.(const run $ sequences $ length $ seed $ metrics_out $ sanitize $ batch_weight)
+    Term.(
+      const run $ sequences $ length $ seed $ metrics_out $ sanitize $ batch_weight $ chaos
+      $ campaigns $ chaos_length)
 
 let () = exit (Cmd.eval' cmd)

@@ -17,7 +17,8 @@ let () =
   print_endline "storing 40 shards (each put is acknowledged only once durable on";
   print_endline "every replica):";
   for i = 0 to 39 do
-    ok (Fleet.put fleet ~key:(Printf.sprintf "shard-%02d" i) ~value:(String.make 2048 'd'))
+    ignore
+      (ok (Fleet.put fleet ~key:(Printf.sprintf "shard-%02d" i) ~value:(String.make 2048 'd')))
   done;
   Printf.printf "  shard-07 placed on nodes [%s], %d live replicas\n\n"
     (String.concat "; " (List.map string_of_int (Fleet.placement fleet "shard-07")))

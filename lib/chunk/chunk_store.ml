@@ -14,6 +14,13 @@ let pp_error fmt = function
   | Stale_locator loc -> Format.fprintf fmt "stale locator %a" Locator.pp loc
   | Superblock e -> Superblock.pp_error fmt e
 
+let error_class = function
+  | No_space -> `Resource
+  | Io e -> Io_sched.error_class e
+  | Corrupt _ -> `Fatal
+  | Stale_locator _ -> `Fatal
+  | Superblock e -> Superblock.error_class e
+
 type stats = {
   puts : int;
   gets : int;

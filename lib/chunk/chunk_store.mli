@@ -29,6 +29,10 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+(** See {!Io_sched.error_class}; [No_space] is [`Resource], corruption and
+    stale locators are [`Fatal]. *)
+val error_class : error -> [ `Transient | `Permanent | `Resource | `Fatal ]
+
 (** [create ?obs sched ~cache ~superblock ~rng] — metrics ([chunk.put],
     [chunk.get], [chunk.reclamation], coverage-linked [chunk.get.*] and
     [reclaim.*]) land in [obs], defaulting to the scheduler's registry. *)

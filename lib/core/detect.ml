@@ -28,6 +28,10 @@ let method_for = function
   | Faults.F15_model_locator_reuse -> Model_validation
   | Faults.F16_bulk_create_remove_race -> Smc
   | Faults.F17_cache_miss_path -> Pbt Gen.Crash_free
+  (* #18 lives above the single-node stack this harness drives; its checker
+     is the fleet chaos campaign (bin/validate --chaos). Mapped like the Smc
+     faults: found = false with zero work. *)
+  | Faults.F18_quorum_ack_volatile -> Smc
 
 type result = {
   fault : Faults.t;

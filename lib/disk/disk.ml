@@ -45,12 +45,22 @@ let make_metrics obs =
     injected = Obs.counter obs "disk.fault_injected";
   }
 
+(* Seeded random arming: every IO rolls the dice instead of hand-placed
+   per-extent faults. Chaos campaigns use this so fault placement is part
+   of the replayable seed, not the script. *)
+type random_faults = {
+  rng : Util.Rng.t;
+  transient_prob : float;
+  permanent_prob : float;
+}
+
 type t = {
   config : config;
   extents : extent array;
   mutable obs : Obs.t;
   mutable m : metrics;
   mutable shadow : Sanitize.Page_shadow.t option;
+  mutable random : random_faults option;
 }
 
 let create ?obs ?shadow config =
@@ -58,7 +68,14 @@ let create ?obs ?shadow config =
   let size = extent_size config in
   let mk _ = { data = Bytes.make size '\000'; hard_ptr = 0; epoch = 0; fault = Healthy } in
   let obs = match obs with Some o -> o | None -> Obs.create ~scope:"disk" () in
-  { config; extents = Array.init config.extent_count mk; obs; m = make_metrics obs; shadow }
+  {
+    config;
+    extents = Array.init config.extent_count mk;
+    obs;
+    m = make_metrics obs;
+    shadow;
+    random = None;
+  }
 
 let copy t =
   let obs = Obs.create ~scope:"disk" () in
@@ -72,8 +89,9 @@ let copy t =
     obs;
     m = make_metrics obs;
     (* Clones are scratch space for the crash-state enumerator; shadow
-       checking stays on the primary view only. *)
+       checking stays on the primary view only, and so does fault arming. *)
     shadow = None;
+    random = None;
   }
 
 let attach_shadow t shadow = t.shadow <- Some shadow
@@ -101,18 +119,36 @@ let get_extent t extent =
     Error (Out_of_bounds (Printf.sprintf "extent %d (of %d)" extent t.config.extent_count))
   else Ok t.extents.(extent)
 
-(* Deliver an armed failure, if any; Fail_once disarms itself. *)
+let injected t kind =
+  Obs.Counter.incr t.m.injected;
+  if Obs.tracing t.obs then Obs.emit t.obs ~layer:"disk" "fault_injected" [ ("kind", kind) ]
+
+(* Deliver an armed failure, if any; Fail_once disarms itself. Extents
+   with no armed fault additionally roll the seeded random arming: a
+   permanent hit leaves the extent failed (like a media error) until
+   {!heal}, a transient hit fails just this IO. *)
 let check_fault t e =
   match e.fault with
-  | Healthy -> Ok ()
+  | Healthy -> (
+    match t.random with
+    | None -> Ok ()
+    | Some { rng; transient_prob; permanent_prob } ->
+      if Util.Rng.chance rng permanent_prob then begin
+        e.fault <- Fail_always;
+        injected t "random_permanent";
+        Error Permanent
+      end
+      else if Util.Rng.chance rng transient_prob then begin
+        injected t "random_transient";
+        Error Transient
+      end
+      else Ok ())
   | Fail_once ->
     e.fault <- Healthy;
-    Obs.Counter.incr t.m.injected;
-    if Obs.tracing t.obs then Obs.emit t.obs ~layer:"disk" "fault_injected" [ ("kind", "once") ];
+    injected t "once";
     Error Transient
   | Fail_always ->
-    Obs.Counter.incr t.m.injected;
-    if Obs.tracing t.obs then Obs.emit t.obs ~layer:"disk" "fault_injected" [ ("kind", "always") ];
+    injected t "always";
     Error Permanent
 
 let hard_ptr t ~extent =
@@ -190,13 +226,29 @@ let set_fault t ~extent st =
 let fail_once t ~extent = set_fault t ~extent Fail_once
 let fail_permanently t ~extent = set_fault t ~extent Fail_always
 let heal t ~extent = set_fault t ~extent Healthy
+
+let arm_random_faults t ~rng ~transient_prob ~permanent_prob =
+  if transient_prob < 0. || permanent_prob < 0. then
+    invalid_arg "Disk.arm_random_faults: negative probability";
+  t.random <- Some { rng; transient_prob; permanent_prob }
+
+let disarm_random_faults t = t.random <- None
+
+let heal_all t =
+  Array.iter (fun e -> e.fault <- Healthy) t.extents;
+  t.random <- None
+
 let injected_failures t = Obs.Counter.value t.m.injected
 
 let with_faults_suspended t f =
   let saved = Array.map (fun e -> e.fault) t.extents in
+  let saved_random = t.random in
   Array.iter (fun e -> e.fault <- Healthy) t.extents;
+  t.random <- None;
   Fun.protect
-    ~finally:(fun () -> Array.iteri (fun i e -> e.fault <- saved.(i)) t.extents)
+    ~finally:(fun () ->
+      Array.iteri (fun i e -> e.fault <- saved.(i)) t.extents;
+      t.random <- saved_random)
     f
 
 let durable_image t ~extent =

@@ -108,6 +108,23 @@ val fail_permanently : t -> extent:int -> unit
 
 val heal : t -> extent:int -> unit
 
+(** [heal_all t] clears every per-extent fault {e and} disarms random
+    arming — the "replace the broken hardware" step a chaos campaign runs
+    before checking convergence. *)
+val heal_all : t -> unit
+
+(** [arm_random_faults t ~rng ~transient_prob ~permanent_prob] makes every
+    IO on a healthy extent roll [rng]: with [permanent_prob] the extent
+    fails permanently (as {!fail_permanently}, until {!heal}), else with
+    [transient_prob] just that IO fails with {!Transient}. Seeded through
+    [rng], so a campaign's fault placement replays from its seed instead
+    of being hand-placed. Suspended by {!with_faults_suspended}; never
+    carried over by {!copy}. *)
+val arm_random_faults :
+  t -> rng:Util.Rng.t -> transient_prob:float -> permanent_prob:float -> unit
+
+val disarm_random_faults : t -> unit
+
 (** [consume_fault t ~extent] delivers an armed failure (disarming a
     one-shot) without performing IO. Layers that stage or cache IO above the
     durable medium (the scheduler's volatile reads, the buffer cache) call
@@ -117,7 +134,8 @@ val consume_fault : t -> extent:int -> (unit, io_error) result
 (** Total number of injected failures delivered so far. *)
 val injected_failures : t -> int
 
-(** [with_faults_suspended t f] runs [f] with failure injection disabled and
+(** [with_faults_suspended t f] runs [f] with failure injection disabled
+    (per-extent arming and random arming alike) and
     restores arming afterwards. The crash-state generator uses this: the
     writes it applies represent IO that already completed before the crash,
     so arming must not fire on them. *)

@@ -1,0 +1,78 @@
+(** E13: the chaos campaign — randomized fault-injection validation of the
+    fleet's fault-tolerant request plane ([bin/validate --chaos]).
+
+    Each campaign replays a seeded, fully deterministic mix of client
+    operations and chaos (random fault arming, targeted extent failures,
+    node crashes, node losses, heals, repairs) against a 5-node fleet,
+    checking a per-key model: an acknowledged mutation must stay readable;
+    a failed mutation is indeterminate (its value {e may} be observed).
+    After a final heal-everything + repair phase, every key must return an
+    admissible value, fully replicated, with the dirty set drained.
+
+    Randomness is baked into the op list (each chaos op carries its own
+    seed), so failing campaigns replay exactly and shrink with a ddmin
+    span-removal minimizer. {!check_teeth} proves the checker is not
+    vacuous: with fault #18 (quorum ack without durable flush) enabled it
+    must catch durability violations. *)
+
+type op =
+  | Put of { key : string; value : string }
+  | Put_many of (string * string) list
+  | Delete of { key : string }
+  | Get of { key : string }
+  | Arm_faults of { node : int; transient : float; permanent : float; seed : int }
+  | Disarm_faults of { node : int }
+  | Fail_extent of { node : int; extent : int; permanent : bool }
+  | Crash of { node : int; seed : int }
+  | Destroy of { node : int }
+  | Heal of { node : int; seed : int }
+  | Repair
+
+val pp_op : Format.formatter -> op -> unit
+
+type violation = {
+  at : int;  (** op index; [-1] = final convergence phase *)
+  what : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type campaign_report = {
+  seed : int;
+  ops : int;
+  violations : violation list;
+  minimized : op list;  (** shrunk reproducer; [[]] when the campaign is clean *)
+  faults_injected : int;
+  retries : int;
+  failovers : int;
+  read_repairs : int;
+  breaker_opens : int;
+  quorum_acks : int;
+  partial_writes : int;
+}
+
+type summary = {
+  campaigns : int;
+  clean : int;  (** campaigns with zero violations *)
+  total_ops : int;
+  total_faults : int;
+  total_retries : int;
+  total_failovers : int;
+  total_read_repairs : int;
+  total_breaker_opens : int;
+  total_quorum_acks : int;
+  total_partial_writes : int;
+  failed : campaign_report list;
+  seconds : float;
+}
+
+(** [run ~campaigns ~length ~seed ()] — [campaigns] seeded campaigns of
+    [length] ops each (defaults: 200 campaigns, 40 ops, seed 0). *)
+val run : ?campaigns:int -> ?length:int -> ?seed:int -> unit -> summary
+
+(** [check_teeth ()] re-runs campaigns with fault #18 (quorum
+    acknowledgement without durable flush) enabled and returns how many
+    caught a violation — zero means the checker has lost its teeth. *)
+val check_teeth : ?campaigns:int -> ?length:int -> ?seed:int -> unit -> int
+
+val print : summary -> unit

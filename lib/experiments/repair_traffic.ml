@@ -24,7 +24,7 @@ let populate f ~shards ~shard_bytes ~seed =
   for i = 0 to shards - 1 do
     let value = Bytes.to_string (Util.Rng.bytes rng shard_bytes) in
     match Fleet.put f ~key:(Printf.sprintf "shard-%04d" i) ~value with
-    | Ok () -> ()
+    | Ok _ack -> ()
     | Error e -> Format.kasprintf failwith "populate: %a" Fleet.pp_error e
   done
 

@@ -16,6 +16,7 @@ type t =
   | F15_model_locator_reuse
   | F16_bulk_create_remove_race
   | F17_cache_miss_path
+  | F18_quorum_ack_volatile
 
 let all =
   [ F1_reclaim_off_by_one; F2_cache_not_drained; F3_shutdown_skips_metadata;
@@ -26,7 +27,7 @@ let all =
     F14_compaction_reclaim_race; F15_model_locator_reuse;
     F16_bulk_create_remove_race ]
 
-let extras = [ F17_cache_miss_path ]
+let extras = [ F17_cache_miss_path; F18_quorum_ack_volatile ]
 
 let number = function
   | F1_reclaim_off_by_one -> 1
@@ -46,6 +47,7 @@ let number = function
   | F15_model_locator_reuse -> 15
   | F16_bulk_create_remove_race -> 16
   | F17_cache_miss_path -> 17
+  | F18_quorum_ack_volatile -> 18
 
 let of_number n = List.find_opt (fun f -> number f = n) (all @ extras)
 
@@ -59,6 +61,7 @@ let component = function
   | F16_bulk_create_remove_race -> "API"
   | F6_superblock_ownership_dep | F7_soft_hard_pointer_mismatch
   | F12_buffer_pool_deadlock -> "Superblock"
+  | F18_quorum_ack_volatile -> "Fleet"
 
 let description = function
   | F1_reclaim_off_by_one ->
@@ -94,12 +97,15 @@ let description = function
     "Race between control plane bulk operations for creating and removing shards"
   | F17_cache_miss_path ->
     "Bug in the cache-miss path, unreachable while the cache was configured too large (S8.3)"
+  | F18_quorum_ack_volatile ->
+    "Fleet acknowledged a quorum write before the replicas durably flushed it"
 
 type property_class = Functional_correctness | Crash_consistency | Concurrency
 
 let property_class f =
   match f with
   | F17_cache_miss_path -> Functional_correctness
+  | F18_quorum_ack_volatile -> Crash_consistency
   | _ -> (
     match number f with
     | n when n <= 5 -> Functional_correctness
@@ -114,8 +120,8 @@ let property_class_name = function
 let pp fmt f = Format.fprintf fmt "#%d" (number f)
 let to_string f = Format.asprintf "%a" pp f
 
-let state = Array.make 18 false
-let counters = Array.make 18 0
+let state = Array.make 19 false
+let counters = Array.make 19 0
 
 let enabled f = state.(number f)
 let enable f = state.(number f) <- true

@@ -36,11 +36,16 @@ type t =
           path — unreachable by the test harness while the cache is
           configured too large, the paper's one known missed bug. Not part
           of the Figure 5 catalog. *)
+  | F18_quorum_ack_volatile
+      (** Extra: the fleet acknowledges a quorum write without the durable
+          flush on each acking replica — the intentionally broken variant
+          the chaos campaign must catch (its teeth check). Not part of the
+          Figure 5 catalog. *)
 
 (** The Figure 5 catalog (#1..#16), excluding extras. *)
 val all : t list
 
-(** Extra seeded defects for experience-report experiments (#17). *)
+(** Extra seeded defects for experience-report experiments (#17, #18). *)
 val extras : t list
 
 (** Paper catalog number (1..16). *)

@@ -9,6 +9,18 @@ let pp_error fmt = function
     Format.fprintf fmt "extent %d full: wanted %d bytes, %d available" extent wanted available
   | Stuck { blocked } -> Format.fprintf fmt "scheduler stuck: %d writes blocked" blocked
 
+(* Coarse classification for the retry/health policy of layers above: can
+   a retry help (`Transient), is the medium gone until healed (`Permanent),
+   is it resource pressure that GC or capacity planning might cure
+   (`Resource), or a logic/corruption error no request-plane policy should
+   paper over (`Fatal). *)
+let error_class = function
+  | Io Disk.Transient -> `Transient
+  | Io Disk.Permanent -> `Permanent
+  | Io (Disk.Out_of_bounds _) -> `Fatal
+  | Extent_full _ -> `Resource
+  | Stuck _ -> `Fatal
+
 type volatile = {
   image : Bytes.t;
   mutable soft_ptr : int;

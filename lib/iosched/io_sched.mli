@@ -25,6 +25,15 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+(** Coarse classification for the retry/health policy of layers above:
+    [`Transient] (a retry may succeed), [`Permanent] (the extent is failed
+    until healed; retrying is pointless), [`Resource] (extent exhaustion —
+    GC pressure, not node health) or [`Fatal] (logic/corruption errors the
+    request plane must surface, never retry). Every error wrapper up the
+    stack ({!Logroll}, {!Superblock}, {!Chunk.Chunk_store}, {!Lsm.Index},
+    [Store]) forwards to this on its IO constructors. *)
+val error_class : error -> [ `Transient | `Permanent | `Resource | `Fatal ]
+
 (** [create ?obs ?seed disk] — metrics land in [obs] when given, defaulting
     to the disk's registry so both layers share one by default. [?obs]
     first, per the convention in [lib/obs/obs.mli]. *)

@@ -23,6 +23,10 @@ let pp_error fmt = function
   | Record_too_large { size; capacity } ->
     Format.fprintf fmt "record too large: %d bytes, extent capacity %d" size capacity
 
+let error_class = function
+  | Sched e -> Io_sched.error_class e
+  | Record_too_large _ -> `Resource
+
 let magic = "LR"
 
 let create ?obs sched ~extents:(extent_a, extent_b) ~name =

@@ -23,6 +23,9 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+(** See {!Io_sched.error_class}; [Record_too_large] is [`Resource]. *)
+val error_class : error -> [ `Transient | `Permanent | `Resource | `Fatal ]
+
 (** [create ?obs sched ~extents:(a, b) ~name] manages records on reserved
     extents [a] and [b]. [name] tags errors, debug output and the roll's
     metric series (counters [logroll.append] / [logroll.switch] /

@@ -11,6 +11,11 @@ let pp_error fmt = function
   | Roll e -> Logroll.pp_error fmt e
   | Corrupt e -> Codec.pp_error fmt e
 
+let error_class = function
+  | Chunk e -> Chunk.Chunk_store.error_class e
+  | Roll e -> Logroll.error_class e
+  | Corrupt _ -> `Fatal
+
 let error_is_no_space = function
   | Chunk Chunk.Chunk_store.No_space -> true
   (* A metadata record outgrowing its extent is also resource pressure:

@@ -30,6 +30,9 @@ val pp_error : Format.formatter -> error -> unit
 (** True for extent-exhaustion errors that reclamation might cure. *)
 val error_is_no_space : error -> bool
 
+(** See {!Io_sched.error_class}. *)
+val error_class : error -> [ `Transient | `Permanent | `Resource | `Fatal ]
+
 (** [create ?max_run_payload ?obs chunks ~metadata_extents] — runs are
     split so their serialized size stays at or below [max_run_payload]
     (default 16 KiB), keeping each run chunk small enough for its extent.

@@ -2,6 +2,7 @@ type error = unit
 
 let pp_error fmt () = Format.pp_print_string fmt "index mock error"
 let error_is_no_space () = false
+let error_class () = `Fatal
 
 type t = {
   table : (string, Chunk.Locator.t list * Dep.t) Hashtbl.t;

@@ -22,7 +22,7 @@ type metric = {
   value : float;
 }
 
-type op_status = Op_ok | Op_error of string
+type op_status = Op_ok | Op_error of string | Op_quorum of { acked : int }
 
 type response =
   | Ack
@@ -31,6 +31,7 @@ type response =
   | Stats of { disks : int; in_service : int; keys : int; metrics : metric list }
   | Error_response of string
   | Batch_response of { statuses : op_status list }
+  | Quorum_ack of { acked : int; lagging : int list }
 
 let pp_request fmt = function
   | Put { key; value } -> Format.fprintf fmt "put %S (%d bytes)" key (String.length value)
@@ -60,9 +61,12 @@ let pp_response fmt = function
   | Error_response msg -> Format.fprintf fmt "error: %s" msg
   | Batch_response { statuses } ->
     let failed =
-      List.length (List.filter (function Op_error _ -> true | Op_ok -> false) statuses)
+      List.length
+        (List.filter (function Op_error _ -> true | Op_ok | Op_quorum _ -> false) statuses)
     in
     Format.fprintf fmt "batch: %d statuses (%d failed)" (List.length statuses) failed
+  | Quorum_ack { acked; lagging } ->
+    Format.fprintf fmt "quorum-ack: %d replicas (%d lagging)" acked (List.length lagging)
 
 let request_equal = Stdlib.( = )
 let response_equal = Stdlib.( = )
@@ -72,6 +76,7 @@ let max_keys = 1 lsl 20
 let max_batch_ops = 1 lsl 16
 let max_op_key_bytes = 4096
 let max_op_value_bytes = 256 * 1024
+let max_lagging_nodes = 4096
 
 let encode_strings w keys =
   Codec.Writer.u32 w (Int32.of_int (List.length keys));
@@ -192,7 +197,10 @@ let encode_statuses w statuses =
       | Op_ok -> Codec.Writer.u8 w 0
       | Op_error msg ->
         Codec.Writer.u8 w 1;
-        Codec.Writer.lstring w msg)
+        Codec.Writer.lstring w msg
+      | Op_quorum { acked } ->
+        Codec.Writer.u8 w 2;
+        Codec.Writer.uint w acked)
     statuses
 
 let decode_statuses r =
@@ -210,6 +218,9 @@ let decode_statuses r =
         | 1 ->
           let* msg = Codec.Reader.lstring r in
           go (Op_error msg :: acc) (i + 1)
+        | 2 ->
+          let* acked = Codec.Reader.uint r in
+          go (Op_quorum { acked } :: acc) (i + 1)
         | _ -> Error (Codec.Invalid "op status tag")
     in
     go [] 0
@@ -318,7 +329,12 @@ let encode_response resp =
         Codec.Writer.lstring w msg
       | Batch_response { statuses } ->
         Codec.Writer.u8 w 5;
-        encode_statuses w statuses)
+        encode_statuses w statuses
+      | Quorum_ack { acked; lagging } ->
+        Codec.Writer.u8 w 6;
+        Codec.Writer.uint w acked;
+        Codec.Writer.u32 w (Int32.of_int (List.length lagging));
+        List.iter (Codec.Writer.uint w) lagging)
 
 let decode_response s =
   let open Codec.Syntax in
@@ -351,6 +367,20 @@ let decode_response s =
     | 5 ->
       let+ statuses = decode_statuses r in
       Batch_response { statuses }
+    | 6 ->
+      let* acked = Codec.Reader.uint r in
+      let* count32 = Codec.Reader.u32 r in
+      let count = Int32.to_int count32 in
+      if count < 0 || count > max_lagging_nodes then Error (Codec.Invalid "lagging count")
+      else begin
+        let rec go acc i =
+          if i = count then Ok (Quorum_ack { acked; lagging = List.rev acc })
+          else
+            let* node = Codec.Reader.uint r in
+            go (node :: acc) (i + 1)
+        in
+        go [] 0
+      end
     | _ -> Error (Codec.Invalid "response tag")
   in
   let* () = Codec.Reader.expect_end r in

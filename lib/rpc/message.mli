@@ -37,8 +37,10 @@ type metric = {
 }
 
 (** Per-op outcome inside a {!Batch_response}: a bad op fails alone, the
-    rest of the batch is unaffected. *)
-type op_status = Op_ok | Op_error of string
+    rest of the batch is unaffected. [Op_quorum] is a degraded success —
+    the op is durable on [acked] replicas (at least the write quorum) but
+    not yet on all of them; repair will converge the laggards. *)
+type op_status = Op_ok | Op_error of string | Op_quorum of { acked : int }
 
 type response =
   | Ack
@@ -47,6 +49,9 @@ type response =
   | Stats of { disks : int; in_service : int; keys : int; metrics : metric list }
   | Error_response of string
   | Batch_response of { statuses : op_status list }
+  | Quorum_ack of { acked : int; lagging : int list }
+      (** degraded-mode write acknowledgement: durable on [acked] replicas
+          (>= write quorum) with [lagging] node ids still owed the write *)
 
 (** {2 Protocol limits}
 
@@ -64,6 +69,9 @@ val max_op_key_bytes : int
 
 (** Largest value {!Node.handle} accepts in a batch op. *)
 val max_op_value_bytes : int
+
+(** Most lagging-replica ids a {!Quorum_ack} may carry on the wire. *)
+val max_lagging_nodes : int
 
 val pp_request : Format.formatter -> request -> unit
 val pp_response : Format.formatter -> response -> unit

@@ -297,7 +297,7 @@ let handle t req =
     List.iter
       (function
         | Message.Op_error _ -> Obs.Counter.incr t.m_errors
-        | Message.Op_ok -> ())
+        | Message.Op_ok | Message.Op_quorum _ -> ())
       statuses
   | _ -> ());
   resp

@@ -13,6 +13,10 @@ module type S = sig
 
   val pp_error : Format.formatter -> error -> unit
 
+  (** Retry/health classification for the fleet's request plane; see
+      {!Io_sched.error_class}. *)
+  val error_class : error -> [ `Transient | `Permanent | `Resource | `Fatal ]
+
   type config = {
     disk : Disk.config;
     max_chunk_payload : int;
@@ -122,6 +126,17 @@ module Make (Index : Store_intf.INDEX) = struct
     | Chunk_error e -> Chunk.Chunk_store.pp_error fmt e
     | Superblock_error e -> Superblock.pp_error fmt e
     | Wrong_owner k -> Format.fprintf fmt "chunk owned by wrong shard (expected %S)" k
+
+  (* The classification the fleet's retry/health policy keys on: walk the
+     nested error chain down to the layer that knows. *)
+  let error_class = function
+    | Out_of_service -> `Fatal
+    | No_space -> `Resource
+    | Io e -> Io_sched.error_class e
+    | Index e -> Index.error_class e
+    | Chunk_error e -> Chunk.Chunk_store.error_class e
+    | Superblock_error e -> Superblock.error_class e
+    | Wrong_owner _ -> `Fatal
 
   type config = {
     disk : Disk.config;

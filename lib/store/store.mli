@@ -26,6 +26,13 @@ module type S = sig
 
   val pp_error : Format.formatter -> error -> unit
 
+  (** Retry/health classification for the fleet's request plane, walking
+      the nested error chain: [`Transient] retryable IO, [`Permanent]
+      failed medium (trips the circuit breaker), [`Resource] extent
+      exhaustion, [`Fatal] logic/corruption errors — see
+      {!Io_sched.error_class}. *)
+  val error_class : error -> [ `Transient | `Permanent | `Resource | `Fatal ]
+
   type config = {
     disk : Disk.config;
     max_chunk_payload : int;  (** shard values split into chunks of at most this size *)

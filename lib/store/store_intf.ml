@@ -14,6 +14,11 @@ module type INDEX = sig
       (reclaim/compact) might cure; the store retries flushes on it. *)
   val error_is_no_space : error -> bool
 
+  (** Retry/health classification of the error, forwarded up through the
+      store's [error_class] to the fleet's request plane — see
+      {!Io_sched.error_class}. *)
+  val error_class : error -> [ `Transient | `Permanent | `Resource | `Fatal ]
+
   (** [create ?obs chunks ~metadata_extents] — index metrics land in [obs]
       when given, defaulting to the chunk store's registry. *)
   val create : ?obs:Obs.t -> Chunk.Chunk_store.t -> metadata_extents:int * int -> t

@@ -15,6 +15,7 @@ let owner_equal a b =
 type error = Roll of Logroll.error
 
 let pp_error fmt (Roll e) = Logroll.pp_error fmt e
+let error_class (Roll e) = Logroll.error_class e
 
 type t = {
   sched : Io_sched.t;

@@ -33,6 +33,9 @@ type error = Roll of Logroll.error
 
 val pp_error : Format.formatter -> error -> unit
 
+(** See {!Io_sched.error_class}. *)
+val error_class : error -> [ `Transient | `Permanent | `Resource | `Fatal ]
+
 (** [create ?obs sched ~extents ~reserved] — a fresh superblock on reserved
     extent pair [extents]; every extent in [reserved] (which must include
     the pair itself) starts [Reserved], all others [Free]. No record is

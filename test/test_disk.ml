@@ -102,6 +102,70 @@ let test_consume_fault () =
   | _ -> Alcotest.fail "consume_fault must deliver");
   Alcotest.(check (result unit io_error)) "disarmed" (Ok ()) (Disk.consume_fault d ~extent:1)
 
+(* Drive [n] writes against fresh extents (healing after each failure so
+   permanent arming doesn't mask later rolls) and record which fail. *)
+let fault_trace d n =
+  List.init n (fun i ->
+      let extent = i mod small.Disk.extent_count in
+      match Disk.write d ~extent ~off:(Disk.hard_ptr d ~extent) "x" with
+      | Ok () -> false
+      | Error _ ->
+        Disk.heal d ~extent;
+        true)
+
+let test_random_arming_deterministic () =
+  let run () =
+    let d = Disk.create small in
+    Disk.arm_random_faults d ~rng:(Util.Rng.create 77L) ~transient_prob:0.4
+      ~permanent_prob:0.1;
+    fault_trace d 40
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (list bool)) "same seed, same fault placement" a b;
+  Alcotest.(check bool) "some faults fired" true (List.mem true a);
+  Alcotest.(check bool) "some IO survived" true (List.mem false a)
+
+let test_random_arming_suspended_and_copy () =
+  let d = Disk.create small in
+  Disk.arm_random_faults d ~rng:(Util.Rng.create 7L) ~transient_prob:1.0 ~permanent_prob:0.0;
+  (match Disk.write d ~extent:0 ~off:0 "x" with
+  | Error Disk.Transient -> ()
+  | _ -> Alcotest.fail "armed random fault must fire");
+  Disk.with_faults_suspended d (fun () ->
+      Alcotest.(check (result unit io_error))
+        "suspended" (Ok ())
+        (Disk.write d ~extent:0 ~off:0 "x"));
+  (match Disk.write d ~extent:0 ~off:1 "y" with
+  | Error Disk.Transient -> ()
+  | _ -> Alcotest.fail "random arming must be restored after suspension");
+  (* A copy is the durable state on fresh hardware: no arming rides along. *)
+  let clone = Disk.copy d in
+  Alcotest.(check (result unit io_error))
+    "copy unarmed" (Ok ())
+    (Disk.write clone ~extent:0 ~off:(Disk.hard_ptr clone ~extent:0) "z");
+  (* heal_all is the chaos campaign's "replace the hardware" step: it must
+     clear random arming too, not just per-extent faults. *)
+  Disk.heal_all d;
+  Alcotest.(check (result unit io_error))
+    "heal_all disarms" (Ok ())
+    (Disk.write d ~extent:0 ~off:(Disk.hard_ptr d ~extent:0) "w")
+
+let test_random_arming_permanent () =
+  let d = Disk.create small in
+  Disk.arm_random_faults d ~rng:(Util.Rng.create 3L) ~transient_prob:0.0 ~permanent_prob:1.0;
+  (match Disk.write d ~extent:2 ~off:0 "x" with
+  | Error Disk.Permanent -> ()
+  | _ -> Alcotest.fail "permanent roll must fail the extent");
+  Disk.disarm_random_faults d;
+  (* The extent stays failed like fail_permanently until healed. *)
+  (match Disk.write d ~extent:2 ~off:0 "x" with
+  | Error Disk.Permanent -> ()
+  | _ -> Alcotest.fail "permanently failed extent must persist past disarm");
+  Disk.heal d ~extent:2;
+  Alcotest.(check (result unit io_error))
+    "healed" (Ok ())
+    (Disk.write d ~extent:2 ~off:0 "x")
+
 let test_durable_image () =
   let d = Disk.create small in
   ignore (Disk.write d ~extent:0 ~off:0 "abc");
@@ -127,5 +191,10 @@ let () =
           Alcotest.test_case "fail permanently / heal" `Quick test_fail_permanently_and_heal;
           Alcotest.test_case "faults suspended" `Quick test_faults_suspended;
           Alcotest.test_case "consume fault" `Quick test_consume_fault;
+          Alcotest.test_case "random arming deterministic" `Quick
+            test_random_arming_deterministic;
+          Alcotest.test_case "random arming suspended / copy / heal_all" `Quick
+            test_random_arming_suspended_and_copy;
+          Alcotest.test_case "random arming permanent" `Quick test_random_arming_permanent;
         ] );
     ]

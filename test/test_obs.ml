@@ -274,6 +274,26 @@ let test_blind_spot_gate () =
     "no blind spots" []
     (Util.Coverage.blind_spots ~expected:expected_coverage ())
 
+(* The request plane has its own expected-coverage list: a short chaos
+   campaign must exercise the retry, breaker, quorum-ack, read-repair and
+   partial-write paths, or the fault-tolerance machinery has gone silent.
+   This is the in-tree version of the gate `bin/validate --chaos` runs. *)
+let fleet_expected_coverage =
+  [
+    "fleet.retry"; "fleet.breaker_open"; "fleet.quorum_ack"; "fleet.read_repair";
+    "fleet.partial_write";
+  ]
+
+let test_fleet_blind_spot_gate () =
+  Faults.disable_all ();
+  Util.Coverage.reset ();
+  let summary = Experiments.Chaos.run ~campaigns:10 ~length:40 ~seed:0 () in
+  Alcotest.(check int) "campaigns clean" summary.Experiments.Chaos.campaigns
+    summary.Experiments.Chaos.clean;
+  Alcotest.(check (list string))
+    "no fleet blind spots" []
+    (Util.Coverage.blind_spots ~expected:fleet_expected_coverage ())
+
 (* {2 Counterexamples carry the trace ring} *)
 
 let test_counterexample_has_trace () =
@@ -339,6 +359,7 @@ let () =
         [
           Alcotest.test_case "facade" `Quick test_coverage_facade;
           Alcotest.test_case "blind-spot gate" `Slow test_blind_spot_gate;
+          Alcotest.test_case "fleet blind-spot gate" `Slow test_fleet_blind_spot_gate;
         ] );
       ( "counterexamples",
         [ Alcotest.test_case "trace attached" `Slow test_counterexample_has_trace ] );

@@ -59,6 +59,15 @@ let responses =
         statuses =
           [ Rpc.Message.Op_ok; Rpc.Message.Op_error "no"; Rpc.Message.Op_ok ];
       };
+    Rpc.Message.Batch_response
+      {
+        statuses =
+          [ Rpc.Message.Op_quorum { acked = 2 }; Rpc.Message.Op_ok;
+            Rpc.Message.Op_quorum { acked = 3 } ];
+      };
+    Rpc.Message.Quorum_ack { acked = 2; lagging = [ 4 ] };
+    Rpc.Message.Quorum_ack { acked = 3; lagging = [] };
+    Rpc.Message.Quorum_ack { acked = 1; lagging = [ 0; 2; 5 ] };
   ]
 
 let test_request_roundtrip () =
@@ -108,6 +117,46 @@ let prop_request_roundtrip =
       match Rpc.Message.(decode_request (encode_request (Put { key; value }))) with
       | Ok (Rpc.Message.Put p) -> String.equal p.key key && String.equal p.value value
       | _ -> false)
+
+(* Satellite: degraded-mode statuses (quorum ack with lagging replicas,
+   per-op quorum statuses in a batch) survive the wire byte-exactly. *)
+let prop_degraded_roundtrip =
+  QCheck.Test.make ~name:"degraded responses roundtrip byte-exact" ~count:500
+    QCheck.(
+      pair
+        (pair (int_bound 16) (list_of_size Gen.(0 -- 12) (int_bound 64)))
+        (list_of_size Gen.(0 -- 8) (int_bound 3)))
+    (fun ((acked, lagging), quorums) ->
+      let statuses =
+        List.mapi
+          (fun i q ->
+            if i mod 2 = 0 then Rpc.Message.Op_quorum { acked = q } else Rpc.Message.Op_ok)
+          quorums
+      in
+      List.for_all
+        (fun resp ->
+          let bytes = Rpc.Message.encode_response resp in
+          match Rpc.Message.decode_response bytes with
+          | Ok resp' ->
+            Rpc.Message.response_equal resp resp'
+            && String.equal bytes (Rpc.Message.encode_response resp')
+          | Error e -> QCheck.Test.fail_reportf "decode: %a" Util.Codec.pp_error e)
+        [
+          Rpc.Message.Quorum_ack { acked; lagging };
+          Rpc.Message.Batch_response { statuses };
+        ])
+
+(* The lagging-list count prefix is untrusted: a frame claiming more ids
+   than [max_lagging_nodes] must be rejected, not looped over. *)
+let test_quorum_ack_lagging_bound () =
+  let w = Util.Codec.Writer.create () in
+  Util.Codec.Writer.raw_string w "SR";
+  Util.Codec.Writer.u8 w 6;
+  Util.Codec.Writer.uint w 2;
+  Util.Codec.Writer.u32 w (Int32.of_int (Rpc.Message.max_lagging_nodes + 1));
+  match Rpc.Message.decode_response (Util.Codec.Writer.contents w) with
+  | Error _ -> ()
+  | Ok r -> Alcotest.failf "oversized lagging count accepted: %a" Rpc.Message.pp_response r
 
 let make_node () = Rpc.Node.create ~disks:3 S.test_config
 
@@ -190,6 +239,8 @@ let test_batch_request_dispatch () =
     List.iteri
       (fun i -> function
         | Rpc.Message.Op_ok -> ()
+        | Rpc.Message.Op_quorum { acked } ->
+          Alcotest.failf "op %d quorum-acked (%d) on a healthy node" i acked
         | Rpc.Message.Op_error msg -> Alcotest.failf "op %d failed: %s" i msg)
       statuses
   | r -> Alcotest.failf "batch: %a" Rpc.Message.pp_response r);
@@ -249,6 +300,8 @@ let prop_batch_one_bad_op =
             match status, i = bad with
             | Rpc.Message.Op_error _, true | Rpc.Message.Op_ok, false -> ()
             | Rpc.Message.Op_ok, true -> QCheck.Test.fail_reportf "bad op %d accepted" i
+            | Rpc.Message.Op_quorum _, _ ->
+              QCheck.Test.fail_reportf "op %d quorum-acked on a healthy node" i
             | Rpc.Message.Op_error msg, false ->
               QCheck.Test.fail_reportf "healthy op %d rejected: %s" i msg)
           statuses;
@@ -436,6 +489,8 @@ let () =
           Alcotest.test_case "trailing bytes rejected" `Quick test_trailing_bytes_rejected;
           QCheck_alcotest.to_alcotest prop_decode_total;
           QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_degraded_roundtrip;
+          Alcotest.test_case "quorum-ack lagging bound" `Quick test_quorum_ack_lagging_bound;
         ] );
       ( "node",
         [
