@@ -6,13 +6,28 @@
 
    Environment:
      BENCH_QUICK=1         cut budgets (issue #10 typically not found)
-     BENCH_SKIP_TABLES=1   only run the Bechamel micro-benchmarks *)
+     BENCH_SKIP_TABLES=1   only run the Bechamel micro-benchmarks
+     BENCH_DOMAINS=N       shard seed sweeps over N domains (lib/par);
+                           also accepted as a --domains N argument.
+                           Table contents are byte-identical to N=1. *)
 
 open Bechamel
 open Toolkit
 
 let quick = Sys.getenv_opt "BENCH_QUICK" = Some "1"
 let skip_tables = Sys.getenv_opt "BENCH_SKIP_TABLES" = Some "1"
+
+let domains =
+  let from_argv =
+    let rec find i =
+      if i + 1 >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = "--domains" then int_of_string_opt Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  let from_env = Option.bind (Sys.getenv_opt "BENCH_DOMAINS") int_of_string_opt in
+  max 1 (Option.value (match from_argv with Some _ -> from_argv | None -> from_env) ~default:1)
 
 (* {2 Workloads under measurement} *)
 
@@ -191,7 +206,7 @@ let run_tables () =
   in
   sep "E1 / Figure 5: issues prevented";
   Experiments.Fig5.print
-    (Experiments.Fig5.run
+    (Experiments.Fig5.run ~domains
        (if quick then Experiments.Fig5.quick_budget
         else
           {
@@ -245,8 +260,9 @@ let print_store_metrics () =
       (S.obs (Lazy.force store_for_bench))
 
 let () =
-  Printf.printf "ShardStore lightweight-formal-methods benchmark harness%s\n\n"
-    (if quick then " (quick mode)" else "");
+  Printf.printf "ShardStore lightweight-formal-methods benchmark harness%s%s\n\n"
+    (if quick then " (quick mode)" else "")
+    (if domains > 1 then Printf.sprintf " (%d domains)" domains else "");
   run_benchmarks ();
   print_store_metrics ();
   if not skip_tables then run_tables ()

@@ -1,0 +1,58 @@
+(* E14 bench gate: the multicore validation engine must (a) return
+   byte-identical results at every domain count — always checked, on any
+   hardware — and (b) actually scale: Fig. 5 catalog wall clock >= 2.5x
+   faster at 4 domains than at 1. The speedup gate only runs when the host
+   recommends >= 4 domains (Domain.recommended_domain_count); determinism
+   is checkable anywhere (spawning more domains than cores just adds
+   overhead), but a speedup assertion on a 1-core CI box would measure the
+   scheduler, not this code.
+
+   Environment:
+     PAR_BENCH_SMOKE=1   small budgets, domain counts {1, 2} — the CI
+                         par-smoke determinism gate, < 1 min *)
+
+let smoke = Sys.getenv_opt "PAR_BENCH_SMOKE" = Some "1"
+let cores = Par.default_domains ()
+
+let () =
+  Printf.printf "par bench: multicore validation engine%s (host recommends %d domain(s))\n\n"
+    (if smoke then " (smoke)" else "")
+    cores;
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let budget =
+    if smoke then
+      {
+        Experiments.Fig5.quick_budget with
+        Experiments.Fig5.pbt_sequences = 300;
+        f10_sequences = 500;
+        smc_schedules = 5_000;
+      }
+    else Experiments.Fig5.quick_budget
+  in
+  let campaigns = if smoke then 12 else 50 in
+  let report = Experiments.Par_scaling.run ~domain_counts ~budget ~campaigns () in
+  Experiments.Par_scaling.print report;
+  if not (Experiments.Par_scaling.all_identical report) then begin
+    Printf.printf "\nFAIL: results diverged across domain counts\n";
+    exit 1
+  end;
+  let fig5_speedup_at_4 =
+    List.find_opt
+      (fun r -> r.Experiments.Par_scaling.domains = 4)
+      report.Experiments.Par_scaling.fig5
+    |> Option.map (fun r -> r.Experiments.Par_scaling.speedup)
+  in
+  match fig5_speedup_at_4 with
+  | Some s when cores >= 4 ->
+    if s < 2.5 then begin
+      Printf.printf "\nFAIL: Fig. 5 speedup at 4 domains %.2fx < 2.5x on a %d-core host\n" s
+        cores;
+      exit 1
+    end
+    else Printf.printf "\nspeedup gate passed: %.2fx >= 2.5x at 4 domains\n" s
+  | Some s ->
+    Printf.printf
+      "\nspeedup gate skipped: host recommends %d domain(s) < 4 (measured %.2fx, determinism \
+       still enforced)\n"
+      cores s
+  | None -> Printf.printf "\nspeedup gate skipped: no 4-domain arm in this run\n"

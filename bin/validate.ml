@@ -169,10 +169,10 @@ let chaos_expected_coverage =
     "fleet.partial_write";
   ]
 
-let chaos_run ~campaigns ~length ~seed =
+let chaos_run ~domains ~campaigns ~length ~seed =
   Faults.disable_all ();
   Util.Coverage.reset ();
-  let summary = Experiments.Chaos.run ~campaigns ~length ~seed () in
+  let summary = Experiments.Chaos.run ~domains ~campaigns ~length ~seed () in
   Experiments.Chaos.print summary;
   let blind = Util.Coverage.blind_spots ~expected:chaos_expected_coverage () in
   (match blind with
@@ -181,7 +181,7 @@ let chaos_run ~campaigns ~length ~seed =
       (List.length chaos_expected_coverage)
   | spots -> Printf.printf "\ncoverage BLIND SPOTS: %s\n" (String.concat ", " spots));
   let teeth =
-    Experiments.Chaos.check_teeth ~campaigns:(min campaigns 20) ~length ~seed ()
+    Experiments.Chaos.check_teeth ~domains ~campaigns:(min campaigns 20) ~length ~seed ()
   in
   Printf.printf "teeth (#18 quorum ack without durable flush): %d/%d campaigns caught it\n"
     teeth (min campaigns 20);
@@ -193,7 +193,7 @@ let chaos_run ~campaigns ~length ~seed =
   end
   else 1
 
-let run_conformance sequences length seed metrics_out batch_weight =
+let run_conformance sequences length seed metrics_out batch_weight domains =
   Faults.disable_all ();
   Util.Coverage.reset ();
   let config = Lfm.Harness.default_config in
@@ -205,25 +205,16 @@ let run_conformance sequences length seed metrics_out batch_weight =
   List.iter
     (fun profile ->
       let t0 = Unix.gettimeofday () in
-      let failures = ref 0 in
-      let first = ref None in
-      for i = 0 to sequences - 1 do
-        let ops, outcome =
-          Lfm.Harness.run_seed config ~profile ~bias ~length
-            ~seed:(seed + i)
-        in
-        match outcome with
-        | Lfm.Harness.Passed -> ()
-        | Lfm.Harness.Failed f ->
-          incr failures;
-          if !first = None then first := Some (seed + i, ops, f)
-      done;
+      (* Sharded across domains, merged in seed order: the failure count and
+         the (lowest-seed) first failure are identical for any --domains. *)
+      let sw = Lfm.Harness.run_par ~domains config ~profile ~bias ~length ~seed ~count:sequences in
+      let failures = sw.Lfm.Harness.failures in
       let dt = Unix.gettimeofday () -. t0 in
       Printf.printf "%-12s %6d sequences, %3d failures (%.0f seqs/s)\n"
         (Lfm.Gen.profile_name profile)
-        sequences !failures
+        sequences failures
         (float_of_int sequences /. dt);
-      (match !first with
+      (match sw.Lfm.Harness.first_failure with
       | Some (s, ops, f) ->
         Format.printf "  first failure (seed %d): %a@." s Lfm.Harness.pp_failure f;
         let still_fails ops =
@@ -233,7 +224,7 @@ let run_conformance sequences length seed metrics_out batch_weight =
         Format.printf "  minimized: %a@." Lfm.Minimize.pp_stats stats;
         List.iteri (fun i op -> Format.printf "    %2d: %a@." i Lfm.Op.pp op) minimized
       | None -> ());
-      total_failures := !total_failures + !failures)
+      total_failures := !total_failures + failures)
     [ Lfm.Gen.Crash_free; Lfm.Gen.Crashing; Lfm.Gen.Failing; Lfm.Gen.Full ];
   (* Coverage monitoring (section 4.2): make blind spots visible so new
      functionality that the harness cannot reach is noticed. *)
@@ -251,10 +242,11 @@ let run_conformance sequences length seed metrics_out batch_weight =
   end
   else 1
 
-let run sequences length seed metrics_out sanitize batch_weight chaos campaigns chaos_length =
-  if chaos then chaos_run ~campaigns ~length:chaos_length ~seed
+let run sequences length seed metrics_out sanitize batch_weight chaos campaigns chaos_length
+    domains =
+  if chaos then chaos_run ~domains ~campaigns ~length:chaos_length ~seed
   else if sanitize then sanitize_run ~seed
-  else run_conformance sequences length seed metrics_out batch_weight
+  else run_conformance sequences length seed metrics_out batch_weight domains
 
 let sequences =
   Arg.(value & opt int 2000 & info [ "sequences"; "n" ] ~doc:"Sequences per profile.")
@@ -306,11 +298,22 @@ let campaigns =
 let chaos_length =
   Arg.(value & opt int 40 & info [ "chaos-length" ] ~doc:"Operations per chaos campaign.")
 
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~doc:
+          "Shard the conformance sweep and chaos campaigns across $(docv) OCaml domains \
+           (lib/par). Results are merged in seed order and are byte-identical to --domains 1 \
+           (only the seqs/s and wall-clock figures change). Does not affect --sanitize, whose \
+           SMC harnesses are single-domain by design."
+        ~docv:"N")
+
 let cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Run the pre-deployment conformance checks")
     Term.(
       const run $ sequences $ length $ seed $ metrics_out $ sanitize $ batch_weight $ chaos
-      $ campaigns $ chaos_length)
+      $ campaigns $ chaos_length $ domains)
 
 let () = exit (Cmd.eval' cmd)

@@ -84,46 +84,46 @@ let empty_result fault =
     min_stats = None;
   }
 
-let detect_pbt config ~length ~max_sequences ~minimize ~seed fault profile =
+let detect_pbt config ~domains ~length ~max_sequences ~minimize ~seed fault profile =
   let bias = bias_for fault in
   let config = { config with Harness.uuid_bias = bias.Gen.uuid_magic } in
-  let total_ops = ref 0 in
-  let rec hunt i =
-    if i >= max_sequences then
-      { (empty_result fault) with sequences = max_sequences; total_ops = !total_ops }
-    else begin
-      let ops, outcome = Harness.run_seed config ~profile ~bias ~length ~seed:(seed + i) in
-      total_ops := !total_ops + List.length ops;
-      match outcome with
-      | Harness.Passed -> hunt (i + 1)
-      | Harness.Failed failure ->
-        let minimized_ops, min_stats =
-          if minimize then begin
-            let still_fails ops =
-              match Harness.run config ops with
-              | Harness.Failed _ -> true
-              | Harness.Passed -> false
-            in
-            let m, stats = Minimize.minimize ~still_fails ops in
-            (Some m, Some stats)
-          end
-          else (None, None)
-        in
-        {
-          fault;
-          found = true;
-          sequences = i + 1;
-          total_ops = !total_ops;
-          fired = Faults.fired fault;
-          failure = Some failure;
-          original = Some (Op.summarize ops);
-          minimized = Option.map Op.summarize minimized_ops;
-          minimized_ops;
-          min_stats;
-        }
-    end
+  (* The hunt is a parallel early-exit sweep: the reported seed, sequence
+     count and counterexample come from the sequential prefix Par.search
+     guarantees, so they are identical for every domain count. Only [fired]
+     can see speculative evaluations beyond the failing seed. *)
+  let sw =
+    Harness.run_par ~domains ~stop_on_failure:true config ~profile ~bias ~length ~seed
+      ~count:max_sequences
   in
-  hunt 0
+  match sw.Harness.first_failure with
+  | None ->
+    { (empty_result fault) with sequences = sw.Harness.checked; total_ops = sw.Harness.total_ops }
+  | Some (_failing_seed, ops, failure) ->
+    let minimized_ops, min_stats =
+      if minimize then begin
+        (* Minimization replays sequentially — reproducibility over speed. *)
+        let still_fails ops =
+          match Harness.run config ops with
+          | Harness.Failed _ -> true
+          | Harness.Passed -> false
+        in
+        let m, stats = Minimize.minimize ~still_fails ops in
+        (Some m, Some stats)
+      end
+      else (None, None)
+    in
+    {
+      fault;
+      found = true;
+      sequences = sw.Harness.checked;
+      total_ops = sw.Harness.total_ops;
+      fired = Faults.fired fault;
+      failure = Some failure;
+      original = Some (Op.summarize ops);
+      minimized = Option.map Op.summarize minimized_ops;
+      minimized_ops;
+      min_stats;
+    }
 
 (* Model validation for #15: the mock locator generator must never return
    a locator that is still live (the uniqueness assumption of section 3.2 /
@@ -184,8 +184,8 @@ let detect_model_validation ~max_sequences ~seed fault =
   in
   hunt 0
 
-let detect ?(config = Harness.default_config) ?(length = 60) ?(max_sequences = 10_000)
-    ?(minimize = true) ~seed fault =
+let detect ?(config = Harness.default_config) ?(domains = 1) ?(length = 60)
+    ?(max_sequences = 10_000) ?(minimize = true) ~seed fault =
   Faults.disable_all ();
   Faults.reset_counters ();
   Faults.enable fault;
@@ -193,8 +193,13 @@ let detect ?(config = Harness.default_config) ?(length = 60) ?(max_sequences = 1
     ~finally:(fun () -> Faults.disable fault)
     (fun () ->
       match method_for fault with
-      | Pbt profile -> detect_pbt config ~length ~max_sequences ~minimize ~seed fault profile
-      | Model_validation -> detect_model_validation ~max_sequences ~seed fault
+      | Pbt profile ->
+        detect_pbt config ~domains ~length ~max_sequences ~minimize ~seed fault profile
+      | Model_validation ->
+        (* Single shared rng stream across sequences: parallelizing would
+           change which sequences get generated, so this hunt stays
+           sequential regardless of [domains]. *)
+        detect_model_validation ~max_sequences ~seed fault
       | Smc -> empty_result fault)
 
 let baseline ?(config = Harness.default_config) ?(length = 60) ~sequences ~seed profile =

@@ -21,7 +21,12 @@ type result = {
   found : bool;
   sequences : int;  (** sequences executed until detection (or the budget) *)
   total_ops : int;
-  fired : int;  (** times the injected defect's buggy branch ran *)
+  fired : int;
+      (** times the injected defect's buggy branch ran — an exact atomic
+          total, but under [~domains > 1] it includes speculative
+          evaluations past the failing seed, so it is diagnostic only and
+          excluded from the determinism guarantee (every other field is
+          byte-identical across domain counts) *)
   failure : Harness.failure option;
   original : Op.summary option;
   minimized : Op.summary option;
@@ -31,11 +36,18 @@ type result = {
 
 val pp_result : Format.formatter -> result -> unit
 
-(** [detect ?config ?length ?max_sequences ?minimize ~seed fault] enables
-    [fault], hunts for it, disables it again. For [Smc] faults the result
-    is [found = false] with zero work — use the [conc] harnesses. *)
+(** [detect ?config ?domains ?length ?max_sequences ?minimize ~seed fault]
+    enables [fault], hunts for it, disables it again. For [Smc] faults the
+    result is [found = false] with zero work — use the [conc] harnesses.
+
+    [domains] (default 1) shards the property-based hunt across OCaml
+    domains via {!Harness.run_par}: the reported sequence count and
+    counterexample are the sequential prefix's, identical for every domain
+    count, and minimization always replays sequentially. Model-validation
+    hunts use one shared random stream and stay sequential. *)
 val detect :
   ?config:Harness.config ->
+  ?domains:int ->
   ?length:int ->
   ?max_sequences:int ->
   ?minimize:bool ->

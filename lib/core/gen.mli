@@ -6,7 +6,15 @@
     multiples (a frequent source of bugs — issues #1 and #10 both need
     frames that land next to a page boundary). Biases only raise
     probabilities; every case remains reachable, and {!unbiased} switches
-    them off for the bias-ablation experiment (E7). *)
+    them off for the bias-ablation experiment (E7).
+
+    {b Determinism contract}: generation is a pure function of the [rng]
+    state and the arguments — equal seeds yield equal sequences, byte for
+    byte. Nothing is drawn from global state, so distinct seeds are fully
+    independent: this is what lets {!Harness.run_par} evaluate a seed range
+    in any order, on any number of domains, without changing a single
+    generated operation. Each parallel task builds its own [rng] from its
+    seed; a {!Util.Rng.t} must never be shared across domains. *)
 
 type profile =
   | Crash_free  (** section 4: API + maintenance ops only *)

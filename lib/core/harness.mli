@@ -16,7 +16,19 @@
 
     Runs are deterministic: the same configuration and sequence always
     yield the same outcome, which is what makes minimization (section 4.3)
-    possible. *)
+    possible.
+
+    {b Seed/determinism contract} (what [lib/par] relies on): a seed fully
+    determines its universe. {!run_seed} builds a fresh [Rng] from the seed,
+    generates the sequence with {!Gen.sequence}, and replays it against a
+    fresh store and model; no state flows between seeds, so any set of seeds
+    may be evaluated in any order — or on concurrent domains — and
+    {!run_par} exploits exactly that, merging results back in ascending seed
+    order so its output is byte-identical to the sequential loop.
+
+    {b [?obs] convention}: as everywhere in this codebase, an optional
+    metrics registry is accepted as [?obs], the {e first} optional argument,
+    and omitting it means "don't aggregate", never "crash on metrics". *)
 
 module S = Store.Default
 
@@ -66,3 +78,46 @@ val replay : config -> Op.t list -> S.t
     from [seed] and runs it. *)
 val run_seed :
   config -> profile:Gen.profile -> bias:Gen.bias -> length:int -> seed:int -> Op.t list * outcome
+
+(** {2 Parallel seed sweeps} *)
+
+(** Aggregate result of sweeping a contiguous seed range. *)
+type sweep = {
+  checked : int;  (** seeds actually checked (= [count], or the early-exit prefix) *)
+  total_ops : int;  (** operations generated across checked seeds *)
+  failures : int;  (** failing seeds among those checked *)
+  first_failure : (int * Op.t list * failure) option;
+      (** the {e lowest} failing seed with its generated sequence and
+          failure — identical for every domain count *)
+}
+
+(** [run_par ?obs ?domains ?stop_on_failure config ~profile ~bias ~length ~seed ~count]
+    sweeps seeds [[seed, seed + count)] through {!run_seed}, sharded across
+    [domains] OCaml domains by {!Par} (default 1 = plain sequential loop;
+    parallelism is opt-in so existing seeded experiments replay verbatim).
+
+    The result is byte-identical to a sequential sweep for any [domains]:
+    each seed owns a private universe, and per-worker results are merged in
+    ascending seed order. With [stop_on_failure] (default false) the sweep
+    stops at the {e lowest} failing seed — workers race ahead
+    speculatively, but results above the lowest failure are discarded
+    ({!Par.search}), never reported — and [checked] counts that prefix.
+    Minimize the returned counterexample with {!Minimize.minimize}, which
+    replays sequentially.
+
+    [?obs] aggregates every checked store's per-instance registry (in seed
+    order, see {!Obs.merge_into}) into the given registry. Combining [?obs]
+    with [~stop_on_failure:true] raises [Invalid_argument]: speculative
+    evaluations beyond the failing seed would leak into the aggregate
+    irreproducibly. *)
+val run_par :
+  ?obs:Obs.t ->
+  ?domains:int ->
+  ?stop_on_failure:bool ->
+  config ->
+  profile:Gen.profile ->
+  bias:Gen.bias ->
+  length:int ->
+  seed:int ->
+  count:int ->
+  sweep

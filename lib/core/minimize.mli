@@ -5,7 +5,15 @@
     or payload toward zero, replace an operation by an earlier (simpler)
     variant — until no reduction keeps the test failing. No minimality
     guarantee, but effective in practice: the paper's anecdote reduced 61
-    operations (9 crashes, 226 KiB) to 6 operations (1 crash, 2 B). *)
+    operations (9 crashes, 226 KiB) to 6 operations (1 crash, 2 B).
+
+    Minimization always replays {e sequentially}, even when the failing
+    sequence was found by a parallel sweep ({!Harness.run_par},
+    {!Detect.detect} with [~domains]): each candidate execution depends on
+    the previous one's verdict, and a reproducible shrink trace is worth
+    more than wall clock here. The determinism of [still_fails] is what
+    guarantees the minimized counterexample is identical no matter how many
+    domains found the original. *)
 
 type stats = {
   original : Op.summary;

@@ -317,8 +317,11 @@ let check_convergence ~seed fleet model violations =
 
 let counter fleet name = Obs.counter_value (Fleet.obs fleet) name
 
+(* Assumes the global fault toggles are already as the caller wants them
+   ([run] disables everything up front, [check_teeth] arms #18): toggles
+   may only change between sweeps, never from inside a campaign running on
+   a worker domain. *)
 let run_ops ~seed ops =
-  Faults.disable_all ();
   let fleet = Fleet.create (fleet_config ~seed) in
   let model : (string, entry) Hashtbl.t = Hashtbl.create 16 in
   let violations = ref [] in
@@ -378,9 +381,23 @@ let campaign ~length ~seed =
     partial_writes = counter_of "fleet.partial_write";
   }
 
-let run ?(campaigns = 200) ?(length = 40) ?(seed = 0) () =
+let run ?(domains = 1) ?(campaigns = 200) ?(length = 40) ?(seed = 0) () =
   let t0 = Unix.gettimeofday () in
-  let reports = List.init campaigns (fun i -> campaign ~length ~seed:(seed + i)) in
+  Faults.disable_all ();
+  (* Campaigns are seed-carrying and independent, so they shard across
+     domains; segments accumulate reversed report lists and merge keeps
+     them in descending seed order, so the final reverse restores the
+     sequential ascending order byte for byte. A violating campaign
+     minimizes inside its own task — deterministic, every op carries its
+     seeds. *)
+  let reports =
+    List.rev
+      (Par.sweep ~domains ~start:seed ~count:campaigns
+         ~init:(fun () -> [])
+         ~step:(fun acc s -> campaign ~length ~seed:s :: acc)
+         ~merge:(fun lo hi -> hi @ lo)
+         ())
+  in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
   {
     campaigns;
@@ -401,21 +418,19 @@ let run ?(campaigns = 200) ?(length = 40) ?(seed = 0) () =
    without durable flush) switched on, acknowledged writes sit in volatile
    staging and the final-phase reboots shred them — at least one campaign
    must catch the durability violation, or the checker is vacuous. *)
-let check_teeth ?(campaigns = 20) ?(length = 40) ?(seed = 0) () =
+let check_teeth ?(domains = 1) ?(campaigns = 20) ?(length = 40) ?(seed = 0) () =
+  Faults.disable_all ();
+  (* #18 is armed before the sweep and stays constant throughout — workers
+     only read the toggle. *)
   Faults.with_fault Faults.F18_quorum_ack_volatile (fun () ->
-      let violations = ref 0 in
-      for i = 0 to campaigns - 1 do
-        let rng = Util.Rng.create (Int64.of_int (((seed + i) * 2_654_435_761) + 97)) in
-        let ops = gen_ops ~rng ~length in
-        (* run under the fault: run_ops resets faults, so inline the run *)
-        let fleet = Fleet.create (fleet_config ~seed:(seed + i)) in
-        let model : (string, entry) Hashtbl.t = Hashtbl.create 16 in
-        let vs = ref [] in
-        List.iteri (apply fleet model vs) ops;
-        check_convergence ~seed:(seed + i) fleet model vs;
-        if !vs <> [] then incr violations
-      done;
-      !violations)
+      Par.sweep ~domains ~start:seed ~count:campaigns
+        ~init:(fun () -> 0)
+        ~step:(fun violations s ->
+          let rng = Util.Rng.create (Int64.of_int ((s * 2_654_435_761) + 97)) in
+          let ops = gen_ops ~rng ~length in
+          let vs, _, _ = run_ops ~seed:s ops in
+          if vs <> [] then violations + 1 else violations)
+        ~merge:( + ) ())
 
 let print summary =
   Printf.printf

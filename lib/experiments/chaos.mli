@@ -66,13 +66,19 @@ type summary = {
   seconds : float;
 }
 
-(** [run ~campaigns ~length ~seed ()] — [campaigns] seeded campaigns of
-    [length] ops each (defaults: 200 campaigns, 40 ops, seed 0). *)
-val run : ?campaigns:int -> ?length:int -> ?seed:int -> unit -> summary
+(** [run ?domains ~campaigns ~length ~seed ()] — [campaigns] seeded
+    campaigns of [length] ops each (defaults: 200 campaigns, 40 ops,
+    seed 0). [domains] (default 1) shards campaigns across OCaml domains
+    — each campaign owns a private fleet, and reports are merged back in
+    ascending seed order, so the summary (everything but [seconds]) is
+    byte-identical for every domain count. *)
+val run : ?domains:int -> ?campaigns:int -> ?length:int -> ?seed:int -> unit -> summary
 
 (** [check_teeth ()] re-runs campaigns with fault #18 (quorum
     acknowledgement without durable flush) enabled and returns how many
-    caught a violation — zero means the checker has lost its teeth. *)
-val check_teeth : ?campaigns:int -> ?length:int -> ?seed:int -> unit -> int
+    caught a violation — zero means the checker has lost its teeth.
+    [domains] as in {!run} (#18 stays armed for the whole sweep; workers
+    only read the toggle). *)
+val check_teeth : ?domains:int -> ?campaigns:int -> ?length:int -> ?seed:int -> unit -> int
 
 val print : summary -> unit

@@ -40,7 +40,7 @@ let quick_budget =
     seed = 42;
   }
 
-let pbt_row budget fault =
+let pbt_row ~domains budget fault =
   let max_sequences =
     if fault = Faults.F10_uuid_magic_collision then budget.f10_sequences
     else budget.pbt_sequences
@@ -49,7 +49,8 @@ let pbt_row budget fault =
     if fault = Faults.F10_uuid_magic_collision then 80 else budget.pbt_length
   in
   let r =
-    Lfm.Detect.detect ~length ~max_sequences ~minimize:budget.minimize ~seed:budget.seed fault
+    Lfm.Detect.detect ~domains ~length ~max_sequences ~minimize:budget.minimize
+      ~seed:budget.seed fault
   in
   let counterexample =
     match r.Lfm.Detect.original, r.Lfm.Detect.minimized with
@@ -92,14 +93,18 @@ let smc_row budget fault =
       | None -> "-");
   }
 
-let run budget =
+(* Faults are processed one after another even under [~domains] — the
+   global fault toggle only changes between sweeps — and each fault's seed
+   hunt is sharded internally, so the rows (everything but [seconds]) are
+   byte-identical for every domain count. *)
+let run ?(domains = 1) budget =
   let t0 = Unix.gettimeofday () in
   let rows =
     List.map
       (fun fault ->
         match Lfm.Detect.method_for fault with
         | Lfm.Detect.Smc -> smc_row budget fault
-        | Lfm.Detect.Pbt _ | Lfm.Detect.Model_validation -> pbt_row budget fault)
+        | Lfm.Detect.Pbt _ | Lfm.Detect.Model_validation -> pbt_row ~domains budget fault)
       Faults.all
   in
   { rows; seconds = Unix.gettimeofday () -. t0 }

@@ -34,5 +34,11 @@ val default_budget : budget
     usually be reported as not found at this size. *)
 val quick_budget : budget
 
-val run : budget -> report
+(** [run ?domains budget] — [domains] (default 1) shards each fault's
+    property-based seed hunt across OCaml domains ({!Lfm.Detect.detect});
+    faults themselves run one after another (the global fault toggle may
+    only change between sweeps). The rows are byte-identical for every
+    domain count; only [seconds] varies. *)
+val run : ?domains:int -> budget -> report
+
 val print : report -> unit

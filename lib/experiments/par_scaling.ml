@@ -1,0 +1,96 @@
+(* E14: multicore scaling with a byte-identity check — see par_scaling.mli. *)
+
+type row = {
+  domains : int;
+  seconds : float;
+  speedup : float;
+  identical : bool;
+}
+
+type report = {
+  fig5 : row list;
+  chaos : row list;
+}
+
+let all_identical r = List.for_all (fun row -> row.identical) (r.fig5 @ r.chaos)
+
+(* Renders exclude wall clock (the one field allowed to vary) and Detect's
+   [fired] diagnostic (exact atomic totals, but speculative evaluations
+   reach it — see detect.mli); everything the experiments claim as a
+   result is in here. *)
+
+let render_fig5 (report : Fig5.report) =
+  String.concat "\n"
+    (List.map
+       (fun (r : Fig5.row) ->
+         Printf.sprintf "#%d|%s|%b|%s|%s" (Faults.number r.Fig5.fault) r.Fig5.method_
+           r.Fig5.detected r.Fig5.effort r.Fig5.counterexample)
+       report.Fig5.rows)
+
+let render_chaos (s : Chaos.summary) =
+  let failed =
+    List.map
+      (fun (r : Chaos.campaign_report) ->
+        Printf.sprintf "seed %d: %s; minimized [%s]" r.Chaos.seed
+          (String.concat "; "
+             (List.map (Format.asprintf "%a" Chaos.pp_violation) r.Chaos.violations))
+          (String.concat "; " (List.map (Format.asprintf "%a" Chaos.pp_op) r.Chaos.minimized)))
+      s.Chaos.failed
+  in
+  Printf.sprintf "campaigns %d clean %d ops %d faults %d retries %d failovers %d rr %d bo %d qa %d pw %d\n%s"
+    s.Chaos.campaigns s.Chaos.clean s.Chaos.total_ops s.Chaos.total_faults
+    s.Chaos.total_retries s.Chaos.total_failovers s.Chaos.total_read_repairs
+    s.Chaos.total_breaker_opens s.Chaos.total_quorum_acks s.Chaos.total_partial_writes
+    (String.concat "\n" failed)
+
+let sweep ~domain_counts run_at =
+  let timed domains =
+    let t0 = Unix.gettimeofday () in
+    let rendered = run_at ~domains in
+    (Unix.gettimeofday () -. t0, rendered)
+  in
+  match domain_counts with
+  | [] -> []
+  | base_domains :: _ ->
+    let base_seconds, base_render = timed base_domains in
+    List.map
+      (fun domains ->
+        let seconds, rendered =
+          if domains = base_domains then (base_seconds, base_render) else timed domains
+        in
+        {
+          domains;
+          seconds;
+          speedup = (if seconds > 0. then base_seconds /. seconds else 1.);
+          identical = rendered = base_render;
+        })
+      domain_counts
+
+let run ?(domain_counts = [ 1; 2; 4 ]) ?(budget = Fig5.quick_budget) ?(campaigns = 50) () =
+  let fig5 =
+    sweep ~domain_counts (fun ~domains -> render_fig5 (Fig5.run ~domains budget))
+  in
+  let chaos =
+    sweep ~domain_counts (fun ~domains ->
+        render_chaos (Chaos.run ~domains ~campaigns ~length:40 ~seed:0 ()))
+  in
+  { fig5; chaos }
+
+let print report =
+  Printf.printf "E14: multicore scaling of the validation engine (lib/par)\n";
+  Printf.printf "host recommends %d domain(s)\n\n" (Par.default_domains ());
+  let table name rows =
+    Printf.printf "%s\n" name;
+    Printf.printf "  %8s %10s %8s %s\n" "domains" "seconds" "speedup" "output";
+    List.iter
+      (fun r ->
+        Printf.printf "  %8d %10.2f %7.2fx %s\n" r.domains r.seconds r.speedup
+          (if r.identical then "byte-identical" else "DIVERGED"))
+      rows
+  in
+  table "Fig. 5 detection catalog" report.fig5;
+  table "chaos campaign batch" report.chaos;
+  Printf.printf "\n%s\n"
+    (if all_identical report then
+       "all domain counts produced byte-identical results (wall clock aside)"
+     else "DETERMINISM VIOLATION: some domain count changed the results")

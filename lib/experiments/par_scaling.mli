@@ -1,0 +1,35 @@
+(** E14: multicore scaling of the validation engine ([lib/par]).
+
+    Runs the Fig. 5 detection catalog and a chaos-campaign batch at several
+    domain counts, measuring wall clock and — the part that makes the
+    numbers trustworthy — asserting that the {e rendered results} (rows,
+    counterexamples, campaign summaries; everything except wall clock) are
+    byte-identical across domain counts. A speedup achieved by changing
+    what gets checked would be worthless.
+
+    Wall-clock speedups only materialize with real cores; determinism holds
+    on any machine (spawning more domains than cores is just slower). The
+    gated bench around this experiment lives in [bench/par_bench.ml]. *)
+
+type row = {
+  domains : int;
+  seconds : float;
+  speedup : float;  (** vs the 1-domain row of the same workload *)
+  identical : bool;  (** rendered output byte-identical to 1 domain *)
+}
+
+type report = {
+  fig5 : row list;  (** Fig. 5 catalog at each domain count *)
+  chaos : row list;  (** chaos campaign batch at each domain count *)
+}
+
+(** Every row's rendered output matched the sequential baseline. *)
+val all_identical : report -> bool
+
+(** [run ?domain_counts ?budget ?campaigns ()] — defaults: domain counts
+    [[1; 2; 4]], {!Fig5.quick_budget}, 50 campaigns. The first domain
+    count is the baseline (use 1). *)
+val run :
+  ?domain_counts:int list -> ?budget:Fig5.budget -> ?campaigns:int -> unit -> report
+
+val print : report -> unit

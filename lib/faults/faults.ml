@@ -120,8 +120,14 @@ let property_class_name = function
 let pp fmt f = Format.fprintf fmt "#%d" (number f)
 let to_string f = Format.asprintf "%a" pp f
 
+(* [state] stays a plain bool array: toggles are only legal between
+   sweeps (see faults.mli), so parallel tasks only ever read it, and the
+   spawn/join of each sweep publishes the toggles to every worker.
+   Firing counters, by contrast, are bumped from inside tasks running on
+   concurrent domains, so they are atomics — exact totals, not
+   best-effort. *)
 let state = Array.make 19 false
-let counters = Array.make 19 0
+let counters = Array.init 19 (fun _ -> Atomic.make 0)
 
 let enabled f = state.(number f)
 let enable f = state.(number f) <- true
@@ -133,6 +139,6 @@ let with_fault f thunk =
   enable f;
   Fun.protect ~finally:(fun () -> if not prev then disable f) thunk
 
-let fired f = counters.(number f)
-let record_fired f = counters.(number f) <- counters.(number f) + 1
-let reset_counters () = Array.fill counters 0 (Array.length counters) 0
+let fired f = Atomic.get counters.(number f)
+let record_fired f = Atomic.incr counters.(number f)
+let reset_counters () = Array.iter (fun c -> Atomic.set c 0) counters

@@ -9,7 +9,14 @@
     The registry is global mutable state. That is deliberate: the checkers
     run single-threaded (the concurrency checkers use the cooperative {!Smc}
     runtime, also single-domain), and a global toggle keeps the injection
-    sites a one-line [if Faults.enabled F14 then ...]. *)
+    sites a one-line [if Faults.enabled F14 then ...].
+
+    {b Domain-safety} (for parallel sweeps, [lib/par]): toggles
+    ({!enable}/{!disable}/{!disable_all}/{!with_fault}) must only be flipped
+    {e between} sweeps — parallel tasks may read [enabled] but never change
+    it; the sweep's spawn/join publishes the settings to every worker.
+    Firing counters ({!fired}/{!record_fired}) are atomics and may be bumped
+    from concurrent tasks; their totals are exact. *)
 
 type t =
   (* Functional correctness (paper Fig. 5, #1-#5) *)

@@ -1,26 +1,45 @@
 module Coverage = struct
   (* Process-wide so blind spots are visible across every instance a
-     validation run creates. Cells are handed out by reference and zeroed
-     (not removed) on reset, so handles cached inside instance counters
-     stay live across resets. *)
-  let table : (string, int ref) Hashtbl.t = Hashtbl.create 64
+     validation run creates — including instances living on other domains
+     during a Par sweep, which is why cells are atomics (totals must be
+     exact, not lossy, for parallel sweeps to report the same coverage as
+     sequential ones) and the table itself is mutex-guarded (two domains
+     may register the same counter name at once). Cells are handed out by
+     reference and zeroed (not removed) on reset, so handles cached inside
+     instance counters stay live across resets. *)
+  let table : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 64
+  let table_mutex = Mutex.create ()
+
+  let locked f =
+    Mutex.lock table_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock table_mutex) f
 
   let cell name =
-    match Hashtbl.find_opt table name with
-    | Some r -> r
-    | None ->
-      let r = ref 0 in
-      Hashtbl.add table name r;
-      r
+    locked (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some r -> r
+        | None ->
+          let r = Atomic.make 0 in
+          Hashtbl.add table name r;
+          r)
 
-  let hit name = incr (cell name)
-  let count name = match Hashtbl.find_opt table name with Some r -> !r | None -> 0
+  let hit name = Atomic.incr (cell name)
+
+  let count name =
+    match locked (fun () -> Hashtbl.find_opt table name) with
+    | Some r -> Atomic.get r
+    | None -> 0
 
   let snapshot () =
-    Hashtbl.fold (fun name r acc -> if !r > 0 then (name, !r) :: acc else acc) table []
+    locked (fun () ->
+        Hashtbl.fold
+          (fun name r acc ->
+            let n = Atomic.get r in
+            if n > 0 then (name, n) :: acc else acc)
+          table [])
     |> List.sort compare
 
-  let reset () = Hashtbl.iter (fun _ r -> r := 0) table
+  let reset () = locked (fun () -> Hashtbl.iter (fun _ r -> Atomic.set r 0) table)
 
   let pp_snapshot fmt () =
     List.iter (fun (name, n) -> Format.fprintf fmt "%-40s %d@." name n) (snapshot ())
@@ -30,17 +49,17 @@ end
 
 module Counter = struct
   type t = {
-    mutable v : int;
-    coverage : int ref option;  (** global {!Coverage} cell, when linked *)
+    mutable v : int;  (** instance-private: the owning registry is single-domain *)
+    coverage : int Atomic.t option;  (** global {!Coverage} cell, when linked *)
   }
 
   let incr c =
     c.v <- c.v + 1;
-    match c.coverage with Some r -> Stdlib.incr r | None -> ()
+    match c.coverage with Some r -> Atomic.incr r | None -> ()
 
   let add c n =
     c.v <- c.v + n;
-    match c.coverage with Some r -> r := !r + n | None -> ()
+    match c.coverage with Some r -> ignore (Atomic.fetch_and_add r n) | None -> ()
 
   let value c = c.v
 end
@@ -195,6 +214,43 @@ let reset t =
         h.Histogram.sum <- 0.0)
     t.metrics;
   t.next_seq <- 0
+
+(* Merging feeds [into] directly at the record level, on purpose: a merged
+   counter must NOT re-feed the global Coverage table (the source counter's
+   increments already did at update time — merging is aggregation of what
+   happened, not new happenings). *)
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun key m ->
+      match m, Hashtbl.find_opt into.metrics key with
+      | Counter_m c, None ->
+        Hashtbl.add into.metrics key (Counter_m { Counter.v = c.Counter.v; coverage = None })
+      | Counter_m c, Some (Counter_m d) -> d.Counter.v <- d.Counter.v + c.Counter.v
+      | Gauge_m g, None -> Hashtbl.add into.metrics key (Gauge_m { Gauge.g = g.Gauge.g })
+      | Gauge_m g, Some (Gauge_m d) ->
+        (* adopt: merging registries in seed order leaves the last-merged
+           instance's value, exactly what a sequential aggregation sees *)
+        d.Gauge.g <- g.Gauge.g
+      | Histogram_m h, None ->
+        Hashtbl.add into.metrics key
+          (Histogram_m
+             {
+               Histogram.bounds = Array.copy h.Histogram.bounds;
+               counts = Array.copy h.Histogram.counts;
+               count = h.Histogram.count;
+               sum = h.Histogram.sum;
+             })
+      | Histogram_m h, Some (Histogram_m d) ->
+        if h.Histogram.bounds <> d.Histogram.bounds then
+          invalid_arg
+            (Printf.sprintf "Obs.merge_into: histogram %S bucket bounds differ" (fst key));
+        Array.iteri
+          (fun i n -> d.Histogram.counts.(i) <- d.Histogram.counts.(i) + n)
+          h.Histogram.counts;
+        d.Histogram.count <- d.Histogram.count + h.Histogram.count;
+        d.Histogram.sum <- d.Histogram.sum +. h.Histogram.sum
+      | (Counter_m _ | Gauge_m _ | Histogram_m _), Some _ -> kind_mismatch (fst key))
+    src.metrics
 
 let pp_labels fmt = function
   | [] -> ()

@@ -121,6 +121,22 @@ val counter_value : ?labels:(string * string) list -> t -> string -> int
     counters are left alone; reset those with {!Coverage.reset}. *)
 val reset : t -> unit
 
+(** [merge_into ~into src] folds [src]'s {e metrics} into [into], the
+    aggregation step of a per-domain-registry parallel sweep
+    ([lib/par]): counters add, histograms add element-wise (raises
+    [Invalid_argument] if two histograms of the same name disagree on
+    bucket bounds), gauges adopt [src]'s value — merging registries in
+    ascending seed order therefore leaves exactly the value a sequential
+    run's last update would, and because every histogram observation in
+    this codebase is an integer-valued [float], the float sums stay
+    exact, so merged snapshots are byte-identical to sequential ones.
+    Raises [Invalid_argument] on a metric registered with different
+    kinds in the two registries. Merged counters do {e not} re-feed the
+    global {!Coverage} table (the source's increments already did).
+    Trace rings are per-instance diagnostics and are not merged. [src]
+    is left unchanged. *)
+val merge_into : into:t -> t -> unit
+
 (** One metric per line: [name{labels}  value]. *)
 val pp_snapshot : Format.formatter -> t -> unit
 

@@ -3,7 +3,15 @@
     Every source of randomness in the repository flows through this module so
     that test executions are replayable from a single integer seed, which is
     what makes property-based counterexamples reproducible and minimizable
-    (paper section 4.3 requires deterministic components). *)
+    (paper section 4.3 requires deterministic components).
+
+    {b Seed/determinism contract}: [create seed] yields a stream that is a
+    pure function of [seed] — equal seeds, equal streams, on any machine.
+    The parallel runner ([lib/par]) leans on this: each worker task builds a
+    private generator from its own seed, so sharding a seed range across
+    domains draws exactly the values the sequential loop would. A [t] is a
+    mutable cursor and is {e not} domain-safe — never share one across
+    domains; give each task its own via {!create} or {!split}. *)
 
 type t
 

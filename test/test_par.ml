@@ -1,0 +1,259 @@
+(* Determinism under parallelism: every Par entry point, and everything
+   threaded through it (Harness.run_par, Detect, Chaos), must return
+   byte-identical results for any domain count. These tests run 4 domains
+   on whatever hardware CI has — oversubscription changes only wall clock,
+   never results. *)
+
+let domain_counts = [ 2; 4 ]
+
+(* {2 Par primitives} *)
+
+let test_sweep_matches_sequential () =
+  (* An intentionally non-commutative accumulator: ordered list of indices.
+     Any wrong merge order or lost/duplicated index shows up directly. *)
+  let run domains =
+    List.rev
+      (Par.sweep ~domains ~start:3 ~count:501
+         ~init:(fun () -> [])
+         ~step:(fun acc i -> i :: acc)
+         ~merge:(fun lo hi -> hi @ lo)
+         ())
+  in
+  let expected = run 1 in
+  Alcotest.(check (list int)) "covers the range once, in order" (List.init 501 (fun i -> i + 3)) expected;
+  List.iter
+    (fun d -> Alcotest.(check (list int)) (Printf.sprintf "%d domains" d) expected (run d))
+    domain_counts
+
+let test_sweep_empty_and_bounds () =
+  Alcotest.(check int) "count 0 returns init" 42
+    (Par.sweep ~domains:4 ~start:0 ~count:0
+       ~init:(fun () -> 42)
+       ~step:(fun acc _ -> acc + 1)
+       ~merge:( + ) ());
+  Alcotest.check_raises "negative count rejected"
+    (Invalid_argument "Par: negative count") (fun () ->
+      ignore
+        (Par.sweep ~domains:2 ~start:0 ~count:(-1)
+           ~init:(fun () -> 0)
+           ~step:(fun acc _ -> acc)
+           ~merge:( + ) ()))
+
+let test_sweep_exception_propagates () =
+  List.iter
+    (fun domains ->
+      Alcotest.check_raises "task exception re-raised" (Failure "boom") (fun () ->
+        ignore
+          (Par.sweep ~domains ~start:0 ~count:100
+             ~init:(fun () -> 0)
+             ~step:(fun acc i -> if i = 57 then failwith "boom" else acc + i)
+             ~merge:( + ) ())))
+    (1 :: domain_counts)
+
+let test_search_prefix_matches_sequential () =
+  (* Several hit positions, including none and the very first index. *)
+  List.iter
+    (fun hit ->
+      let task i = (i, i * i) in
+      let stop (i, _) = i = hit in
+      let expected = Par.search ~domains:1 ~start:10 ~count:300 ~stop task in
+      List.iter
+        (fun d ->
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "hit %d, %d domains" hit d)
+            expected
+            (Par.search ~domains:d ~start:10 ~count:300 ~stop task))
+        domain_counts)
+    [ 10; 11; 137; 309; 100_000 (* never *) ]
+
+let test_search_lowest_hit_wins () =
+  (* Two hits: the returned prefix must end at the lower one even though a
+     worker starting in the upper block reaches the higher hit first. *)
+  let stop i = i = 40 || i = 160 in
+  List.iter
+    (fun d ->
+      let prefix = Par.search ~domains:d ~start:0 ~count:200 ~stop (fun i -> i) in
+      Alcotest.(check int) "stops at the lowest hit" 41 (List.length prefix);
+      Alcotest.(check (list int)) "in order" (List.init 41 Fun.id) prefix)
+    (1 :: domain_counts)
+
+(* {2 Harness.run_par} *)
+
+let config = Lfm.Harness.default_config
+let bias = Lfm.Gen.default_bias
+
+let check_sweep_equal msg (a : Lfm.Harness.sweep) (b : Lfm.Harness.sweep) =
+  Alcotest.(check int) (msg ^ ": checked") a.Lfm.Harness.checked b.Lfm.Harness.checked;
+  Alcotest.(check int) (msg ^ ": total_ops") a.Lfm.Harness.total_ops b.Lfm.Harness.total_ops;
+  Alcotest.(check int) (msg ^ ": failures") a.Lfm.Harness.failures b.Lfm.Harness.failures;
+  match a.Lfm.Harness.first_failure, b.Lfm.Harness.first_failure with
+  | None, None -> ()
+  | Some (sa, opsa, fa), Some (sb, opsb, fb) ->
+    Alcotest.(check int) (msg ^ ": failing seed") sa sb;
+    Alcotest.(check string)
+      (msg ^ ": failing ops")
+      (String.concat ";" (List.map (Format.asprintf "%a" Lfm.Op.pp) opsa))
+      (String.concat ";" (List.map (Format.asprintf "%a" Lfm.Op.pp) opsb));
+    Alcotest.(check string)
+      (msg ^ ": failure")
+      (Format.asprintf "%a" Lfm.Harness.pp_failure fa)
+      (Format.asprintf "%a" Lfm.Harness.pp_failure fb)
+  | _ -> Alcotest.fail (msg ^ ": first_failure presence differs")
+
+let test_run_par_clean_sweep () =
+  Faults.disable_all ();
+  let run domains =
+    Lfm.Harness.run_par ~domains config ~profile:Lfm.Gen.Full ~bias ~length:30 ~seed:0
+      ~count:60
+  in
+  let seq = run 1 in
+  Alcotest.(check int) "all seeds checked" 60 seq.Lfm.Harness.checked;
+  Alcotest.(check int) "clean" 0 seq.Lfm.Harness.failures;
+  List.iter
+    (fun d -> check_sweep_equal (Printf.sprintf "%d domains" d) seq (run d))
+    domain_counts
+
+let test_run_par_finds_same_counterexample () =
+  (* With #4 enabled, the hunt must stop at the same lowest failing seed —
+     and the minimized counterexample derived from it must be identical —
+     for every domain count. Seed/budget as in test_experiments, where #4
+     is known to surface. *)
+  Faults.disable_all ();
+  Faults.enable Faults.F4_disk_return_loses_shards;
+  Fun.protect
+    ~finally:(fun () -> Faults.disable Faults.F4_disk_return_loses_shards)
+    (fun () ->
+      let run domains =
+        Lfm.Harness.run_par ~domains ~stop_on_failure:true config ~profile:Lfm.Gen.Crash_free
+          ~bias ~length:60 ~seed:5 ~count:300
+      in
+      let seq = run 1 in
+      Alcotest.(check bool) "found" true (seq.Lfm.Harness.first_failure <> None);
+      let minimized sw =
+        match sw.Lfm.Harness.first_failure with
+        | None -> []
+        | Some (_, ops, _) ->
+          let still_fails ops =
+            match Lfm.Harness.run config ops with
+            | Lfm.Harness.Failed _ -> true
+            | Lfm.Harness.Passed -> false
+          in
+          fst (Lfm.Minimize.minimize ~still_fails ops)
+      in
+      let seq_min = minimized seq in
+      Alcotest.(check bool) "minimized nonempty" true (seq_min <> []);
+      List.iter
+        (fun d ->
+          let par = run d in
+          check_sweep_equal (Printf.sprintf "%d domains" d) seq par;
+          Alcotest.(check (list string))
+            (Printf.sprintf "minimized identical, %d domains" d)
+            (List.map (Format.asprintf "%a" Lfm.Op.pp) seq_min)
+            (List.map (Format.asprintf "%a" Lfm.Op.pp) (minimized par)))
+        domain_counts)
+
+let render_obs obs = Format.asprintf "%a" Obs.pp_snapshot obs
+
+let test_run_par_obs_merge () =
+  Faults.disable_all ();
+  let run domains =
+    let obs = Obs.create ~scope:"sweep" () in
+    let sw =
+      Lfm.Harness.run_par ~obs ~domains config ~profile:Lfm.Gen.Full ~bias ~length:30
+        ~seed:100 ~count:40
+    in
+    (sw, render_obs obs)
+  in
+  let seq, seq_obs = run 1 in
+  Alcotest.(check bool) "metrics aggregated" true (String.length seq_obs > 0);
+  List.iter
+    (fun d ->
+      let par, par_obs = run d in
+      check_sweep_equal (Printf.sprintf "%d domains" d) seq par;
+      Alcotest.(check string)
+        (Printf.sprintf "merged Obs snapshot identical, %d domains" d)
+        seq_obs par_obs)
+    domain_counts
+
+let test_run_par_obs_with_stop_rejected () =
+  Alcotest.(check bool) "Invalid_argument" true
+    (match
+       Lfm.Harness.run_par ~obs:(Obs.create ()) ~stop_on_failure:true config
+         ~profile:Lfm.Gen.Full ~bias ~length:10 ~seed:0 ~count:5
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* {2 Detect and Chaos} *)
+
+let test_detect_domains_identical () =
+  let run domains =
+    Lfm.Detect.detect ~domains ~max_sequences:300 ~minimize:true ~seed:5
+      Faults.F4_disk_return_loses_shards
+  in
+  let seq = run 1 in
+  Alcotest.(check bool) "detects" true seq.Lfm.Detect.found;
+  List.iter
+    (fun d ->
+      let par = run d in
+      Alcotest.(check bool) "found" seq.Lfm.Detect.found par.Lfm.Detect.found;
+      Alcotest.(check int) "sequences" seq.Lfm.Detect.sequences par.Lfm.Detect.sequences;
+      Alcotest.(check int) "total_ops" seq.Lfm.Detect.total_ops par.Lfm.Detect.total_ops;
+      Alcotest.(check (option (list string)))
+        "minimized ops identical"
+        (Option.map (List.map (Format.asprintf "%a" Lfm.Op.pp)) seq.Lfm.Detect.minimized_ops)
+        (Option.map (List.map (Format.asprintf "%a" Lfm.Op.pp)) par.Lfm.Detect.minimized_ops))
+    domain_counts
+
+let test_chaos_domains_identical () =
+  let render (s : Experiments.Chaos.summary) =
+    Printf.sprintf "%d/%d ops %d faults %d retries %d failovers %d rr %d bo %d qa %d pw %d failed %d"
+      s.Experiments.Chaos.clean s.Experiments.Chaos.campaigns s.Experiments.Chaos.total_ops
+      s.Experiments.Chaos.total_faults s.Experiments.Chaos.total_retries
+      s.Experiments.Chaos.total_failovers s.Experiments.Chaos.total_read_repairs
+      s.Experiments.Chaos.total_breaker_opens s.Experiments.Chaos.total_quorum_acks
+      s.Experiments.Chaos.total_partial_writes
+      (List.length s.Experiments.Chaos.failed)
+  in
+  let seq = render (Experiments.Chaos.run ~domains:1 ~campaigns:8 ~length:30 ~seed:0 ()) in
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        (Printf.sprintf "summary identical, %d domains" d)
+        seq
+        (render (Experiments.Chaos.run ~domains:d ~campaigns:8 ~length:30 ~seed:0 ())))
+    domain_counts;
+  let teeth_seq = Experiments.Chaos.check_teeth ~domains:1 ~campaigns:4 ~length:30 ~seed:0 () in
+  Alcotest.(check bool) "teeth" true (teeth_seq > 0);
+  List.iter
+    (fun d ->
+      Alcotest.(check int)
+        (Printf.sprintf "teeth identical, %d domains" d)
+        teeth_seq
+        (Experiments.Chaos.check_teeth ~domains:d ~campaigns:4 ~length:30 ~seed:0 ()))
+    domain_counts
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "sweep = sequential fold" `Quick test_sweep_matches_sequential;
+          Alcotest.test_case "sweep bounds" `Quick test_sweep_empty_and_bounds;
+          Alcotest.test_case "sweep exception" `Quick test_sweep_exception_propagates;
+          Alcotest.test_case "search prefix" `Quick test_search_prefix_matches_sequential;
+          Alcotest.test_case "search lowest hit" `Quick test_search_lowest_hit_wins;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "clean sweep" `Quick test_run_par_clean_sweep;
+          Alcotest.test_case "same counterexample" `Quick test_run_par_finds_same_counterexample;
+          Alcotest.test_case "obs merge" `Quick test_run_par_obs_merge;
+          Alcotest.test_case "obs+stop rejected" `Quick test_run_par_obs_with_stop_rejected;
+        ] );
+      ( "checkers",
+        [
+          Alcotest.test_case "detect identical" `Quick test_detect_domains_identical;
+          Alcotest.test_case "chaos identical" `Quick test_chaos_domains_identical;
+        ] );
+    ]
