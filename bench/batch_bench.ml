@@ -43,25 +43,34 @@ let batches n =
   done;
   List.rev !out
 
+(* Latency histograms for the appended BENCH_batch.json record. The two
+   clock reads per request are paid identically by every arm, so the
+   relative throughput numbers stay honest. *)
+let rec_obs = Obs.create ~scope:"batch-bench" ~trace_capacity:0 ()
+
 (* One arm: write [ops_total] unique shards in batches of [n] (n = 1 uses
    the scalar put path), then make everything durable so each arm pays for
    the same end state. Returns (elapsed seconds, appends, ios issued). *)
-let run_arm ~batch_size:n =
+let run_arm ~lat ~batch_size:n =
   let s = S.create config in
   let work = if n = 1 then [] else batches n in
+  let observe t = Obs.Histogram.observe lat ((Unix.gettimeofday () -. t) *. 1e6) in
   let t0 = Unix.gettimeofday () in
   if n = 1 then
     Array.iteri
       (fun i (key, value) ->
+        let t = Unix.gettimeofday () in
         match S.put s ~key ~value with
-        | Ok _ -> ()
+        | Ok _ -> observe t
         | Error e -> fail_on "put %d: %a" i S.pp_error e)
       ops
   else
     List.iter
       (fun batch ->
+        let t = Unix.gettimeofday () in
         match S.put_batch s batch with
         | Ok { S.results; _ } ->
+          observe t;
           List.iter
             (function Ok _ -> () | Error e -> fail_on "batch op: %a" S.pp_error e)
             results
@@ -77,10 +86,11 @@ let run_arm ~batch_size:n =
   (elapsed, Obs.counter_value obs "iosched.append", Obs.counter_value obs "iosched.io_issued")
 
 let best_of_arm ~batch_size =
+  let lat = Obs.histogram rec_obs (Printf.sprintf "batch%02d.request_us" batch_size) in
   let best = ref infinity in
   let counters = ref (0, 0) in
   for _ = 1 to repeats do
-    let elapsed, appends, ios = run_arm ~batch_size in
+    let elapsed, appends, ios = run_arm ~lat ~batch_size in
     if elapsed < !best then begin
       best := elapsed;
       counters := (appends, ios)
@@ -102,6 +112,26 @@ let () =
         (float_of_int ops_total /. elapsed)
         appends ios (seq_elapsed /. elapsed))
     results;
+  let record =
+    Bench_record.append ~bench:"batch"
+      ~workload:
+        [
+          ("ops", string_of_int ops_total);
+          ("value_bytes", string_of_int value_bytes);
+          ("repeats", string_of_int repeats);
+          ("smoke", string_of_bool smoke);
+        ]
+      ~metrics:
+        (List.concat_map
+           (fun (n, (elapsed, _, _)) ->
+             [
+               (Printf.sprintf "ops_per_sec_b%d" n, float_of_int ops_total /. elapsed);
+               (Printf.sprintf "speedup_b%d" n, seq_elapsed /. elapsed);
+             ])
+           results)
+      ~obs:rec_obs ()
+  in
+  Printf.printf "recorded -> %s\n" record;
   let speedup_16 =
     match List.assoc_opt 16 results with
     | Some (e, _, _) -> seq_elapsed /. e

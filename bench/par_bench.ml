@@ -32,6 +32,35 @@ let () =
   let campaigns = if smoke then 12 else 50 in
   let report = Experiments.Par_scaling.run ~domain_counts ~budget ~campaigns () in
   Experiments.Par_scaling.print report;
+  (* Append a commit-stamped record: per-arm wall clock as a latency
+     histogram, speedups as the headline metrics. *)
+  let rec_obs = Obs.create ~scope:"par-bench" ~trace_capacity:0 () in
+  let arm_metrics prefix rows =
+    List.concat_map
+      (fun r ->
+        let lat = Obs.histogram rec_obs (Printf.sprintf "%s.arm_ms" prefix) in
+        Obs.Histogram.observe lat (r.Experiments.Par_scaling.seconds *. 1e3);
+        [
+          ( Printf.sprintf "%s_speedup_d%d" prefix r.Experiments.Par_scaling.domains,
+            r.Experiments.Par_scaling.speedup );
+        ])
+      rows
+  in
+  let metrics =
+    arm_metrics "fig5" report.Experiments.Par_scaling.fig5
+    @ arm_metrics "chaos" report.Experiments.Par_scaling.chaos
+  in
+  let record =
+    Bench_record.append ~bench:"par"
+      ~workload:
+        [
+          ("domain_counts", String.concat "," (List.map string_of_int domain_counts));
+          ("campaigns", string_of_int campaigns);
+          ("smoke", string_of_bool smoke);
+        ]
+      ~metrics ~obs:rec_obs ()
+  in
+  Printf.printf "recorded -> %s\n" record;
   if not (Experiments.Par_scaling.all_identical report) then begin
     Printf.printf "\nFAIL: results diverged across domain counts\n";
     exit 1

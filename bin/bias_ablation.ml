@@ -2,10 +2,18 @@
 
 open Cmdliner
 
-let run budget trials seed =
+let run domains budget trials seed =
   Experiments.Bias_ablation.print
-    (Experiments.Bias_ablation.run ~max_sequences:budget ~trials ~seed ());
+    (Experiments.Bias_ablation.run ~domains ~max_sequences:budget ~trials ~seed ());
   0
+
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~doc:
+          "Shard each hunt across $(docv) OCaml domains (lib/par). Results are \
+           byte-identical to --domains 1.")
 
 let budget =
   Arg.(value & opt int 4000 & info [ "budget" ] ~doc:"Sequence budget per ablation arm.")
@@ -16,6 +24,6 @@ let seed = Arg.(value & opt int 90000 & info [ "seed" ] ~doc:"Base random seed."
 let cmd =
   Cmd.v
     (Cmd.info "bias_ablation" ~doc:"Reproduce the argument-bias ablation")
-    Term.(const run $ budget $ trials $ seed)
+    Term.(const run $ domains $ budget $ trials $ seed)
 
 let () = exit (Cmd.eval' cmd)

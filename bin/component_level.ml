@@ -2,10 +2,18 @@
 
 open Cmdliner
 
-let run trials budget seed =
+let run domains trials budget seed =
   Experiments.Component_level.print
-    (Experiments.Component_level.run ~trials ~max_sequences:budget ~seed ());
+    (Experiments.Component_level.run ~domains ~trials ~max_sequences:budget ~seed ());
   0
+
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~doc:
+          "Shard each hunt across $(docv) OCaml domains (lib/par). Results are \
+           byte-identical to --domains 1.")
 
 let trials = Arg.(value & opt int 10 & info [ "trials" ] ~doc:"Hunts per fault and level.")
 let budget = Arg.(value & opt int 2000 & info [ "budget" ] ~doc:"Sequence budget per hunt.")
@@ -14,6 +22,6 @@ let seed = Arg.(value & opt int 64000 & info [ "seed" ] ~doc:"Base random seed."
 let cmd =
   Cmd.v
     (Cmd.info "component_level" ~doc:"Reproduce the component-level vs end-to-end comparison")
-    Term.(const run $ trials $ budget $ seed)
+    Term.(const run $ domains $ trials $ budget $ seed)
 
 let () = exit (Cmd.eval' cmd)

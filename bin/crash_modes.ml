@@ -2,10 +2,19 @@
 
 open Cmdliner
 
-let run max_sequences throughput seed =
+let run domains max_sequences throughput seed =
   Experiments.Crash_modes.print
-    (Experiments.Crash_modes.run ~max_sequences ~throughput_sequences:throughput ~seed ());
+    (Experiments.Crash_modes.run ~domains ~max_sequences ~throughput_sequences:throughput
+       ~seed ());
   0
+
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~doc:
+          "Shard each detection hunt across $(docv) OCaml domains (lib/par). Results are \
+           byte-identical to --domains 1.")
 
 let max_sequences =
   Arg.(value & opt int 3000 & info [ "budget" ] ~doc:"Detection budget per fault and mode.")
@@ -18,6 +27,6 @@ let seed = Arg.(value & opt int 1234 & info [ "seed" ] ~doc:"Base random seed.")
 let cmd =
   Cmd.v
     (Cmd.info "crash_modes" ~doc:"Reproduce the coarse vs block-level crash-state comparison")
-    Term.(const run $ max_sequences $ throughput $ seed)
+    Term.(const run $ domains $ max_sequences $ throughput $ seed)
 
 let () = exit (Cmd.eval' cmd)

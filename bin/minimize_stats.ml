@@ -3,10 +3,18 @@
 
 open Cmdliner
 
-let run samples seed =
+let run domains samples seed =
   Experiments.Minimize_stats.print
-    (Experiments.Minimize_stats.run ~samples_per_fault:samples ~seed ());
+    (Experiments.Minimize_stats.run ~domains ~samples_per_fault:samples ~seed ());
   0
+
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~doc:
+          "Shard each detection hunt across $(docv) OCaml domains (lib/par). Results are \
+           byte-identical to --domains 1.")
 
 let samples =
   Arg.(value & opt int 5 & info [ "samples" ] ~doc:"Counterexamples per fault.")
@@ -16,6 +24,6 @@ let seed = Arg.(value & opt int 7000 & info [ "seed" ] ~doc:"Base random seed.")
 let cmd =
   Cmd.v
     (Cmd.info "minimize_stats" ~doc:"Reproduce the test-case minimization statistics")
-    Term.(const run $ samples $ seed)
+    Term.(const run $ domains $ samples $ seed)
 
 let () = exit (Cmd.eval' cmd)

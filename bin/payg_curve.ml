@@ -3,9 +3,17 @@
 
 open Cmdliner
 
-let run trials seed =
-  Experiments.Payg.print (Experiments.Payg.run ~trials ~seed ());
+let run domains trials seed =
+  Experiments.Payg.print (Experiments.Payg.run ~domains ~trials ~seed ());
   0
+
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~doc:
+          "Shard each hunt across $(docv) OCaml domains (lib/par). Results are \
+           byte-identical to --domains 1.")
 
 let trials = Arg.(value & opt int 20 & info [ "trials" ] ~doc:"Independent hunts per fault.")
 let seed = Arg.(value & opt int 52000 & info [ "seed" ] ~doc:"Base random seed.")
@@ -13,6 +21,6 @@ let seed = Arg.(value & opt int 52000 & info [ "seed" ] ~doc:"Base random seed."
 let cmd =
   Cmd.v
     (Cmd.info "payg_curve" ~doc:"Reproduce the pay-as-you-go detection curves")
-    Term.(const run $ trials $ seed)
+    Term.(const run $ domains $ trials $ seed)
 
 let () = exit (Cmd.eval' cmd)

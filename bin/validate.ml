@@ -193,6 +193,52 @@ let chaos_run ~domains ~campaigns ~length ~seed =
   end
   else 1
 
+(* [--shared]: the racing-domain conformance gate for the shared-state
+   store. Four checks, each printing its race-checked access counts as
+   coverage evidence: (1) the rwlock protocol model explored exhaustively
+   under Smc (mutual exclusion, writer preference, no lost wakeups);
+   (2) the sharded hot-path model (per-shard staging, stack lock, cache
+   lifecycle) under the FastTrack race monitor and lock-order analysis —
+   zero findings required; (3) the real Atomic rwlock hammered by racing
+   domains, with its transition trace audited against the protocol spec
+   and the protected-register history checked linearizable; (4) N domains
+   driving one shared store, every per-key history checked linearizable
+   against the sequential register model. *)
+let shared_run ~domains ~shared_ops ~seed =
+  Faults.disable_all ();
+  let n = if domains > 1 then domains else 4 in
+  let failures = ref 0 in
+  let gate name ok =
+    if not ok then begin
+      incr failures;
+      Printf.printf "  %s: FAILED\n" name
+    end
+  in
+  Printf.printf "shared: rwlock protocol model (Smc; two-thread harnesses exhaustive)\n";
+  let model_reports = Conc.Rwlock.Check.model () in
+  List.iter (fun r -> Format.printf "  %a@." Conc.Rwlock.Check.pp_model_report r) model_reports;
+  gate "rwlock model" (Conc.Rwlock.Check.model_ok model_reports);
+  Printf.printf "shared: sharded hot-path model (FastTrack races + lock order)\n";
+  let shared_reports = Conc.Conc_shared.run () in
+  List.iter (fun r -> Format.printf "  %a@." Conc.Conc_shared.pp_report r) shared_reports;
+  gate "hot-path model" (Conc.Conc_shared.ok shared_reports);
+  Printf.printf "shared: real rwlock on %d racing domains (trace audit + linearizability)\n" n;
+  let impl_report = Conc.Rwlock.Check.impl ~domains:n ~seed () in
+  Format.printf "  %a@." Conc.Rwlock.Check.pp_impl_report impl_report;
+  gate "rwlock impl" (Conc.Rwlock.Check.impl_ok impl_report);
+  Printf.printf "shared: %d domains x %d ops against one shared store\n" n shared_ops;
+  let lin_report = Experiments.Shared_lin.run ~domains:n ~ops_per_domain:shared_ops ~seed () in
+  Format.printf "  %a@." Experiments.Shared_lin.pp_report lin_report;
+  gate "store linearizability" (Experiments.Shared_lin.ok lin_report);
+  if !failures = 0 then begin
+    Printf.printf "shared-state conformance clean\n";
+    0
+  end
+  else begin
+    Printf.printf "shared-state conformance: %d gate(s) failed\n" !failures;
+    1
+  end
+
 let run_conformance sequences length seed metrics_out batch_weight domains =
   Faults.disable_all ();
   Util.Coverage.reset ();
@@ -243,8 +289,9 @@ let run_conformance sequences length seed metrics_out batch_weight domains =
   else 1
 
 let run sequences length seed metrics_out sanitize batch_weight chaos campaigns chaos_length
-    domains =
-  if chaos then chaos_run ~domains ~campaigns ~length:chaos_length ~seed
+    domains shared shared_ops =
+  if shared then shared_run ~domains ~shared_ops ~seed
+  else if chaos then chaos_run ~domains ~campaigns ~length:chaos_length ~seed
   else if sanitize then sanitize_run ~seed
   else run_conformance sequences length seed metrics_out batch_weight domains
 
@@ -306,14 +353,32 @@ let domains =
           "Shard the conformance sweep and chaos campaigns across $(docv) OCaml domains \
            (lib/par). Results are merged in seed order and are byte-identical to --domains 1 \
            (only the seqs/s and wall-clock figures change). Does not affect --sanitize, whose \
-           SMC harnesses are single-domain by design."
+           SMC harnesses are single-domain by design. With --shared this is the number of \
+           racing domains (default 4 when left at 1 — a shared-state gate needs contention)."
         ~docv:"N")
+
+let shared =
+  Arg.(
+    value & flag
+    & info [ "shared" ]
+        ~doc:
+          "Run the shared-state conformance gate instead of the sweep: the rwlock protocol \
+           model checked exhaustively under SMC, the sharded hot-path model under the \
+           FastTrack race detector and lock-order analysis, the real Atomic rwlock audited \
+           on racing domains, and N domains driving one shared store with every per-key \
+           history checked linearizable. Exit 1 on any finding.")
+
+let shared_ops =
+  Arg.(
+    value & opt int 64
+    & info [ "shared-ops" ]
+        ~doc:"Operations per racing domain in the --shared store workload.")
 
 let cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Run the pre-deployment conformance checks")
     Term.(
       const run $ sequences $ length $ seed $ metrics_out $ sanitize $ batch_weight $ chaos
-      $ campaigns $ chaos_length $ domains)
+      $ campaigns $ chaos_length $ domains $ shared $ shared_ops)
 
 let () = exit (Cmd.eval' cmd)

@@ -13,6 +13,9 @@ type t = {
   capacity : int;
   write_allocate : bool;
   pages : (int * int, entry) Hashtbl.t;  (* (extent, page index) -> content *)
+  states : (int * int, Conc.Cache_sm.state) Hashtbl.t;  (* absent = Empty *)
+  audit : Conc.Cache_sm.audit;
+  lock : Conc.Rwlock.t;
   obs : Obs.t;
   m : metrics;
   mutable tick : int;
@@ -27,6 +30,9 @@ let create ?(capacity_pages = 64) ?(write_allocate = false) ?obs sched =
     capacity = max 1 capacity_pages;
     write_allocate;
     pages = Hashtbl.create 128;
+    states = Hashtbl.create 128;
+    audit = Conc.Cache_sm.auditor ();
+    lock = Conc.Rwlock.create ();
     obs;
     m =
       {
@@ -41,6 +47,21 @@ let create ?(capacity_pages = 64) ?(write_allocate = false) ?obs sched =
 
 let write_allocate t = t.write_allocate
 let obs t = t.obs
+
+(* Every entry mutation is a SimpleCacheSM edge, audited against
+   Cache_sm.legal. The real cache only visits the Empty/Reading/Clean
+   subset (it is a read cache: writes invalidate instead of dirtying), so
+   Dirty/Writeback never appear here — the Conc_shared model exercises
+   those. States are stored explicitly (absent = Empty) and must be
+   updated under [t.lock] in write mode. *)
+let page_state t key =
+  match Hashtbl.find_opt t.states key with Some s -> s | None -> Conc.Cache_sm.Empty
+
+let transition t key new_s =
+  let old_s = page_state t key in
+  Conc.Cache_sm.record t.audit ~page:(snd key) ~old_s ~new_s;
+  if new_s = Conc.Cache_sm.Empty then Hashtbl.remove t.states key
+  else Hashtbl.replace t.states key new_s
 let sync_resident t = Obs.Gauge.set_int t.m.m_resident (Hashtbl.length t.pages)
 
 let touch t entry =
@@ -59,6 +80,7 @@ let evict_if_needed t =
     match !victim with
     | Some ((extent, page), _) ->
       Hashtbl.remove t.pages (extent, page);
+      transition t (extent, page) Conc.Cache_sm.Empty;
       Obs.Counter.incr t.m.m_evictions;
       if Obs.tracing t.obs then
         Obs.emit t.obs ~layer:"cache" "evict"
@@ -74,9 +96,16 @@ let fetch_page t ~extent ~page =
   let len = min ps (soft - start) in
   if len <= 0 then
     Error (Io_sched.Io (Disk.Out_of_bounds (Printf.sprintf "page %d beyond soft pointer" page)))
-  else
+  else begin
+    (* Claim the entry for the fetch window. A stale short entry (partial
+       page outgrown by appends) leaves the Clean state first. *)
+    if page_state t (extent, page) = Conc.Cache_sm.Clean then
+      transition t (extent, page) Conc.Cache_sm.Empty;
+    transition t (extent, page) Conc.Cache_sm.Reading;
     match Io_sched.read t.sched ~extent ~off:start ~len with
-    | Error _ as e -> e
+    | Error _ as e ->
+      transition t (extent, page) Conc.Cache_sm.Empty;
+      e
     | Ok data ->
       (* Fault #17 (extra, section 8.3): the defect lives on the miss
          path — full pages fetched from disk get their last byte
@@ -93,11 +122,13 @@ let fetch_page t ~extent ~page =
       let entry = { data; last_used = 0 } in
       touch t entry;
       Hashtbl.replace t.pages (extent, page) entry;
+      transition t (extent, page) Conc.Cache_sm.Clean;
       evict_if_needed t;
       sync_resident t;
       Ok data
+  end
 
-let read t ~extent ~off ~len =
+let read_locked t ~extent ~off ~len =
   if len < 0 || off < 0 then Error (Io_sched.Io (Disk.Out_of_bounds "negative offset or length"))
   else if off + len > Io_sched.soft_ptr t.sched ~extent then
     Error
@@ -134,7 +165,7 @@ let read t ~extent ~off ~len =
     go first
   end
 
-let fill t ~extent ~off data =
+let fill_locked t ~extent ~off data =
   if t.write_allocate then begin
     Obs.Counter.incr t.m.m_fills;
     let ps = Io_sched.page_size t.sched in
@@ -151,33 +182,67 @@ let fill t ~extent ~off data =
         let entry = { data; last_used = 0 } in
         touch t entry;
         Hashtbl.replace t.pages (extent, page) entry;
+        (* A replaced entry stays Clean (no self-loop edges); a fresh one
+           fills without an IO window: Empty -> Clean. *)
+        if page_state t (extent, page) <> Conc.Cache_sm.Clean then
+          transition t (extent, page) Conc.Cache_sm.Clean;
         evict_if_needed t
       end
     done;
     sync_resident t
   end
 
-let note_write t ~extent ~off ~len =
+let drop_page t key =
+  if Hashtbl.mem t.pages key then begin
+    Hashtbl.remove t.pages key;
+    transition t key Conc.Cache_sm.Empty
+  end
+
+let note_write_locked t ~extent ~off ~len =
   if len > 0 then begin
     let ps = Io_sched.page_size t.sched in
     for page = off / ps to (off + len - 1) / ps do
-      Hashtbl.remove t.pages (extent, page)
+      drop_page t (extent, page)
     done;
     sync_resident t
   end
 
-let note_reset t ~extent =
+let note_reset_locked t ~extent =
   (* Fault #2: cache was not correctly drained after resetting an extent. *)
   if Faults.enabled Faults.F2_cache_not_drained then Faults.record_fired Faults.F2_cache_not_drained
   else begin
     let stale = Hashtbl.fold (fun (e, p) _ acc -> if e = extent then (e, p) :: acc else acc) t.pages [] in
-    List.iter (Hashtbl.remove t.pages) stale;
+    List.iter (drop_page t) stale;
     sync_resident t
   end
 
-let invalidate_all t =
+let invalidate_all_locked t =
+  Hashtbl.iter (fun key _ -> transition t key Conc.Cache_sm.Empty) t.pages;
   Hashtbl.reset t.pages;
   sync_resident t
+
+(* Public entry points take the cache's rwlock in write mode: even [read]
+   mutates (LRU ticks, miss-path inserts, evictions), which is exactly
+   why a reader-writer split inside the cache would be unsound — the
+   paper's SC-for-race-free argument needs every Hashtbl access inside a
+   critical section. The lock nests inside the store's stack lock
+   (global order: shard < stack < cache) and takes nothing itself, so it
+   cannot participate in a cycle. *)
+let read t ~extent ~off ~len = Conc.Rwlock.with_write t.lock (fun () -> read_locked t ~extent ~off ~len)
+let fill t ~extent ~off data = Conc.Rwlock.with_write t.lock (fun () -> fill_locked t ~extent ~off data)
+
+let note_write t ~extent ~off ~len =
+  Conc.Rwlock.with_write t.lock (fun () -> note_write_locked t ~extent ~off ~len)
+
+let note_reset t ~extent = Conc.Rwlock.with_write t.lock (fun () -> note_reset_locked t ~extent)
+let invalidate_all t = Conc.Rwlock.with_write t.lock (fun () -> invalidate_all_locked t)
+
+(* Lifecycle-audit results (read-locked: the auditor is only written
+   under the write lock). *)
+let transitions_checked t = Conc.Rwlock.with_read t.lock (fun () -> Conc.Cache_sm.checked t.audit)
+
+let transition_violations t =
+  Conc.Rwlock.with_read t.lock (fun () -> Conc.Cache_sm.violations t.audit)
 
 (* A thin view over the registry counters; parity is by construction. *)
 let stats (t : t) =

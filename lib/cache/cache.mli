@@ -7,7 +7,24 @@
     {!note_reset} after staging an extent reset.
 
     Fault site #2: the injected defect skips invalidation on reset, so a
-    recycled extent can serve stale pre-reset pages from the cache. *)
+    recycled extent can serve stale pre-reset pages from the cache.
+
+    {b Concurrency.} The cache is safe to share across domains: every
+    public operation runs under an internal writer-preferring
+    {!Conc.Rwlock}, held in write mode even for {!read} because the read
+    path mutates (LRU ticks, miss-path inserts, evictions). In the
+    store's global lock order the cache lock is innermost
+    (shard < stack < cache) and acquires nothing while held.
+
+    {b Entry lifecycle.} Every per-page mutation is audited against the
+    SimpleCacheSM state machine ({!Conc.Cache_sm}): misses claim the
+    entry ([Empty -> Reading]), publish on success ([Reading -> Clean])
+    or release on failure ([Reading -> Empty]); evictions and
+    invalidations are [Clean -> Empty]; write-allocate fills are
+    [Empty -> Clean]. This cache never dirties entries (writes
+    invalidate), so the [Dirty]/[Writeback] edges are exercised by the
+    {!Conc.Conc_shared} model instead. {!transitions_checked} /
+    {!transition_violations} expose the audit. *)
 
 type t
 
@@ -50,3 +67,13 @@ type stats = { hits : int; misses : int; evictions : int }
 (** A legacy view over the registry counters; always equal to the
     corresponding {!Obs} values. *)
 val stats : t -> stats
+
+(** {2 Lifecycle audit} *)
+
+(** Entry transitions taken (and checked against {!Conc.Cache_sm.legal})
+    since creation — the coverage evidence for {!transition_violations}
+    being empty. *)
+val transitions_checked : t -> int
+
+(** Illegal transitions observed; must be empty. *)
+val transition_violations : t -> Conc.Cache_sm.violation list

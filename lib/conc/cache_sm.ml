@@ -1,0 +1,41 @@
+type state = Empty | Reading | Clean | Dirty | Writeback
+
+let state_name = function
+  | Empty -> "Empty"
+  | Reading -> "Reading"
+  | Clean -> "Clean"
+  | Dirty -> "Dirty"
+  | Writeback -> "Writeback"
+
+let pp_state fmt s = Format.pp_print_string fmt (state_name s)
+
+let legal old_s new_s =
+  match (old_s, new_s) with
+  | Empty, Reading (* miss: claim the entry, fetch outside the lock *)
+  | Reading, Clean (* fetch completed *)
+  | Reading, Empty (* fetch failed / aborted *)
+  | Empty, Clean (* fill without an IO window (write-allocate) *)
+  | Clean, Empty (* eviction / invalidation *)
+  | Clean, Dirty (* buffered write *)
+  | Dirty, Writeback (* flush claims the entry *)
+  | Writeback, Clean (* flush completed *)
+  | Writeback, Dirty (* written again while flushing: still dirty *) ->
+      true
+  | _ -> false
+
+type violation = { page : int; old_s : state; new_s : state }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "illegal cache transition on page %d: %a -> %a" v.page pp_state v.old_s
+    pp_state v.new_s
+
+type audit = { mutable checked : int; mutable violations : violation list }
+
+let auditor () = { checked = 0; violations = [] }
+
+let record a ~page ~old_s ~new_s =
+  a.checked <- a.checked + 1;
+  if not (legal old_s new_s) then a.violations <- { page; old_s; new_s } :: a.violations
+
+let checked a = a.checked
+let violations a = List.rev a.violations

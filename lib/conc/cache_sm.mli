@@ -1,0 +1,44 @@
+(** SimpleCacheSM — the block-cache entry lifecycle as an explicit state
+    machine, in the style of the splinter-runtime cache state machines:
+    the legal per-entry transitions are written down once and every
+    implementation transition is audited against them.
+
+    Two users:
+
+    - the real {!Cache} drives each page entry through the
+      [Empty]/[Reading]/[Clean] subset (it is a read cache with
+      invalidate-on-write, so [Dirty]/[Writeback] never occur there) and
+      audits every transition via {!record};
+    - the {!Conc_shared} Smc model exercises the {e full} machine,
+      including the [Dirty] -> [Writeback] -> [Clean]/[Dirty] flush
+      window, under exhaustive/sampled schedules with the race monitor
+      attached. *)
+
+type state =
+  | Empty  (** no data for this page *)
+  | Reading  (** a miss claimed the entry; the fetch runs outside the lock *)
+  | Clean  (** cached data matches the backing store *)
+  | Dirty  (** buffered write not yet flushed *)
+  | Writeback  (** a flush claimed the entry; the write IO is in flight *)
+
+val state_name : state -> string
+val pp_state : Format.formatter -> state -> unit
+
+(** [legal old_s new_s] — is [old_s -> new_s] an edge of the lifecycle?
+    Self-loops are not legal: a transition must change state. *)
+val legal : state -> state -> bool
+
+type violation = { page : int; old_s : state; new_s : state }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Transition auditor: implementations call {!record} on every state
+    change; gates read {!checked} (coverage evidence) and {!violations}.
+    Not thread-safe on its own — callers record under the lock that
+    already protects the entry. *)
+type audit
+
+val auditor : unit -> audit
+val record : audit -> page:int -> old_s:state -> new_s:state -> unit
+val checked : audit -> int
+val violations : audit -> violation list

@@ -1,0 +1,40 @@
+(** Smc model of the [Store.Shared] hot path — the checked version of the
+    sharded store's race-freedom argument.
+
+    The real shared store keeps per-shard staging tables behind per-shard
+    {!Rwlock}s, the underlying sequential store behind a stack lock, and
+    the block cache behind its own lock with a {!Cache_sm} lifecycle per
+    entry. This module rebuilds exactly that locking discipline over
+    {!Smc} primitives (plain [Cell] accesses protected only by the model
+    rwlocks) and explores it with the FastTrack race monitor and
+    lock-order analysis attached:
+
+    - {e shared/cross} — writers on distinct shards race a reader:
+      isolation, no cross-shard interference;
+    - {e shared/flush} — writer, flusher and reader on one shard: a get
+      holds its shard read lock across the staged probe {e and} the base
+      read, so it is atomic against the flush;
+    - {e shared/cache} — miss-fill with the IO window open ([Reading]),
+      concurrent dirtying and writeback: every entry transition is
+      checked against {!Cache_sm.legal};
+    - {e shared/order} — batch staging (nested shard write locks,
+      ascending) races flushes (shard before stack): the accumulated
+      lock graph must stay acyclic.
+
+    Three-thread harnesses are not exhaustible within a realistic budget
+    (unlike the two-thread {!Rwlock.Check} harnesses), so the gate is:
+    no violation, no lock cycles, and a positive race-checked access
+    count on every harness. *)
+
+type report = { name : string; property : string; outcome : Smc.outcome }
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [run ?budget ()] — explore all four harnesses under
+    [Sanitize.default] with a DFS budget of [budget] schedules each
+    (default 20_000). *)
+val run : ?budget:int -> unit -> report list
+
+(** No violation, no lock cycles, and [sanitize_accesses > 0] for every
+    report. *)
+val ok : report list -> bool

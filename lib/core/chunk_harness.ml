@@ -228,17 +228,17 @@ let run ~seed ~length =
      outcome := Failed { step = List.length !ops - 1; op; message });
   (List.rev !ops, !outcome)
 
-let hunt fault ~max_sequences ~seed =
+let hunt ?(domains = 1) fault ~max_sequences ~seed =
+  (* Toggles are hoisted outside the (possibly parallel) hunt: flipped
+     once before and once after, never from inside a task. *)
   Faults.disable_all ();
   Faults.enable fault;
   Fun.protect
     ~finally:(fun () -> Faults.disable fault)
     (fun () ->
-      let rec go i =
-        if i >= max_sequences then (false, max_sequences)
-        else
-          match run ~seed:(seed + i) ~length:40 with
-          | _, Failed _ -> (true, i + 1)
-          | _, Passed -> go (i + 1)
+      let results =
+        Par.search ~domains ~start:0 ~count:max_sequences ~stop:Fun.id (fun i ->
+            match run ~seed:(seed + i) ~length:40 with _, Failed _ -> true | _, Passed -> false)
       in
-      go 0)
+      if List.exists Fun.id results then (true, List.length results)
+      else (false, max_sequences))

@@ -34,6 +34,9 @@ type outcome = Passed | Failed of failure
     sequence. Deterministic per seed. *)
 val run : seed:int -> length:int -> op list * outcome
 
-(** [hunt fault ~max_sequences ~seed] — enable [fault], run sequences
-    until a check fails. Returns [(found, sequences_run)]. *)
-val hunt : Faults.t -> max_sequences:int -> seed:int -> bool * int
+(** [hunt ?domains fault ~max_sequences ~seed] — enable [fault], run
+    sequences until a check fails. Returns [(found, sequences_run)].
+    [domains > 1] shards the hunt over a {!Par.search} (fault toggles
+    are hoisted outside the parallel section); the result is identical
+    to the sequential hunt for any domain count. *)
+val hunt : ?domains:int -> Faults.t -> max_sequences:int -> seed:int -> bool * int

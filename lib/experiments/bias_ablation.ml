@@ -17,25 +17,24 @@ type report = {
 let config = Lfm.Harness.default_config
 
 (* A detection hunt with an explicit bias (bypassing Detect's per-fault
-   tuning, which is the very thing being ablated). *)
-let hunt ~bias ~profile ~max_sequences ~seed fault =
+   tuning, which is the very thing being ablated). Sharded over a
+   Par.search when [domains > 1] — fault toggles stay hoisted outside
+   the parallel section and the result is seed-for-seed identical. *)
+let hunt ~domains ~bias ~profile ~max_sequences ~seed fault =
   Faults.disable_all ();
   Faults.enable fault;
   Fun.protect
     ~finally:(fun () -> Faults.disable fault)
     (fun () ->
       let config = { config with Lfm.Harness.uuid_bias = bias.Lfm.Gen.uuid_magic } in
-      let rec go i =
-        if i >= max_sequences then (false, max_sequences)
-        else
-          let _, outcome =
-            Lfm.Harness.run_seed config ~profile ~bias ~length:60 ~seed:(seed + i)
-          in
-          match outcome with
-          | Lfm.Harness.Failed _ -> (true, i + 1)
-          | Lfm.Harness.Passed -> go (i + 1)
+      let results =
+        Par.search ~domains ~start:0 ~count:max_sequences ~stop:Fun.id (fun i ->
+            match Lfm.Harness.run_seed config ~profile ~bias ~length:60 ~seed:(seed + i) with
+            | _, Lfm.Harness.Failed _ -> true
+            | _, Lfm.Harness.Passed -> false)
       in
-      go 0)
+      if List.exists Fun.id results then (true, List.length results)
+      else (false, max_sequences))
 
 (* Coverage proxy: how often does a generated Get hit a previously-Put
    key? Without the bias the successful-Get path is barely exercised. *)
@@ -60,13 +59,15 @@ let get_hit_rate bias ~seed =
   done;
   float_of_int !hits /. float_of_int (max 1 !gets)
 
-let run ?(max_sequences = 4_000) ?(trials = 8) ?(seed = 90_000) () =
+let run ?(domains = 1) ?(max_sequences = 4_000) ?(trials = 8) ?(seed = 90_000) () =
   let t0 = Unix.gettimeofday () in
   let mk label bias profile fault =
     let hits = ref [] in
     for trial = 0 to trials - 1 do
       let detected, sequences =
-        hunt ~bias ~profile ~max_sequences ~seed:(seed + (trial * (max_sequences + 1))) fault
+        hunt ~domains ~bias ~profile ~max_sequences
+          ~seed:(seed + (trial * (max_sequences + 1)))
+          fault
       in
       if detected then hits := sequences :: !hits
     done;

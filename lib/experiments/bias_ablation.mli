@@ -23,5 +23,7 @@ type report = {
   seconds : float;
 }
 
-val run : ?max_sequences:int -> ?trials:int -> ?seed:int -> unit -> report
+(** [domains] shards each hunt over that many racing domains via
+    {!Par.search}; the report is seed-for-seed identical to [domains = 1]. *)
+val run : ?domains:int -> ?max_sequences:int -> ?trials:int -> ?seed:int -> unit -> report
 val print : report -> unit

@@ -18,11 +18,12 @@ let median hits =
   | [] -> None
   | l -> Some (List.nth l (List.length l / 2))
 
-let component_row ~trials ~max_sequences ~seed fault =
+let component_row ~domains ~trials ~max_sequences ~seed fault =
   let hits = ref [] in
   for trial = 0 to trials - 1 do
     let found, seqs =
-      Lfm.Chunk_harness.hunt fault ~max_sequences ~seed:(seed + (trial * (max_sequences + 1)))
+      Lfm.Chunk_harness.hunt ~domains fault ~max_sequences
+        ~seed:(seed + (trial * (max_sequences + 1)))
     in
     if found then hits := seqs :: !hits
   done;
@@ -34,11 +35,11 @@ let component_row ~trials ~max_sequences ~seed fault =
     median_sequences = median !hits;
   }
 
-let store_row ~trials ~max_sequences ~seed fault =
+let store_row ~domains ~trials ~max_sequences ~seed fault =
   let hits = ref [] in
   for trial = 0 to trials - 1 do
     let r =
-      Lfm.Detect.detect ~max_sequences ~minimize:false
+      Lfm.Detect.detect ~domains ~max_sequences ~minimize:false
         ~seed:(seed + (trial * (max_sequences + 1)))
         fault
     in
@@ -54,15 +55,15 @@ let store_row ~trials ~max_sequences ~seed fault =
 
 let faults = [ Faults.F1_reclaim_off_by_one; Faults.F5_reclaim_forgets_on_read_error ]
 
-let run ?(trials = 10) ?(max_sequences = 2_000) ?(seed = 64_000) () =
+let run ?(domains = 1) ?(trials = 10) ?(max_sequences = 2_000) ?(seed = 64_000) () =
   let t0 = Unix.gettimeofday () in
   Faults.disable_all ();
   let rows =
     List.concat_map
       (fun fault ->
         [
-          component_row ~trials ~max_sequences ~seed fault;
-          store_row ~trials ~max_sequences ~seed fault;
+          component_row ~domains ~trials ~max_sequences ~seed fault;
+          store_row ~domains ~trials ~max_sequences ~seed fault;
         ])
       faults
   in

@@ -26,5 +26,8 @@ type report = {
   seconds : float;
 }
 
-val run : ?trials:int -> ?max_sequences:int -> ?seed:int -> unit -> report
+(** [domains] shards both the component-level and end-to-end hunts over that
+    many racing domains; the report is seed-for-seed identical to
+    [domains = 1] (throughput measurement stays sequential). *)
+val run : ?domains:int -> ?trials:int -> ?max_sequences:int -> ?seed:int -> unit -> report
 val print : report -> unit

@@ -58,23 +58,26 @@ let sequence ~seed ~length =
     ~extent_count:config.Lfm.Harness.store_config.Store.Default.disk.Disk.extent_count
     ~length
 
-let hunt mode fault ~max_sequences ~seed =
+(* Sharded over a Par.search when [domains > 1]: each task builds its
+   own crash-enumeration accumulator, toggles stay hoisted, and the
+   detection report is identical to the sequential hunt. *)
+let hunt ~domains mode fault ~max_sequences ~seed =
   Faults.disable_all ();
   Faults.enable fault;
   Fun.protect
     ~finally:(fun () -> Faults.disable fault)
     (fun () ->
-      let rec go i =
-        if i >= max_sequences then { fault; mode; detected = false; sequences = i }
-        else begin
-          let acc = ref empty_enum_stats in
-          let ops = transform mode (sequence ~seed:(seed + i) ~length:60) in
-          match Lfm.Harness.run (config_for mode acc) ops with
-          | Lfm.Harness.Failed _ -> { fault; mode; detected = true; sequences = i + 1 }
-          | Lfm.Harness.Passed -> go (i + 1)
-        end
+      let results =
+        Par.search ~domains ~start:0 ~count:max_sequences ~stop:Fun.id (fun i ->
+            let acc = ref empty_enum_stats in
+            let ops = transform mode (sequence ~seed:(seed + i) ~length:60) in
+            match Lfm.Harness.run (config_for mode acc) ops with
+            | Lfm.Harness.Failed _ -> true
+            | Lfm.Harness.Passed -> false)
       in
-      go 0)
+      if List.exists Fun.id results then
+        { fault; mode; detected = true; sequences = List.length results }
+      else { fault; mode; detected = false; sequences = max_sequences })
 
 let throughput mode ~sequences ~seed =
   Faults.disable_all ();
@@ -96,17 +99,17 @@ let default_faults =
     Faults.F9_model_crash_reconcile;
   ]
 
-let run ?(faults = default_faults) ?(max_sequences = 3_000) ?(throughput_sequences = 400)
-    ?(seed = 1234) () =
+let run ?(domains = 1) ?(faults = default_faults) ?(max_sequences = 3_000)
+    ?(throughput_sequences = 400) ?(seed = 1234) () =
   let t0 = Unix.gettimeofday () in
   let detections =
     List.concat_map
       (fun fault ->
         [
-          hunt Coarse fault ~max_sequences ~seed;
-          hunt Block_sampled fault ~max_sequences ~seed;
+          hunt ~domains Coarse fault ~max_sequences ~seed;
+          hunt ~domains Block_sampled fault ~max_sequences ~seed;
           (* exhaustive mode is orders of magnitude slower: cap its budget *)
-          hunt Block_exhaustive fault ~max_sequences:(min 200 max_sequences) ~seed;
+          hunt ~domains Block_exhaustive fault ~max_sequences:(min 200 max_sequences) ~seed;
         ])
       faults
   in

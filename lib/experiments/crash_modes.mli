@@ -34,7 +34,10 @@ type report = {
 }
 
 val run :
-  ?faults:Faults.t list -> ?max_sequences:int -> ?throughput_sequences:int -> ?seed:int ->
-  unit -> report
+  ?domains:int -> ?faults:Faults.t list -> ?max_sequences:int -> ?throughput_sequences:int ->
+  ?seed:int -> unit -> report
+(** [domains] shards each detection hunt over that many racing domains via
+    {!Par.search} (throughput measurement stays sequential); the report is
+    seed-for-seed identical to [domains = 1]. *)
 
 val print : report -> unit

@@ -19,7 +19,7 @@ let default_faults =
     Faults.F9_model_crash_reconcile;
   ]
 
-let run ?(faults = default_faults) ?(samples_per_fault = 5) ?(seed = 7_000) () =
+let run ?(domains = 1) ?(faults = default_faults) ?(samples_per_fault = 5) ?(seed = 7_000) () =
   let t0 = Unix.gettimeofday () in
   let samples = ref [] in
   List.iter
@@ -27,7 +27,7 @@ let run ?(faults = default_faults) ?(samples_per_fault = 5) ?(seed = 7_000) () =
       let collected = ref 0 in
       let s = ref seed in
       while !collected < samples_per_fault && !s < seed + 40_000 do
-        let r = Lfm.Detect.detect ~max_sequences:2_000 ~minimize:true ~seed:!s fault in
+        let r = Lfm.Detect.detect ~domains ~max_sequences:2_000 ~minimize:true ~seed:!s fault in
         (match r.Lfm.Detect.original, r.Lfm.Detect.minimized, r.Lfm.Detect.min_stats with
         | Some original, Some minimized, Some stats when r.Lfm.Detect.found ->
           samples :=

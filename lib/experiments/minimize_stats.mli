@@ -20,5 +20,10 @@ type report = {
   seconds : float;
 }
 
-val run : ?faults:Faults.t list -> ?samples_per_fault:int -> ?seed:int -> unit -> report
+(** [domains] shards each detection hunt over that many racing domains
+    (minimization itself stays sequential); the samples are seed-for-seed
+    identical to [domains = 1]. *)
+val run :
+  ?domains:int -> ?faults:Faults.t list -> ?samples_per_fault:int -> ?seed:int -> unit ->
+  report
 val print : report -> unit

@@ -15,7 +15,7 @@ let default_faults =
   [ Faults.F1_reclaim_off_by_one; Faults.F7_soft_hard_pointer_mismatch;
     Faults.F2_cache_not_drained ]
 
-let run ?(faults = default_faults) ?(trials = 20) ?(max_sequences = 2_000)
+let run ?(domains = 1) ?(faults = default_faults) ?(trials = 20) ?(max_sequences = 2_000)
     ?(budgets = [ 10; 30; 100; 300; 1_000; 2_000 ]) ?(seed = 52_000) () =
   let t0 = Unix.gettimeofday () in
   let curves =
@@ -24,7 +24,7 @@ let run ?(faults = default_faults) ?(trials = 20) ?(max_sequences = 2_000)
         let hits = ref [] in
         for trial = 0 to trials - 1 do
           let r =
-            Lfm.Detect.detect ~max_sequences ~minimize:false
+            Lfm.Detect.detect ~domains ~max_sequences ~minimize:false
               ~seed:(seed + (trial * (max_sequences + 1)))
               fault
           in

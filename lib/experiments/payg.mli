@@ -21,7 +21,9 @@ type report = {
 }
 
 val run :
-  ?faults:Faults.t list -> ?trials:int -> ?max_sequences:int -> ?budgets:int list ->
-  ?seed:int -> unit -> report
+  ?domains:int -> ?faults:Faults.t list -> ?trials:int -> ?max_sequences:int ->
+  ?budgets:int list -> ?seed:int -> unit -> report
+(** [domains] shards each detection hunt over that many racing domains via
+    {!Par.search}; the report is seed-for-seed identical to [domains = 1]. *)
 
 val print : report -> unit

@@ -1,0 +1,158 @@
+type op = Put of string | Get | Delete
+type res = Acked | Got of string option
+
+type key_report = { key : string; events : int; linearizable : bool }
+
+type report = {
+  domains : int;
+  ops_per_domain : int;
+  shards : int;
+  keys : int;
+  flushes : int;  (** mid-run flushes issued by racing domains *)
+  errors : int;
+  events : int;  (** per-key events checked, summed *)
+  max_key_events : int;
+  key_reports : key_report list;  (** keys whose history was non-empty *)
+  final_drain_ok : bool;  (** post-join flush succeeded and staging is empty *)
+  post_drain_consistent : bool;  (** Shared.get = underlying get for every key *)
+}
+
+let pp_report fmt r =
+  let bad = List.filter (fun k -> not k.linearizable) r.key_reports in
+  Format.fprintf fmt
+    "%d domains x %d ops over %d keys (%d shards): %d events (max %d/key), %d flushes, %d \
+     errors; %d/%d keys linearizable; drain %s, post-drain reads %s"
+    r.domains r.ops_per_domain r.keys r.shards r.events r.max_key_events r.flushes r.errors
+    (List.length r.key_reports - List.length bad)
+    (List.length r.key_reports)
+    (if r.final_drain_ok then "ok" else "FAILED")
+    (if r.post_drain_consistent then "consistent" else "INCONSISTENT");
+  List.iter (fun k -> Format.fprintf fmt "@.  NOT linearizable: %s (%d events)" k.key k.events) bad
+
+let ok r =
+  r.errors = 0 && r.events > 0 && r.final_drain_ok && r.post_drain_consistent
+  && List.for_all (fun k -> k.linearizable) r.key_reports
+
+(* The sequential reference model of one key: a register holding
+   [string option]. *)
+let apply s = function
+  | Put v -> (Some v, Acked)
+  | Delete -> (None, Acked)
+  | Get -> (s, Got s)
+
+let run ?(domains = 4) ?(ops_per_domain = 64) ?(shards = 4) ?(seed = 0) () =
+  (* default_config: real geometry with auto maintenance — the workload
+     probes races, not extent exhaustion (test_config's tiny geometry
+     runs out of space under hundreds of racing ops). *)
+  let store = Store.Shared.create ~shards Store.Default.default_config in
+  (* Scale the key universe so expected per-key history stays small:
+     linearizability checking is exponential in events per key. *)
+  let total = domains * ops_per_domain in
+  let keys = max 4 (total / 8) in
+  let key i = Printf.sprintf "k%02d" i in
+  let clock = Atomic.make 0 in
+  let tick () = Atomic.fetch_and_add clock 1 in
+  let worker d =
+    let rng = Util.Rng.of_int ((seed * 7919) + d) in
+    let events = ref [] in
+    let errors = ref 0 in
+    let flushes = ref 0 in
+    let record k op f =
+      let invoked = tick () in
+      let result = f () in
+      let returned = tick () in
+      (match result with
+      | Ok result ->
+        events := (k, { Linearize.thread = d; op; result; invoked; returned }) :: !events
+      | Error _ -> incr errors)
+    in
+    for i = 0 to ops_per_domain - 1 do
+      let k = key (Util.Rng.int rng keys) in
+      let v = Printf.sprintf "d%d-%d" d i in
+      match Util.Rng.int rng 100 with
+      | r when r < 45 ->
+        record k Get (fun () ->
+            Result.map (fun g -> Got g) (Store.Shared.get store ~key:k))
+      | r when r < 72 ->
+        record k (Put v) (fun () ->
+            Result.map (fun () -> Acked) (Store.Shared.put store ~key:k ~value:v))
+      | r when r < 82 ->
+        record k Delete (fun () ->
+            Result.map (fun () -> Acked) (Store.Shared.delete store ~key:k))
+      | r when r < 92 ->
+        (* batch: two keys, one linearization interval each *)
+        let k2 = key (Util.Rng.int rng keys) in
+        let v2 = v ^ "b" in
+        let invoked = tick () in
+        let result = Store.Shared.put_batch store [ (k, v); (k2, v2) ] in
+        let returned = tick () in
+        (match result with
+        | Ok () when k2 = k ->
+          (* both ops land on one key under one lock hold: last wins,
+             observable as a single Put of the final value *)
+          events :=
+            (k, { Linearize.thread = d; op = Put v2; result = Acked; invoked; returned })
+            :: !events
+        | Ok () ->
+          events :=
+            (k2, { Linearize.thread = d; op = Put v2; result = Acked; invoked; returned })
+            :: (k, { Linearize.thread = d; op = Put v; result = Acked; invoked; returned })
+            :: !events
+        | Error _ -> incr errors)
+      | _ -> (
+        incr flushes;
+        match Store.Shared.flush store with Ok _ -> () | Error _ -> incr errors)
+    done;
+    (!events, !errors, !flushes)
+  in
+  let handles = List.init (domains - 1) (fun d -> Domain.spawn (fun () -> worker (d + 1))) in
+  let first = worker 0 in
+  let results = first :: List.map Domain.join handles in
+  let errors = List.fold_left (fun acc (_, e, _) -> acc + e) 0 results in
+  let flushes = List.fold_left (fun acc (_, _, f) -> acc + f) 0 results in
+  (* Post-join: drain staging, then the shared view and the underlying
+     sequential store must agree on every key. *)
+  let final_drain_ok =
+    match Store.Shared.flush store with
+    | Ok _ -> Store.Shared.staged_count store = 0
+    | Error _ -> false
+  in
+  let post_drain_consistent =
+    List.init keys key
+    |> List.for_all (fun k ->
+           match (Store.Shared.get store ~key:k, Store.Default.get (Store.Shared.store store) ~key:k) with
+           | Ok a, Ok b -> a = b
+           | _ -> false)
+  in
+  let by_key = Hashtbl.create keys in
+  List.iter
+    (fun (evs, _, _) ->
+      List.iter
+        (fun (k, ev) ->
+          Hashtbl.replace by_key k (ev :: (Option.value (Hashtbl.find_opt by_key k) ~default:[])))
+        evs)
+    results;
+  let key_reports =
+    Hashtbl.fold
+      (fun k evs acc ->
+        let history = List.sort (fun a b -> compare a.Linearize.invoked b.Linearize.invoked) evs in
+        let linearizable =
+          Option.is_some (Linearize.find ~init:None ~apply ~equal_res:( = ) history)
+        in
+        { key = k; events = List.length history; linearizable } :: acc)
+      by_key []
+    |> List.sort (fun a b -> compare a.key b.key)
+  in
+  {
+    domains;
+    ops_per_domain;
+    shards;
+    keys;
+    flushes;
+    errors;
+    events = List.fold_left (fun acc (k : key_report) -> acc + k.events) 0 key_reports;
+    max_key_events = List.fold_left (fun acc (k : key_report) -> max acc k.events) 0 key_reports;
+    key_reports;
+    final_drain_ok;
+    post_drain_consistent;
+  }

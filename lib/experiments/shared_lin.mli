@@ -1,0 +1,44 @@
+(** Racing-domain linearizability workload over ONE shared store — half
+    of the [validate --shared] conformance gate (the other half is the
+    {!Conc.Conc_shared} model check).
+
+    N real domains issue a seeded mix of put/get/delete/batch/flush
+    against a single {!Store.Shared}, timestamping every operation with
+    a shared atomic clock. After the domains join, each key's history is
+    checked for linearizability against the sequential register model
+    ([string option], {!Linearize.find}); the staging layer is drained
+    and the shared view must agree with the underlying sequential store
+    on every key.
+
+    The key universe is scaled with the op count so per-key histories
+    stay short (linearizability checking is exponential per key), and
+    put values are unique per (domain, op), which both strengthens the
+    check (a stale read cannot masquerade as a fresh one) and prunes the
+    search. *)
+
+type op = Put of string | Get | Delete
+type res = Acked | Got of string option
+
+type key_report = { key : string; events : int; linearizable : bool }
+
+type report = {
+  domains : int;
+  ops_per_domain : int;
+  shards : int;
+  keys : int;
+  flushes : int;  (** mid-run flushes issued by racing domains *)
+  errors : int;
+  events : int;  (** per-key events checked, summed *)
+  max_key_events : int;
+  key_reports : key_report list;  (** keys whose history was non-empty *)
+  final_drain_ok : bool;  (** post-join flush succeeded and staging is empty *)
+  post_drain_consistent : bool;  (** Shared.get = underlying get for every key *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Zero errors, a non-empty event set, every key linearizable, final
+    drain clean, post-drain views consistent. *)
+val ok : report -> bool
+
+val run : ?domains:int -> ?ops_per_domain:int -> ?shards:int -> ?seed:int -> unit -> report

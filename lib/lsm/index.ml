@@ -53,6 +53,11 @@ type t = {
   mutable next_run_id : int;
   mutable flush_promise : Dep.Promise.promise;
   run_contents : (int, Run.t) Hashtbl.t;
+  run_mutex : Mutex.t;
+      (** guards [run_contents]: [load_run] memoizes decoded runs on the
+          read path, so concurrent readers under a shard {e read} lock
+          both reach this table — the one read-path mutation the shared
+          store cannot exclude structurally *)
   mutable reset_seen : bool;
   max_run_payload : int;
 }
@@ -83,6 +88,7 @@ let create ?(max_run_payload = 16 * 1024) ?obs chunks ~metadata_extents =
     next_run_id = 1;
     flush_promise = Dep.Promise.create ();
     run_contents = Hashtbl.create 16;
+    run_mutex = Mutex.create ();
     reset_seen = false;
     max_run_payload;
   }
@@ -114,14 +120,23 @@ let delete t ~key =
 
 let ( let* ) = Result.bind
 
+let memo_run t run_id f =
+  Mutex.lock t.run_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.run_mutex) (fun () ->
+      match Hashtbl.find_opt t.run_contents run_id with Some run -> run | None -> f ())
+
 let load_run t (r : run_ref) =
-  match Hashtbl.find_opt t.run_contents r.run_id with
+  Mutex.lock t.run_mutex;
+  let memo = Hashtbl.find_opt t.run_contents r.run_id in
+  Mutex.unlock t.run_mutex;
+  match memo with
   | Some run -> Ok run
   | None ->
+    (* Decode outside the mutex (chunk IO can be slow); racing decoders
+       of the same run produce identical values, last one memoized. *)
     let* chunk = Result.map_error (fun e -> Chunk e) (Chunk.Chunk_store.get t.chunks r.loc) in
     let* run = Result.map_error (fun e -> Corrupt e) (Run.decode chunk.Chunk.Chunk_format.payload) in
-    Hashtbl.replace t.run_contents r.run_id run;
-    Ok run
+    Ok (memo_run t r.run_id (fun () -> Hashtbl.replace t.run_contents r.run_id run; run))
 
 let find_entry t key =
   match Smap.find_opt key t.memtable with
@@ -230,7 +245,7 @@ let write_run t ~input pairs =
          ~owner:(Chunk.Chunk_format.Index_run run_id) ~payload:(Run.encode run))
   in
   t.runs <- { run_id; loc; dep = run_dep } :: t.runs;
-  Hashtbl.replace t.run_contents run_id run;
+  ignore (memo_run t run_id (fun () -> Hashtbl.replace t.run_contents run_id run; run));
   Obs.Gauge.set_int t.m.m_run_count (run_count t);
   Ok run_dep
 
@@ -373,7 +388,9 @@ let recover t =
   t.memtable <- Smap.empty;
   t.memtable_count <- 0;
   t.flush_promise <- Dep.Promise.create ();
+  Mutex.lock t.run_mutex;
   Hashtbl.reset t.run_contents;
+  Mutex.unlock t.run_mutex;
   t.reset_seen <- false;
   let result =
     match Logroll.recover t.roll with

@@ -48,37 +48,50 @@ module Coverage = struct
 end
 
 module Counter = struct
+  (* Updates come from any domain (the shared store's hot path bumps
+     counters from every worker), so the cell is atomic. *)
   type t = {
-    mutable v : int;  (** instance-private: the owning registry is single-domain *)
+    v : int Atomic.t;
     coverage : int Atomic.t option;  (** global {!Coverage} cell, when linked *)
   }
 
   let incr c =
-    c.v <- c.v + 1;
+    Atomic.incr c.v;
     match c.coverage with Some r -> Atomic.incr r | None -> ()
 
   let add c n =
-    c.v <- c.v + n;
+    ignore (Atomic.fetch_and_add c.v n);
     match c.coverage with Some r -> ignore (Atomic.fetch_and_add r n) | None -> ()
 
-  let value c = c.v
+  let value c = Atomic.get c.v
 end
 
 module Gauge = struct
-  type t = { mutable g : float }
+  (* Plain atomic set/get — last writer wins, no read-modify-write, so no
+     CAS loop (a CAS on a boxed float can spin forever when the compiler
+     reboxes the compare value). *)
+  type t = { g : float Atomic.t }
 
-  let set g v = g.g <- v
-  let set_int g v = g.g <- float_of_int v
-  let value g = g.g
+  let set g v = Atomic.set g.g v
+  let set_int g v = Atomic.set g.g (float_of_int v)
+  let value g = Atomic.get g.g
 end
 
 module Histogram = struct
+  (* A histogram observation touches a bucket, the count and the sum
+     together; a mutex keeps the triple consistent under multi-domain
+     writers (and keeps float sums exact — no lossy racy accumulate). *)
   type t = {
     bounds : float array;  (** inclusive upper bounds, ascending *)
     counts : int array;  (** length [bounds]+1; last is overflow *)
     mutable count : int;
     mutable sum : float;
+    m : Mutex.t;
   }
+
+  let locked h f =
+    Mutex.lock h.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock h.m) f
 
   let observe h v =
     let n = Array.length h.bounds in
@@ -86,16 +99,26 @@ module Histogram = struct
     while !i < n && v > h.bounds.(!i) do
       Stdlib.incr i
     done;
-    h.counts.(!i) <- h.counts.(!i) + 1;
-    h.count <- h.count + 1;
-    h.sum <- h.sum +. v
+    locked h (fun () ->
+        h.counts.(!i) <- h.counts.(!i) + 1;
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v)
 
-  let count h = h.count
-  let sum h = h.sum
+  let count h = locked h (fun () -> h.count)
+  let sum h = locked h (fun () -> h.sum)
 
   let buckets h =
-    List.init (Array.length h.counts) (fun i ->
-        ((if i < Array.length h.bounds then h.bounds.(i) else infinity), h.counts.(i)))
+    locked h (fun () ->
+        List.init (Array.length h.counts) (fun i ->
+            ((if i < Array.length h.bounds then h.bounds.(i) else infinity), h.counts.(i))))
+
+  (* Consistent (count, sum, buckets) triple under one lock acquisition. *)
+  let summary h =
+    locked h (fun () ->
+        ( h.count,
+          h.sum,
+          List.init (Array.length h.counts) (fun i ->
+              ((if i < Array.length h.bounds then h.bounds.(i) else infinity), h.counts.(i))) ))
 end
 
 type metric =
@@ -143,7 +166,12 @@ let counter ?(labels = []) ?(coverage = false) t name =
   | Some (Counter_m c) -> c
   | Some _ -> kind_mismatch name
   | None ->
-    let c = { Counter.v = 0; coverage = (if coverage then Some (Coverage.cell name) else None) } in
+    let c =
+      {
+        Counter.v = Atomic.make 0;
+        coverage = (if coverage then Some (Coverage.cell name) else None);
+      }
+    in
     Hashtbl.add t.metrics (name, labels) (Counter_m c);
     c
 
@@ -153,7 +181,7 @@ let gauge ?(labels = []) t name =
   | Some (Gauge_m g) -> g
   | Some _ -> kind_mismatch name
   | None ->
-    let g = { Gauge.g = 0.0 } in
+    let g = { Gauge.g = Atomic.make 0.0 } in
     Hashtbl.add t.metrics (name, labels) (Gauge_m g);
     g
 
@@ -168,7 +196,13 @@ let histogram ?(labels = []) ?(buckets = default_buckets) t name =
     let bounds = Array.of_list buckets in
     Array.sort compare bounds;
     let h =
-      { Histogram.bounds; counts = Array.make (Array.length bounds + 1) 0; count = 0; sum = 0.0 }
+      {
+        Histogram.bounds;
+        counts = Array.make (Array.length bounds + 1) 0;
+        count = 0;
+        sum = 0.0;
+        m = Mutex.create ();
+      }
     in
     Hashtbl.add t.metrics (name, labels) (Histogram_m h);
     h
@@ -188,7 +222,8 @@ let value_of_metric = function
   | Counter_m c -> Counter_v (Counter.value c)
   | Gauge_m g -> Gauge_v (Gauge.value g)
   | Histogram_m h ->
-    Histogram_v { buckets = Histogram.buckets h; count = Histogram.count h; sum = Histogram.sum h }
+    let count, sum, buckets = Histogram.summary h in
+    Histogram_v { buckets; count; sum }
 
 let snapshot t =
   Hashtbl.fold
@@ -206,12 +241,13 @@ let reset t =
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter_m c -> c.Counter.v <- 0
-      | Gauge_m g -> g.Gauge.g <- 0.0
+      | Counter_m c -> Atomic.set c.Counter.v 0
+      | Gauge_m g -> Atomic.set g.Gauge.g 0.0
       | Histogram_m h ->
-        Array.fill h.Histogram.counts 0 (Array.length h.Histogram.counts) 0;
-        h.Histogram.count <- 0;
-        h.Histogram.sum <- 0.0)
+        Histogram.locked h (fun () ->
+            Array.fill h.Histogram.counts 0 (Array.length h.Histogram.counts) 0;
+            h.Histogram.count <- 0;
+            h.Histogram.sum <- 0.0))
     t.metrics;
   t.next_seq <- 0
 
@@ -224,31 +260,44 @@ let merge_into ~into src =
     (fun key m ->
       match m, Hashtbl.find_opt into.metrics key with
       | Counter_m c, None ->
-        Hashtbl.add into.metrics key (Counter_m { Counter.v = c.Counter.v; coverage = None })
-      | Counter_m c, Some (Counter_m d) -> d.Counter.v <- d.Counter.v + c.Counter.v
-      | Gauge_m g, None -> Hashtbl.add into.metrics key (Gauge_m { Gauge.g = g.Gauge.g })
+        Hashtbl.add into.metrics key
+          (Counter_m { Counter.v = Atomic.make (Counter.value c); coverage = None })
+      | Counter_m c, Some (Counter_m d) ->
+        ignore (Atomic.fetch_and_add d.Counter.v (Counter.value c))
+      | Gauge_m g, None ->
+        Hashtbl.add into.metrics key (Gauge_m { Gauge.g = Atomic.make (Gauge.value g) })
       | Gauge_m g, Some (Gauge_m d) ->
         (* adopt: merging registries in seed order leaves the last-merged
            instance's value, exactly what a sequential aggregation sees *)
-        d.Gauge.g <- g.Gauge.g
+        Atomic.set d.Gauge.g (Gauge.value g)
       | Histogram_m h, None ->
+        (* snapshot [h] under its own lock, then build the copy lock-free:
+           never two histogram locks held at once, so merge cannot deadlock *)
+        let counts, count, sum =
+          Histogram.locked h (fun () ->
+              (Array.copy h.Histogram.counts, h.Histogram.count, h.Histogram.sum))
+        in
         Hashtbl.add into.metrics key
           (Histogram_m
              {
                Histogram.bounds = Array.copy h.Histogram.bounds;
-               counts = Array.copy h.Histogram.counts;
-               count = h.Histogram.count;
-               sum = h.Histogram.sum;
+               counts;
+               count;
+               sum;
+               m = Mutex.create ();
              })
       | Histogram_m h, Some (Histogram_m d) ->
         if h.Histogram.bounds <> d.Histogram.bounds then
           invalid_arg
             (Printf.sprintf "Obs.merge_into: histogram %S bucket bounds differ" (fst key));
-        Array.iteri
-          (fun i n -> d.Histogram.counts.(i) <- d.Histogram.counts.(i) + n)
-          h.Histogram.counts;
-        d.Histogram.count <- d.Histogram.count + h.Histogram.count;
-        d.Histogram.sum <- d.Histogram.sum +. h.Histogram.sum
+        let counts, count, sum =
+          Histogram.locked h (fun () ->
+              (Array.copy h.Histogram.counts, h.Histogram.count, h.Histogram.sum))
+        in
+        Histogram.locked d (fun () ->
+            Array.iteri (fun i n -> d.Histogram.counts.(i) <- d.Histogram.counts.(i) + n) counts;
+            d.Histogram.count <- d.Histogram.count + count;
+            d.Histogram.sum <- d.Histogram.sum +. sum)
       | (Counter_m _ | Gauge_m _ | Histogram_m _), Some _ -> kind_mismatch (fst key))
     src.metrics
 

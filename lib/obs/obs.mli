@@ -35,7 +35,19 @@ type t
 (** {2 Metric handles}
 
     Handles are cheap mutable cells; resolve them once ({!counter},
-    {!gauge}, {!histogram}) and update through them on the hot path. *)
+    {!gauge}, {!histogram}) and update through them on the hot path.
+
+    {b Thread safety.} Handle {e updates} are safe from any number of
+    domains: counters are atomic (increments are never lost), gauges are
+    atomic last-writer-wins sets, and a histogram keeps its
+    bucket/count/sum triple consistent under a mutex. Registration
+    ({!counter}/{!gauge}/{!histogram}) and registry-level operations
+    ({!snapshot}, {!reset}, {!merge_into}) are {e not} synchronized —
+    resolve every handle before spawning domains (the constructor
+    convention already does this) and snapshot after joining them, or
+    from a single coordinator. The trace ring ({!emit}) is single-domain
+    by design; multi-domain components must use a registry with
+    [trace_capacity = 0]. *)
 
 module Counter : sig
   type t

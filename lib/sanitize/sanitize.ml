@@ -160,6 +160,8 @@ module Monitor = struct
     locations : (int, loc_state) Hashtbl.t;
     held : (int, Int_set.t ref) Hashtbl.t;  (** per-thread held mutexes *)
     mutable race : race option;
+    mutable accesses : int;
+    mutable syncs : int;
   }
 
   let create ?lock_order ~mode () =
@@ -173,9 +175,13 @@ module Monitor = struct
       locations = Hashtbl.create 16;
       held = Hashtbl.create 8;
       race = None;
+      accesses = 0;
+      syncs = 0;
     }
 
   let race t = t.race
+  let access_count t = t.accesses
+  let sync_count t = t.syncs
 
   let clock_of t tid =
     match Hashtbl.find_opt t.threads tid with
@@ -277,6 +283,13 @@ module Monitor = struct
     then report t loc ~first:(Int_set.min_elt st.accessors) ~second:tid "lockset"
 
   let on_event t ~tid ev =
+    (* Coverage evidence for "zero findings" gates: how many plain
+       accesses the detector actually checked, and how many sync events it
+       consumed, regardless of mode-specific handling below. *)
+    (match ev with
+    | Read _ | Write _ -> t.accesses <- t.accesses + 1
+    | Rmw _ | Lock_acquire _ | Lock_release _ | Sem_acquire _ | Sem_release _ | Barrier ->
+      t.syncs <- t.syncs + 1);
     (match (t.graph, ev) with
     | Some g, Lock_acquire l ->
       Int_set.iter (fun held -> Lock_order.add_edge g ~held ~acquired:l) !(held_of t tid)

@@ -122,6 +122,14 @@ module Monitor : sig
 
   (** First race detected, if any (sticky). *)
   val race : t -> race option
+
+  (** Coverage evidence for "zero findings" gates: plain accesses checked
+      by this monitor, in any mode. A clean result over zero accesses
+      proves nothing — report the count next to the verdict. *)
+  val access_count : t -> int
+
+  (** Synchronization events consumed (RMW, lock, semaphore, barrier). *)
+  val sync_count : t -> int
 end
 
 (** ASAN-style shadow state over the user-space disk: one lifecycle state

@@ -35,18 +35,26 @@ end
 let minimal pending e =
   List.for_all (fun e' -> e' == e || e'.returned >= e.invoked) pending
 
-let check ~init ~apply ~equal_res history =
-  let rec go state pending =
+let find ~init ~apply ~equal_res history =
+  let rec go state pending acc =
     match pending with
-    | [] -> true
+    | [] -> Some (List.rev acc)
     | _ ->
-      List.exists
-        (fun e ->
-          if not (minimal pending e) then false
-          else begin
-            let state', res = apply state e.op in
-            equal_res res e.result && go state' (List.filter (fun e' -> e' != e) pending)
-          end)
-        pending
+      List.fold_left
+        (fun found e ->
+          match found with
+          | Some _ -> found
+          | None ->
+            if not (minimal pending e) then None
+            else begin
+              let state', res = apply state e.op in
+              if equal_res res e.result then
+                go state' (List.filter (fun e' -> e' != e) pending) (e :: acc)
+              else None
+            end)
+        None pending
   in
-  go init history
+  go init history []
+
+let check ~init ~apply ~equal_res history =
+  Option.is_some (find ~init ~apply ~equal_res history)

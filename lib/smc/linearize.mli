@@ -37,3 +37,17 @@ val check :
   equal_res:('res -> 'res -> bool) ->
   ('op, 'res) event list ->
   bool
+
+(** [find] is {!check} returning the witness: the events in a linearization
+    order (consistent with real-time precedence, results reproduced by the
+    model), or [None] when no linearization exists. Histories may also be
+    built by hand — the {!event} record is public — timestamping with any
+    monotone logical clock (e.g. an [Atomic] counter shared by real
+    domains), which is how the real {!Conc.Rwlock} implementation is
+    cross-checked against its model. *)
+val find :
+  init:'state ->
+  apply:('state -> 'op -> 'state * 'res) ->
+  equal_res:('res -> 'res -> bool) ->
+  ('op, 'res) event list ->
+  ('op, 'res) event list option

@@ -226,6 +226,7 @@ type outcome = {
   exhausted : bool;
   violation : violation option;
   lock_cycles : int list list;
+  sanitize_accesses : int;
 }
 
 let pp_outcome fmt o =
@@ -234,6 +235,8 @@ let pp_outcome fmt o =
     Format.fprintf fmt "no violation in %d schedules (%d steps%s)" o.schedules_run o.total_steps
       (if o.exhausted then ", exhaustive" else "")
   | Some v -> Format.fprintf fmt "%a [%d schedules explored]" pp_violation v o.schedules_run);
+  if o.sanitize_accesses > 0 then
+    Format.fprintf fmt "; %d accesses race-checked" o.sanitize_accesses;
   match o.lock_cycles with
   | [] -> ()
   | cycles ->
@@ -366,32 +369,53 @@ let run_one ?monitor ~choose body =
        with Too_many_steps -> violation := Some (Exception "step budget exhausted (livelock?)"));
       (List.rev !trace, !step, !violation))
 
-(* Per-exploration sanitizer state: a monitor factory (fresh per schedule)
-   and the lock-order graph accumulated across every schedule. *)
+(* Per-exploration sanitizer state: a monitor factory (fresh per schedule),
+   the lock-order graph accumulated across every schedule, and the running
+   total of plain accesses the monitors checked (coverage evidence for
+   "sanitizer clean" gates). *)
 let sanitize_setup sanitize =
   match sanitize with
   | Some cfg when Sanitize.enabled cfg ->
     let graph =
       if cfg.Sanitize.lock_order then Some (Sanitize.Lock_order.create ()) else None
     in
-    let mk () = Some (Sanitize.Monitor.create ?lock_order:graph ~mode:cfg.Sanitize.races ()) in
+    let drained = ref 0 in
+    let last = ref None in
+    let drain () =
+      match !last with
+      | Some m ->
+        drained := !drained + Sanitize.Monitor.access_count m;
+        last := None
+      | None -> ()
+    in
+    let mk () =
+      drain ();
+      let m = Sanitize.Monitor.create ?lock_order:graph ~mode:cfg.Sanitize.races () in
+      last := Some m;
+      Some m
+    in
     let cycles () = match graph with Some g -> Sanitize.Lock_order.cycles g | None -> [] in
-    (mk, cycles)
-  | _ -> ((fun () -> None), fun () -> [])
+    let accesses () =
+      !drained + match !last with Some m -> Sanitize.Monitor.access_count m | None -> 0
+    in
+    (mk, cycles, accesses)
+  | _ -> ((fun () -> None), (fun () -> []), fun () -> 0)
 
-let finish ~schedules_run ~total_steps ~exhausted ~lock_cycles trace steps kind =
+let finish ~schedules_run ~total_steps ~exhausted ~lock_cycles ~sanitize_accesses trace steps
+    kind =
   {
     schedules_run;
     total_steps;
     exhausted;
     violation = Some { kind; schedule = List.map fst trace; steps };
     lock_cycles;
+    sanitize_accesses;
   }
 
 let explore_dfs ?sanitize ~max_schedules body =
   (* Iterative DFS over the schedule tree: re-execute with a forced prefix,
      then advance the deepest branch point with unexplored siblings. *)
-  let mk_monitor, cycles = sanitize_setup sanitize in
+  let mk_monitor, cycles, accesses = sanitize_setup sanitize in
   let prefix = ref [||] in
   let schedules = ref 0 in
   let total_steps = ref 0 in
@@ -408,7 +432,7 @@ let explore_dfs ?sanitize ~max_schedules body =
       result :=
         Some
           (finish ~schedules_run:!schedules ~total_steps:!total_steps ~exhausted:false
-             ~lock_cycles:(cycles ()) trace steps kind)
+             ~lock_cycles:(cycles ()) ~sanitize_accesses:(accesses ()) trace steps kind)
     | None ->
       (* Find the deepest choice with an unexplored sibling. *)
       let arr = Array.of_list trace in
@@ -436,10 +460,11 @@ let explore_dfs ?sanitize ~max_schedules body =
       exhausted = !exhausted;
       violation = None;
       lock_cycles = cycles ();
+      sanitize_accesses = accesses ();
     }
 
 let explore_random ?sanitize ~seed ~schedules body =
-  let mk_monitor, cycles = sanitize_setup sanitize in
+  let mk_monitor, cycles, accesses = sanitize_setup sanitize in
   let rng = Util.Rng.of_int seed in
   let total_steps = ref 0 in
   let result = ref None in
@@ -454,7 +479,7 @@ let explore_random ?sanitize ~seed ~schedules body =
       result :=
         Some
           (finish ~schedules_run:!run ~total_steps:!total_steps ~exhausted:false
-             ~lock_cycles:(cycles ()) trace steps kind)
+             ~lock_cycles:(cycles ()) ~sanitize_accesses:(accesses ()) trace steps kind)
     | None -> ()
   done;
   match !result with
@@ -466,6 +491,7 @@ let explore_random ?sanitize ~seed ~schedules body =
       exhausted = false;
       violation = None;
       lock_cycles = cycles ();
+      sanitize_accesses = accesses ();
     }
 
 (* PCT (Burckhardt et al., ASPLOS 2010): each thread gets a random
@@ -474,7 +500,7 @@ let explore_random ?sanitize ~seed ~schedules body =
    demoted below every other, forcing a context switch. Few random
    decisions per run give the O(1/(n k^(d-1))) bug-finding guarantee. *)
 let explore_pct ?sanitize ~seed ~schedules ~depth body =
-  let mk_monitor, cycles = sanitize_setup sanitize in
+  let mk_monitor, cycles, accesses = sanitize_setup sanitize in
   let rng = Util.Rng.of_int seed in
   let total_steps = ref 0 in
   let result = ref None in
@@ -521,7 +547,7 @@ let explore_pct ?sanitize ~seed ~schedules ~depth body =
       result :=
         Some
           (finish ~schedules_run:!run ~total_steps:!total_steps ~exhausted:false
-             ~lock_cycles:(cycles ()) trace steps kind)
+             ~lock_cycles:(cycles ()) ~sanitize_accesses:(accesses ()) trace steps kind)
     | None -> ()
   done;
   match !result with
@@ -533,6 +559,7 @@ let explore_pct ?sanitize ~seed ~schedules ~depth body =
       exhausted = false;
       violation = None;
       lock_cycles = cycles ();
+      sanitize_accesses = accesses ();
     }
 
 let explore ?sanitize strategy body =
@@ -542,7 +569,7 @@ let explore ?sanitize strategy body =
   | Pct { seed; schedules; depth } -> explore_pct ?sanitize ~seed ~schedules ~depth body
 
 let replay ?sanitize body schedule =
-  let mk_monitor, _cycles = sanitize_setup sanitize in
+  let mk_monitor, _cycles, _accesses = sanitize_setup sanitize in
   let p = Array.of_list schedule in
   let choose ~step ~runnable:(_ : int list) = if step < Array.length p then p.(step) else 0 in
   let _, steps, violation = run_one ?monitor:(mk_monitor ()) ~choose body in

@@ -141,6 +141,11 @@ type outcome = {
           accumulated across {e all} explored schedules (empty unless
           [~sanitize] enables lock-order analysis); reported even when no
           schedule deadlocked *)
+  sanitize_accesses : int;
+      (** plain accesses checked by the race monitors, summed over every
+          explored schedule (0 with sanitizers off). Coverage evidence: a
+          "no races" verdict over zero checked accesses proves nothing, so
+          gates should assert this is positive. *)
 }
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -750,3 +750,177 @@ module Default = Make (struct
 
   let create ?obs chunks ~metadata_extents = Lsm.Index.create ?obs chunks ~metadata_extents
 end)
+
+(* {2 The shared-state entry point} *)
+
+module Shared = struct
+  type error = Default.error
+
+  type metrics = {
+    m_puts : Obs.Counter.t;
+    m_gets : Obs.Counter.t;
+    m_deletes : Obs.Counter.t;
+    m_staged_hits : Obs.Counter.t;
+    m_flushes : Obs.Counter.t;
+    m_drained : Obs.Counter.t;
+  }
+
+  type t = {
+    base : Default.t;
+    staging : string option Conc.Shard_table.t;  (* None = staged tombstone *)
+    stack : Conc.Rwlock.t;  (* guards every [base] access *)
+    obs : Obs.t;
+    m : metrics;
+  }
+
+  let create ?(shards = 8) ?obs cfg =
+    let obs =
+      match obs with
+      | Some o ->
+        (* The trace ring is single-domain; this store is not. *)
+        Obs.set_tracing o false;
+        o
+      | None -> Obs.create ~scope:"shared-store" ()
+    in
+    {
+      base = Default.create ~obs cfg;
+      staging = Conc.Shard_table.create ~shards ();
+      stack = Conc.Rwlock.create ();
+      obs;
+      m =
+        {
+          m_puts = Obs.counter obs "shared.put";
+          m_gets = Obs.counter obs "shared.get";
+          m_deletes = Obs.counter obs "shared.delete";
+          m_staged_hits = Obs.counter ~coverage:true obs "shared.get.staged";
+          m_flushes = Obs.counter obs "shared.flush";
+          m_drained = Obs.counter obs "shared.flush.drained";
+        };
+    }
+
+  let obs t = t.obs
+  let store t = t.base
+  let shards t = Conc.Shard_table.shards t.staging
+  let staged_count t = Conc.Shard_table.size t.staging
+
+  (* Staging under the shard write lock is the linearization point of a
+     mutation: once the lock is released the new value is visible to
+     every get of the key, whether or not it has been flushed down. *)
+  let put t ~key ~value =
+    Obs.Counter.incr t.m.m_puts;
+    Conc.Shard_table.with_key_write t.staging key (fun tbl ->
+        Hashtbl.replace tbl key (Some value));
+    Ok ()
+
+  let delete t ~key =
+    Obs.Counter.incr t.m.m_deletes;
+    Conc.Shard_table.with_key_write t.staging key (fun tbl -> Hashtbl.replace tbl key None);
+    Ok ()
+
+  (* The shard read lock is held across BOTH the staged probe and the
+     base read: a flush of this shard cannot slide in between, so a get
+     observes either (staged value) or (post-flush base value), never
+     the window where the key is in neither place. *)
+  let get t ~key =
+    Obs.Counter.incr t.m.m_gets;
+    Conc.Shard_table.with_key_read t.staging key (fun tbl ->
+        match Hashtbl.find_opt tbl key with
+        | Some v ->
+          Obs.Counter.incr t.m.m_staged_hits;
+          Ok v
+        | None -> Conc.Rwlock.with_read t.stack (fun () -> Default.get t.base ~key))
+
+  (* Batch staging: per-shard groups, each staged under one shard write
+     lock acquisition, shards visited in ascending index order (the
+     global lock order). Within a shard the original op order is kept,
+     so a later op on the same key wins, as in the sequential loop. *)
+  let put_batch t ops =
+    Obs.Counter.incr t.m.m_puts;
+    let by_shard = Array.make (shards t) [] in
+    List.iter
+      (fun (k, v) ->
+        let i = Conc.Shard_table.shard_of t.staging k in
+        by_shard.(i) <- (k, v) :: by_shard.(i))
+      ops;
+    Array.iteri
+      (fun i group ->
+        if group <> [] then
+          Conc.Shard_table.with_shard_write t.staging i (fun tbl ->
+              List.iter (fun (k, v) -> Hashtbl.replace tbl k (Some v)) (List.rev group)))
+      by_shard;
+    Ok ()
+
+  let first_batch_error (r : Default.batch_result) =
+    List.find_map (function Error e -> Some e | Ok _ -> None) r.Default.results
+
+  (* Drain one shard into the base store while holding BOTH the shard
+     write lock and the stack write lock: gets of these keys block until
+     the values are queryable below, keeping the ack visible. *)
+  let flush_shard_exn t i =
+    Conc.Shard_table.with_shard_write t.staging i (fun tbl ->
+        Conc.Rwlock.with_write t.stack (fun () ->
+            let puts = Hashtbl.fold (fun k v acc ->
+                match v with Some v -> (k, v) :: acc | None -> acc) tbl []
+            in
+            let dels = Hashtbl.fold (fun k v acc ->
+                match v with None -> k :: acc | Some _ -> acc) tbl []
+            in
+            let check = function
+              | Error e -> Error e
+              | Ok r -> (match first_batch_error r with Some e -> Error e | None -> Ok ())
+            in
+            let apply () =
+              let drained = Hashtbl.length tbl in
+              let ( let* ) = Result.bind in
+              let* () = if puts = [] then Ok () else check (Default.put_batch t.base puts) in
+              let* () =
+                if dels = [] then Ok () else check (Default.delete_batch t.base dels)
+              in
+              Ok drained
+            in
+            match apply () with
+            | Ok drained ->
+              Hashtbl.reset tbl;
+              Obs.Counter.add t.m.m_drained drained;
+              Ok drained
+            | Error e -> Error e))
+
+  (* Flush every shard, ascending. On an error the failing shard (and
+     the ones after it) keep their staged entries — acked mutations are
+     never dropped, they stay visible from staging. *)
+  let flush t =
+    Obs.Counter.incr t.m.m_flushes;
+    let rec go i drained =
+      if i >= shards t then Ok drained
+      else
+        match flush_shard_exn t i with
+        | Ok n -> go (i + 1) (drained + n)
+        | Error e -> Error e
+    in
+    go 0 0
+
+  (* Staged overlay on top of the base listing. All shard read locks are
+     held (ascending) around the stack read, so the overlay and the base
+     snapshot are mutually consistent. *)
+  let list t =
+    Conc.Shard_table.with_all_read t.staging (fun tables ->
+        Conc.Rwlock.with_read t.stack (fun () ->
+            match Default.list t.base with
+            | Error _ as e -> e
+            | Ok base_keys ->
+              let adds, tombs =
+                Array.fold_left
+                  (fun (adds, tombs) tbl ->
+                    Hashtbl.fold
+                      (fun k v (adds, tombs) ->
+                        match v with
+                        | Some _ -> (k :: adds, tombs)
+                        | None -> (adds, k :: tombs))
+                      tbl (adds, tombs))
+                  ([], []) tables
+              in
+              let live =
+                List.filter (fun k -> not (List.mem k adds || List.mem k tombs)) base_keys
+              in
+              Ok (List.sort_uniq compare (adds @ live))))
+end

@@ -165,3 +165,70 @@ module Make (Index : Store_intf.INDEX) : S with type index_error = Index.error
 
 (** The production wiring: the real LSM-tree index. *)
 module Default : S with type index_error = Lsm.Index.error
+
+(** Shared-state entry point: ONE {!Default} store driven by N racing
+    domains.
+
+    Mutations stage into a hash-sharded table ({!Conc.Shard_table}, one
+    writer-preferring {!Conc.Rwlock} per shard); a flush drains a shard
+    into the underlying store while holding that shard's write lock and
+    the {e stack lock} (a single rwlock serializing every access to the
+    sequential store below). The global lock order is
+
+    {v shard locks (ascending index) < stack lock < cache lock v}
+
+    and every code path acquires along it, so deadlock is impossible by
+    construction — {!Conc.Conc_shared} is the model-checked version of
+    this argument, and the racing-domain conformance gate
+    ([validate --shared]) checks per-key linearizability of real runs.
+
+    Linearization points: a mutation is its staging store under the
+    shard write lock; a get holds its shard {e read} lock across both
+    the staged probe and the underlying read, so it cannot observe the
+    flush window where a key is in neither place.
+
+    Domains may call {!put}/{!get}/{!delete}/{!put_batch}/{!flush}/
+    {!list} concurrently. Maintenance, crash/recovery and control-plane
+    operations are deliberately not re-exported: run them through
+    {!store} after the racing domains have joined. *)
+module Shared : sig
+  type t
+  type error = Default.error
+
+  (** [create ?shards ?obs cfg] — a fresh underlying store plus
+      [shards] staging shards (default 8). Tracing on [obs] is forcibly
+      disabled: the trace ring is single-domain. *)
+  val create : ?shards:int -> ?obs:Obs.t -> Default.config -> t
+
+  val obs : t -> Obs.t
+
+  (** The underlying sequential store. Only safe to use directly once
+      no other domain is operating on [t]. *)
+  val store : t -> Default.t
+
+  val shards : t -> int
+
+  (** Staged (unflushed) entries across all shards. *)
+  val staged_count : t -> int
+
+  val put : t -> key:string -> value:string -> (unit, error) result
+  val get : t -> key:string -> (string option, error) result
+  val delete : t -> key:string -> (unit, error) result
+
+  (** Batch staging: per-shard groups staged under one lock acquisition
+      each, shards visited in ascending (lock) order; within a shard the
+      batch's op order is preserved. *)
+  val put_batch : t -> (string * string) list -> (unit, error) result
+
+  (** Drain all staged entries into the underlying store (group commit
+      via [Default.put_batch]/[delete_batch]), shard by shard in lock
+      order. Returns the number of entries drained. On error, staged
+      entries of the failing and subsequent shards remain staged — an
+      acked mutation is never dropped. *)
+  val flush : t -> (int, error) result
+
+  (** Staged overlay (puts added, tombstones removed) over the
+      underlying listing, both captured under one consistent set of
+      locks. *)
+  val list : t -> (string list, error) result
+end

@@ -175,6 +175,29 @@ let test_coverage_counters () =
   Alcotest.(check (list string)) "blind spot listing" [ "cache.eviction" ]
     (Util.Coverage.blind_spots ~expected:[ "cache.hit"; "cache.miss"; "cache.eviction" ] ())
 
+(* Every page entry moves through the Empty/Reading/Clean lifecycle and
+   each observed transition is audited against Conc.Cache_sm.legal. A
+   workload covering miss-fill, eviction, invalidation and the write path
+   must leave a positive checked count and zero violations. *)
+let test_lifecycle_audit_clean () =
+  Faults.disable_all ();
+  let _, sched, cache = make ~capacity_pages:2 () in
+  append sched ~extent:0 (String.make 64 'a');
+  append sched ~extent:1 (String.make 32 'b');
+  ignore (ok (Cache.read cache ~extent:0 ~off:0 ~len:16));
+  ignore (ok (Cache.read cache ~extent:0 ~off:0 ~len:16));
+  (* touch enough distinct pages to force LRU eviction (capacity 2) *)
+  ignore (ok (Cache.read cache ~extent:0 ~off:16 ~len:16));
+  ignore (ok (Cache.read cache ~extent:0 ~off:32 ~len:16));
+  ignore (ok (Cache.read cache ~extent:1 ~off:0 ~len:16));
+  append sched ~extent:1 "xx";
+  Cache.note_write cache ~extent:1 ~off:32 ~len:2;
+  Cache.invalidate_all cache;
+  ignore (ok (Cache.read cache ~extent:0 ~off:0 ~len:16));
+  Alcotest.(check bool) "transitions audited" true (Cache.transitions_checked cache > 0);
+  Alcotest.(check int) "no illegal transitions" 0
+    (List.length (Cache.transition_violations cache))
+
 let () =
   Faults.disable_all ();
   Faults.reset_counters ();
@@ -193,6 +216,7 @@ let () =
           Alcotest.test_case "fill no-op without write allocate" `Quick
             test_fill_noop_without_write_allocate;
           Alcotest.test_case "coverage counters" `Quick test_coverage_counters;
+          Alcotest.test_case "lifecycle audit clean" `Quick test_lifecycle_audit_clean;
         ] );
       ( "faults",
         [

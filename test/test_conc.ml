@@ -140,6 +140,117 @@ let test_conc_index_linearizable () =
   expect_clean "linearizable under reclamation"
     (Smc.explore (Smc.Random_walk { seed = 11; schedules = 5_000 }) body)
 
+(* {2 The validated reader-writer lock} *)
+
+let test_rwlock_spec () =
+  let open Conc.Rwlock.Spec in
+  Alcotest.(check bool) "initial ok" true (invariant initial);
+  (match step initial Reader_enter with
+  | Some s -> Alcotest.(check int) "one reader" 1 s.readers
+  | None -> Alcotest.fail "reader blocked on a free lock");
+  (* writer preference: a pending writer blocks reader admission *)
+  (match step initial Writer_declare with
+  | None -> Alcotest.fail "declare blocked"
+  | Some pending -> (
+    Alcotest.(check (option reject)) "reader blocked while pending" None
+      (step pending Reader_enter);
+    match step pending Writer_enter with
+    | None -> Alcotest.fail "writer blocked with no readers"
+    | Some w ->
+      Alcotest.(check bool) "writer inside" true w.writer;
+      (* classify recovers the labels of both edges *)
+      Alcotest.(check bool) "classify declare" true
+        (classify ~old_s:initial ~new_s:pending = Some Writer_declare);
+      Alcotest.(check bool) "classify enter" true
+        (classify ~old_s:pending ~new_s:w = Some Writer_enter);
+      Alcotest.(check (option reject)) "no self-loop label" None
+        (classify ~old_s:w ~new_s:w)))
+
+let test_rwlock_model () =
+  let reports = Conc.Rwlock.Check.model () in
+  Alcotest.(check bool) "all harnesses" true (List.length reports >= 5);
+  List.iter (fun r -> expect_clean r.Conc.Rwlock.Check.name r.Conc.Rwlock.Check.outcome) reports;
+  Alcotest.(check bool) "model_ok" true (Conc.Rwlock.Check.model_ok reports)
+
+let test_rwlock_impl () =
+  let r = Conc.Rwlock.Check.impl ~domains:4 ~ops_per_domain:4 ~seed:5 () in
+  Alcotest.(check bool) "transitions taken" true (r.Conc.Rwlock.Check.transitions > 0);
+  Alcotest.(check int) "no illegal edges" 0 (List.length r.Conc.Rwlock.Check.trace_violations);
+  Alcotest.(check bool) "linearizable" true r.Conc.Rwlock.Check.linearizable;
+  Alcotest.(check bool) "impl_ok" true (Conc.Rwlock.Check.impl_ok r)
+
+let test_rwlock_sequential () =
+  let l = Conc.Rwlock.create () in
+  Alcotest.(check int) "free" 0 (Conc.Rwlock.state l).Conc.Rwlock.Spec.readers;
+  Conc.Rwlock.with_read l (fun () ->
+      Alcotest.(check int) "reader counted" 1 (Conc.Rwlock.state l).Conc.Rwlock.Spec.readers);
+  let v =
+    Conc.Rwlock.with_write l (fun () ->
+        Alcotest.(check bool) "writer flagged" true
+          (Conc.Rwlock.state l).Conc.Rwlock.Spec.writer;
+        42)
+  in
+  Alcotest.(check int) "result threaded" 42 v;
+  Alcotest.(check bool) "released" false (Conc.Rwlock.state l).Conc.Rwlock.Spec.writer
+
+(* {2 Sharded table and cache lifecycle} *)
+
+let test_shard_table () =
+  let t = Conc.Shard_table.create ~shards:4 () in
+  Alcotest.(check int) "shards" 4 (Conc.Shard_table.shards t);
+  let keys = List.init 32 (Printf.sprintf "key-%d") in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "shard in range" true
+        (let s = Conc.Shard_table.shard_of t k in
+         s >= 0 && s < 4);
+      Conc.Shard_table.with_key_write t k (fun tbl -> Hashtbl.replace tbl k (String.length k)))
+    keys;
+  Alcotest.(check int) "size" 32 (Conc.Shard_table.size t);
+  List.iter
+    (fun k ->
+      Alcotest.(check (option int))
+        "read back" (Some (String.length k))
+        (Conc.Shard_table.with_key_read t k (fun tbl -> Hashtbl.find_opt tbl k)))
+    keys;
+  Conc.Shard_table.with_all_write t (fun tables -> Array.iter Hashtbl.reset tables);
+  Alcotest.(check int) "cleared" 0 (Conc.Shard_table.size t);
+  match Conc.Shard_table.create ~shards:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shards:0 accepted"
+
+let test_cache_sm () =
+  let open Conc.Cache_sm in
+  Alcotest.(check bool) "miss claims" true (legal Empty Reading);
+  Alcotest.(check bool) "fill completes" true (legal Reading Clean);
+  Alcotest.(check bool) "flush window" true (legal Dirty Writeback && legal Writeback Clean);
+  Alcotest.(check bool) "no self-loop" false (legal Clean Clean);
+  Alcotest.(check bool) "no skip to writeback" false (legal Clean Writeback);
+  let a = auditor () in
+  record a ~page:1 ~old_s:Empty ~new_s:Reading;
+  record a ~page:1 ~old_s:Reading ~new_s:Clean;
+  Alcotest.(check int) "checked" 2 (checked a);
+  Alcotest.(check int) "clean so far" 0 (List.length (violations a));
+  record a ~page:2 ~old_s:Empty ~new_s:Writeback;
+  match violations a with
+  | [ v ] ->
+    Alcotest.(check int) "violating page" 2 v.page;
+    Alcotest.(check int) "still counted" 3 (checked a)
+  | l -> Alcotest.failf "expected one violation, got %d" (List.length l)
+
+let test_conc_shared_model () =
+  let reports = Conc.Conc_shared.run ~budget:4_000 () in
+  Alcotest.(check int) "four harnesses" 4 (List.length reports);
+  List.iter (fun r -> expect_clean r.Conc.Conc_shared.name r.Conc.Conc_shared.outcome) reports;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Conc.Conc_shared.name ^ " race-checked")
+        true
+        (r.Conc.Conc_shared.outcome.Smc.sanitize_accesses > 0))
+    reports;
+  Alcotest.(check bool) "ok" true (Conc.Conc_shared.ok reports)
+
 let () =
   Faults.disable_all ();
   Faults.reset_counters ();
@@ -164,4 +275,17 @@ let () =
         ] );
       ( "linearizability",
         [ Alcotest.test_case "index linearizable" `Quick test_conc_index_linearizable ] );
+      ( "rwlock",
+        [
+          Alcotest.test_case "spec steps and classify" `Quick test_rwlock_spec;
+          Alcotest.test_case "sequential smoke" `Quick test_rwlock_sequential;
+          Alcotest.test_case "model suite exhaustive" `Slow test_rwlock_model;
+          Alcotest.test_case "impl on real domains" `Quick test_rwlock_impl;
+        ] );
+      ( "shared",
+        [
+          Alcotest.test_case "shard table" `Quick test_shard_table;
+          Alcotest.test_case "cache lifecycle auditor" `Quick test_cache_sm;
+          Alcotest.test_case "shared-store model clean" `Slow test_conc_shared_model;
+        ] );
     ]

@@ -228,6 +228,93 @@ let test_store_registries_are_private () =
   Alcotest.(check int) "a counted" 1 (Obs.counter_value (S.obs a) "store.put");
   Alcotest.(check int) "b clean" 0 (Obs.counter_value (S.obs b) "store.put")
 
+(* {2 Multi-domain handle updates and registry merging}
+
+   The thread-safety contract (obs.mli): handle updates are safe from any
+   set of domains; registration and merge_into are driver-side operations
+   performed while no workers run. *)
+
+let test_counter_atomic_across_domains () =
+  let obs = Obs.create ~trace_capacity:0 () in
+  let c = Obs.counter obs "hits" in
+  let writers = 4 and per_writer = 25_000 in
+  let worker () =
+    for _ = 1 to per_writer do
+      Obs.Counter.incr c
+    done
+  in
+  let ds = List.init (writers - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join ds;
+  (* no lost updates: a plain int would drop increments here *)
+  Alcotest.(check int) "exact total" (writers * per_writer) (Obs.Counter.value c)
+
+let test_merge_counters_from_domain_registries () =
+  (* the lib/par pattern: one registry per worker domain, merged in seed
+     order after the joins *)
+  let workers = 3 and per_worker = 10_000 in
+  let regs = List.init workers (fun _ -> Obs.create ~trace_capacity:0 ()) in
+  let ds =
+    List.map
+      (fun obs ->
+        Domain.spawn (fun () ->
+            let c = Obs.counter obs "work" in
+            for _ = 1 to per_worker do
+              Obs.Counter.incr c
+            done))
+      regs
+  in
+  List.iter Domain.join ds;
+  let into = Obs.create ~trace_capacity:0 () in
+  Obs.Counter.add (Obs.counter into "work") 7;
+  List.iter (fun src -> Obs.merge_into ~into src) regs;
+  Alcotest.(check int) "sum of all domains" (7 + (workers * per_worker))
+    (Obs.counter_value into "work")
+
+let test_merge_gauge_adopts_last () =
+  let into = Obs.create () in
+  Obs.Gauge.set (Obs.gauge into "depth") 1.0;
+  let a = Obs.create () and b = Obs.create () in
+  Obs.Gauge.set (Obs.gauge a "depth") 2.0;
+  Obs.Gauge.set (Obs.gauge b "depth") 3.0;
+  Obs.merge_into ~into a;
+  Obs.merge_into ~into b;
+  (* last-merged wins, as a sequential aggregation's final set would *)
+  Alcotest.(check (float 0.0)) "adopted" 3.0 (Obs.Gauge.value (Obs.gauge into "depth"))
+
+let test_merge_histogram_bound_mismatch () =
+  let into = Obs.create () in
+  ignore (Obs.histogram ~buckets:[ 1.0; 10.0 ] into "lat");
+  let src = Obs.create () in
+  Obs.Histogram.observe (Obs.histogram ~buckets:[ 1.0; 100.0 ] src "lat") 5.0;
+  Alcotest.check_raises "bounds differ"
+    (Invalid_argument "Obs.merge_into: histogram \"lat\" bucket bounds differ") (fun () ->
+      Obs.merge_into ~into src)
+
+let test_merge_histograms_from_domains () =
+  let mk () = Obs.create ~trace_capacity:0 () in
+  let regs = List.init 3 (fun _ -> mk ()) in
+  let ds =
+    List.mapi
+      (fun i obs ->
+        Domain.spawn (fun () ->
+            let h = Obs.histogram obs "lat" in
+            for j = 1 to 100 do
+              Obs.Histogram.observe h (float_of_int ((i * 100) + j))
+            done))
+      regs
+  in
+  List.iter Domain.join ds;
+  let into = mk () in
+  List.iter (fun src -> Obs.merge_into ~into src) regs;
+  match Obs.find into "lat" with
+  | Some (Obs.Histogram_v { count; sum; buckets }) ->
+    Alcotest.(check int) "count" 300 count;
+    (* sum of 1..300 *)
+    Alcotest.(check (float 0.001)) "sum" 45_150.0 sum;
+    Alcotest.(check int) "bucket mass" 300 (List.fold_left (fun a (_, n) -> a + n) 0 buckets)
+  | _ -> Alcotest.fail "histogram missing after merge"
+
 (* {2 Coverage facade and the blind-spot gate} *)
 
 let test_coverage_facade () =
@@ -354,6 +441,18 @@ let () =
         [
           Alcotest.test_case "one registry, all layers" `Quick test_store_unifies_layers;
           Alcotest.test_case "per-store registries" `Quick test_store_registries_are_private;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "counter atomic across domains" `Quick
+            test_counter_atomic_across_domains;
+          Alcotest.test_case "merge per-domain counters" `Quick
+            test_merge_counters_from_domain_registries;
+          Alcotest.test_case "gauge adopts last" `Quick test_merge_gauge_adopts_last;
+          Alcotest.test_case "histogram bound mismatch" `Quick
+            test_merge_histogram_bound_mismatch;
+          Alcotest.test_case "merge per-domain histograms" `Quick
+            test_merge_histograms_from_domains;
         ] );
       ( "coverage",
         [

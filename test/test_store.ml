@@ -381,6 +381,111 @@ let prop_clean_reboot_equivalence =
               | Error _ -> false)
             keys))
 
+(* {2 The shared-state store} *)
+
+module Sh = Store.Shared
+
+let sh_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "shared store error: %a" S.pp_error e
+
+(* Single domain, mixed staged/drained state: every observation through
+   Shared must equal what the same op sequence produces on a plain
+   Default store. *)
+let test_shared_matches_default_single_domain () =
+  Faults.disable_all ();
+  let sh = Sh.create ~shards:4 S.default_config in
+  let ref_s = S.create S.default_config in
+  let keys = [| "a"; "b"; "c"; "d"; "e" |] in
+  let rng = Rng.create 99L in
+  for i = 0 to 199 do
+    let key = Rng.pick rng keys in
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 -> (
+      let value = Printf.sprintf "v%d" i in
+      sh_ok (Sh.put sh ~key ~value);
+      match S.put ref_s ~key ~value with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "ref put: %a" S.pp_error e)
+    | 4 -> (
+      sh_ok (Sh.delete sh ~key);
+      match S.delete ref_s ~key with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "ref delete: %a" S.pp_error e)
+    | 5 ->
+      (* flush drains staged mutations into the underlying store *)
+      ignore (sh_ok (Sh.flush sh))
+    | _ ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "get %s at step %d" key i)
+        (ok (S.get ref_s ~key))
+        (sh_ok (Sh.get sh ~key))
+  done;
+  Alcotest.(check (list string)) "same key set" (ok (S.list ref_s)) (sh_ok (Sh.list sh));
+  ignore (sh_ok (Sh.flush sh));
+  Alcotest.(check int) "drained" 0 (Sh.staged_count sh);
+  Array.iter
+    (fun key ->
+      Alcotest.(check (option string))
+        ("post-drain " ^ key)
+        (ok (S.get ref_s ~key))
+        (ok (S.get (Sh.store sh) ~key)))
+    keys
+
+let test_shared_put_batch_groups_by_shard () =
+  Faults.disable_all ();
+  let sh = Sh.create ~shards:4 S.default_config in
+  let batch = List.init 20 (fun i -> (Printf.sprintf "bk%d" i, Printf.sprintf "bv%d" i)) in
+  sh_ok (Sh.put_batch sh (batch @ [ ("bk0", "rewritten") ]));
+  Alcotest.(check (option string)) "last wins in batch" (Some "rewritten")
+    (sh_ok (Sh.get sh ~key:"bk0"));
+  List.iter
+    (fun (k, v) ->
+      if k <> "bk0" then
+        Alcotest.(check (option string)) ("batched " ^ k) (Some v) (sh_ok (Sh.get sh ~key:k)))
+    batch;
+  ignore (sh_ok (Sh.flush sh));
+  Alcotest.(check (option string)) "durable after drain" (Some "rewritten")
+    (ok (S.get (Sh.store sh) ~key:"bk0"))
+
+(* Racing domains on one shared store: no errors, and after the joins the
+   drained state serves every key consistently. The per-key
+   linearizability gate lives in Experiments.Shared_lin / validate
+   --shared; this is the in-tree smoke version. *)
+let test_shared_multi_domain_smoke () =
+  Faults.disable_all ();
+  let sh = Sh.create ~shards:4 S.default_config in
+  let domains = 4 and per_domain = 30 in
+  let errors = Atomic.make 0 in
+  let worker d () =
+    let rng = Rng.create (Int64.of_int (1000 + d)) in
+    for i = 0 to per_domain - 1 do
+      let key = Printf.sprintf "k%d" (Rng.int rng 8) in
+      let r =
+        match Rng.int rng 4 with
+        | 0 -> Result.map (fun _ -> ()) (Sh.get sh ~key)
+        | 1 -> Sh.delete sh ~key
+        | 2 -> Result.map (fun _ -> ()) (Sh.flush sh)
+        | _ -> Sh.put sh ~key ~value:(Printf.sprintf "d%d-%d" d i)
+      in
+      match r with Ok () -> () | Error _ -> Atomic.incr errors
+    done
+  in
+  let ds = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+  worker 0 ();
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no errors under contention" 0 (Atomic.get errors);
+  ignore (sh_ok (Sh.flush sh));
+  Alcotest.(check int) "fully drained" 0 (Sh.staged_count sh);
+  (* overlay reads now agree with the underlying store for every key *)
+  for i = 0 to 7 do
+    let key = Printf.sprintf "k%d" i in
+    Alcotest.(check (option string))
+      ("consistent " ^ key)
+      (ok (S.get (Sh.store sh) ~key))
+      (sh_ok (Sh.get sh ~key))
+  done
+
 let () =
   Faults.disable_all ();
   Faults.reset_counters ();
@@ -432,5 +537,13 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_mocked_store_basic;
           Alcotest.test_case "reclaim with mock" `Quick test_mocked_store_reclaim;
+        ] );
+      ( "shared",
+        [
+          Alcotest.test_case "matches Default single-domain" `Quick
+            test_shared_matches_default_single_domain;
+          Alcotest.test_case "put_batch groups by shard" `Quick
+            test_shared_put_batch_groups_by_shard;
+          Alcotest.test_case "multi-domain smoke" `Quick test_shared_multi_domain_smoke;
         ] );
     ]
