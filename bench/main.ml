@@ -183,7 +183,7 @@ let run_benchmarks () =
   Printf.printf "%-48s %16s\n" "benchmark" "time/run";
   Printf.printf "%s\n" (String.make 66 '-');
   let rows = ref [] in
-  Hashtbl.iter (fun name ols_result -> rows := (name, ols_result) :: !rows) results;
+  Util.Tbl.iter_sorted (fun name ols_result -> rows := (name, ols_result) :: !rows) results;
   List.iter
     (fun (name, ols_result) ->
       let time =

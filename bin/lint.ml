@@ -1,0 +1,94 @@
+(* Static analysis gate: scan lib/ bin/ bench/ with [Linter], print every
+   finding, exit 1 when any survive the waiver file. CI runs this on every
+   push; [--dynamic-graph] feeds the edge export of a
+   [validate --shared --lint-graph] run into the static/dynamic
+   cross-check. *)
+
+let find_root () =
+  let rec go dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else go parent
+  in
+  go (Sys.getcwd ())
+
+let run root waivers dynamic_graph quiet =
+  let root =
+    match root with
+    | Some r -> r
+    | None -> (
+      match find_root () with
+      | Some r -> r
+      | None ->
+        prerr_endline "lint: no dune-project above the current directory; pass --root";
+        exit 2)
+  in
+  (match dynamic_graph with
+  | Some p when not (Sys.file_exists p) ->
+    Printf.eprintf "lint: dynamic graph file %s does not exist\n" p;
+    exit 2
+  | _ -> ());
+  let findings, report, _stale =
+    Linter.run ~root ?waivers_path:waivers ?dynamic_graph_path:dynamic_graph ()
+  in
+  if not quiet then begin
+    Printf.printf "lint: %d files, %d functions, %d static lock edges, %d metrics, %d metric refs\n"
+      report.Linter.files_scanned report.Linter.functions
+      (List.length report.Linter.static_edges)
+      report.Linter.metrics_registered report.Linter.metric_refs;
+    List.iter
+      (fun ((a, b), why) -> Printf.printf "lint: static lock edge %s -> %s  [%s]\n" a b why)
+      report.Linter.edge_sources;
+    (match dynamic_graph with
+    | Some _ ->
+      List.iter
+        (fun (a, b) ->
+          Printf.printf "lint: static-only edge %s -> %s (no harness exercised it)\n" a b)
+        report.Linter.static_only_edges
+    | None -> ())
+  end;
+  List.iter (fun f -> Format.printf "%a@." Linter.pp_finding f) findings;
+  if findings = [] then begin
+    if not quiet then print_endline "lint: clean";
+    exit 0
+  end
+  else begin
+    Printf.printf "lint: %d finding(s)\n" (List.length findings);
+    exit 1
+  end
+
+open Cmdliner
+
+let root =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "root" ] ~docv:"DIR" ~doc:"Repository root (default: nearest dune-project).")
+
+let waivers =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "waivers" ] ~docv:"FILE"
+        ~doc:"Waiver file (default: \\$(b,ROOT/lint/waivers) when present).")
+
+let dynamic_graph =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dynamic-graph" ] ~docv:"FILE"
+        ~doc:
+          "Lock-order edges exported by $(b,validate --shared --lint-graph FILE); every \
+           dynamic edge must appear in the static graph.")
+
+let quiet =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Print findings only, no summary.")
+
+let cmd =
+  let doc = "static concurrency & determinism analyzer" in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(const run $ root $ waivers $ dynamic_graph $ quiet)
+
+let () = exit (Cmd.eval cmd)

@@ -104,7 +104,9 @@ let sanitize_run ~seed =
       (match Io_sched.flush sched with Ok () -> () | Error _ -> fail "flush");
       (* Reclaim every extent holding chunks, evacuating all of them. *)
       let extents =
-        Hashtbl.fold (fun _ l acc -> if List.mem l.Chunk.Locator.extent acc then acc else l.Chunk.Locator.extent :: acc) live []
+        Util.Tbl.fold_sorted
+          (fun _ l acc -> if List.mem l.Chunk.Locator.extent acc then acc else l.Chunk.Locator.extent :: acc)
+          live []
       in
       List.iter
         (fun extent ->
@@ -123,7 +125,7 @@ let sanitize_run ~seed =
       (match Superblock.flush sb with Ok _ -> () | Error _ -> fail "superblock flush");
       (match Io_sched.flush sched with Ok () -> () | Error _ -> fail "flush");
       (* Every get must still resolve; the shadow checks every read. *)
-      Hashtbl.iter
+      Util.Tbl.iter_sorted
         (fun key loc ->
           match Chunk.Chunk_store.get cs loc with
           | Ok c when c.Chunk.Chunk_format.payload = key -> ()
@@ -131,7 +133,7 @@ let sanitize_run ~seed =
           | Error e -> fail (Format.asprintf "get %s: %a" key Chunk.Chunk_store.pp_error e))
         live;
       let in_use extent =
-        Hashtbl.fold (fun _ l acc -> acc || l.Chunk.Locator.extent = extent) live false
+        Util.Tbl.fold_sorted (fun _ l acc -> acc || l.Chunk.Locator.extent = extent) live false
       in
       let leaks = Chunk.Chunk_store.close cs ~in_use in
       List.iter
@@ -204,7 +206,31 @@ let chaos_run ~domains ~campaigns ~length ~seed =
    and the protected-register history checked linearizable; (4) N domains
    driving one shared store, every per-key history checked linearizable
    against the sequential register model. *)
-let shared_run ~domains ~shared_ops ~seed =
+(* [--lint-graph FILE]: dump the named lock-class edges the hot-path model
+   observed, one "held acquired" pair per line. lib/lint cross-checks this
+   against its static acquisition graph: every dynamic edge must appear
+   statically, or the extractor is blind to a real code path. *)
+let export_lint_graph path reports =
+  let edges =
+    List.concat_map
+      (fun r ->
+        let o = r.Conc.Conc_shared.outcome in
+        List.filter_map
+          (fun (a, b) ->
+            match (List.assoc_opt a o.Smc.lock_names, List.assoc_opt b o.Smc.lock_names) with
+            | Some na, Some nb -> Some (na, nb)
+            | _ -> None)
+          o.Smc.lock_edges)
+      reports
+    |> List.sort_uniq compare
+  in
+  let oc = open_out path in
+  output_string oc "# dynamic lock-order class edges (validate --shared): held acquired\n";
+  List.iter (fun (a, b) -> Printf.fprintf oc "%s %s\n" a b) edges;
+  close_out oc;
+  Printf.printf "  lint-graph: %d class edge(s) -> %s\n" (List.length edges) path
+
+let shared_run ~domains ~shared_ops ~seed ~lint_graph =
   Faults.disable_all ();
   let n = if domains > 1 then domains else 4 in
   let failures = ref 0 in
@@ -222,6 +248,9 @@ let shared_run ~domains ~shared_ops ~seed =
   let shared_reports = Conc.Conc_shared.run () in
   List.iter (fun r -> Format.printf "  %a@." Conc.Conc_shared.pp_report r) shared_reports;
   gate "hot-path model" (Conc.Conc_shared.ok shared_reports);
+  (match lint_graph with
+  | Some path -> export_lint_graph path shared_reports
+  | None -> ());
   Printf.printf "shared: real rwlock on %d racing domains (trace audit + linearizability)\n" n;
   let impl_report = Conc.Rwlock.Check.impl ~domains:n ~seed () in
   Format.printf "  %a@." Conc.Rwlock.Check.pp_impl_report impl_report;
@@ -250,12 +279,12 @@ let run_conformance sequences length seed metrics_out batch_weight domains =
   let total_failures = ref 0 in
   List.iter
     (fun profile ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Util.Wallclock.now_s () in
       (* Sharded across domains, merged in seed order: the failure count and
          the (lowest-seed) first failure are identical for any --domains. *)
       let sw = Lfm.Harness.run_par ~domains config ~profile ~bias ~length ~seed ~count:sequences in
       let failures = sw.Lfm.Harness.failures in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Util.Wallclock.now_s () -. t0 in
       Printf.printf "%-12s %6d sequences, %3d failures (%.0f seqs/s)\n"
         (Lfm.Gen.profile_name profile)
         sequences failures
@@ -289,8 +318,8 @@ let run_conformance sequences length seed metrics_out batch_weight domains =
   else 1
 
 let run sequences length seed metrics_out sanitize batch_weight chaos campaigns chaos_length
-    domains shared shared_ops =
-  if shared then shared_run ~domains ~shared_ops ~seed
+    domains shared shared_ops lint_graph =
+  if shared then shared_run ~domains ~shared_ops ~seed ~lint_graph
   else if chaos then chaos_run ~domains ~campaigns ~length:chaos_length ~seed
   else if sanitize then sanitize_run ~seed
   else run_conformance sequences length seed metrics_out batch_weight domains
@@ -374,11 +403,21 @@ let shared_ops =
     & info [ "shared-ops" ]
         ~doc:"Operations per racing domain in the --shared store workload.")
 
+let lint_graph =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lint-graph" ] ~docv:"FILE"
+        ~doc:
+          "With --shared: export the dynamically observed lock-class acquisition edges \
+           (one 'held acquired' pair per line) for the $(b,lint.exe --dynamic-graph) \
+           static/dynamic cross-check.")
+
 let cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Run the pre-deployment conformance checks")
     Term.(
       const run $ sequences $ length $ seed $ metrics_out $ sanitize $ batch_weight $ chaos
-      $ campaigns $ chaos_length $ domains $ shared $ shared_ops)
+      $ campaigns $ chaos_length $ domains $ shared $ shared_ops $ lint_graph)
 
 let () = exit (Cmd.eval' cmd)

@@ -87,11 +87,34 @@ let packed_ref git refname =
              Some (String.sub line 0 i)
            | _ -> None)
 
+let resolve_relative ~base path =
+  if Filename.is_relative path then Filename.concat base path else path
+
+(* [.git] is a directory in a primary checkout but a one-line
+   "gitdir: <path>" file in worktrees and submodules. *)
+let git_dir root =
+  let dotgit = Filename.concat root ".git" in
+  if Sys.is_directory dotgit then Some dotgit
+  else
+    match read_file dotgit with
+    | None -> None
+    | Some body ->
+      let line = String.trim (first_line body) in
+      if String.length line > 7 && String.sub line 0 7 = "gitdir:" then
+        Some (resolve_relative ~base:root (String.trim (String.sub line 7 (String.length line - 7))))
+      else None
+
+(* A worktree's git dir holds its own HEAD, but refs/ and packed-refs
+   live in the primary repository's dir, pointed to by [commondir]. *)
+let common_dir git =
+  match read_file (Filename.concat git "commondir") with
+  | Some body -> resolve_relative ~base:git (String.trim (first_line body))
+  | None -> git
+
 let commit ?(dir = Sys.getcwd ()) () =
-  match find_root dir with
+  match Option.bind (find_root dir) git_dir with
   | None -> "unknown"
-  | Some root -> (
-    let git = Filename.concat root ".git" in
+  | Some git -> (
     match read_file (Filename.concat git "HEAD") with
     | None -> "unknown"
     | Some head -> (
@@ -100,10 +123,11 @@ let commit ?(dir = Sys.getcwd ()) () =
       | false -> head (* detached HEAD: the hash itself *)
       | true -> (
         let refname = String.trim (String.sub head 5 (String.length head - 5)) in
-        match read_file (Filename.concat git refname) with
+        let common = common_dir git in
+        match read_file (Filename.concat common refname) with
         | Some hash -> String.trim (first_line hash)
         | None -> (
-          match packed_ref git refname with Some hash -> hash | None -> "unknown"))))
+          match packed_ref common refname with Some hash -> hash | None -> "unknown"))))
 
 (* --- JSON encoding (flat records only, so hand-rolled is fine) --- *)
 

@@ -71,7 +71,8 @@ let touch t entry =
 let evict_if_needed t =
   if Hashtbl.length t.pages > t.capacity then begin
     let victim = ref None in
-    Hashtbl.iter
+    (* Sorted iteration makes the last_used tie-break deterministic. *)
+    Util.Tbl.iter_sorted
       (fun key entry ->
         match !victim with
         | Some (_, e) when e.last_used <= entry.last_used -> ()
@@ -211,13 +212,13 @@ let note_reset_locked t ~extent =
   (* Fault #2: cache was not correctly drained after resetting an extent. *)
   if Faults.enabled Faults.F2_cache_not_drained then Faults.record_fired Faults.F2_cache_not_drained
   else begin
-    let stale = Hashtbl.fold (fun (e, p) _ acc -> if e = extent then (e, p) :: acc else acc) t.pages [] in
+    let stale = Util.Tbl.fold_sorted (fun (e, p) _ acc -> if e = extent then (e, p) :: acc else acc) t.pages [] in
     List.iter (drop_page t) stale;
     sync_resident t
   end
 
 let invalidate_all_locked t =
-  Hashtbl.iter (fun key _ -> transition t key Conc.Cache_sm.Empty) t.pages;
+  Util.Tbl.iter_sorted (fun key _ -> transition t key Conc.Cache_sm.Empty) t.pages;
   Hashtbl.reset t.pages;
   sync_resident t
 

@@ -22,8 +22,8 @@ module M = struct
     {
       shards =
         Array.init shards (fun _ ->
-            { lock = Rwlock.Model.create (); staged = Smc.Cell.make [] });
-      stack_lock = Rwlock.Model.create ();
+            { lock = Rwlock.Model.create ~name:"shard" (); staged = Smc.Cell.make [] });
+      stack_lock = Rwlock.Model.create ~name:"stack" ();
       base = Smc.Cell.make base;
     }
 
@@ -86,7 +86,11 @@ module C = struct
   }
 
   let create () =
-    { lock = Rwlock.Model.create (); state = Smc.Cell.make Cache_sm.Empty; data = Smc.Cell.make 0 }
+    {
+      lock = Rwlock.Model.create ~name:"cache" ();
+      state = Smc.Cell.make Cache_sm.Empty;
+      data = Smc.Cell.make 0;
+    }
 
   let transition t ~new_s =
     let old_s = Smc.Cell.get t.state in

@@ -1,0 +1,18 @@
+(* Validated wrappers for racing real domains. Everything outside
+   lib/{conc,par,smc,obs} that wants raw Domain.spawn/join or an Atomic
+   event counter goes through here instead (enforced by lib/lint), so the
+   repo has one auditable place where real parallelism starts. *)
+
+let spawn_join ~domains f =
+  if domains < 1 then invalid_arg "Conc.Domains.spawn_join: domains < 1";
+  let handles = List.init (domains - 1) (fun d -> Domain.spawn (fun () -> f (d + 1))) in
+  let first = f 0 in
+  first :: List.map Domain.join handles
+
+module Clock = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let tick t = Atomic.fetch_and_add t 1
+  let now t = Atomic.get t
+end

@@ -1,0 +1,25 @@
+(** Validated wrappers for racing real domains.
+
+    The static analyzer ([lib/lint]) confines raw [Domain.*]/[Atomic.*]
+    to [lib/{conc,par,smc,obs}]; workloads that need free-form racing
+    workers (rather than [Par]'s deterministic range sweeps) use this
+    module, so real parallelism has one auditable entry point. *)
+
+(** [spawn_join ~domains f] — run [f 0 .. f (domains-1)] concurrently,
+    [f 0] on the calling domain, and return the results in worker order
+    once every domain has joined. Raises [Invalid_argument] when
+    [domains < 1]. *)
+val spawn_join : domains:int -> (int -> 'a) -> 'a list
+
+(** A shared monotone event counter, for linearizability-harness
+    invocation/return timestamps. *)
+module Clock : sig
+  type t
+
+  val create : unit -> t
+
+  (** Atomically increment and return the pre-increment value. *)
+  val tick : t -> int
+
+  val now : t -> int
+end

@@ -178,8 +178,8 @@ module Model = struct
     pending : int Smc.Cell.t;
   }
 
-  let create () =
-    { m = Smc.Mutex.create (); readers = Smc.Cell.make 0; pending = Smc.Cell.make 0 }
+  let create ?name () =
+    { m = Smc.Mutex.create ?name (); readers = Smc.Cell.make 0; pending = Smc.Cell.make 0 }
 
   (* Reader admission: wait out pending writers (preference), then hold the
      mutex just long enough to bump the reader count. The reader's critical

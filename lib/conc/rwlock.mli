@@ -107,7 +107,9 @@ end
 module Model : sig
   type t
 
-  val create : unit -> t
+  (** [?name] labels the internal {!Smc.Mutex} for the lock-graph
+      export ({!Smc.outcome.lock_names}). *)
+  val create : ?name:string -> unit -> t
   val acquire_read : t -> unit
   val release_read : t -> unit
 

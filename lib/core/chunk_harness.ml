@@ -166,14 +166,14 @@ let apply st step_no op =
   | C_pump n ->
     ignore (Io_sched.pump ~max_ios:n st.sched);
     (* pumping may consume armings through write IO; re-sync our view *)
-    Hashtbl.iter
-      (fun extent () ->
+    List.iter
+      (fun (extent, ()) ->
         match Disk.consume_fault st.disk ~extent with
         | Ok () -> Hashtbl.remove st.armed extent
         | Error _ ->
           (* still armed: consume_fault just consumed it, so re-arm *)
           Disk.fail_once st.disk ~extent)
-      (Hashtbl.copy st.armed)
+      (Util.Tbl.sorted_bindings st.armed)
   | C_fail_once extent ->
     Hashtbl.replace st.armed extent ();
     Disk.fail_once st.disk ~extent

@@ -130,7 +130,7 @@ let enumerate ~store_config ~max_states ~include_torn store model =
       | None -> Hashtbl.add by_extent w.Dep.extent (ref [ w ]))
     pending;
   let queues =
-    Hashtbl.fold (fun _ l acc -> List.rev !l :: acc) by_extent []
+    Util.Tbl.fold_sorted (fun _ l acc -> List.rev !l :: acc) by_extent []
   in
   let per_extent = List.map (extent_choices ~page_size ~include_torn) queues in
   let stats = ref { states = 0; truncated = false; violations = 0; first_violation = None } in

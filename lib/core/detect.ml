@@ -152,7 +152,7 @@ let detect_model_validation ~max_sequences ~seed fault =
           end
           else begin
             (* drop a random live locator *)
-            let locs = Hashtbl.fold (fun l () acc -> l :: acc) live [] in
+            let locs = Util.Tbl.fold_sorted (fun l () acc -> l :: acc) live [] in
             let loc = Rng.pick_list rng locs in
             Model.Chunk_model.drop model ~locator:loc;
             Hashtbl.remove live loc;

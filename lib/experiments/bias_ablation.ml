@@ -60,7 +60,7 @@ let get_hit_rate bias ~seed =
   float_of_int !hits /. float_of_int (max 1 !gets)
 
 let run ?(domains = 1) ?(max_sequences = 4_000) ?(trials = 8) ?(seed = 90_000) () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Wallclock.now_s () in
   let mk label bias profile fault =
     let hits = ref [] in
     for trial = 0 to trials - 1 do
@@ -98,7 +98,7 @@ let run ?(domains = 1) ?(max_sequences = 4_000) ?(trials = 8) ?(seed = 90_000) (
     arms;
     hit_rate_biased = get_hit_rate Lfm.Gen.default_bias ~seed;
     hit_rate_unbiased = get_hit_rate Lfm.Gen.unbiased ~seed;
-    seconds = Unix.gettimeofday () -. t0;
+    seconds = Util.Wallclock.now_s () -. t0;
   }
 
 let print report =

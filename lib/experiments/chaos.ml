@@ -382,7 +382,7 @@ let campaign ~length ~seed =
   }
 
 let run ?(domains = 1) ?(campaigns = 200) ?(length = 40) ?(seed = 0) () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Wallclock.now_s () in
   Faults.disable_all ();
   (* Campaigns are seed-carrying and independent, so they shard across
      domains; segments accumulate reversed report lists and merge keeps
@@ -411,7 +411,7 @@ let run ?(domains = 1) ?(campaigns = 200) ?(length = 40) ?(seed = 0) () =
     total_quorum_acks = sum (fun r -> r.quorum_acks);
     total_partial_writes = sum (fun r -> r.partial_writes);
     failed = List.filter (fun r -> r.violations <> []) reports;
-    seconds = Unix.gettimeofday () -. t0;
+    seconds = Util.Wallclock.now_s () -. t0;
   }
 
 (* The campaign checker must itself have teeth: with #18 (quorum ack

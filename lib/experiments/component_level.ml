@@ -56,7 +56,7 @@ let store_row ~domains ~trials ~max_sequences ~seed fault =
 let faults = [ Faults.F1_reclaim_off_by_one; Faults.F5_reclaim_forgets_on_read_error ]
 
 let run ?(domains = 1) ?(trials = 10) ?(max_sequences = 2_000) ?(seed = 64_000) () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Wallclock.now_s () in
   Faults.disable_all ();
   let rows =
     List.concat_map
@@ -69,22 +69,22 @@ let run ?(domains = 1) ?(trials = 10) ?(max_sequences = 2_000) ?(seed = 64_000) 
   in
   (* Throughputs on the honest code. *)
   Faults.disable_all ();
-  let t1 = Unix.gettimeofday () in
+  let t1 = Util.Wallclock.now_s () in
   for seed = 0 to 299 do
     ignore (Lfm.Chunk_harness.run ~seed ~length:40)
   done;
-  let t2 = Unix.gettimeofday () in
+  let t2 = Util.Wallclock.now_s () in
   for i = 0 to 299 do
     ignore
       (Lfm.Harness.run_seed Lfm.Harness.default_config ~profile:Lfm.Gen.Crash_free
          ~bias:Lfm.Gen.default_bias ~length:40 ~seed:(700_000 + i))
   done;
-  let t3 = Unix.gettimeofday () in
+  let t3 = Util.Wallclock.now_s () in
   {
     rows;
     component_seqs_per_sec = 300.0 /. (t2 -. t1);
     store_seqs_per_sec = 300.0 /. (t3 -. t2);
-    seconds = Unix.gettimeofday () -. t0;
+    seconds = Util.Wallclock.now_s () -. t0;
   }
 
 let print report =

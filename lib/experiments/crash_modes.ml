@@ -83,12 +83,12 @@ let throughput mode ~sequences ~seed =
   Faults.disable_all ();
   let acc = ref empty_enum_stats in
   let cfg = config_for mode acc in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Wallclock.now_s () in
   for i = 0 to sequences - 1 do
     let ops = transform mode (sequence ~seed:(seed + i) ~length:60) in
     ignore (Lfm.Harness.run cfg ops)
   done;
-  (float_of_int sequences /. (Unix.gettimeofday () -. t0), !acc.Lfm.Crash_enum.states)
+  (float_of_int sequences /. (Util.Wallclock.now_s () -. t0), !acc.Lfm.Crash_enum.states)
 
 let default_faults =
   [
@@ -101,7 +101,7 @@ let default_faults =
 
 let run ?(domains = 1) ?(faults = default_faults) ?(max_sequences = 3_000)
     ?(throughput_sequences = 400) ?(seed = 1234) () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Wallclock.now_s () in
   let detections =
     List.concat_map
       (fun fault ->
@@ -122,7 +122,7 @@ let run ?(domains = 1) ?(faults = default_faults) ?(max_sequences = 3_000)
     detections;
     throughput = [ (Coarse, coarse); (Block_sampled, sampled); (Block_exhaustive, exhaustive) ];
     exhaustive_states;
-    seconds = Unix.gettimeofday () -. t0;
+    seconds = Util.Wallclock.now_s () -. t0;
   }
 
 let print report =

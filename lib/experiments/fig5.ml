@@ -98,7 +98,7 @@ let smc_row budget fault =
    hunt is sharded internally, so the rows (everything but [seconds]) are
    byte-identical for every domain count. *)
 let run ?(domains = 1) budget =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Wallclock.now_s () in
   let rows =
     List.map
       (fun fault ->
@@ -107,7 +107,7 @@ let run ?(domains = 1) budget =
         | Lfm.Detect.Pbt _ | Lfm.Detect.Model_validation -> pbt_row ~domains budget fault)
       Faults.all
   in
-  { rows; seconds = Unix.gettimeofday () -. t0 }
+  { rows; seconds = Util.Wallclock.now_s () -. t0 }
 
 let print report =
   let class_of row = Faults.property_class row.fault in

@@ -20,7 +20,7 @@ let default_faults =
   ]
 
 let run ?(domains = 1) ?(faults = default_faults) ?(samples_per_fault = 5) ?(seed = 7_000) () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Wallclock.now_s () in
   let samples = ref [] in
   List.iter
     (fun fault ->
@@ -45,7 +45,7 @@ let run ?(domains = 1) ?(faults = default_faults) ?(samples_per_fault = 5) ?(see
         s := !s + 2_001
       done)
     faults;
-  { samples = List.rev !samples; seconds = Unix.gettimeofday () -. t0 }
+  { samples = List.rev !samples; seconds = Util.Wallclock.now_s () -. t0 }
 
 let print report =
   Printf.printf

@@ -45,9 +45,9 @@ let render_chaos (s : Chaos.summary) =
 
 let sweep ~domain_counts run_at =
   let timed domains =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Util.Wallclock.now_s () in
     let rendered = run_at ~domains in
-    (Unix.gettimeofday () -. t0, rendered)
+    (Util.Wallclock.now_s () -. t0, rendered)
   in
   match domain_counts with
   | [] -> []

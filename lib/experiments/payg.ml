@@ -17,7 +17,7 @@ let default_faults =
 
 let run ?(domains = 1) ?(faults = default_faults) ?(trials = 20) ?(max_sequences = 2_000)
     ?(budgets = [ 10; 30; 100; 300; 1_000; 2_000 ]) ?(seed = 52_000) () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Wallclock.now_s () in
   let curves =
     List.map
       (fun fault ->
@@ -41,7 +41,7 @@ let run ?(domains = 1) ?(faults = default_faults) ?(trials = 20) ?(max_sequences
         { fault; trials; hits; budgets; probability })
       faults
   in
-  { curves; seconds = Unix.gettimeofday () -. t0 }
+  { curves; seconds = Util.Wallclock.now_s () -. t0 }
 
 let print report =
   Printf.printf "E6: pay-as-you-go detection probability vs sequence budget\n";

@@ -38,7 +38,7 @@ let measure ~label ~shards ~shard_bytes ~seed damage =
   | Error e -> Format.kasprintf failwith "repair: %a" Fleet.pp_error e
 
 let run ?(shards = 120) ?(shard_bytes = 4096) ?(seed = 11_000) () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Wallclock.now_s () in
   let crash =
     measure ~label:"node crash (crash-consistent recovery)" ~shards ~shard_bytes ~seed
       (fun f ->
@@ -49,7 +49,7 @@ let run ?(shards = 120) ?(shard_bytes = 4096) ?(seed = 11_000) () =
     measure ~label:"node loss (disk replacement)" ~shards ~shard_bytes ~seed (fun f ->
         Fleet.destroy_node f ~node:0)
   in
-  { shards; shard_bytes; crash; loss; seconds = Unix.gettimeofday () -. t0 }
+  { shards; shard_bytes; crash; loss; seconds = Util.Wallclock.now_s () -. t0 }
 
 let print report =
   Printf.printf "E11: repair traffic after node crash vs node loss (paper section 2.2)\n";

@@ -50,8 +50,8 @@ let run ?(domains = 4) ?(ops_per_domain = 64) ?(shards = 4) ?(seed = 0) () =
   let total = domains * ops_per_domain in
   let keys = max 4 (total / 8) in
   let key i = Printf.sprintf "k%02d" i in
-  let clock = Atomic.make 0 in
-  let tick () = Atomic.fetch_and_add clock 1 in
+  let clock = Conc.Domains.Clock.create () in
+  let tick () = Conc.Domains.Clock.tick clock in
   let worker d =
     let rng = Util.Rng.of_int ((seed * 7919) + d) in
     let events = ref [] in
@@ -105,9 +105,7 @@ let run ?(domains = 4) ?(ops_per_domain = 64) ?(shards = 4) ?(seed = 0) () =
     done;
     (!events, !errors, !flushes)
   in
-  let handles = List.init (domains - 1) (fun d -> Domain.spawn (fun () -> worker (d + 1))) in
-  let first = worker 0 in
-  let results = first :: List.map Domain.join handles in
+  let results = Conc.Domains.spawn_join ~domains worker in
   let errors = List.fold_left (fun acc (_, e, _) -> acc + e) 0 results in
   let flushes = List.fold_left (fun acc (_, _, f) -> acc + f) 0 results in
   (* Post-join: drain staging, then the shared view and the underlying
@@ -133,7 +131,7 @@ let run ?(domains = 4) ?(ops_per_domain = 64) ?(shards = 4) ?(seed = 0) () =
         evs)
     results;
   let key_reports =
-    Hashtbl.fold
+    Util.Tbl.fold_sorted
       (fun k evs acc ->
         let history = List.sort (fun a b -> compare a.Linearize.invoked b.Linearize.invoked) evs in
         let linearizable =

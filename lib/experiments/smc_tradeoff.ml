@@ -30,13 +30,13 @@ let strategies ~seed ~budget =
 let measure ~trials fault (name, mk) =
   let hits = ref [] in
   let schedules_total = ref 0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Wallclock.now_s () in
   for trial = 0 to trials - 1 do
     let outcome = Conc.Conc_detect.detect (mk trial) fault in
     schedules_total := !schedules_total + outcome.Smc.schedules_run;
     if outcome.Smc.violation <> None then hits := outcome.Smc.schedules_run :: !hits
   done;
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Util.Wallclock.now_s () -. t0 in
   let hits = List.sort compare !hits in
   {
     strategy = name;
@@ -49,18 +49,18 @@ let measure ~trials fault (name, mk) =
   }
 
 let verify ~budget fault =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Wallclock.now_s () in
   let outcome = Conc.Conc_detect.check_correct (Smc.Dfs { max_schedules = budget }) fault in
   assert (outcome.Smc.violation = None);
   {
     fault;
     schedules = outcome.Smc.schedules_run;
     exhausted = outcome.Smc.exhausted;
-    seconds = Unix.gettimeofday () -. t0;
+    seconds = Util.Wallclock.now_s () -. t0;
   }
 
 let run ?(trials = 5) ?(schedule_budget = 100_000) ?(seed = 3_000) () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.Wallclock.now_s () in
   let hunt_faults = [ Faults.F14_compaction_reclaim_race; Faults.F11_locator_race ] in
   let results =
     List.concat_map
@@ -77,7 +77,7 @@ let run ?(trials = 5) ?(schedule_budget = 100_000) ?(seed = 3_000) () =
         Faults.F16_bulk_create_remove_race;
       ]
   in
-  { results; verifications; seconds = Unix.gettimeofday () -. t0 }
+  { results; verifications; seconds = Util.Wallclock.now_s () -. t0 }
 
 let print report =
   Printf.printf "E8: stateless model checking strategies (Loom-vs-Shuttle trade-off, section 6)\n";

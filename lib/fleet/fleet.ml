@@ -256,7 +256,7 @@ let mark_dirty t key auth =
 
 let dirty_auth t key = Option.join (Hashtbl.find_opt t.dirty key)
 let dirty_count t = Hashtbl.length t.dirty
-let dirty_keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.dirty [] |> List.sort String.compare
+let dirty_keys t = Util.Tbl.sorted_keys ~compare:String.compare t.dirty
 
 (* Durable acknowledgement: flush the index and superblock, drain the
    writeback, and then {e verify} that the operation's dependency graph

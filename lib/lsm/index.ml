@@ -53,11 +53,13 @@ type t = {
   mutable next_run_id : int;
   mutable flush_promise : Dep.Promise.promise;
   run_contents : (int, Run.t) Hashtbl.t;
-  run_mutex : Mutex.t;
+  run_lock : Conc.Rwlock.t;
       (** guards [run_contents]: [load_run] memoizes decoded runs on the
           read path, so concurrent readers under a shard {e read} lock
           both reach this table — the one read-path mutation the shared
-          store cannot exclude structurally *)
+          store cannot exclude structurally. A validated [Conc.Rwlock]
+          (reads share, memoization writes exclude); its own class
+          ("lsm_run") is a leaf in the static lock-order graph *)
   mutable reset_seen : bool;
   max_run_payload : int;
 }
@@ -88,7 +90,7 @@ let create ?(max_run_payload = 16 * 1024) ?obs chunks ~metadata_extents =
     next_run_id = 1;
     flush_promise = Dep.Promise.create ();
     run_contents = Hashtbl.create 16;
-    run_mutex = Mutex.create ();
+    run_lock = Conc.Rwlock.create ();
     reset_seen = false;
     max_run_payload;
   }
@@ -121,14 +123,11 @@ let delete t ~key =
 let ( let* ) = Result.bind
 
 let memo_run t run_id f =
-  Mutex.lock t.run_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.run_mutex) (fun () ->
+  Conc.Rwlock.with_write t.run_lock (fun () ->
       match Hashtbl.find_opt t.run_contents run_id with Some run -> run | None -> f ())
 
 let load_run t (r : run_ref) =
-  Mutex.lock t.run_mutex;
-  let memo = Hashtbl.find_opt t.run_contents r.run_id in
-  Mutex.unlock t.run_mutex;
+  let memo = Conc.Rwlock.with_read t.run_lock (fun () -> Hashtbl.find_opt t.run_contents r.run_id) in
   match memo with
   | Some run -> Ok run
   | None ->
@@ -388,9 +387,7 @@ let recover t =
   t.memtable <- Smap.empty;
   t.memtable_count <- 0;
   t.flush_promise <- Dep.Promise.create ();
-  Mutex.lock t.run_mutex;
-  Hashtbl.reset t.run_contents;
-  Mutex.unlock t.run_mutex;
+  Conc.Rwlock.with_write t.run_lock (fun () -> Hashtbl.reset t.run_contents);
   t.reset_seen <- false;
   let result =
     match Logroll.recover t.roll with

@@ -54,8 +54,7 @@ let get t ~key =
   | None -> None
   | Some r -> current r
 
-let sorted_keys t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+let sorted_keys t = Util.Tbl.sorted_keys ~compare:String.compare t
 
 let list t =
   List.filter (fun key -> Option.is_some (get t ~key)) (sorted_keys t)
@@ -103,7 +102,7 @@ let reconcile t ~key ~observed =
   end
   else Error { key; observed; allowed }
 
-let mark_crashed t = Hashtbl.iter (fun _ r -> r.needs_reconcile <- true) t
+let mark_crashed t = Util.Tbl.iter_sorted (fun _ r -> r.needs_reconcile <- true) t
 
 let needs_reconcile t ~key =
   match Hashtbl.find_opt t key with Some r -> r.needs_reconcile | None -> false
@@ -117,6 +116,6 @@ let resolve_read t ~key ~observed =
   else reconcile t ~key ~observed
 
 let staged_deps t =
-  Hashtbl.fold
+  Util.Tbl.fold_sorted
     (fun key r acc -> List.fold_left (fun acc v -> (key, v.dep) :: acc) acc r.history)
     t []

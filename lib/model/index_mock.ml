@@ -25,7 +25,7 @@ let get t ~key =
   | None -> Ok None
 
 let keys t =
-  Ok (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort String.compare)
+  Ok (Util.Tbl.sorted_keys ~compare:String.compare t.table)
 
 let flush _t ~for_shutdown:_ = Ok Dep.trivial
 let compact _t = Ok Dep.trivial

@@ -5,7 +5,7 @@ let put t ~key ~value = Hashtbl.replace t key value
 let get t ~key = Hashtbl.find_opt t key
 let delete t ~key = Hashtbl.remove t key
 let mem t ~key = Hashtbl.mem t key
-let list t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+let list t = Util.Tbl.sorted_keys ~compare:String.compare t
 let size t = Hashtbl.length t
 
 let copy = Hashtbl.copy

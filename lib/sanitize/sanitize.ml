@@ -81,6 +81,8 @@ module Lock_order = struct
 
   let edge_count t = Hashtbl.length t.edges
 
+  let edges t = List.sort compare (List.of_seq (Seq.map fst (Hashtbl.to_seq t.edges)))
+
   (* Tarjan SCC over the acquisition graph; every component with two or
      more locks (or a self-edge) is a potential-deadlock cycle, whether or
      not any explored schedule actually deadlocked. *)

@@ -82,6 +82,11 @@ module Lock_order : sig
   val add_edge : t -> held:int -> acquired:int -> unit
   val edge_count : t -> int
 
+  (** All accumulated [(held, acquired)] edges, sorted. Feeds the
+      [lib/lint] static/dynamic lock-graph cross-check via
+      {!Smc.outcome.lock_edges}. *)
+  val edges : t -> (int * int) list
+
   (** Strongly connected components with at least two locks (or a
       self-edge): the potential-deadlock cycles. Each cycle and the result
       list are sorted, so output is deterministic. *)

@@ -72,15 +72,24 @@ module Cell = struct
   let peek t = t.v
 end
 
+(* Lock id -> user-facing name, for the lock-graph export. Ids rewind per
+   schedule and per exploration, so [Hashtbl.replace] keeps the registry
+   consistent: within one exploration a given id always names the same
+   lock (deterministic body), and a new exploration overwrites the ids it
+   actually mints. Cleared in [sanitize_setup]; outcomes only export names
+   for ids that appear in their own edges. *)
+let lock_name_registry : (int, string) Hashtbl.t = Hashtbl.create 16
+
 module Mutex = struct
   type t = {
     id : int;
     mutable held_by : int option;
   }
 
-  let create () =
+  let create ?name () =
     let id = !next_lock_id in
     incr next_lock_id;
+    (match name with Some n -> Hashtbl.replace lock_name_registry id n | None -> ());
     { id; held_by = None }
 
   let rec lock t =
@@ -226,6 +235,8 @@ type outcome = {
   exhausted : bool;
   violation : violation option;
   lock_cycles : int list list;
+  lock_edges : (int * int) list;
+  lock_names : (int * string) list;
   sanitize_accesses : int;
 }
 
@@ -373,7 +384,15 @@ let run_one ?monitor ~choose body =
    the lock-order graph accumulated across every schedule, and the running
    total of plain accesses the monitors checked (coverage evidence for
    "sanitizer clean" gates). *)
+let lock_names_for edges =
+  let ids = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) edges) in
+  List.filter_map
+    (fun id ->
+      Option.map (fun n -> (id, n)) (Hashtbl.find_opt lock_name_registry id))
+    ids
+
 let sanitize_setup sanitize =
+  Hashtbl.reset lock_name_registry;
   match sanitize with
   | Some cfg when Sanitize.enabled cfg ->
     let graph =
@@ -395,27 +414,30 @@ let sanitize_setup sanitize =
       Some m
     in
     let cycles () = match graph with Some g -> Sanitize.Lock_order.cycles g | None -> [] in
+    let edges () = match graph with Some g -> Sanitize.Lock_order.edges g | None -> [] in
     let accesses () =
       !drained + match !last with Some m -> Sanitize.Monitor.access_count m | None -> 0
     in
-    (mk, cycles, accesses)
-  | _ -> ((fun () -> None), (fun () -> []), fun () -> 0)
+    (mk, cycles, accesses, edges)
+  | _ -> ((fun () -> None), (fun () -> []), (fun () -> 0), fun () -> [])
 
-let finish ~schedules_run ~total_steps ~exhausted ~lock_cycles ~sanitize_accesses trace steps
-    kind =
+let finish ~schedules_run ~total_steps ~exhausted ~lock_cycles ~lock_edges ~sanitize_accesses
+    trace steps kind =
   {
     schedules_run;
     total_steps;
     exhausted;
     violation = Some { kind; schedule = List.map fst trace; steps };
     lock_cycles;
+    lock_edges;
+    lock_names = lock_names_for lock_edges;
     sanitize_accesses;
   }
 
 let explore_dfs ?sanitize ~max_schedules body =
   (* Iterative DFS over the schedule tree: re-execute with a forced prefix,
      then advance the deepest branch point with unexplored siblings. *)
-  let mk_monitor, cycles, accesses = sanitize_setup sanitize in
+  let mk_monitor, cycles, accesses, edges = sanitize_setup sanitize in
   let prefix = ref [||] in
   let schedules = ref 0 in
   let total_steps = ref 0 in
@@ -432,7 +454,8 @@ let explore_dfs ?sanitize ~max_schedules body =
       result :=
         Some
           (finish ~schedules_run:!schedules ~total_steps:!total_steps ~exhausted:false
-             ~lock_cycles:(cycles ()) ~sanitize_accesses:(accesses ()) trace steps kind)
+             ~lock_cycles:(cycles ()) ~lock_edges:(edges ()) ~sanitize_accesses:(accesses ())
+             trace steps kind)
     | None ->
       (* Find the deepest choice with an unexplored sibling. *)
       let arr = Array.of_list trace in
@@ -460,11 +483,13 @@ let explore_dfs ?sanitize ~max_schedules body =
       exhausted = !exhausted;
       violation = None;
       lock_cycles = cycles ();
+      lock_edges = edges ();
+      lock_names = lock_names_for (edges ());
       sanitize_accesses = accesses ();
     }
 
 let explore_random ?sanitize ~seed ~schedules body =
-  let mk_monitor, cycles, accesses = sanitize_setup sanitize in
+  let mk_monitor, cycles, accesses, edges = sanitize_setup sanitize in
   let rng = Util.Rng.of_int seed in
   let total_steps = ref 0 in
   let result = ref None in
@@ -479,7 +504,8 @@ let explore_random ?sanitize ~seed ~schedules body =
       result :=
         Some
           (finish ~schedules_run:!run ~total_steps:!total_steps ~exhausted:false
-             ~lock_cycles:(cycles ()) ~sanitize_accesses:(accesses ()) trace steps kind)
+             ~lock_cycles:(cycles ()) ~lock_edges:(edges ()) ~sanitize_accesses:(accesses ())
+             trace steps kind)
     | None -> ()
   done;
   match !result with
@@ -491,6 +517,8 @@ let explore_random ?sanitize ~seed ~schedules body =
       exhausted = false;
       violation = None;
       lock_cycles = cycles ();
+      lock_edges = edges ();
+      lock_names = lock_names_for (edges ());
       sanitize_accesses = accesses ();
     }
 
@@ -500,7 +528,7 @@ let explore_random ?sanitize ~seed ~schedules body =
    demoted below every other, forcing a context switch. Few random
    decisions per run give the O(1/(n k^(d-1))) bug-finding guarantee. *)
 let explore_pct ?sanitize ~seed ~schedules ~depth body =
-  let mk_monitor, cycles, accesses = sanitize_setup sanitize in
+  let mk_monitor, cycles, accesses, edges = sanitize_setup sanitize in
   let rng = Util.Rng.of_int seed in
   let total_steps = ref 0 in
   let result = ref None in
@@ -547,7 +575,8 @@ let explore_pct ?sanitize ~seed ~schedules ~depth body =
       result :=
         Some
           (finish ~schedules_run:!run ~total_steps:!total_steps ~exhausted:false
-             ~lock_cycles:(cycles ()) ~sanitize_accesses:(accesses ()) trace steps kind)
+             ~lock_cycles:(cycles ()) ~lock_edges:(edges ()) ~sanitize_accesses:(accesses ())
+             trace steps kind)
     | None -> ()
   done;
   match !result with
@@ -559,6 +588,8 @@ let explore_pct ?sanitize ~seed ~schedules ~depth body =
       exhausted = false;
       violation = None;
       lock_cycles = cycles ();
+      lock_edges = edges ();
+      lock_names = lock_names_for (edges ());
       sanitize_accesses = accesses ();
     }
 
@@ -569,7 +600,7 @@ let explore ?sanitize strategy body =
   | Pct { seed; schedules; depth } -> explore_pct ?sanitize ~seed ~schedules ~depth body
 
 let replay ?sanitize body schedule =
-  let mk_monitor, _cycles, _accesses = sanitize_setup sanitize in
+  let mk_monitor, _cycles, _accesses, _edges = sanitize_setup sanitize in
   let p = Array.of_list schedule in
   let choose ~step ~runnable:(_ : int list) = if step < Array.length p then p.(step) else 0 in
   let _, steps, violation = run_one ?monitor:(mk_monitor ()) ~choose body in

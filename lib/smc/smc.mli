@@ -81,7 +81,10 @@ end
 module Mutex : sig
   type t
 
-  val create : unit -> t
+  (** [?name] labels the lock's class for the {!outcome.lock_names}
+      export ("shard", "stack", "cache", ...); ids stay deterministic
+      per schedule, so the same lock gets the same name on every run. *)
+  val create : ?name:string -> unit -> t
   val lock : t -> unit
   val unlock : t -> unit
   val with_lock : t -> (unit -> 'a) -> 'a
@@ -141,6 +144,15 @@ type outcome = {
           accumulated across {e all} explored schedules (empty unless
           [~sanitize] enables lock-order analysis); reported even when no
           schedule deadlocked *)
+  lock_edges : (int * int) list;
+      (** every [(held, acquired)] acquisition edge accumulated across all
+          explored schedules, sorted (empty unless [~sanitize] enables
+          lock-order analysis) *)
+  lock_names : (int * string) list;
+      (** names for the lock ids appearing in [lock_edges], for locks
+          created with [Mutex.create ~name]. Feeds the
+          [validate --lint-graph] export that [lib/lint] cross-checks
+          against the static acquisition graph. *)
   sanitize_accesses : int;
       (** plain accesses checked by the race monitors, summed over every
           explored schedule (0 with sanitizers off). Coverage evidence: a

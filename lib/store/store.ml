@@ -859,10 +859,10 @@ module Shared = struct
   let flush_shard_exn t i =
     Conc.Shard_table.with_shard_write t.staging i (fun tbl ->
         Conc.Rwlock.with_write t.stack (fun () ->
-            let puts = Hashtbl.fold (fun k v acc ->
+            let puts = Util.Tbl.fold_sorted (fun k v acc ->
                 match v with Some v -> (k, v) :: acc | None -> acc) tbl []
             in
-            let dels = Hashtbl.fold (fun k v acc ->
+            let dels = Util.Tbl.fold_sorted (fun k v acc ->
                 match v with None -> k :: acc | Some _ -> acc) tbl []
             in
             let check = function
@@ -911,7 +911,7 @@ module Shared = struct
               let adds, tombs =
                 Array.fold_left
                   (fun (adds, tombs) tbl ->
-                    Hashtbl.fold
+                    Util.Tbl.fold_sorted
                       (fun k v (adds, tombs) ->
                         match v with
                         | Some _ -> (k :: adds, tombs)

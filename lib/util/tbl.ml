@@ -1,0 +1,16 @@
+(* Deterministic Hashtbl iteration. Hashtbl.iter/fold order depends on
+   the hash seed and insertion history, so any validated or printed
+   output built from it is nondeterministic; the static analyzer
+   (lib/lint) bans them outside the wrapper layers. Order-sensitive
+   sites iterate these sorted snapshots instead; the one Hashtbl.fold
+   below is the waived point. *)
+
+let sorted_bindings ?(compare = Stdlib.compare) t =
+  List.sort (fun (k1, _) (k2, _) -> compare k1 k2) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+
+let sorted_keys ?compare t = List.map fst (sorted_bindings ?compare t)
+
+let iter_sorted ?compare f t = List.iter (fun (k, v) -> f k v) (sorted_bindings ?compare t)
+
+let fold_sorted ?compare f t init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (sorted_bindings ?compare t)

@@ -1,0 +1,14 @@
+(** Deterministic [Hashtbl] iteration.
+
+    [Hashtbl.iter]/[fold] order depends on the hash seed and insertion
+    history; the static analyzer ([lib/lint]) bans them in
+    validated-output paths. Iterate these sorted snapshots instead. Keys
+    sort by [compare] (default: polymorphic compare); bindings for equal
+    keys keep table order, so prefer tables without duplicate keys. *)
+
+val sorted_bindings : ?compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+val sorted_keys : ?compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+val iter_sorted : ?compare:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+
+val fold_sorted :
+  ?compare:('k -> 'k -> int) -> ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) Hashtbl.t -> 'acc -> 'acc

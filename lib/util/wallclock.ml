@@ -1,0 +1,11 @@
+(* The one sanctioned wall-clock read outside bench/ (see lib/lint).
+   Experiments report elapsed time for humans; nothing validated may
+   depend on it, so every read in lib/ funnels through here and the
+   static analyzer waives exactly this file. *)
+
+let now_s () = Unix.gettimeofday ()
+
+let timed f =
+  let t0 = now_s () in
+  let r = f () in
+  (r, now_s () -. t0)

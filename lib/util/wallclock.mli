@@ -1,0 +1,13 @@
+(** The single sanctioned wall-clock helper for experiment timing.
+
+    Validated outputs (conformance verdicts, coverage, counterexamples)
+    must never depend on wall time; experiments may {e report} elapsed
+    seconds for humans. To keep that boundary checkable, every wall-clock
+    read in [lib/] routes through this module and the static analyzer
+    ([lib/lint]) waives exactly one call site: this file. *)
+
+(** Seconds since the epoch, as [Unix.gettimeofday]. *)
+val now_s : unit -> float
+
+(** [timed f] — [f ()]'s result and its elapsed wall time in seconds. *)
+val timed : (unit -> 'a) -> 'a * float

@@ -1,0 +1,110 @@
+(* Bench_record resolves the current commit by reading the repository
+   directly — no subprocess — so every .git layout git produces must be
+   handled: plain directories, packed refs, detached HEADs, and worktrees
+   where [.git] is a "gitdir:" indirection file and refs live behind a
+   [commondir] pointer. Each layout is built by hand in a temp dir. *)
+
+let hash1 = "1111111111111111111111111111111111111111"
+let hash2 = "2222222222222222222222222222222222222222"
+let hash3 = "3333333333333333333333333333333333333333"
+
+let rec mkdirs path =
+  if not (Sys.file_exists path) then begin
+    mkdirs (Filename.dirname path);
+    Sys.mkdir path 0o755
+  end
+
+let write path contents =
+  mkdirs (Filename.dirname path);
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_tmp f =
+  let dir = Filename.temp_file "benchrec_test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let ( / ) = Filename.concat
+
+let test_plain_checkout () =
+  with_tmp (fun tmp ->
+      let root = tmp / "main" in
+      write (root / ".git" / "HEAD") "ref: refs/heads/main\n";
+      write (root / ".git" / "refs" / "heads" / "main") (hash1 ^ "\n");
+      Alcotest.(check string) "loose ref" hash1 (Bench_record.commit ~dir:root ());
+      (* discovery walks up from a subdirectory *)
+      mkdirs (root / "lib" / "store");
+      Alcotest.(check string) "from subdir" hash1
+        (Bench_record.commit ~dir:(root / "lib" / "store") ()))
+
+let test_packed_refs () =
+  with_tmp (fun tmp ->
+      let root = tmp / "main" in
+      write (root / ".git" / "HEAD") "ref: refs/heads/pk\n";
+      write (root / ".git" / "packed-refs")
+        ("# pack-refs with: peeled fully-peeled sorted\n" ^ hash2 ^ " refs/heads/pk\n");
+      Alcotest.(check string) "packed ref" hash2 (Bench_record.commit ~dir:root ()))
+
+let test_detached_head () =
+  with_tmp (fun tmp ->
+      let root = tmp / "main" in
+      write (root / ".git" / "HEAD") (hash3 ^ "\n");
+      Alcotest.(check string) "detached" hash3 (Bench_record.commit ~dir:root ()))
+
+let test_worktree_gitdir () =
+  with_tmp (fun tmp ->
+      let main = tmp / "main" and wt = tmp / "wt" in
+      write (main / ".git" / "HEAD") "ref: refs/heads/main\n";
+      write (main / ".git" / "refs" / "heads" / "main") (hash1 ^ "\n");
+      write (main / ".git" / "refs" / "heads" / "feature") (hash2 ^ "\n");
+      write (main / ".git" / "worktrees" / "wt" / "HEAD") "ref: refs/heads/feature\n";
+      write (main / ".git" / "worktrees" / "wt" / "commondir") "../..\n";
+      mkdirs wt;
+      write (wt / ".git") ("gitdir: " ^ (".." / "main" / ".git" / "worktrees" / "wt") ^ "\n");
+      Alcotest.(check string) "worktree HEAD via commondir" hash2
+        (Bench_record.commit ~dir:wt ());
+      Alcotest.(check string) "primary checkout unaffected" hash1
+        (Bench_record.commit ~dir:main ()))
+
+let test_worktree_packed_ref () =
+  with_tmp (fun tmp ->
+      let main = tmp / "main" and wt = tmp / "wt" in
+      write (main / ".git" / "HEAD") "ref: refs/heads/main\n";
+      write (main / ".git" / "packed-refs") (hash3 ^ " refs/heads/feature\n");
+      write (main / ".git" / "worktrees" / "wt" / "HEAD") "ref: refs/heads/feature\n";
+      write (main / ".git" / "worktrees" / "wt" / "commondir") "../..\n";
+      mkdirs wt;
+      write (wt / ".git") ("gitdir: " ^ (".." / "main" / ".git" / "worktrees" / "wt") ^ "\n");
+      Alcotest.(check string) "worktree ref from primary packed-refs" hash3
+        (Bench_record.commit ~dir:wt ()))
+
+let test_no_repository () =
+  with_tmp (fun tmp ->
+      (* no .git anywhere under tmp; discovery may still escape upward and
+         find an enclosing checkout, so only assert it never raises *)
+      let (_ : string) = Bench_record.commit ~dir:tmp () in
+      ())
+
+let () =
+  Alcotest.run "benchrec"
+    [
+      ( "commit",
+        [
+          Alcotest.test_case "plain checkout" `Quick test_plain_checkout;
+          Alcotest.test_case "packed refs" `Quick test_packed_refs;
+          Alcotest.test_case "detached HEAD" `Quick test_detached_head;
+          Alcotest.test_case "worktree gitdir file" `Quick test_worktree_gitdir;
+          Alcotest.test_case "worktree packed ref" `Quick test_worktree_packed_ref;
+          Alcotest.test_case "no repository" `Quick test_no_repository;
+        ] );
+    ]
