@@ -268,14 +268,15 @@ let shared_run ~domains ~shared_ops ~seed ~lint_graph =
     1
   end
 
-let run_conformance sequences length seed metrics_out batch_weight domains =
+let run_conformance sequences length seed metrics_out batch_weight scan_weight domains =
   Faults.disable_all ();
   Util.Coverage.reset ();
   let config = Lfm.Harness.default_config in
-  (* batch_weight = 0 (the default) keeps the seed-for-seed op streams of a
-     plain sweep; a positive weight mixes PutBatch/DeleteBatch into every
-     profile's alphabet so the sweep also exercises the group-commit path. *)
-  let bias = { Lfm.Gen.default_bias with Lfm.Gen.batch_weight } in
+  (* batch_weight / scan_weight = 0 (the defaults) keep the seed-for-seed
+     op streams of a plain sweep; positive weights mix PutBatch/DeleteBatch
+     and Scan into every profile's alphabet so the sweep also exercises the
+     group-commit and range-scan paths. *)
+  let bias = { Lfm.Gen.default_bias with Lfm.Gen.batch_weight; scan_weight } in
   let total_failures = ref 0 in
   List.iter
     (fun profile ->
@@ -307,6 +308,10 @@ let run_conformance sequences length seed metrics_out batch_weight domains =
   List.iter
     (fun (name, n) -> Printf.printf "  %-40s %d\n" name n)
     (Util.Coverage.snapshot ());
+  (* Scan coverage is only expected when scans are actually generated. *)
+  let expected_coverage =
+    if scan_weight > 0 then expected_coverage @ [ "index.scan" ] else expected_coverage
+  in
   (match Util.Coverage.blind_spots ~expected:expected_coverage () with
   | [] -> Printf.printf "  no blind spots among %d expected paths\n" (List.length expected_coverage)
   | spots -> Printf.printf "  BLIND SPOTS: %s\n" (String.concat ", " spots));
@@ -317,12 +322,12 @@ let run_conformance sequences length seed metrics_out batch_weight domains =
   end
   else 1
 
-let run sequences length seed metrics_out sanitize batch_weight chaos campaigns chaos_length
-    domains shared shared_ops lint_graph =
+let run sequences length seed metrics_out sanitize batch_weight scan_weight chaos campaigns
+    chaos_length domains shared shared_ops lint_graph =
   if shared then shared_run ~domains ~shared_ops ~seed ~lint_graph
   else if chaos then chaos_run ~domains ~campaigns ~length:chaos_length ~seed
   else if sanitize then sanitize_run ~seed
-  else run_conformance sequences length seed metrics_out batch_weight domains
+  else run_conformance sequences length seed metrics_out batch_weight scan_weight domains
 
 let sequences =
   Arg.(value & opt int 2000 & info [ "sequences"; "n" ] ~doc:"Sequences per profile.")
@@ -355,6 +360,15 @@ let batch_weight =
           "Relative weight of PutBatch/DeleteBatch ops in the generated alphabet. 0 (default) \
            generates the classic scalar-only streams; a positive weight exercises the batched \
            request plane and group commit.")
+
+let scan_weight =
+  Arg.(
+    value & opt int 0
+    & info [ "scan-weight" ]
+        ~doc:
+          "Relative weight of Scan ops in the generated alphabet. 0 (default) generates the \
+           classic streams; a positive weight drives snapshot range-scan cursors through \
+           every profile (and adds index.scan to the expected coverage).")
 
 let chaos =
   Arg.(
@@ -417,7 +431,8 @@ let cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Run the pre-deployment conformance checks")
     Term.(
-      const run $ sequences $ length $ seed $ metrics_out $ sanitize $ batch_weight $ chaos
-      $ campaigns $ chaos_length $ domains $ shared $ shared_ops $ lint_graph)
+      const run $ sequences $ length $ seed $ metrics_out $ sanitize $ batch_weight
+      $ scan_weight $ chaos $ campaigns $ chaos_length $ domains $ shared $ shared_ops
+      $ lint_graph)
 
 let () = exit (Cmd.eval' cmd)

@@ -121,7 +121,7 @@ let align_up n align = (n + align - 1) / align * align
    it fits, otherwise the lowest recorded-Free extent (staging a reset first
    when it carries pre-crash bytes — safe because a durably recorded Free
    extent is guaranteed unreferenced). *)
-let allocate t ~need =
+let allocate t ~need ~privileged =
   let fits extent = need <= Io_sched.capacity_left t.sched ~extent in
   let usable extent =
     t.reclaiming <> Some extent
@@ -142,9 +142,13 @@ let allocate t ~need =
     | None ->
     let candidates = List.filter usable (Superblock.free_extents t.sb) in
     (* Headroom: normal puts never consume the last free extent, so
-       reclamation always has somewhere to evacuate live chunks to. *)
+       reclamation always has somewhere to evacuate live chunks to — and so
+       the index can always write the run that empties the memtable.
+       Evacuations and index writes are exactly the writes that turn
+       garbage collectible, so they may spend the reserve. *)
     let candidates =
-      if t.reclaiming = None then (match candidates with [] | [ _ ] -> [] | _ -> candidates)
+      if t.reclaiming = None && not privileged then
+        (match candidates with [] | [ _ ] -> [] | _ -> candidates)
       else candidates
     in
     let rec pick = function
@@ -177,7 +181,8 @@ let put ?(input = Dep.trivial) t ~owner ~payload =
   if padded > Io_sched.extent_size t.sched then Error No_space
   else begin
     let pad = String.make (padded - flen) '\000' in
-    let* extent = allocate t ~need:padded in
+    let privileged = match owner with Chunk_format.Index_run _ -> true | _ -> false in
+    let* extent = allocate t ~need:padded ~privileged in
     let off = Io_sched.soft_ptr t.sched ~extent in
     let* append_dep =
       Result.map_error (fun e -> Io e)
@@ -294,7 +299,7 @@ let put_batch ?(input = Dep.trivial) t ~items =
         if extended then go rest
         else
           let* () = flush_group () in
-          let* extent = allocate t ~need:padded in
+          let* extent = allocate t ~need:padded ~privileged:false in
           group :=
             Some
               {

@@ -14,6 +14,7 @@ type bias = {
   uuid_magic : float;
   max_value : int;
   batch_weight : int;
+  scan_weight : int;
 }
 
 let default_bias =
@@ -23,6 +24,7 @@ let default_bias =
     uuid_magic = 0.05;
     max_value = 150;
     batch_weight = 0;
+    scan_weight = 0;
   }
 
 let unbiased =
@@ -32,6 +34,7 @@ let unbiased =
     uuid_magic = 0.0;
     max_value = 150;
     batch_weight = 0;
+    scan_weight = 0;
   }
 
 type state = {
@@ -107,6 +110,9 @@ let op ~rng ~bias ~profile ~page_size ~extent_count state =
         base @ [ (bias.batch_weight, `PutBatch); (max 1 (bias.batch_weight / 3), `DeleteBatch) ]
       else base
     in
+    (* Scans likewise join only on request, and always at the end of the
+       alphabet, for the same determinism reason. *)
+    let base = if bias.scan_weight > 0 then base @ [ (bias.scan_weight, `Scan) ] else base in
     let crashing = [ (3, `DirtyReboot); (1, `CleanReboot) ] in
     let failing = [ (2, `FailOnce); (1, `FailPermanent); (2, `Heal) ] in
     let choices =
@@ -135,6 +141,17 @@ let op ~rng ~bias ~profile ~page_size ~extent_count state =
       let n = 2 + Rng.int rng 4 in
       Op.DeleteBatch (List.init n (fun _ -> pick_key rng bias state))
     | `List -> Op.List
+    | `Scan ->
+      (* Bounds come from the same biased key pool as point reads, so most
+         scans actually overlap live data; ~30% of each bound is open. *)
+      let bound () = if Rng.chance rng 0.3 then None else Some (pick_key rng bias state) in
+      let lo = bound () and hi = bound () in
+      let lo, hi =
+        match (lo, hi) with
+        | Some l, Some h when String.compare l h > 0 -> (Some h, Some l)
+        | _ -> (lo, hi)
+      in
+      Op.Scan { lo; hi }
     | `IndexFlush -> Op.IndexFlush
     | `SuperblockFlush -> Op.SuperblockFlush
     | `Compact -> Op.Compact

@@ -34,6 +34,10 @@ type bias = {
           third of it); 0 (the default) leaves the alphabet — and thus the
           exact sequences of the deterministic detection experiments —
           unchanged *)
+  scan_weight : int;
+      (** weight of [Scan] in the base alphabet; 0 (the default) keeps the
+          alphabet unchanged, same contract as [batch_weight]. Bounds are
+          drawn from the biased key pool with ~30% open ends. *)
 }
 
 val default_bias : bias

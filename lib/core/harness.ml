@@ -148,7 +148,80 @@ let check_list st =
     if read_tolerable st then ()
     else errf "list keeps failing with no fault armed: %a" S.pp_error e
 
+let bound_holds ~lo ~hi key =
+  (match lo with None -> true | Some l -> String.compare l key <= 0)
+  && match hi with None -> true | Some h -> String.compare key h <= 0
+
+(* Scan conformance: drain one cursor and hold it to three obligations —
+   cursor discipline (strictly ascending, in-bounds keys), per-key value
+   agreement with the model (reconciling post-crash ambiguity exactly like
+   point reads), and completeness (no tracked live key in range missing,
+   no untracked key invented). *)
+let check_scan st ~lo ~hi =
+  let drain () =
+    let ( let* ) = Result.bind in
+    let* cursor = S.scan st.store ?lo ?hi () in
+    let rec go acc =
+      match S.scan_next cursor with
+      | Ok None -> Ok (List.rev acc)
+      | Ok (Some pair) -> go (pair :: acc)
+      | Error e -> Error e
+    in
+    go []
+  in
+  let rec attempt n =
+    match drain () with Ok pairs -> Ok pairs | Error e -> if n > 0 then attempt (n - 1) else Error e
+  in
+  match attempt 3 with
+  | Ok pairs ->
+    ignore
+      (List.fold_left
+         (fun prev (key, _) ->
+           if not (bound_holds ~lo ~hi key) then
+             errf "scan yielded out-of-range key %S" key;
+           (match prev with
+           | Some p when String.compare p key >= 0 ->
+             errf "scan keys not strictly ascending: %S then %S" p key
+           | _ -> ());
+           Some key)
+         None pairs);
+    let tracked = Model.Crash_model.tracked_keys st.model in
+    List.iter
+      (fun key ->
+        if bound_holds ~lo ~hi key then begin
+          let observed = List.assoc_opt key pairs in
+          if Model.Crash_model.needs_reconcile st.model ~key then begin
+            match Model.Crash_model.resolve_read st.model ~key ~observed with
+            | Ok () -> ()
+            | Error v ->
+              fail
+                (Persistence_violation (Format.asprintf "%a" Model.Crash_model.pp_violation v))
+          end
+          else begin
+            let expected = Model.Crash_model.get st.model ~key in
+            if observed <> expected then fail (Divergence { key; expected; actual = observed })
+          end
+        end)
+      tracked;
+    List.iter
+      (fun (key, value) ->
+        if not (List.mem key tracked) then
+          fail (Divergence { key; expected = None; actual = Some value }))
+      pairs
+  | Error S.Out_of_service when not (S.in_service st.store) -> ()
+  | Error e ->
+    if read_tolerable st then ()
+    else errf "scan keeps failing with no fault armed: %a" S.pp_error e
+
+(* The composed per-level discipline is structural: no injected fault is
+   allowed to break it, so it is never excused by [has_failed]. *)
+let check_level_invariants st =
+  match S.level_invariants st.store with
+  | Ok () -> ()
+  | Error msg -> errf "level invariant violated: %s" msg
+
 let full_check st =
+  check_level_invariants st;
   List.iter (fun key -> check_get st key) (Model.Crash_model.tracked_keys st.model);
   check_list st
 
@@ -236,6 +309,7 @@ let apply st op =
     | Error S.Out_of_service when not (S.in_service st.store) -> ()
     | Error e -> tolerate_error st e)
   | Op.List -> check_list st
+  | Op.Scan { lo; hi } -> check_scan st ~lo ~hi
   | Op.IndexFlush -> (
     match S.flush_index st.store with
     | Ok _ -> ()

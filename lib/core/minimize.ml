@@ -53,6 +53,8 @@ let simplify_op op =
       ]
     in
     List.filter_map (fun c -> if c = r then None else Some (Op.DirtyReboot c)) candidates
+  | Op.Scan { lo = None; hi = None } -> []
+  | Op.Scan _ -> [ Op.Scan { lo = None; hi = None } ]
   | Op.Get _ | Op.Delete _ | Op.List | Op.IndexFlush | Op.SuperblockFlush | Op.Compact
   | Op.Reclaim | Op.FailDiskOnce _ | Op.HealDisk _ | Op.RemoveFromService
   | Op.ReturnToService | Op.CleanReboot -> []

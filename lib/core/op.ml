@@ -12,6 +12,7 @@ type t =
   | PutBatch of (string * string) list
   | DeleteBatch of string list
   | List
+  | Scan of { lo : string option; hi : string option }
   | IndexFlush
   | SuperblockFlush
   | Compact
@@ -34,6 +35,12 @@ let pp fmt = function
       (List.fold_left (fun acc (_, v) -> acc + String.length v) 0 ops)
   | DeleteBatch keys -> Format.fprintf fmt "DeleteBatch(%d keys)" (List.length keys)
   | List -> Format.pp_print_string fmt "List"
+  | Scan { lo; hi } ->
+    let pp_bound fmt = function
+      | None -> Format.pp_print_string fmt "-"
+      | Some k -> Format.fprintf fmt "%S" k
+    in
+    Format.fprintf fmt "Scan[%a, %a]" pp_bound lo pp_bound hi
   | IndexFlush -> Format.pp_print_string fmt "IndexFlush"
   | SuperblockFlush -> Format.pp_print_string fmt "SuperblockFlush"
   | Compact -> Format.pp_print_string fmt "Compact"
@@ -54,21 +61,21 @@ let equal = Stdlib.( = )
 
 let is_reboot = function
   | CleanReboot | DirtyReboot _ -> true
-  | Get _ | Put _ | Delete _ | PutBatch _ | DeleteBatch _ | List | IndexFlush
+  | Get _ | Put _ | Delete _ | PutBatch _ | DeleteBatch _ | List | Scan _ | IndexFlush
   | SuperblockFlush | Compact | Reclaim | Pump _ | FailDiskOnce _ | FailDiskPermanent _
   | HealDisk _ | RemoveFromService | ReturnToService -> false
 
 let is_failure = function
   | FailDiskOnce _ | FailDiskPermanent _ | HealDisk _ -> true
-  | Get _ | Put _ | Delete _ | PutBatch _ | DeleteBatch _ | List | IndexFlush
+  | Get _ | Put _ | Delete _ | PutBatch _ | DeleteBatch _ | List | Scan _ | IndexFlush
   | SuperblockFlush | Compact | Reclaim | Pump _ | RemoveFromService | ReturnToService
   | CleanReboot | DirtyReboot _ -> false
 
 let payload_bytes = function
   | Put (_, v) -> String.length v
   | PutBatch ops -> List.fold_left (fun acc (_, v) -> acc + String.length v) 0 ops
-  | Get _ | Delete _ | DeleteBatch _ | List | IndexFlush | SuperblockFlush | Compact
-  | Reclaim | Pump _ | FailDiskOnce _ | FailDiskPermanent _ | HealDisk _
+  | Get _ | Delete _ | DeleteBatch _ | List | Scan _ | IndexFlush | SuperblockFlush
+  | Compact | Reclaim | Pump _ | FailDiskOnce _ | FailDiskPermanent _ | HealDisk _
   | RemoveFromService | ReturnToService | CleanReboot | DirtyReboot _ -> 0
 
 type summary = { ops : int; crashes : int; bytes : int }

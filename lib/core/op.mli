@@ -26,6 +26,9 @@ type t =
       (** one group-committed batch through {!Store.S.put_batch} *)
   | DeleteBatch of string list
   | List
+  | Scan of { lo : string option; hi : string option }
+      (** drain a {!Store.S.scan} cursor over [lo <= key <= hi]
+          ([None] = unbounded) and check it against the model *)
   | IndexFlush
   | SuperblockFlush
   | Compact

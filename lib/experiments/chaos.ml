@@ -34,6 +34,7 @@ type op =
   | Put_many of (string * string) list
   | Delete of { key : string }
   | Get of { key : string }
+  | Scan of { lo : string option; hi : string option }
   | Arm_faults of { node : int; transient : float; permanent : float; seed : int }
   | Disarm_faults of { node : int }
   | Fail_extent of { node : int; extent : int; permanent : bool }
@@ -49,6 +50,9 @@ let pp_op fmt = function
       (String.concat "; " (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ops))
   | Delete { key } -> Format.fprintf fmt "delete %s" key
   | Get { key } -> Format.fprintf fmt "get %s" key
+  | Scan { lo; hi } ->
+    let b = function None -> "-" | Some k -> k in
+    Format.fprintf fmt "scan [%s, %s]" (b lo) (b hi)
   | Arm_faults { node; transient; permanent; seed } ->
     Format.fprintf fmt "arm-faults node %d (transient %.2f, permanent %.3f, seed %d)" node
       transient permanent seed
@@ -170,6 +174,10 @@ let gen_ops ~rng ~length =
           (3, `Destroy);
           (4, `Heal);
           (5, `Repair);
+          (* Appended last: keeps the draw order of the classic alphabet
+             for every op class above, perturbing campaigns as little as
+             adding an op can. *)
+          (5, `Scan);
         ]
       |> function
       | `Put -> Put { key = key (); value = gen_value rng i }
@@ -179,6 +187,15 @@ let gen_ops ~rng ~length =
         Util.Rng.shuffle rng ks;
         Put_many (List.init n (fun j -> (ks.(j), gen_value rng ((i * 10) + j))))
       | `Get -> Get { key = key () }
+      | `Scan ->
+        let bound () = if Util.Rng.chance rng 0.3 then None else Some (key ()) in
+        let lo = bound () and hi = bound () in
+        let lo, hi =
+          match (lo, hi) with
+          | Some l, Some h when String.compare l h > 0 -> (Some h, Some l)
+          | _ -> (lo, hi)
+        in
+        Scan { lo; hi }
       | `Delete -> Delete { key = key () }
       | `Arm ->
         Arm_faults
@@ -250,6 +267,26 @@ let apply fleet model violations idx op =
           (Format.asprintf "read %s = %a, admissible: %a" key pp_value v pp_admissible
              (entry model key))
     | Error _ -> () (* unavailability, not a safety violation *))
+  | Scan { lo; hi } -> (
+    match Fleet.scan fleet ?lo ?hi () with
+    | Ok pairs ->
+      (* Every model key in range is judged by what the scan said about it:
+         a yielded value, or absence — both must be admissible. *)
+      let in_range key =
+        (match lo with None -> true | Some l -> String.compare l key <= 0)
+        && match hi with None -> true | Some h -> String.compare key h <= 0
+      in
+      Array.iter
+        (fun key ->
+          if in_range key then begin
+            let v = List.assoc_opt key pairs in
+            if not (admissible model key v) then
+              violate
+                (Format.asprintf "scan %s = %a, admissible: %a" key pp_value v pp_admissible
+                   (entry model key))
+          end)
+        keys
+    | Error _ -> () (* unavailability, not a safety violation *))
   | Arm_faults { node; transient; permanent; seed } ->
     Disk.arm_random_faults
       (Fleet.node_disk fleet ~node)
@@ -296,6 +333,27 @@ let check_convergence ~seed fleet model violations =
       end
   in
   drain 0;
+  (* After convergence every node's LSM tree must still satisfy the
+     composed per-level discipline: the campaign's crashes and relocations
+     are not allowed to bend the structural invariants. *)
+  for node = 0 to nodes - 1 do
+    match S.level_invariants (Fleet.node_store fleet ~node) with
+    | Ok () -> ()
+    | Error msg -> violate (Printf.sprintf "node %d level invariant violated: %s" node msg)
+  done;
+  (* A full fleet scan must agree with the per-key reads: exactly the
+     committed live keys, each carrying an admissible value. *)
+  (match Fleet.scan fleet () with
+  | Error e -> violate (Format.asprintf "fleet scan failed after convergence: %a" Fleet.pp_error e)
+  | Ok pairs ->
+    Array.iter
+      (fun key ->
+        let v = List.assoc_opt key pairs in
+        if not (admissible model key v) then
+          violate
+            (Format.asprintf "converged scan %s = %a, admissible: %a" key pp_value v
+               pp_admissible (entry model key)))
+      keys);
   Array.iter
     (fun key ->
       let e = entry model key in

@@ -20,6 +20,9 @@ type op =
   | Put_many of (string * string) list
   | Delete of { key : string }
   | Get of { key : string }
+  | Scan of { lo : string option; hi : string option }
+      (** fleet-wide range scan; each model key in range is judged by what
+          the scan said about it (value or absence must be admissible) *)
   | Arm_faults of { node : int; transient : float; permanent : float; seed : int }
   | Disarm_faults of { node : int }
   | Fail_extent of { node : int; extent : int; permanent : bool }

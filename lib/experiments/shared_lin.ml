@@ -87,13 +87,13 @@ let run ?(domains = 4) ?(ops_per_domain = 64) ?(shards = 4) ?(seed = 0) () =
         let result = Store.Shared.put_batch store [ (k, v); (k2, v2) ] in
         let returned = tick () in
         (match result with
-        | Ok () when k2 = k ->
+        | Ok _ when k2 = k ->
           (* both ops land on one key under one lock hold: last wins,
              observable as a single Put of the final value *)
           events :=
             (k, { Linearize.thread = d; op = Put v2; result = Acked; invoked; returned })
             :: !events
-        | Ok () ->
+        | Ok _ ->
           events :=
             (k2, { Linearize.thread = d; op = Put v2; result = Acked; invoked; returned })
             :: (k, { Linearize.thread = d; op = Put v; result = Acked; invoked; returned })

@@ -42,6 +42,7 @@ type ack = { replicas : int; lagging : int list }
 type metrics = {
   m_puts : Obs.Counter.t;
   m_gets : Obs.Counter.t;
+  m_scans : Obs.Counter.t;
   m_deletes : Obs.Counter.t;
   m_put_manys : Obs.Counter.t;
   m_batch_size : Obs.Histogram.t;
@@ -120,6 +121,7 @@ let create ?obs ?(ft = default_ft) config =
       {
         m_puts = Obs.counter obs "fleet.put";
         m_gets = Obs.counter obs "fleet.get";
+        m_scans = Obs.counter obs "fleet.scan";
         m_deletes = Obs.counter obs "fleet.delete";
         m_put_manys = Obs.counter obs "fleet.put_many";
         m_batch_size =
@@ -142,6 +144,7 @@ let node_count t = Array.length t.stores
 let obs t = t.obs
 let node_obs t ~node = S.obs t.stores.(node)
 let node_disk t ~node = S.disk t.stores.(node)
+let node_store t ~node = t.stores.(node)
 let write_quorum t = t.quorum
 let health t ~node = t.state.(node).health
 let tick t = t.clock <- t.clock + 1
@@ -474,6 +477,53 @@ let get t ~key =
         | Error _ -> go (idx + 1) (skipped + 1) lagging rest)
   in
   go 0 0 [] nodes
+
+(* Fleet-wide range scan. Enumeration and resolution are split on purpose:
+   the candidate key set is the union of every available node's local scan
+   plus the in-range dirty keys (a key whose only durable copy sits on a
+   lagging replica still shows up), but each candidate's value comes from
+   the failover {!get} — the one place that knows about dirty-set
+   authority, stale replicas and read-repair. A key no replica can serve
+   fails the whole scan rather than silently vanish from the page. *)
+let scan t ?lo ?hi () =
+  Obs.Counter.incr t.m.m_scans;
+  tick t;
+  let in_range key =
+    (match lo with None -> true | Some l -> String.compare l key <= 0)
+    && match hi with None -> true | Some h -> String.compare key h <= 0
+  in
+  let module Sset = Set.Make (String) in
+  let drain store =
+    let* cursor = S.scan store ?lo ?hi () in
+    let rec go acc =
+      match S.scan_next cursor with
+      | Ok None -> Ok acc
+      | Ok (Some (key, _)) -> go (Sset.add key acc)
+      | Error e -> Error e
+    in
+    go Sset.empty
+  in
+  let rec candidates node acc =
+    if node = node_count t then Ok acc
+    else if not (available t node) then candidates (node + 1) acc
+    else
+      match attempt t node (fun () -> drain t.stores.(node)) with
+      | Ok keys -> candidates (node + 1) (Sset.union keys acc)
+      | Error e -> Error e
+  in
+  let* keys = candidates 0 Sset.empty in
+  let keys =
+    List.fold_left
+      (fun acc key -> if in_range key then Sset.add key acc else acc)
+      keys (dirty_keys t)
+  in
+  Sset.fold
+    (fun key acc ->
+      let* acc = acc in
+      let* v = get t ~key in
+      match v with None -> Ok acc | Some v -> Ok ((key, v) :: acc))
+    keys (Ok [])
+  |> Result.map List.rev
 
 (* Deletes need the same durable acknowledgement as puts, on {e every}
    replica: without version history, a tombstone missing from one replica

@@ -103,6 +103,11 @@ val obs : t -> Obs.t
 (** [node_obs t ~node] — the per-store registry of one node. *)
 val node_obs : t -> node:int -> Obs.t
 
+(** [node_store t ~node] — one node's store, for invariant checks and
+    introspection in tests; request-plane traffic must go through the
+    fleet API. *)
+val node_store : t -> node:int -> Store.Default.t
+
 (** [node_disk t ~node] — the disk under one node's store (chaos campaigns
     arm fault injection through this). *)
 val node_disk : t -> node:int -> Disk.t
@@ -158,6 +163,14 @@ val put_many : t -> (string * string) list -> (unit, error) result
     the dirty set instead. [Error No_live_replica] only when some replica
     was unreachable and none served the shard. *)
 val get : t -> key:string -> (string option, error) result
+
+(** [scan t ?lo ?hi ()] — fleet-wide range scan over [lo <= key <= hi]
+    ([None] = unbounded), ascending. The candidate set is the union of
+    every available node's local scan plus the in-range dirty keys; each
+    candidate resolves through the failover {!get}, so dirty-set authority
+    and read-repair apply exactly as for point reads. Errors if some
+    candidate key currently has no live replica. *)
+val scan : t -> ?lo:string -> ?hi:string -> unit -> ((string * string) list, error) result
 
 (** [delete t ~key] tombstones the shard durably on {e every} placement —
     a partial tombstone would let {!repair} resurrect the shard from a

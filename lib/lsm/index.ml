@@ -27,6 +27,8 @@ type run_ref = {
   run_id : int;
   mutable loc : Chunk.Locator.t;
   dep : Dep.t;  (** dependency covering this run and its metadata record *)
+  min_key : string;  (** smallest key in the run (from metadata, no load) *)
+  max_key : string;  (** largest key in the run *)
 }
 
 type metrics = {
@@ -35,11 +37,15 @@ type metrics = {
   m_get_memtable : Obs.Counter.t;
   m_get_run : Obs.Counter.t;
   m_runs_written : Obs.Counter.t;
+  m_run_bytes : Obs.Counter.t;
   m_flushes : Obs.Counter.t;
   m_compacts : Obs.Counter.t;
+  m_compact_partial : Obs.Counter.t;
+  m_scans : Obs.Counter.t;
   m_recovers : Obs.Counter.t;
   m_memtable_size : Obs.Gauge.t;
   m_run_count : Obs.Gauge.t;
+  m_level_count : Obs.Gauge.t;
 }
 
 type t = {
@@ -49,7 +55,14 @@ type t = {
   m : metrics;
   mutable memtable : (Entry.t * Dep.t) Smap.t;
   mutable memtable_count : int;  (** [Smap.cardinal memtable], tracked O(1) *)
-  mutable runs : run_ref list;  (** newest first *)
+  mutable levels : run_ref list array;
+      (** [levels.(0)] newest first, ranges may overlap; [levels.(i >= 1)]
+          sorted by [min_key] with pairwise-disjoint ranges (the per-level
+          invariant checked by {!level_invariants}) *)
+  mutable l0_trigger : int;
+      (** L0 run count that triggers a levelled step; [0] = monolithic
+          mode (the pre-levelling behaviour: {!compact} merges everything) *)
+  mutable level_ratio : int;  (** level [i >= 1] holds [level_ratio ^ i] runs *)
   mutable next_run_id : int;
   mutable flush_promise : Dep.Promise.promise;
   run_contents : (int, Run.t) Hashtbl.t;
@@ -64,7 +77,8 @@ type t = {
   max_run_payload : int;
 }
 
-let create ?(max_run_payload = 16 * 1024) ?obs chunks ~metadata_extents =
+let create ?(max_run_payload = 16 * 1024) ?(l0_trigger = 4) ?(level_ratio = 4) ?obs chunks
+    ~metadata_extents =
   let sched = Chunk.Chunk_store.sched chunks in
   let obs = match obs with Some o -> o | None -> Chunk.Chunk_store.obs chunks in
   {
@@ -78,15 +92,21 @@ let create ?(max_run_payload = 16 * 1024) ?obs chunks ~metadata_extents =
         m_get_memtable = Obs.counter ~coverage:true obs "index.get.memtable";
         m_get_run = Obs.counter ~coverage:true obs "index.get.run";
         m_runs_written = Obs.counter ~coverage:true obs "index.run_written";
+        m_run_bytes = Obs.counter obs "index.run_bytes";
         m_flushes = Obs.counter obs "index.flush";
         m_compacts = Obs.counter ~coverage:true obs "index.compact";
+        m_compact_partial = Obs.counter ~coverage:true obs "index.compact.partial";
+        m_scans = Obs.counter ~coverage:true obs "index.scan";
         m_recovers = Obs.counter obs "index.recover";
         m_memtable_size = Obs.gauge obs "index.memtable_size";
         m_run_count = Obs.gauge obs "index.run_count";
+        m_level_count = Obs.gauge obs "index.level_count";
       };
     memtable = Smap.empty;
     memtable_count = 0;
-    runs = [];
+    levels = Array.make 1 [];
+    l0_trigger = max 0 l0_trigger;
+    level_ratio = max 2 level_ratio;
     next_run_id = 1;
     flush_promise = Dep.Promise.create ();
     run_contents = Hashtbl.create 16;
@@ -95,16 +115,34 @@ let create ?(max_run_payload = 16 * 1024) ?obs chunks ~metadata_extents =
     max_run_payload;
   }
 
+let configure_levels t ~l0_trigger ~level_ratio =
+  t.l0_trigger <- max 0 l0_trigger;
+  t.level_ratio <- max 2 level_ratio
+
 let obs t = t.obs
 let memtable_size t = t.memtable_count
-let run_count t = List.length t.runs
+let run_count t = Array.fold_left (fun n runs -> n + List.length runs) 0 t.levels
+let levelled t = t.l0_trigger > 0
+
+(* Newest entries first: L0 newest-first, then each deeper (older) level.
+   Within a level >= 1 the runs are range-disjoint, so their relative
+   order never affects shadowing. *)
+let all_runs t = List.concat (Array.to_list t.levels)
+
+let level_runs t =
+  let counts = Array.to_list (Array.map List.length t.levels) in
+  let rec trim = function 0 :: rest -> trim rest | l -> List.rev l in
+  trim (List.rev counts)
+
+let level_count t = List.length (level_runs t)
 
 let sync_gauges t =
   Obs.Gauge.set_int t.m.m_memtable_size (memtable_size t);
-  Obs.Gauge.set_int t.m.m_run_count (run_count t)
+  Obs.Gauge.set_int t.m.m_run_count (run_count t);
+  Obs.Gauge.set_int t.m.m_level_count (level_count t)
 
 let note_extent_reset t = t.reset_seen <- true
-let run_locators t = List.map (fun r -> (r.run_id, r.loc)) t.runs
+let run_locators t = List.map (fun r -> (r.run_id, r.loc)) (all_runs t)
 
 let stage t key entry dep =
   if not (Smap.mem key t.memtable) then t.memtable_count <- t.memtable_count + 1;
@@ -137,14 +175,20 @@ let load_run t (r : run_ref) =
     let* run = Result.map_error (fun e -> Corrupt e) (Run.decode chunk.Chunk.Chunk_format.payload) in
     Ok (memo_run t r.run_id (fun () -> Hashtbl.replace t.run_contents r.run_id run; run))
 
+let run_covers r key = String.compare r.min_key key <= 0 && String.compare key r.max_key <= 0
+
 let find_entry t key =
   match Smap.find_opt key t.memtable with
   | Some (entry, _) ->
     Obs.Counter.incr t.m.m_get_memtable;
     Ok (Some entry)
   | None ->
+    (* Only runs whose recorded range covers the key are loaded: all of
+       L0's covering runs newest-first, then at most one run per deeper
+       level (ranges there are disjoint). *)
     let rec search = function
       | [] -> Ok None
+      | r :: rest when not (run_covers r key) -> search rest
       | r :: rest -> (
         let* run = load_run t r in
         match Run.find run key with
@@ -153,7 +197,7 @@ let find_entry t key =
           Ok (Some entry)
         | None -> search rest)
     in
-    search t.runs
+    search (all_runs t)
 
 let get t ~key =
   let* entry = find_entry t key in
@@ -161,60 +205,144 @@ let get t ~key =
   | Some (Entry.Put locs) -> Ok (Some locs)
   | Some Entry.Tombstone | None -> Ok None
 
-let keys t =
-  let add_pair acc (k, entry) =
-    match entry with
-    | Entry.Put _ -> Smap.add k true acc
-    | Entry.Tombstone -> Smap.add k false acc
+(* {2 Scan cursors}
+
+   A cursor is a k-way merge over snapshot sources captured at open: the
+   memtable bindings (priority 0, newest) and the in-range slice of every
+   run overlapping [lo, hi], in [all_runs] order (L0 newest-first, then
+   deeper levels). All chunk IO happens at open; [cursor_next] is pure. *)
+
+type source = { entries : (string * Entry.t) array; mutable pos : int }
+type cursor = { sources : source list  (** priority order: head shadows tail *) }
+
+let in_range ~lo ~hi k =
+  (match lo with None -> true | Some l -> String.compare l k <= 0)
+  && match hi with None -> true | Some h -> String.compare k h <= 0
+
+let scan t ~lo ~hi =
+  Obs.Counter.incr t.m.m_scans;
+  let mem =
+    Smap.fold (fun k (e, _) acc -> if in_range ~lo ~hi k then (k, e) :: acc else acc) t.memtable []
+    |> List.rev |> Array.of_list
   in
-  (* Oldest runs first so newer bindings overwrite. *)
-  let* from_runs =
+  let overlapping r =
+    (match lo with None -> true | Some l -> String.compare r.max_key l >= 0)
+    && match hi with None -> true | Some h -> String.compare r.min_key h <= 0
+  in
+  let* run_sources =
     List.fold_left
       (fun acc r ->
         let* acc = acc in
-        let* run = load_run t r in
-        Ok (List.fold_left add_pair acc (Run.to_list run)))
-      (Ok Smap.empty) (List.rev t.runs)
+        if not (overlapping r) then Ok acc
+        else
+          let* run = load_run t r in
+          let entries =
+            Run.to_list run |> List.filter (fun (k, _) -> in_range ~lo ~hi k) |> Array.of_list
+          in
+          Ok ({ entries; pos = 0 } :: acc))
+      (Ok []) (all_runs t)
   in
-  let all = Smap.fold (fun k (e, _) acc -> add_pair acc (k, e)) t.memtable from_runs in
-  Ok (Smap.fold (fun k live acc -> if live then k :: acc else acc) all [] |> List.rev)
+  Ok { sources = { entries = mem; pos = 0 } :: List.rev run_sources }
+
+let rec cursor_next c =
+  let best =
+    List.fold_left
+      (fun best s ->
+        if s.pos >= Array.length s.entries then best
+        else
+          let k = fst s.entries.(s.pos) in
+          match best with Some b when String.compare b k <= 0 -> best | _ -> Some k)
+      None c.sources
+  in
+  match best with
+  | None -> None
+  | Some k ->
+    (* The first source holding [k] wins (newest shadow); every source
+       holding [k] advances past it. *)
+    let entry = ref None in
+    List.iter
+      (fun s ->
+        if s.pos < Array.length s.entries && String.equal (fst s.entries.(s.pos)) k then begin
+          if Option.is_none !entry then entry := Some (snd s.entries.(s.pos));
+          s.pos <- s.pos + 1
+        end)
+      c.sources;
+    (match !entry with
+    | Some (Entry.Put locs) -> Some (k, locs)
+    | Some Entry.Tombstone | None -> cursor_next c)
+
+let keys t =
+  let* c = scan t ~lo:None ~hi:None in
+  let rec drain acc =
+    match cursor_next c with None -> Ok (List.rev acc) | Some (k, _) -> drain (k :: acc)
+  in
+  drain []
+
+(* {2 Metadata} *)
 
 let encode_metadata t =
-  let w = Codec.Writer.create ~capacity:(16 + (List.length t.runs * 40)) () in
+  let nlevels =
+    let rec go i = if i = 0 then 0 else if t.levels.(i - 1) <> [] then i else go (i - 1) in
+    go (Array.length t.levels)
+  in
+  let w = Codec.Writer.create ~capacity:(16 + (run_count t * 16)) () in
   Codec.Writer.uint w t.next_run_id;
-  Codec.Writer.u32 w (Int32.of_int (List.length t.runs));
-  List.iter
-    (fun r ->
-      Codec.Writer.uint w r.run_id;
-      Chunk.Locator.encode w r.loc)
-    t.runs;
+  Codec.Writer.uint w nlevels;
+  for i = 0 to nlevels - 1 do
+    Codec.Writer.uint w (List.length t.levels.(i));
+    List.iter
+      (fun r ->
+        Codec.Writer.uint w r.run_id;
+        Chunk.Locator.encode w r.loc)
+      t.levels.(i)
+  done;
   Codec.Writer.contents w
 
+(* Ranges are deliberately not persisted — a record stays O(1) bytes per
+   run, so it keeps fitting its metadata extent as keys grow. Decoding
+   yields per-level [(run_id, locator)] skeletons; {!recover} reloads each
+   run's contents to recompute its range (the record's input dependency
+   covered the run chunks, so a record that survived implies they did),
+   then re-validates the per-level discipline before installing. *)
 let decode_metadata payload =
   let open Codec.Syntax in
   let r = Codec.Reader.of_string payload in
   let* next_run_id = Codec.Reader.uint r in
-  let* count32 = Codec.Reader.u32 r in
-  let count = Int32.to_int count32 in
-  if count < 0 || count > 1 lsl 16 then Error (Codec.Invalid "run count")
+  let* nlevels = Codec.Reader.uint r in
+  if nlevels < 0 || nlevels > 64 then Error (Codec.Invalid "level count")
   else begin
-    let rec go acc i =
-      if i = count then
-        let* () = Codec.Reader.expect_end r in
-        Ok (next_run_id, List.rev acc)
+    let rec read_run_list acc i =
+      if i = 0 then Ok (List.rev acc)
       else
         let* run_id = Codec.Reader.uint r in
         let* loc = Chunk.Locator.decode r in
-        go ((run_id, loc) :: acc) (i + 1)
+        read_run_list ((run_id, loc) :: acc) (i - 1)
     in
-    go [] 0
+    let rec read_levels acc i =
+      if i = nlevels then
+        let* () = Codec.Reader.expect_end r in
+        Ok (List.rev acc)
+      else
+        let* count = Codec.Reader.uint r in
+        if count < 0 || count > 1 lsl 16 then Error (Codec.Invalid "run count")
+        else
+          let* runs = read_run_list [] count in
+          read_levels (runs :: acc) (i + 1)
+    in
+    let* levels = read_levels [] 0 in
+    let ids = List.concat_map (List.map fst) levels in
+    if List.length (List.sort_uniq compare ids) <> List.length ids then
+      Error (Codec.Invalid "duplicate run id")
+    else Ok (next_run_id, levels)
   end
 
 let append_metadata t ~input =
   Result.map_error (fun e -> Roll e) (Logroll.append t.roll ~payload:(encode_metadata t) ~input)
 
 (* Split key-sorted pairs into batches whose serialized run stays within
-   the payload budget (at least one pair per batch). *)
+   the payload budget (at least one pair per batch). Each batch covers a
+   contiguous key interval, so a multi-batch compaction output lands in a
+   level >= 1 as range-disjoint runs by construction. *)
 let batch_pairs t pairs =
   let rec go current current_size batches = function
     | [] -> List.rev (if current = [] then batches else List.rev current :: batches)
@@ -232,21 +360,35 @@ let batch_pairs t pairs =
   go [] 4 [] pairs
 
 (* Write one batch of pairs as a fresh run whose input dependency covers
-   [input]. *)
+   [input]. The caller installs the returned [run_ref] into a level. *)
 let write_run t ~input pairs =
   Obs.Counter.incr t.m.m_runs_written;
   let run = Run.of_pairs pairs in
+  let payload = Run.encode run in
+  Obs.Counter.add t.m.m_run_bytes (String.length payload);
   let run_id = t.next_run_id in
   t.next_run_id <- run_id + 1;
   let* loc, run_dep =
     Result.map_error (fun e -> Chunk e)
       (Chunk.Chunk_store.put ~input t.chunks
-         ~owner:(Chunk.Chunk_format.Index_run run_id) ~payload:(Run.encode run))
+         ~owner:(Chunk.Chunk_format.Index_run run_id) ~payload)
   in
-  t.runs <- { run_id; loc; dep = run_dep } :: t.runs;
+  let min_key = match Run.min_key run with Some k -> k | None -> "" in
+  let max_key = match Run.max_key run with Some k -> k | None -> "" in
   ignore (memo_run t run_id (fun () -> Hashtbl.replace t.run_contents run_id run; run));
-  Obs.Gauge.set_int t.m.m_run_count (run_count t);
-  Ok run_dep
+  Ok ({ run_id; loc; dep = run_dep; min_key; max_key }, run_dep)
+
+(* Write every batch, collecting the new refs; on failure the caller
+   restores its saved levels (the partially written chunks become garbage
+   for reclamation, exactly like a torn pre-levelling compaction). *)
+let write_batches t ~input batches =
+  List.fold_left
+    (fun acc batch ->
+      let* refs, dep = acc in
+      let* rref, run_dep = write_run t ~input batch in
+      Ok (rref :: refs, Dep.and_ dep run_dep))
+    (Ok ([], Dep.trivial))
+    batches
 
 let flush t ~for_shutdown =
   if Smap.is_empty t.memtable then Ok Dep.trivial
@@ -254,14 +396,8 @@ let flush t ~for_shutdown =
     let pairs = Smap.bindings t.memtable in
     let value_deps = Dep.all (List.map (fun (_, (_, d)) -> d) pairs) in
     let batches = batch_pairs t (List.map (fun (k, (e, _)) -> (k, e)) pairs) in
-    let* run_dep =
-      List.fold_left
-        (fun acc batch ->
-          let* acc = acc in
-          let* dep = write_run t ~input:value_deps batch in
-          Ok (Dep.and_ acc dep))
-        (Ok Dep.trivial) batches
-    in
+    let* refs, run_dep = write_batches t ~input:value_deps batches in
+    List.iter (fun r -> t.levels.(0) <- r :: t.levels.(0)) (List.rev refs);
     (* Fault #3: metadata was not flushed correctly during shutdown if an
        extent was reset. *)
     let skip_metadata =
@@ -287,13 +423,126 @@ let flush t ~for_shutdown =
     Ok dep
   end
 
-let compact t =
-  match t.runs with
+(* {2 Compaction} *)
+
+let ensure_level t i =
+  if i >= Array.length t.levels then begin
+    let bigger = Array.make (i + 1) [] in
+    Array.blit t.levels 0 bigger 0 (Array.length t.levels);
+    t.levels <- bigger
+  end
+
+(* Count capacity of level [i]: L0 holds [l0_trigger - 1] runs before a
+   step fires; level [i >= 1] holds [level_ratio ^ i]. Saturating. *)
+let capacity t i =
+  if i = 0 then max 1 t.l0_trigger
+  else begin
+    let rec go acc j =
+      if j = 0 then acc
+      else if acc > max_int / t.level_ratio then max_int
+      else go (acc * t.level_ratio) (j - 1)
+    in
+    go 1 i
+  end
+
+let overfull t i =
+  let n = List.length t.levels.(i) in
+  if i = 0 then t.l0_trigger > 0 && n >= t.l0_trigger else n > capacity t i
+
+let first_overfull t =
+  let rec go i = if i >= Array.length t.levels then None else if overfull t i then Some i else go (i + 1) in
+  go 0
+
+let compaction_due t = levelled t && first_overfull t <> None
+
+let deepest_populated t =
+  let rec go i = if i = 0 then None else if t.levels.(i - 1) <> [] then Some (i - 1) else go (i - 1) in
+  go (Array.length t.levels)
+
+(* One levelled step: merge a victim run of [level] into the overlapping
+   runs of [level + 1]. Tombstones are dropped only when the target is the
+   deepest populated level — anywhere else an older value could survive in
+   a deeper run and be resurrected (the Run.merge contract). *)
+let compact_step t ~level =
+  let victim, remaining_src =
+    if level = 0 then
+      (* L0 runs overlap; evict the oldest so the newer ones keep
+         shadowing it through the level order. *)
+      match List.rev t.levels.(0) with
+      | v :: rest_rev -> (v, List.rev rest_rev)
+      | [] -> invalid_arg "compact_step: empty level"
+    else
+      match t.levels.(level) with
+      | v :: rest -> (v, rest)
+      | [] -> invalid_arg "compact_step: empty level"
+  in
+  let target = level + 1 in
+  ensure_level t target;
+  let overlapping, keep_target =
+    List.partition
+      (fun r ->
+        not
+          (String.compare r.max_key victim.min_key < 0
+          || String.compare r.min_key victim.max_key > 0))
+      t.levels.(target)
+  in
+  let drop_tombstones =
+    match deepest_populated t with Some d -> d <= target | None -> true
+  in
+  let* contents =
+    List.fold_left
+      (fun acc r ->
+        let* acc = acc in
+        let* run = load_run t r in
+        Ok (run :: acc))
+      (Ok []) (victim :: overlapping)
+  in
+  let merged = Run.merge ~drop_tombstones (List.rev contents) in
+  let source_deps = Dep.all (List.map (fun r -> r.dep) (victim :: overlapping)) in
+  Obs.Counter.incr t.m.m_compact_partial;
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~layer:"index" "compact.step"
+      [
+        ("level", string_of_int level);
+        ("victim", string_of_int victim.run_id);
+        ("overlap", string_of_int (List.length overlapping));
+        ("drop_tombstones", string_of_bool drop_tombstones);
+      ];
+  if Run.is_empty merged then begin
+    t.levels.(level) <- remaining_src;
+    t.levels.(target) <- keep_target;
+    sync_gauges t;
+    append_metadata t ~input:source_deps
+  end
+  else begin
+    (* Transactional: only commit the new level contents once every batch
+       chunk is written; a mid-step failure (extent exhaustion) must not
+       lose entries. *)
+    let saved_src = t.levels.(level) and saved_target = t.levels.(target) in
+    t.levels.(level) <- remaining_src;
+    t.levels.(target) <- keep_target;
+    let batches = batch_pairs t (Run.to_list merged) in
+    match write_batches t ~input:source_deps batches with
+    | Error e ->
+      t.levels.(level) <- saved_src;
+      t.levels.(target) <- saved_target;
+      sync_gauges t;
+      Error e
+    | Ok (refs, run_dep) ->
+      t.levels.(target) <-
+        List.sort (fun a b -> String.compare a.min_key b.min_key) (refs @ keep_target);
+      let* meta_dep = append_metadata t ~input:run_dep in
+      sync_gauges t;
+      Ok (Dep.and_ run_dep meta_dep)
+  end
+
+(* Monolithic compaction (l0_trigger = 0): merge every run into one
+   generation, dropping tombstones — the pre-levelling behaviour, kept as
+   the baseline arm of the write-amplification experiment (E15). *)
+let compact_major t =
+  match all_runs t with
   | [] | [ _ ] -> Ok Dep.trivial
   | runs ->
-    Obs.Counter.incr t.m.m_compacts;
-    if Obs.tracing t.obs then
-      Obs.emit t.obs ~layer:"index" "compact" [ ("runs", string_of_int (List.length runs)) ];
     let* contents =
       List.fold_left
         (fun acc r ->
@@ -302,39 +551,111 @@ let compact t =
           Ok (run :: acc))
         (Ok []) runs
     in
-    let merged = Run.merge (List.rev contents) in
+    let merged = Run.merge ~drop_tombstones:true (List.rev contents) in
     let source_deps = Dep.all (List.map (fun r -> r.dep) runs) in
     if Run.is_empty merged then begin
-      t.runs <- [];
+      t.levels <- Array.make 1 [];
       sync_gauges t;
       append_metadata t ~input:source_deps
     end
     else begin
-      (* Transactional: only commit the new run list once every batch chunk
-         is written; a mid-compaction failure (extent exhaustion) must not
-         lose entries. Partially written batches become garbage chunks for
-         reclamation. *)
-      let saved = t.runs in
-      t.runs <- [];
+      let saved = t.levels in
+      t.levels <- Array.make 1 [];
       let batches = batch_pairs t (Run.to_list merged) in
-      let run_dep =
-        List.fold_left
-          (fun acc batch ->
-            let* acc = acc in
-            let* dep = write_run t ~input:source_deps batch in
-            Ok (Dep.and_ acc dep))
-          (Ok Dep.trivial) batches
-      in
-      match run_dep with
+      match write_batches t ~input:source_deps batches with
       | Error e ->
-        t.runs <- saved;
+        t.levels <- saved;
         sync_gauges t;
         Error e
-      | Ok run_dep ->
+      | Ok (refs, run_dep) ->
+        t.levels.(0) <- List.rev refs;
         let* meta_dep = append_metadata t ~input:run_dep in
         sync_gauges t;
         Ok (Dep.and_ run_dep meta_dep)
     end
+
+let lowest_populated t =
+  let rec go i =
+    if i >= Array.length t.levels then None else if t.levels.(i) <> [] then Some i else go (i + 1)
+  in
+  go 0
+
+let compact t =
+  if run_count t <= 1 then Ok Dep.trivial
+  else begin
+    Obs.Counter.incr t.m.m_compacts;
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~layer:"index" "compact"
+        [ ("runs", string_of_int (run_count t)); ("levels", string_of_int (level_count t)) ];
+    if not (levelled t) then compact_major t
+    else begin
+      (* Drain every trigger; bounded so a pathological configuration
+         cannot loop (each step strictly shrinks the overfull prefix). *)
+      let rec drain dep steps =
+        if steps >= 64 then Ok dep
+        else
+          match first_overfull t with
+          | Some level ->
+            let* d = compact_step t ~level in
+            drain (Dep.and_ dep d) (steps + 1)
+          | None -> Ok dep
+      in
+      if compaction_due t then drain Dep.trivial 0
+      else begin
+        (* Quiescent explicit compact: push one run down so repeated calls
+           converge to a single fully-compacted level (the GC ladder and
+           harness Compact ops rely on convergence to reclaim space). *)
+        match (lowest_populated t, deepest_populated t) with
+        | Some lo, Some hi when lo < hi -> compact_step t ~level:lo
+        | Some 0, Some 0 -> compact_step t ~level:0
+        | _ -> Ok Dep.trivial
+      end
+    end
+  end
+
+(* {2 Invariants}
+
+   The composed per-level discipline, checkable at any point without IO:
+   every level >= 1 is sorted by [min_key] with pairwise-disjoint ranges,
+   ids are unique and below [next_run_id], and any memoized run content
+   matches its recorded range. *)
+let level_invariants t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let all = all_runs t in
+  let ids = List.map (fun r -> r.run_id) all in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then err "duplicate run id"
+  else if List.exists (fun id -> id >= t.next_run_id) ids then err "run id >= next_run_id"
+  else if List.exists (fun r -> String.compare r.min_key r.max_key > 0) all then
+    err "run with min_key > max_key"
+  else begin
+    let rec check_level i =
+      if i >= Array.length t.levels then Ok ()
+      else begin
+        let rec disjoint = function
+          | a :: (b :: _ as rest) ->
+            if String.compare a.max_key b.min_key >= 0 then
+              err "level %d: runs %d and %d overlap or are unordered" i a.run_id b.run_id
+            else disjoint rest
+          | _ -> Ok ()
+        in
+        let* () = if i = 0 then Ok () else disjoint t.levels.(i) in
+        check_level (i + 1)
+      end
+    in
+    let* () = check_level 0 in
+    Conc.Rwlock.with_read t.run_lock (fun () ->
+        List.fold_left
+          (fun acc r ->
+            let* () = acc in
+            match Hashtbl.find_opt t.run_contents r.run_id with
+            | None -> Ok ()
+            | Some run -> (
+              match (Run.min_key run, Run.max_key run) with
+              | Some mn, Some mx when String.equal mn r.min_key && String.equal mx r.max_key ->
+                Ok ()
+              | _ -> err "run %d: memoized content range differs from metadata" r.run_id))
+          (Ok ()) all)
+  end
 
 let update_locator t ~key ~old_loc ~new_loc ~new_dep =
   match Smap.find_opt key t.memtable with
@@ -351,6 +672,7 @@ let update_locator t ~key ~old_loc ~new_loc ~new_dep =
        reset waits on this entry's flush. *)
     let rec search = function
       | [] -> Dep.trivial
+      | r :: rest when not (run_covers r key) -> search rest
       | r :: rest -> (
         match load_run t r with
         | Error _ -> Dep.trivial
@@ -365,10 +687,10 @@ let update_locator t ~key ~old_loc ~new_loc ~new_dep =
           | Some _ -> Dep.trivial
           | None -> search rest))
     in
-    search t.runs)
+    search (all_runs t))
 
 let basis_dep t =
-  let runs = Dep.all (List.map (fun r -> r.dep) t.runs) in
+  let runs = Dep.all (List.map (fun r -> r.dep) (all_runs t)) in
   let meta = Logroll.last_record_dep t.roll in
   let memtable =
     if Smap.is_empty t.memtable then Dep.trivial else Dep.Promise.dep t.flush_promise
@@ -376,7 +698,7 @@ let basis_dep t =
   Dep.and_ runs (Dep.and_ meta memtable)
 
 let relocate_run t ~run_id ~new_loc ~new_dep =
-  match List.find_opt (fun r -> r.run_id = run_id) t.runs with
+  match List.find_opt (fun r -> r.run_id = run_id) (all_runs t) with
   | None -> Ok Dep.trivial
   | Some r ->
     r.loc <- new_loc;
@@ -392,13 +714,62 @@ let recover t =
   let result =
     match Logroll.recover t.roll with
     | None ->
-      t.runs <- [];
+      t.levels <- Array.make 1 [];
       t.next_run_id <- 1;
       Ok ()
     | Some (_gen, payload) ->
-      let* next_run_id, runs = Result.map_error (fun e -> Corrupt e) (decode_metadata payload) in
+      let* next_run_id, skeleton =
+        Result.map_error (fun e -> Corrupt e) (decode_metadata payload)
+      in
+      (* Reload every run to recompute its range; the runs land memoized,
+         so the recovered read path starts warm. *)
+      let load_level lvl =
+        List.fold_left
+          (fun acc (run_id, loc) ->
+            let* acc = acc in
+            let* chunk =
+              Result.map_error (fun e -> Chunk e) (Chunk.Chunk_store.get t.chunks loc)
+            in
+            let* run =
+              Result.map_error (fun e -> Corrupt e)
+                (Run.decode chunk.Chunk.Chunk_format.payload)
+            in
+            match (Run.min_key run, Run.max_key run) with
+            | Some min_key, Some max_key ->
+              ignore (memo_run t run_id (fun () -> Hashtbl.replace t.run_contents run_id run; run));
+              Ok ({ run_id; loc; dep = Dep.trivial; min_key; max_key } :: acc)
+            | _ -> Error (Corrupt (Codec.Invalid "empty run in metadata")))
+          (Ok []) lvl
+        |> Result.map List.rev
+      in
+      let* levels =
+        List.fold_left
+          (fun acc lvl ->
+            let* acc = acc in
+            let* runs = load_level lvl in
+            Ok (runs :: acc))
+          (Ok []) skeleton
+        |> Result.map List.rev
+      in
+      (* The overlap-rejection gate: metadata describing an ill-formed
+         tree (overlapping or unordered ranges in a level >= 1) is
+         [Corrupt], never silently installed. *)
+      let rec disjoint_levels i = function
+        | [] -> Ok ()
+        | runs :: deeper ->
+          let rec disjoint = function
+            | a :: (b :: _ as rest) ->
+              if String.compare a.max_key b.min_key >= 0 then
+                Error (Corrupt (Codec.Invalid "level runs overlap or are unordered"))
+              else disjoint rest
+            | _ -> Ok ()
+          in
+          let* () = if i = 0 then Ok () else disjoint runs in
+          disjoint_levels (i + 1) deeper
+      in
+      let* () = disjoint_levels 0 levels in
       t.next_run_id <- next_run_id;
-      t.runs <- List.map (fun (run_id, loc) -> { run_id; loc; dep = Dep.trivial }) runs;
+      t.levels <- (if levels = [] then Array.make 1 [] else Array.of_list levels);
       Ok ()
   in
   sync_gauges t;

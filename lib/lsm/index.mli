@@ -1,19 +1,34 @@
 (** The LSM-tree index: shard key → chunk locators (paper section 2.1).
 
     Mutations land in a volatile memtable. {!flush} serializes the
-    memtable as a sorted {!Run} stored through the chunk store (the tree's
-    own storage is chunks, Fig. 1), then appends a metadata record (the
-    run-locator list) to the reserved metadata extents. An index entry's
-    durability is the {e flush promise}: it persists only when both the
-    covering run chunk and the covering metadata record are durable — and
-    the run chunk's write depends on the entry's value chunks, so a durable
-    index never references non-durable data.
+    memtable as sorted {!Run}s stored through the chunk store (the tree's
+    own storage is chunks, Fig. 1) into level 0, then appends a metadata
+    record (the per-level run-locator table) to the reserved metadata
+    extents. An index entry's durability is the {e flush promise}: it
+    persists only when both the covering run chunk and the covering
+    metadata record are durable — and the run chunk's write depends on the
+    entry's value chunks, so a durable index never references non-durable
+    data.
 
-    {!compact} merges every on-disk run into one, orphaning the old run
-    chunks for reclamation to collect. Reclamation calls back into
-    {!update_locator} (shard chunks) and {!relocate_run} (the tree's own
-    chunks) to keep references crash-consistently ordered ahead of the
+    {b Levelled compaction.} Runs are organized into levels: level 0 holds
+    raw flush output, newest first, with overlapping key ranges; every
+    deeper level holds runs sorted by [min_key] with pairwise-{e disjoint}
+    ranges. When level 0 reaches [l0_trigger] runs (or level [i] exceeds
+    [level_ratio]{^ i} runs) {!compact} merges a victim run into the
+    overlapping runs of the next level — a {e partial} compaction that
+    rewrites only the overlap, keeping tombstones unless the target is the
+    deepest populated level (see {!Run.merge}). [l0_trigger = 0] selects
+    the monolithic mode: {!compact} merges every run into one generation,
+    the pre-levelling behaviour kept as the write-amplification baseline.
+    Old run chunks are orphaned for reclamation; reclamation calls back
+    into {!update_locator} (shard chunks) and {!relocate_run} (the tree's
+    own chunks) to keep references crash-consistently ordered ahead of the
     extent reset.
+
+    {b Scans.} {!scan} opens a cursor with snapshot-at-open semantics: a
+    k-way merge over the memtable and the in-range slice of every
+    overlapping run (all chunk IO happens at open). {!keys} is a thin
+    wrapper that drains a full-range cursor.
 
     Fault site #3: metadata not flushed during shutdown after an extent
     reset. *)
@@ -33,15 +48,31 @@ val error_is_no_space : error -> bool
 (** See {!Io_sched.error_class}. *)
 val error_class : error -> [ `Transient | `Permanent | `Resource | `Fatal ]
 
-(** [create ?max_run_payload ?obs chunks ~metadata_extents] — runs are
-    split so their serialized size stays at or below [max_run_payload]
-    (default 16 KiB), keeping each run chunk small enough for its extent.
-    Metrics ([index.put], [index.flush], coverage-linked [index.get.*] /
-    [index.run_written] / [index.compact], gauges [index.memtable_size] /
-    [index.run_count]) land in [obs], defaulting to the chunk store's
+(** [create ?max_run_payload ?l0_trigger ?level_ratio ?obs chunks
+    ~metadata_extents] — runs are split so their serialized size stays at
+    or below [max_run_payload] (default 16 KiB), keeping each run chunk
+    small enough for its extent. [l0_trigger] (default 4; [0] = monolithic
+    mode) and [level_ratio] (default 4, clamped to >= 2) set the levelled
+    compaction policy; see {!configure_levels}. Metrics ([index.put],
+    [index.flush], [index.run_bytes], coverage-linked [index.get.*] /
+    [index.run_written] / [index.compact] / [index.compact.partial] /
+    [index.scan], gauges [index.memtable_size] / [index.run_count] /
+    [index.level_count]) land in [obs], defaulting to the chunk store's
     registry. *)
 val create :
-  ?max_run_payload:int -> ?obs:Obs.t -> Chunk.Chunk_store.t -> metadata_extents:int * int -> t
+  ?max_run_payload:int ->
+  ?l0_trigger:int ->
+  ?level_ratio:int ->
+  ?obs:Obs.t ->
+  Chunk.Chunk_store.t ->
+  metadata_extents:int * int ->
+  t
+
+(** [configure_levels t ~l0_trigger ~level_ratio] resets the compaction
+    policy knobs ([l0_trigger = 0] = monolithic; [level_ratio] clamped to
+    >= 2). Affects future {!compact} calls only — the level structure
+    itself is untouched. *)
+val configure_levels : t -> l0_trigger:int -> level_ratio:int -> unit
 
 (** The registry this index's metrics land in. *)
 val obs : t -> Obs.t
@@ -54,18 +85,66 @@ val put : t -> key:string -> locators:Chunk.Locator.t list -> value_dep:Dep.t ->
 (** [delete t ~key] stages a tombstone; returns its dependency. *)
 val delete : t -> key:string -> Dep.t
 
-(** [get t ~key] resolves through memtable then runs, newest first. *)
+(** [get t ~key] resolves through memtable, then level 0 newest-first,
+    then at most one covering run per deeper level. *)
 val get : t -> key:string -> (Chunk.Locator.t list option, error) result
 
-(** All live keys, sorted (loads every run). *)
+(** All live keys, sorted: drains a full-range {!scan} cursor. *)
 val keys : t -> (string list, error) result
 
-(** [flush t ~for_shutdown] writes the memtable as a run plus a metadata
-    record and binds the flush promise. No-op on an empty memtable. *)
+(** {2 Scan cursors} *)
+
+type cursor
+
+(** [scan t ~lo ~hi] opens a cursor over the live entries with
+    [lo <= key <= hi] ([None] = unbounded). Snapshot-at-open: the memtable
+    is captured and every overlapping run is loaded before the cursor is
+    returned, so later mutations, flushes or compactions do not affect an
+    open cursor ({!cursor_next} never fails). Counts [index.scan]. *)
+val scan : t -> lo:string option -> hi:string option -> (cursor, error) result
+
+(** Next live entry in ascending key order ([None] when drained).
+    Tombstones are merged away, never yielded. *)
+val cursor_next : cursor -> (string * Chunk.Locator.t list) option
+
+(** {2 Maintenance} *)
+
+(** [flush t ~for_shutdown] writes the memtable as level-0 runs plus a
+    metadata record and binds the flush promise. No-op on an empty
+    memtable. *)
 val flush : t -> for_shutdown:bool -> (Dep.t, error) result
 
-(** [compact t] merges all on-disk runs into one. *)
+(** [compact t] — levelled mode: runs every triggered partial step
+    (victim run into the overlapping runs of the next level); when no
+    trigger fires, pushes one run down so that repeated calls converge to
+    a single fully-compacted level. Monolithic mode ([l0_trigger = 0]):
+    merges every run into one generation. No-op with at most one run. *)
 val compact : t -> (Dep.t, error) result
+
+(** [compact_major t] merges every run into one generation, dropping
+    tombstones, regardless of the levelling policy — the space-pressure
+    escape hatch used by the store's garbage-collection ladder, where
+    incremental levelled steps would churn fresh chunks faster than
+    reclamation frees the superseded ones. *)
+val compact_major : t -> (Dep.t, error) result
+
+(** Whether a levelled trigger currently fires (level 0 at [l0_trigger],
+    or some deeper level above [level_ratio]{^ i} runs). Always [false]
+    in monolithic mode. *)
+val compaction_due : t -> bool
+
+(** Run count per level, deepest-trailing empties trimmed ([[]] when there
+    are no runs). *)
+val level_runs : t -> int list
+
+(** [level_invariants t] checks the composed per-level discipline without
+    IO: every level >= 1 sorted by [min_key] with pairwise-disjoint
+    ranges, unique run ids below the id horizon, and every memoized run's
+    content matching its recorded range. [Error] carries a description of
+    the first violation. *)
+val level_invariants : t -> (unit, string) result
+
+(** {2 Reclamation callbacks} *)
 
 (** [update_locator t ~key ~old_loc ~new_loc ~new_dep] — reclamation
     callback for shard chunks: rewrites the entry so it references
@@ -79,7 +158,8 @@ val update_locator :
   new_dep:Dep.t ->
   Dep.t
 
-(** Current run list, newest first, as (run id, locator). *)
+(** Current runs in search order (level 0 newest first, then deeper
+    levels), as (run id, locator). *)
 val run_locators : t -> (int * Chunk.Locator.t) list
 
 (** [relocate_run t ~run_id ~new_loc ~new_dep] — reclamation callback for
@@ -96,8 +176,10 @@ val basis_dep : t -> Dep.t
     trigger condition). *)
 val note_extent_reset : t -> unit
 
-(** [recover t] reloads the run list from the newest durable metadata
-    record and empties volatile state. *)
+(** [recover t] reloads the level table from the newest durable metadata
+    record and empties volatile state. Metadata describing an ill-formed
+    tree (overlapping or unordered ranges in a level >= 1, duplicate run
+    ids) is rejected as [Corrupt]. *)
 val recover : t -> (unit, error) result
 
 val memtable_size : t -> int

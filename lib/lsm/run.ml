@@ -27,15 +27,22 @@ let find t key =
 
 let to_list = Array.to_list
 
-let merge runs =
+let merge ~drop_tombstones runs =
   (* Head shadows tail: fold oldest-first so newer bindings overwrite. *)
   let m =
     List.fold_left
       (fun m run -> Array.fold_left (fun m (k, e) -> Smap.add k e m) m run)
       Smap.empty (List.rev runs)
   in
-  let live = Smap.filter (fun _ e -> match e with Entry.Tombstone -> false | Entry.Put _ -> true) m in
-  Array.of_list (Smap.bindings live)
+  let keep =
+    if drop_tombstones then
+      Smap.filter (fun _ e -> match e with Entry.Tombstone -> false | Entry.Put _ -> true) m
+    else m
+  in
+  Array.of_list (Smap.bindings keep)
+
+let min_key t = if Array.length t = 0 then None else Some (fst t.(0))
+let max_key t = if Array.length t = 0 then None else Some (fst t.(Array.length t - 1))
 
 let replace_locator t ~key ~old_loc ~new_loc =
   match find t key with

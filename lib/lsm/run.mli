@@ -20,10 +20,18 @@ val find : t -> string -> Entry.t option
 (** All pairs in key order. *)
 val to_list : t -> (string * Entry.t) list
 
-(** [merge newest_first] merges runs (head shadows tail), dropping
-    tombstones: valid only for full compactions where no older run
-    remains. *)
-val merge : t list -> t
+(** [merge ~drop_tombstones newest_first] merges runs (head shadows tail).
+    [drop_tombstones:true] is valid only when no older entry for any merged
+    key can survive elsewhere — i.e. when merging into the {e deepest}
+    populated level (or a full compaction). Partial levelled merges must
+    pass [false]: a dropped tombstone there would resurrect an older value
+    still sitting in a deeper run. *)
+val merge : drop_tombstones:bool -> t list -> t
+
+(** Smallest / largest key of the run ([None] when empty). *)
+val min_key : t -> string option
+
+val max_key : t -> string option
 
 (** [replace_locator t ~key ~old_loc ~new_loc] — a copy with one locator
     substituted, or [None] if [key]'s entry does not reference [old_loc]. *)

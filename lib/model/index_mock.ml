@@ -27,8 +27,35 @@ let get t ~key =
 let keys t =
   Ok (Util.Tbl.sorted_keys ~compare:String.compare t.table)
 
+type cursor = { mutable remaining : (string * Chunk.Locator.t list) list }
+
+let scan t ~lo ~hi =
+  let in_range k =
+    (match lo with None -> true | Some l -> String.compare l k <= 0)
+    && match hi with None -> true | Some h -> String.compare k h <= 0
+  in
+  let remaining =
+    Util.Tbl.fold_sorted
+      (fun k (locs, _) acc -> if in_range k then (k, locs) :: acc else acc)
+      t.table []
+    |> List.rev
+  in
+  Ok { remaining }
+
+let cursor_next c =
+  match c.remaining with
+  | [] -> None
+  | pair :: rest ->
+    c.remaining <- rest;
+    Some pair
+
+let configure_levels _t ~l0_trigger:_ ~level_ratio:_ = ()
+let compaction_due _t = false
+let level_runs _t = []
+let level_invariants _t = Ok ()
 let flush _t ~for_shutdown:_ = Ok Dep.trivial
 let compact _t = Ok Dep.trivial
+let compact_major _t = Ok Dep.trivial
 
 let update_locator t ~key ~old_loc ~new_loc ~new_dep =
   match Hashtbl.find_opt t.table key with

@@ -15,6 +15,12 @@ type request =
   | Migrate of { key : string; to_disk : int }
   | Node_stats
   | Batch_request of { ops : batch_op list }
+  | Scan_request of {
+      lo : string option;
+      hi : string option;
+      after : string option;
+      max_results : int;
+    }
 
 type metric = {
   metric_name : string;
@@ -32,6 +38,7 @@ type response =
   | Error_response of string
   | Batch_response of { statuses : op_status list }
   | Quorum_ack of { acked : int; lagging : int list }
+  | Scan_response of { items : (string * string) list; more : bool }
 
 let pp_request fmt = function
   | Put { key; value } -> Format.fprintf fmt "put %S (%d bytes)" key (String.length value)
@@ -49,6 +56,9 @@ let pp_request fmt = function
     in
     Format.fprintf fmt "batch (%d ops: %d puts, %d deletes)" (List.length ops) puts
       (List.length ops - puts)
+  | Scan_request { lo; hi; after; max_results } ->
+    let b = function None -> "-" | Some k -> Printf.sprintf "%S" k in
+    Format.fprintf fmt "scan [%s, %s] after %s max %d" (b lo) (b hi) (b after) max_results
 
 let pp_response fmt = function
   | Ack -> Format.pp_print_string fmt "ack"
@@ -67,6 +77,8 @@ let pp_response fmt = function
     Format.fprintf fmt "batch: %d statuses (%d failed)" (List.length statuses) failed
   | Quorum_ack { acked; lagging } ->
     Format.fprintf fmt "quorum-ack: %d replicas (%d lagging)" acked (List.length lagging)
+  | Scan_response { items; more } ->
+    Format.fprintf fmt "scan page: %d items%s" (List.length items) (if more then " (more)" else "")
 
 let request_equal = Stdlib.( = )
 let response_equal = Stdlib.( = )
@@ -77,10 +89,29 @@ let max_batch_ops = 1 lsl 16
 let max_op_key_bytes = 4096
 let max_op_value_bytes = 256 * 1024
 let max_lagging_nodes = 4096
+let max_scan_items = 1 lsl 16
 
 let encode_strings w keys =
   Codec.Writer.u32 w (Int32.of_int (List.length keys));
   List.iter (Codec.Writer.lstring w) keys
+
+(* Optional strings travel as a one-byte presence flag + lstring, so the
+   empty string and "absent" stay distinguishable on the wire. *)
+let encode_opt_string w = function
+  | None -> Codec.Writer.u8 w 0
+  | Some s ->
+    Codec.Writer.u8 w 1;
+    Codec.Writer.lstring w s
+
+let decode_opt_string r =
+  let open Codec.Syntax in
+  let* present = Codec.Reader.u8 r in
+  match present with
+  | 0 -> Ok None
+  | 1 ->
+    let+ s = Codec.Reader.lstring r in
+    Some s
+  | _ -> Error (Codec.Invalid "option presence flag")
 
 let decode_strings r =
   let open Codec.Syntax in
@@ -262,7 +293,13 @@ let encode_request req =
         Codec.Writer.uint w to_disk
       | Batch_request { ops } ->
         Codec.Writer.u8 w 9;
-        encode_batch_ops w ops)
+        encode_batch_ops w ops
+      | Scan_request { lo; hi; after; max_results } ->
+        Codec.Writer.u8 w 10;
+        encode_opt_string w lo;
+        encode_opt_string w hi;
+        encode_opt_string w after;
+        Codec.Writer.uint w max_results)
 
 let decode_request s =
   let open Codec.Syntax in
@@ -299,6 +336,14 @@ let decode_request s =
     | 9 ->
       let+ ops = decode_batch_ops r in
       Batch_request { ops }
+    | 10 ->
+      let* lo = decode_opt_string r in
+      let* hi = decode_opt_string r in
+      let* after = decode_opt_string r in
+      let* max_results = Codec.Reader.uint r in
+      if max_results < 0 || max_results > max_scan_items then
+        Error (Codec.Invalid "scan max_results")
+      else Ok (Scan_request { lo; hi; after; max_results })
     | _ -> Error (Codec.Invalid "request tag")
   in
   let* () = Codec.Reader.expect_end r in
@@ -334,7 +379,16 @@ let encode_response resp =
         Codec.Writer.u8 w 6;
         Codec.Writer.uint w acked;
         Codec.Writer.u32 w (Int32.of_int (List.length lagging));
-        List.iter (Codec.Writer.uint w) lagging)
+        List.iter (Codec.Writer.uint w) lagging
+      | Scan_response { items; more } ->
+        Codec.Writer.u8 w 7;
+        Codec.Writer.u8 w (if more then 1 else 0);
+        Codec.Writer.u32 w (Int32.of_int (List.length items));
+        List.iter
+          (fun (k, v) ->
+            Codec.Writer.lstring w k;
+            Codec.Writer.lstring w v)
+          items)
 
 let decode_response s =
   let open Codec.Syntax in
@@ -381,6 +435,27 @@ let decode_response s =
         in
         go [] 0
       end
+    | 7 -> (
+      let* more_flag = Codec.Reader.u8 r in
+      let* more =
+        match more_flag with
+        | 0 -> Ok false
+        | 1 -> Ok true
+        | _ -> Error (Codec.Invalid "scan more flag")
+      in
+      let* count32 = Codec.Reader.u32 r in
+      let count = Int32.to_int count32 in
+      if count < 0 || count > max_scan_items then Error (Codec.Invalid "scan item count")
+      else begin
+        let rec go acc i =
+          if i = count then Ok (Scan_response { items = List.rev acc; more })
+          else
+            let* k = Codec.Reader.lstring r in
+            let* v = Codec.Reader.lstring r in
+            go ((k, v) :: acc) (i + 1)
+        in
+        go [] 0
+      end)
     | _ -> Error (Codec.Invalid "response tag")
   in
   let* () = Codec.Reader.expect_end r in

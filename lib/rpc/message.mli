@@ -26,6 +26,17 @@ type request =
   | Batch_request of { ops : batch_op list }
       (** group-committed mutations; answered with {!Batch_response}
           carrying one {!op_status} per op, in order *)
+  | Scan_request of {
+      lo : string option;
+      hi : string option;
+      after : string option;
+      max_results : int;
+    }
+      (** paginated range scan over [lo <= key <= hi] ([None] = unbounded):
+          the node returns up to [max_results] (clamped to
+          {!max_scan_items}) key/value pairs strictly after [after] (the
+          continuation token — the last key of the previous page), answered
+          with {!Scan_response} *)
 
 (** One flattened metric sample from a disk's {!Obs} registry. Counters
     and gauges ship their value; histograms ship [.count] / [.sum]
@@ -52,6 +63,9 @@ type response =
   | Quorum_ack of { acked : int; lagging : int list }
       (** degraded-mode write acknowledgement: durable on [acked] replicas
           (>= write quorum) with [lagging] node ids still owed the write *)
+  | Scan_response of { items : (string * string) list; more : bool }
+      (** one scan page, keys ascending; [more] means another page exists —
+          continue with [after = last key of items] *)
 
 (** {2 Protocol limits}
 
@@ -72,6 +86,10 @@ val max_op_value_bytes : int
 
 (** Most lagging-replica ids a {!Quorum_ack} may carry on the wire. *)
 val max_lagging_nodes : int
+
+(** Most items one {!Scan_response} page may carry (and the cap
+    [max_results] is clamped to). *)
+val max_scan_items : int
 
 val pp_request : Format.formatter -> request -> unit
 val pp_response : Format.formatter -> response -> unit

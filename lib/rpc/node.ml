@@ -41,6 +41,7 @@ let request_kind = function
   | Message.Migrate _ -> "migrate"
   | Message.Node_stats -> "node_stats"
   | Message.Batch_request _ -> "batch"
+  | Message.Scan_request _ -> "scan"
 
 let disk_of_key t key =
   match Hashtbl.find_opt t.placements key with
@@ -274,6 +275,61 @@ let handle_inner t req =
         flush_run run)
       buckets;
     Message.Batch_response { statuses = Array.to_list statuses }
+  | Message.Scan_request { lo; hi; after; max_results } -> (
+    if max_results <= 0 then err "scan max_results must be positive"
+    else begin
+      (* Keys are hashed across disks, so one page is a merge over every
+         disk; as with List, a partial union would silently drop shards. *)
+      let out_of_service = Array.exists (fun s -> not (S.in_service s)) t.stores in
+      if out_of_service then err "scan unavailable: some disks out of service"
+      else begin
+        (* The continuation token is exclusive: page N+1 starts strictly
+           after the last key of page N, so the effective lower bound is
+           the tighter of [lo] and [after]. *)
+        let lo =
+          match (lo, after) with
+          | Some l, Some a -> Some (if String.compare l a >= 0 then l else a)
+          | None, Some a -> Some a
+          | _, None -> lo
+        in
+        let drain store =
+          let ( let* ) = Result.bind in
+          let* cursor = S.scan store ?lo ?hi () in
+          let rec go acc =
+            match S.scan_next cursor with
+            | Ok None -> Ok acc
+            | Ok (Some pair) -> go (pair :: acc)
+            | Error e -> Error e
+          in
+          go []
+        in
+        let rec collect i acc =
+          if i = Array.length t.stores then Ok acc
+          else
+            match drain t.stores.(i) with
+            | Ok pairs -> collect (i + 1) (List.rev_append pairs acc)
+            | Error e -> Error e
+        in
+        match collect 0 [] with
+        | Error e -> err "%a" S.pp_error e
+        | Ok pairs ->
+          let pairs =
+            List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
+            |> List.filter (fun (k, _) ->
+                   match after with None -> true | Some a -> String.compare k a > 0)
+          in
+          let cap = min max_results Message.max_scan_items in
+          let rec take n = function
+            | rest when n = 0 -> ([], rest <> [])
+            | [] -> ([], false)
+            | pair :: rest ->
+              let page, more = take (n - 1) rest in
+              (pair :: page, more)
+          in
+          let items, more = take cap pairs in
+          Message.Scan_response { items; more }
+      end
+    end)
   | Message.Node_stats ->
     let in_service =
       Array.fold_left (fun acc s -> if S.in_service s then acc + 1 else acc) 0 t.stores

@@ -23,6 +23,8 @@ module type S = sig
     superblock_cadence : int;
     index_flush_threshold : int;
     compact_threshold : int;
+    l0_trigger : int;
+    level_ratio : int;
     auto_pump : int;
     cache_pages : int;
     cache_write_allocate : bool;
@@ -53,6 +55,26 @@ module type S = sig
   val get : t -> key:string -> (string option, error) result
   val delete : t -> key:string -> (Dep.t, error) result
   val list : t -> (string list, error) result
+
+  (** A range-scan handle: the key set is pinned at open (snapshot over
+      memtable and runs), values are resolved per {!scan_next}. *)
+  type scan
+
+  (** [scan t ?lo ?hi ()] opens a cursor over live keys in
+      [lo <= key <= hi] (unbounded when omitted). *)
+  val scan : t -> ?lo:string -> ?hi:string -> unit -> (scan, error) result
+
+  (** Next [(key, value)] in ascending key order; [Ok None] when drained.
+      Value chunks are read at call time, so a concurrent reclaim can
+      surface as a per-entry error (exactly like {!get}). *)
+  val scan_next : scan -> ((string * string) option, error) result
+
+  (** Run count per level of the index (trailing empties trimmed). *)
+  val level_runs : t -> int list
+
+  (** The index's composed per-level invariant (see
+      {!Store_intf.INDEX.level_invariants}). *)
+  val level_invariants : t -> (unit, string) result
 
   (** Raw index lookup (introspection for tests and tools). *)
   val locators : t -> key:string -> (Chunk.Locator.t list option, error) result
@@ -144,6 +166,8 @@ module Make (Index : Store_intf.INDEX) = struct
     superblock_cadence : int;
     index_flush_threshold : int;
     compact_threshold : int;
+    l0_trigger : int;
+    level_ratio : int;
     auto_pump : int;
     cache_pages : int;
     cache_write_allocate : bool;
@@ -157,6 +181,8 @@ module Make (Index : Store_intf.INDEX) = struct
       superblock_cadence = 8;
       index_flush_threshold = 32;
       compact_threshold = 6;
+      l0_trigger = 4;
+      level_ratio = 4;
       auto_pump = 4;
       cache_pages = 128;
       cache_write_allocate = false;
@@ -170,6 +196,8 @@ module Make (Index : Store_intf.INDEX) = struct
       superblock_cadence = 0;
       index_flush_threshold = 0;
       compact_threshold = 0;
+      l0_trigger = 3;
+      level_ratio = 3;
       auto_pump = 0;
       cache_pages = 16;
       cache_write_allocate = false;
@@ -180,6 +208,7 @@ module Make (Index : Store_intf.INDEX) = struct
     m_puts : Obs.Counter.t;
     m_gets : Obs.Counter.t;
     m_deletes : Obs.Counter.t;
+    m_scans : Obs.Counter.t;
     m_reclaims : Obs.Counter.t;
     m_gc_fallback : Obs.Counter.t;
     m_recovers : Obs.Counter.t;
@@ -231,6 +260,7 @@ module Make (Index : Store_intf.INDEX) = struct
     let rng = Util.Rng.create (Int64.add cfg.seed 17L) in
     let chunks = Chunk.Chunk_store.create ~obs sched ~cache ~superblock:sb ~rng in
     let index = Index.create ~obs chunks ~metadata_extents:meta_extents in
+    Index.configure_levels index ~l0_trigger:cfg.l0_trigger ~level_ratio:cfg.level_ratio;
     {
       cfg;
       disk;
@@ -245,6 +275,7 @@ module Make (Index : Store_intf.INDEX) = struct
           m_puts = Obs.counter obs "store.put";
           m_gets = Obs.counter obs "store.get";
           m_deletes = Obs.counter obs "store.delete";
+          m_scans = Obs.counter obs "store.scan";
           m_reclaims = Obs.counter obs "store.reclaim";
           m_gc_fallback = Obs.counter ~coverage:true obs "store.put.gc_fallback";
           m_recovers = Obs.counter obs "store.recover";
@@ -339,6 +370,23 @@ module Make (Index : Store_intf.INDEX) = struct
 
   let reclaim t ?extent ?(avoid = []) () =
     let* () = check_service t in
+    (* Reclamation must not run against volatile staging: liveness here is
+       judged through the memtable (shadowed drops, relocated staged
+       references), so every reset staged with a non-empty memtable waits
+       on the flush promise. If the flush itself cannot proceed, such a
+       reset can never retire — and a reclaim loop under space pressure
+       would convert every free extent into that state, wedging the store
+       (the flush then needs an extent only those resets can return).
+       Flush first; if we cannot, reclaim nothing. *)
+    let flushed =
+      Index.memtable_size t.index = 0
+      ||
+      match Index.flush t.index ~for_shutdown:false with
+      | Ok (_ : Dep.t) -> true
+      | Error (_ : Index.error) -> false
+    in
+    if not flushed then Ok None
+    else
     let target =
       match extent with
       | Some e -> Some e
@@ -400,6 +448,34 @@ module Make (Index : Store_intf.INDEX) = struct
      can and retry once. A failed flush attempt leaves already-written runs
      referenced (they are shadowed, never corrupt) and the memtable intact,
      so the retry is safe. *)
+  (* Data appends — and the metadata records that reference them — wait on
+     the superblock cadence promise; until a record binds it, no pending
+     reset can retire and reclamation cannot return a single extent. The
+     request plane binds the promise on its own schedule, but under space
+     pressure that schedule may never come back around (a full disk fails
+     the very put whose acknowledgement would have flushed the superblock),
+     so binding the promise is part of garbage collection too. The record
+     itself has trivial input and lives on a reserved extent, so it is
+     always writable; the pump then drains the whole chain — record, data
+     appends, metadata records, resets — in one pass. *)
+  let unwedge_writeback t =
+    (match Superblock.flush t.sb with Ok (_ : Dep.t) -> () | Error (_ : Superblock.error) -> ());
+    ignore (Io_sched.pump t.sched)
+
+  (* The other promise reclamation can wait on is the index's flush promise:
+     a reclaim decided against volatile staging (a shadowed drop, a
+     relocated staged reference) may only destroy the old bytes once the
+     staging is durable. Best-effort flush the memtable before reclaiming so
+     the resets we are about to stage carry durable deps — run writes are
+     [privileged] at the allocator, so this can spend the reserve extent
+     that plain data puts must leave behind. *)
+  let bind_flush_promise t =
+    if Index.memtable_size t.index > 0 then
+      (match Index.flush t.index ~for_shutdown:false with
+      | Ok (_ : Dep.t) -> ()
+      | Error (_ : Index.error) -> ());
+    unwedge_writeback t
+
   (* Reclamation that could not complete for lack of resources is "nothing
      reclaimed", not a hard failure. *)
   let reclaim_soft ?avoid t =
@@ -409,8 +485,13 @@ module Make (Index : Store_intf.INDEX) = struct
     | Error (Index e) when Index.error_is_no_space e -> Ok None
     | Error e -> Error e
 
+  (* Every iteration binds and drains: the resets staged by one reclaim
+     reference the promise current at staging time, so they can only retire
+     after the {e next} record — flushing once at the end would leave the
+     last round's resets pending and the extents they cover unusable. *)
   let rec drain_reclaim ?avoid t =
     let* r = reclaim_soft ?avoid t in
+    unwedge_writeback t;
     match r with
     | Some _ -> drain_reclaim ?avoid t
     | None -> Ok ()
@@ -424,8 +505,27 @@ module Make (Index : Store_intf.INDEX) = struct
     match Index.compact t.index with
     | Ok dep -> Ok dep
     | Error e when Index.error_is_no_space e ->
+      bind_flush_promise t;
       let* () = drain_reclaim t in
       normalize_no_space (Index.compact t.index)
+    | Error e -> Error (Index e)
+
+  (* Space-pressure compaction is always a {e major} compaction: merge
+     every run into one generation so all superseded chunks become garbage
+     at once. Incremental levelled steps are wrong here — each rewrites a
+     victim into fresh chunks, churning extents faster than reclamation
+     returns them. The trigger-driven steps handle steady-state
+     maintenance; this is the escape hatch. *)
+  let compact_gc t =
+    match Index.compact_major t.index with
+    | Ok _ -> Ok ()
+    | Error e when Index.error_is_no_space e -> (
+      bind_flush_promise t;
+      let* () = drain_reclaim t in
+      match Index.compact_major t.index with
+      | Ok _ -> Ok ()
+      | Error e when Index.error_is_no_space e -> Ok ()
+      | Error e -> Error (Index e))
     | Error e -> Error (Index e)
 
   (* A rejected flush is retried after garbage collection: reclamation
@@ -435,13 +535,12 @@ module Make (Index : Store_intf.INDEX) = struct
     match Index.flush t.index ~for_shutdown with
     | Ok dep -> Ok dep
     | Error e when Index.error_is_no_space e -> (
+      unwedge_writeback t;
       let* () = drain_reclaim t in
       match Index.flush t.index ~for_shutdown with
       | Ok dep -> Ok dep
       | Error e when Index.error_is_no_space e ->
-        let* () =
-          match compact t with Ok _ | Error No_space -> Ok () | Error e -> Error e
-        in
+        let* () = compact_gc t in
         let* () = drain_reclaim t in
         normalize_no_space (Index.flush t.index ~for_shutdown)
       | Error e -> Error (Index e))
@@ -477,14 +576,14 @@ module Make (Index : Store_intf.INDEX) = struct
     | None -> (
       Obs.Counter.incr t.m.m_gc_fallback;
       if Obs.tracing t.obs then Obs.emit t.obs ~layer:"store" "gc_fallback" [];
+      bind_flush_promise t;
       let* _ = reclaim_soft t in
+      unwedge_writeback t;
       let* second = attempt () in
       match second with
       | Some r -> Ok r
       | None -> (
-        let* () =
-          match compact t with Ok _ | Error No_space -> Ok () | Error e -> Error e
-        in
+        let* () = compact_gc t in
         let* () = drain_reclaim t in
         (* Draining the scheduler lets pending resets complete, returning
            reclaimed extents to the allocatable pool. *)
@@ -507,7 +606,10 @@ module Make (Index : Store_intf.INDEX) = struct
         t.cfg.index_flush_threshold > 0
         && Index.memtable_size t.index >= t.cfg.index_flush_threshold
       then ignore (flush_index t);
-      if t.cfg.compact_threshold > 0 && Index.run_count t.index > t.cfg.compact_threshold
+      if
+        t.cfg.compact_threshold > 0
+        && (Index.run_count t.index > t.cfg.compact_threshold
+           || Index.compaction_due t.index)
       then ignore (compact t);
       if
         t.cfg.superblock_cadence > 0
@@ -552,6 +654,25 @@ module Make (Index : Store_intf.INDEX) = struct
     after_mutation t;
     Ok dep
 
+  (* Resolve a locator list to the value bytes, checking shard ownership
+     of every chunk — shared by [get] and [scan_next]. *)
+  let read_value t ~key locs =
+    let buf = Buffer.create 256 in
+    let* () =
+      List.fold_left
+        (fun acc loc ->
+          let* () = acc in
+          let* chunk = chunk_err (Chunk.Chunk_store.get t.chunks loc) in
+          match chunk.Chunk.Chunk_format.owner with
+          | Chunk.Chunk_format.Shard k when String.equal k key ->
+            Buffer.add_string buf chunk.Chunk.Chunk_format.payload;
+            Ok ()
+          | Chunk.Chunk_format.Shard _ | Chunk.Chunk_format.Index_run _ ->
+            Error (Wrong_owner key))
+        (Ok ()) locs
+    in
+    Ok (Buffer.contents buf)
+
   let get t ~key =
     let* () = check_service t in
     Obs.Counter.incr t.m.m_gets;
@@ -559,21 +680,36 @@ module Make (Index : Store_intf.INDEX) = struct
     match locs with
     | None -> Ok None
     | Some locs ->
-      let buf = Buffer.create 256 in
-      let* () =
-        List.fold_left
-          (fun acc loc ->
-            let* () = acc in
-            let* chunk = chunk_err (Chunk.Chunk_store.get t.chunks loc) in
-            match chunk.Chunk.Chunk_format.owner with
-            | Chunk.Chunk_format.Shard k when String.equal k key ->
-              Buffer.add_string buf chunk.Chunk.Chunk_format.payload;
-              Ok ()
-            | Chunk.Chunk_format.Shard _ | Chunk.Chunk_format.Index_run _ ->
-              Error (Wrong_owner key))
-          (Ok ()) locs
-      in
-      Ok (Some (Buffer.contents buf))
+      let* value = read_value t ~key locs in
+      Ok (Some value)
+
+  (* {2 Range scans} *)
+
+  type scan = { cursor : Index.cursor; scan_store : t }
+
+  let scan t ?lo ?hi () =
+    let* () = check_service t in
+    Obs.Counter.incr t.m.m_scans;
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~layer:"store" "scan"
+        [ ("lo", Option.value ~default:"-" lo); ("hi", Option.value ~default:"-" hi) ];
+    let* cursor = index_err (Index.scan t.index ~lo ~hi) in
+    Ok { cursor; scan_store = t }
+
+  (* The cursor pinned the key set at open; the value chunks are read per
+     entry, so this can fail like [get] (e.g. a reclaim moved the chunk
+     after open — the index snapshot keeps the stale locator). *)
+  let scan_next s =
+    let t = s.scan_store in
+    let* () = check_service t in
+    match Index.cursor_next s.cursor with
+    | None -> Ok None
+    | Some (key, locs) ->
+      let* value = read_value t ~key locs in
+      Ok (Some (key, value))
+
+  let level_runs t = Index.level_runs t.index
+  let level_invariants t = Index.level_invariants t.index
 
   let delete_locked t ~key =
     Obs.Counter.incr t.m.m_deletes;
@@ -689,15 +825,22 @@ module Make (Index : Store_intf.INDEX) = struct
   let recover t =
     Obs.Counter.incr t.m.m_recovers;
     if Obs.tracing t.obs then Obs.emit t.obs ~layer:"store" "recover" [];
-    (* A restart loses volatile state: staged writes that never reached the
-       disk must not be visible to the recovery scans. *)
-    Io_sched.discard_volatile t.sched;
-    ignore (Superblock.recover t.sb);
-    let* () = index_err (Index.recover t.index) in
-    Chunk.Chunk_store.close_open_extent t.chunks;
-    Cache.invalidate_all t.cache;
-    t.in_service <- true;
-    Ok ()
+    (* Recovery reads back what the disk durably has; it does not re-roll
+       the fault dice. An armed one-shot fault firing mid-recovery would
+       abort the reload halfway (stale index refs over a reset cache) and
+       desynchronize every crash checker built on reboot determinism. *)
+    Disk.with_faults_suspended t.disk (fun () ->
+        (* A restart loses volatile state: staged writes that never reached
+           the disk must not be visible to the recovery scans — and neither
+           may cached pages from before the crash, since the index reloads
+           run contents through the cache while recovering. *)
+        Io_sched.discard_volatile t.sched;
+        Cache.invalidate_all t.cache;
+        ignore (Superblock.recover t.sb);
+        let* () = index_err (Index.recover t.index) in
+        Chunk.Chunk_store.close_open_extent t.chunks;
+        t.in_service <- true;
+        Ok ())
 
   let dirty_reboot t ~rng spec =
     Obs.Counter.incr t.m.m_dirty_reboots;
@@ -760,6 +903,7 @@ module Shared = struct
     m_puts : Obs.Counter.t;
     m_gets : Obs.Counter.t;
     m_deletes : Obs.Counter.t;
+    m_scans : Obs.Counter.t;
     m_staged_hits : Obs.Counter.t;
     m_flushes : Obs.Counter.t;
     m_drained : Obs.Counter.t;
@@ -792,6 +936,7 @@ module Shared = struct
           m_puts = Obs.counter obs "shared.put";
           m_gets = Obs.counter obs "shared.get";
           m_deletes = Obs.counter obs "shared.delete";
+          m_scans = Obs.counter obs "shared.scan";
           m_staged_hits = Obs.counter ~coverage:true obs "shared.get.staged";
           m_flushes = Obs.counter obs "shared.flush";
           m_drained = Obs.counter obs "shared.flush.drained";
@@ -830,25 +975,39 @@ module Shared = struct
           Ok v
         | None -> Conc.Rwlock.with_read t.stack (fun () -> Default.get t.base ~key))
 
+  (* Per-op outcomes of a staged batch, aligned with the per-op
+     [Store_intf.S.batch_result] shape: staging itself cannot fail per op
+     today, but callers get the same report-per-op contract as the
+     sequential store instead of a bare unit. *)
+  type batch_result = { results : (unit, error) result list }
+
   (* Batch staging: per-shard groups, each staged under one shard write
      lock acquisition, shards visited in ascending index order (the
      global lock order). Within a shard the original op order is kept,
      so a later op on the same key wins, as in the sequential loop. *)
-  let put_batch t ops =
-    Obs.Counter.incr t.m.m_puts;
+  let stage_batch t entries =
     let by_shard = Array.make (shards t) [] in
     List.iter
       (fun (k, v) ->
         let i = Conc.Shard_table.shard_of t.staging k in
         by_shard.(i) <- (k, v) :: by_shard.(i))
-      ops;
+      entries;
     Array.iteri
       (fun i group ->
         if group <> [] then
           Conc.Shard_table.with_shard_write t.staging i (fun tbl ->
-              List.iter (fun (k, v) -> Hashtbl.replace tbl k (Some v)) (List.rev group)))
-      by_shard;
-    Ok ()
+              List.iter (fun (k, v) -> Hashtbl.replace tbl k v) (List.rev group)))
+      by_shard
+
+  let put_batch t ops =
+    Obs.Counter.incr t.m.m_puts;
+    stage_batch t (List.map (fun (k, v) -> (k, Some v)) ops);
+    Ok { results = List.map (fun _ -> Ok ()) ops }
+
+  let delete_batch t keys =
+    Obs.Counter.incr t.m.m_deletes;
+    stage_batch t (List.map (fun k -> (k, None)) keys);
+    Ok { results = List.map (fun _ -> Ok ()) keys }
 
   let first_batch_error (r : Default.batch_result) =
     List.find_map (function Error e -> Some e | Ok _ -> None) r.Default.results
@@ -923,4 +1082,45 @@ module Shared = struct
                 List.filter (fun k -> not (List.mem k adds || List.mem k tombs)) base_keys
               in
               Ok (List.sort_uniq compare (adds @ live))))
+
+  (* Materialized range scan with the staged overlay applied: staged
+     values shadow the base scan, staged tombstones hide base entries.
+     Same lock shape as [list] — all shard read locks (ascending) around
+     the stack read lock, the established shard < stack order — so the
+     overlay and the base cursor snapshot are mutually consistent and the
+     result equals what [Store.Default.scan] would yield after a drain. *)
+  let scan t ?lo ?hi () =
+    Obs.Counter.incr t.m.m_scans;
+    let in_range k =
+      (match lo with None -> true | Some l -> String.compare l k <= 0)
+      && match hi with None -> true | Some h -> String.compare k h <= 0
+    in
+    Conc.Shard_table.with_all_read t.staging (fun tables ->
+        Conc.Rwlock.with_read t.stack (fun () ->
+            let ( let* ) = Result.bind in
+            let* s = Default.scan t.base ?lo ?hi () in
+            let rec drain acc =
+              match Default.scan_next s with
+              | Error _ as e -> e
+              | Ok None -> Ok (List.rev acc)
+              | Ok (Some pair) -> drain (pair :: acc)
+            in
+            let* base_pairs = drain [] in
+            let staged =
+              Array.fold_left
+                (fun acc tbl ->
+                  Util.Tbl.fold_sorted
+                    (fun k v acc -> if in_range k then (k, v) :: acc else acc)
+                    tbl acc)
+                [] tables
+            in
+            (* Each key lives in exactly one shard table, so [staged] has
+               no duplicate keys. *)
+            let overridden = Hashtbl.create 16 in
+            List.iter (fun (k, _) -> Hashtbl.replace overridden k ()) staged;
+            let kept = List.filter (fun (k, _) -> not (Hashtbl.mem overridden k)) base_pairs in
+            let adds =
+              List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) v) staged
+            in
+            Ok (List.sort (fun (a, _) (b, _) -> String.compare a b) (adds @ kept))))
 end

@@ -39,6 +39,10 @@ module type S = sig
     superblock_cadence : int;  (** flush the superblock every N mutations *)
     index_flush_threshold : int;  (** auto-flush the memtable at this size (0 = manual) *)
     compact_threshold : int;  (** auto-compact beyond this many runs (0 = manual) *)
+    l0_trigger : int;
+        (** level-0 run count that triggers a levelled compaction step
+            (0 = monolithic full-merge compaction) *)
+    level_ratio : int;  (** level [i >= 1] holds [level_ratio]{^ i} runs *)
     auto_pump : int;  (** background writeback IOs issued per operation *)
     cache_pages : int;
     cache_write_allocate : bool;  (** populate the cache on writes (section 8.3 experiment) *)
@@ -78,6 +82,33 @@ module type S = sig
   val get : t -> key:string -> (string option, error) result
   val delete : t -> key:string -> (Dep.t, error) result
   val list : t -> (string list, error) result
+
+  (** {2 Range scans}
+
+      A scan pins its key set at open — snapshot-at-open over the memtable
+      and every overlapping run, via the index's k-way merge cursor — and
+      resolves values per {!scan_next}. Later mutations, flushes and
+      compactions do not change what an open scan yields. *)
+
+  type scan
+
+  (** [scan t ?lo ?hi ()] opens a cursor over the live keys in
+      [lo <= key <= hi] (unbounded when omitted). All index IO happens
+      here. *)
+  val scan : t -> ?lo:string -> ?hi:string -> unit -> (scan, error) result
+
+  (** Next [(key, value)] in ascending key order; [Ok None] once drained.
+      Value chunks are read at call time, so a concurrent reclaim can
+      surface as a per-entry error, exactly like {!get}. *)
+  val scan_next : scan -> ((string * string) option, error) result
+
+  (** Run count per level of the index, trailing empty levels trimmed. *)
+  val level_runs : t -> int list
+
+  (** The index's composed per-level invariant: every level [>= 1] sorted
+      by min key with pairwise-disjoint ranges, run ids unique. [Error]
+      describes the first violation. *)
+  val level_invariants : t -> (unit, string) result
 
   (** Raw index lookup (introspection for tests and tools). *)
   val locators : t -> key:string -> (Chunk.Locator.t list option, error) result
@@ -215,10 +246,19 @@ module Shared : sig
   val get : t -> key:string -> (string option, error) result
   val delete : t -> key:string -> (unit, error) result
 
+  (** Per-op outcomes of a staged batch, in request order — the same
+      report-per-op contract as {!S.batch_result} (staging carries no
+      dependency, so outcomes are [unit]). *)
+  type batch_result = { results : (unit, error) result list }
+
   (** Batch staging: per-shard groups staged under one lock acquisition
       each, shards visited in ascending (lock) order; within a shard the
       batch's op order is preserved. *)
-  val put_batch : t -> (string * string) list -> (unit, error) result
+  val put_batch : t -> (string * string) list -> (batch_result, error) result
+
+  (** [delete_batch t keys] — the tombstone counterpart of
+      {!put_batch}. *)
+  val delete_batch : t -> string list -> (batch_result, error) result
 
   (** Drain all staged entries into the underlying store (group commit
       via [Default.put_batch]/[delete_batch]), shard by shard in lock
@@ -231,4 +271,11 @@ module Shared : sig
       underlying listing, both captured under one consistent set of
       locks. *)
   val list : t -> (string list, error) result
+
+  (** Materialized range scan: the staged overlay applied on top of a
+      drained {!Default.scan}, both captured under all shard read locks
+      (ascending) around the stack read lock — the established
+      shard < stack order, no new lock classes. Byte-identical to what
+      draining [Default.scan] yields once staging is empty. *)
+  val scan : t -> ?lo:string -> ?hi:string -> unit -> ((string * string) list, error) result
 end

@@ -26,8 +26,40 @@ module type INDEX = sig
   val delete : t -> key:string -> Dep.t
   val get : t -> key:string -> (Chunk.Locator.t list option, error) result
   val keys : t -> (string list, error) result
+
+  (** A snapshot-at-open range cursor over live entries ([lo <= key <= hi],
+      [None] = unbounded); all IO happens at open, so [cursor_next] is
+      total. *)
+  type cursor
+
+  val scan : t -> lo:string option -> hi:string option -> (cursor, error) result
+  val cursor_next : cursor -> (string * Chunk.Locator.t list) option
+
+  (** [configure_levels t ~l0_trigger ~level_ratio] sets the levelled
+      compaction policy ([l0_trigger = 0] = monolithic full merge). *)
+  val configure_levels : t -> l0_trigger:int -> level_ratio:int -> unit
+
+  (** Whether a levelled compaction trigger currently fires (consulted by
+      the store's post-mutation maintenance). *)
+  val compaction_due : t -> bool
+
+  (** Run count per level (trailing empties trimmed). *)
+  val level_runs : t -> int list
+
+  (** The composed per-level discipline: ranges in every level >= 1 sorted
+      and pairwise disjoint, run ids unique. Checkable without IO. *)
+  val level_invariants : t -> (unit, string) result
+
   val flush : t -> for_shutdown:bool -> (Dep.t, error) result
   val compact : t -> (Dep.t, error) result
+
+  (** Major compaction: merge {e every} run into one generation, dropping
+      tombstones, regardless of the levelling policy. The store's
+      garbage-collection ladder uses this under extent exhaustion — all
+      superseded chunks become garbage at once, where incremental levelled
+      steps would churn fresh chunks faster than reclamation frees old
+      ones. *)
+  val compact_major : t -> (Dep.t, error) result
 
   val update_locator :
     t ->

@@ -72,6 +72,23 @@ let test_gen_batch_weight () =
     (count_batches Lfm.Gen.default_bias);
   Alcotest.(check bool) "batch_weight adds batch ops" true (count_batches batch_bias > 0)
 
+let scan_bias = { Lfm.Gen.default_bias with Lfm.Gen.scan_weight = 6 }
+
+let test_gen_scan_weight () =
+  let count_scans bias =
+    let rng = Util.Rng.create 9L in
+    let ops =
+      Lfm.Gen.sequence ~rng ~bias ~profile:Lfm.Gen.Crash_free ~page_size:64 ~extent_count:12
+        ~length:300
+    in
+    List.length (List.filter (function Lfm.Op.Scan _ -> true | _ -> false) ops)
+  in
+  (* Same contract as batch ops: scans join the alphabet strictly opt-in so
+     the deterministic detection experiments keep their default sequences. *)
+  Alcotest.(check int) "default alphabet has no scan ops" 0
+    (count_scans Lfm.Gen.default_bias);
+  Alcotest.(check bool) "scan_weight adds scan ops" true (count_scans scan_bias > 0)
+
 let test_summary () =
   let ops =
     [
@@ -126,6 +143,34 @@ let batch_conformance_prop =
       in
       let _, outcome =
         Lfm.Harness.run_seed cfg ~profile:Lfm.Gen.Crashing ~bias:batch_bias ~length:40 ~seed
+      in
+      match outcome with
+      | Lfm.Harness.Passed -> true
+      | Lfm.Harness.Failed f ->
+        QCheck.Test.fail_reportf "seed %d: %a" seed Lfm.Harness.pp_failure f)
+
+(* Scan conformance (the range-scan tentpole): sequences rich in Scan ops
+   must drain the stack-wide cursor to exactly the key/value pairs the
+   reference model admits over [lo, hi] — in order, in bounds, with no
+   phantom or missing keys. Running under the Crashing profile with the
+   crash-enumeration hook extends the check across dependency-closed crash
+   prefixes, so a scan observed after a dirty reboot must still agree with
+   the crash model's reconciled view (levelled relocation through Dep is
+   what makes this hold). *)
+let scan_conformance_prop =
+  QCheck.Test.make ~name:"scan conformance (cursor = model range, incl. crash prefixes)"
+    ~count:1000
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      Faults.disable_all ();
+      let acc =
+        ref { Lfm.Crash_enum.states = 0; truncated = false; violations = 0; first_violation = None }
+      in
+      let cfg =
+        { config with Lfm.Harness.pre_crash_hook = Some (Lfm.Crash_enum.hook ~max_states:24 ~acc) }
+      in
+      let _, outcome =
+        Lfm.Harness.run_seed cfg ~profile:Lfm.Gen.Crashing ~bias:scan_bias ~length:40 ~seed
       in
       match outcome with
       | Lfm.Harness.Passed -> true
@@ -311,6 +356,7 @@ let () =
           Alcotest.test_case "profiles" `Quick test_gen_profiles;
           Alcotest.test_case "key reuse bias" `Quick test_gen_key_reuse_bias;
           Alcotest.test_case "batch weight opt-in" `Quick test_gen_batch_weight;
+          Alcotest.test_case "scan weight opt-in" `Quick test_gen_scan_weight;
           Alcotest.test_case "summary" `Quick test_summary;
         ] );
       ( "conformance",
@@ -320,6 +366,7 @@ let () =
           QCheck_alcotest.to_alcotest (baseline_prop Lfm.Gen.Failing);
           QCheck_alcotest.to_alcotest (baseline_prop Lfm.Gen.Full);
           QCheck_alcotest.to_alcotest batch_conformance_prop;
+          QCheck_alcotest.to_alcotest scan_conformance_prop;
           Alcotest.test_case "replay deterministic" `Quick test_replay_deterministic;
           Alcotest.test_case "catches seeded divergence" `Quick
             test_harness_catches_seeded_divergence;

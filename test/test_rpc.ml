@@ -16,6 +16,10 @@ let requests =
     Rpc.Message.Bulk_delete { keys = [] };
     Rpc.Message.Migrate { key = "shard"; to_disk = 2 };
     Rpc.Message.Node_stats;
+    Rpc.Message.Scan_request { lo = None; hi = None; after = None; max_results = 10 };
+    Rpc.Message.Scan_request
+      { lo = Some "a"; hi = Some "z"; after = Some "m"; max_results = 1 };
+    Rpc.Message.Scan_request { lo = Some ""; hi = None; after = None; max_results = 0 };
     Rpc.Message.Batch_request { ops = [] };
     Rpc.Message.Batch_request
       {
@@ -65,6 +69,9 @@ let responses =
           [ Rpc.Message.Op_quorum { acked = 2 }; Rpc.Message.Op_ok;
             Rpc.Message.Op_quorum { acked = 3 } ];
       };
+    Rpc.Message.Scan_response { items = []; more = false };
+    Rpc.Message.Scan_response
+      { items = [ ("a", "1"); ("b", ""); ("", "empty key") ]; more = true };
     Rpc.Message.Quorum_ack { acked = 2; lagging = [ 4 ] };
     Rpc.Message.Quorum_ack { acked = 3; lagging = [] };
     Rpc.Message.Quorum_ack { acked = 1; lagging = [ 0; 2; 5 ] };
@@ -309,6 +316,78 @@ let prop_batch_one_bad_op =
       | Ok r -> QCheck.Test.fail_reportf "unexpected response: %a" Rpc.Message.pp_response r
       | Error e -> QCheck.Test.fail_reportf "response decode: %a" Util.Codec.pp_error e)
 
+(* The scan page size is untrusted: a frame asking for more than
+   [max_scan_items] must be rejected at decode, not allocated for. *)
+let test_scan_max_results_bound () =
+  let w = Util.Codec.Writer.create () in
+  Util.Codec.Writer.raw_string w "SR";
+  Util.Codec.Writer.u8 w 10;
+  Util.Codec.Writer.u8 w 0;
+  (* lo absent *)
+  Util.Codec.Writer.u8 w 0;
+  (* hi absent *)
+  Util.Codec.Writer.u8 w 0;
+  (* after absent *)
+  Util.Codec.Writer.uint w (Rpc.Message.max_scan_items + 1);
+  match Rpc.Message.decode_request (Util.Codec.Writer.contents w) with
+  | Error _ -> ()
+  | Ok r -> Alcotest.failf "oversized max_results accepted: %a" Rpc.Message.pp_request r
+
+(* Satellite: scan pagination is lossless and byte-exact — walking the
+   range page by page over the wire (continuation token [after] = last key
+   of the previous page) must reassemble exactly the single unpaginated
+   scan, and every request and response frame must survive encode/decode
+   byte-exactly. *)
+let prop_scan_pagination =
+  QCheck.Test.make ~name:"scan pagination reassembles unpaginated scan byte-exact"
+    ~count:200
+    QCheck.(
+      triple (int_bound 1_000_000) (int_range 1 5)
+        (list_of_size Gen.(0 -- 25) (string_of_size Gen.(1 -- 8))))
+    (fun (seed, page, keys) ->
+      let node = make_node () in
+      let rng = Util.Rng.create (Int64.of_int seed) in
+      List.iter
+        (fun key ->
+          let value = Bytes.to_string (Util.Rng.bytes rng (Util.Rng.int rng 40)) in
+          match Rpc.Node.handle node (Rpc.Message.Put { key; value }) with
+          | Rpc.Message.Ack -> ()
+          | r -> QCheck.Test.fail_reportf "put: %a" Rpc.Message.pp_response r)
+        keys;
+      let scan ~after ~max_results =
+        let req = Rpc.Message.Scan_request { lo = None; hi = None; after; max_results } in
+        let bytes = Rpc.Message.encode_request req in
+        (match Rpc.Message.decode_request bytes with
+        | Ok req' ->
+          if not (Rpc.Message.request_equal req req') then
+            QCheck.Test.fail_reportf "decode changed the scan request";
+          if not (String.equal bytes (Rpc.Message.encode_request req')) then
+            QCheck.Test.fail_reportf "scan request re-encode not byte-exact"
+        | Error e -> QCheck.Test.fail_reportf "request decode: %a" Util.Codec.pp_error e);
+        let resp_bytes = Rpc.Node.handle_wire node bytes in
+        match Rpc.Message.decode_response resp_bytes with
+        | Ok (Rpc.Message.Scan_response { items; more } as resp) ->
+          if not (String.equal resp_bytes (Rpc.Message.encode_response resp)) then
+            QCheck.Test.fail_reportf "scan response re-encode not byte-exact";
+          (items, more)
+        | Ok r -> QCheck.Test.fail_reportf "scan: %a" Rpc.Message.pp_response r
+        | Error e -> QCheck.Test.fail_reportf "response decode: %a" Util.Codec.pp_error e
+      in
+      let full, full_more = scan ~after:None ~max_results:Rpc.Message.max_scan_items in
+      if full_more then QCheck.Test.fail_reportf "unpaginated scan claims a next page";
+      let rec walk after acc steps =
+        if steps > 100 then QCheck.Test.fail_reportf "pagination does not terminate";
+        let items, more = scan ~after ~max_results:page in
+        if List.length items > page then QCheck.Test.fail_reportf "page overflows max_results";
+        let acc = acc @ items in
+        if more then
+          match List.rev items with
+          | [] -> QCheck.Test.fail_reportf "more=true on an empty page"
+          | (last, _) :: _ -> walk (Some last) acc (steps + 1)
+        else acc
+      in
+      walk None [] 0 = full)
+
 let test_stats () =
   let node = make_node () in
   ignore (Rpc.Node.handle node (Rpc.Message.Put { key = "k"; value = "v" }));
@@ -491,6 +570,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_request_roundtrip;
           QCheck_alcotest.to_alcotest prop_degraded_roundtrip;
           Alcotest.test_case "quorum-ack lagging bound" `Quick test_quorum_ack_lagging_bound;
+          Alcotest.test_case "scan max_results bound" `Quick test_scan_max_results_bound;
         ] );
       ( "node",
         [
@@ -500,6 +580,7 @@ let () =
           Alcotest.test_case "bulk delete" `Quick test_bulk_delete;
           Alcotest.test_case "batch request dispatch" `Quick test_batch_request_dispatch;
           QCheck_alcotest.to_alcotest prop_batch_one_bad_op;
+          QCheck_alcotest.to_alcotest prop_scan_pagination;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "stats wire roundtrip" `Quick test_stats_wire_roundtrip;
           Alcotest.test_case "handle wire" `Quick test_handle_wire;

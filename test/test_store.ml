@@ -260,8 +260,20 @@ let test_compact_via_store () =
   put s "b" "2";
   ignore (ok (S.flush_index s));
   Alcotest.(check bool) "several runs" true (S.index_run_count s >= 2);
-  ignore (ok (S.compact s));
-  Alcotest.(check int) "one run" 1 (S.index_run_count s);
+  (* Levelled: each quiescent compact pushes one victim down; converge. *)
+  for _ = 1 to 4 do
+    ignore (ok (S.compact s));
+    match S.level_invariants s with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "level invariants: %s" msg
+  done;
+  (* Converged: L0 drained into a deeper level (disjoint runs there are
+     final — merging them would be pure write amplification). *)
+  (match S.level_runs s with
+  | 0 :: deeper when List.fold_left ( + ) 0 deeper >= 1 -> ()
+  | shape ->
+    Alcotest.failf "expected an empty L0, got [%s]"
+      (String.concat ";" (List.map string_of_int shape)));
   Alcotest.(check (option string)) "a" (Some "1") (get s "a");
   Alcotest.(check (option string)) "b" (Some "2") (get s "b")
 
@@ -436,7 +448,14 @@ let test_shared_put_batch_groups_by_shard () =
   Faults.disable_all ();
   let sh = Sh.create ~shards:4 S.default_config in
   let batch = List.init 20 (fun i -> (Printf.sprintf "bk%d" i, Printf.sprintf "bv%d" i)) in
-  sh_ok (Sh.put_batch sh (batch @ [ ("bk0", "rewritten") ]));
+  let br = sh_ok (Sh.put_batch sh (batch @ [ ("bk0", "rewritten") ])) in
+  Alcotest.(check int) "one outcome per op" 21 (List.length br.Sh.results);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "batch op %d: %a" i S.pp_error e)
+    br.Sh.results;
   Alcotest.(check (option string)) "last wins in batch" (Some "rewritten")
     (sh_ok (Sh.get sh ~key:"bk0"));
   List.iter
@@ -447,6 +466,111 @@ let test_shared_put_batch_groups_by_shard () =
   ignore (sh_ok (Sh.flush sh));
   Alcotest.(check (option string)) "durable after drain" (Some "rewritten")
     (ok (S.get (Sh.store sh) ~key:"bk0"))
+
+let test_shared_delete_batch () =
+  Faults.disable_all ();
+  let sh = Sh.create ~shards:4 S.default_config in
+  List.iter
+    (fun (k, v) -> sh_ok (Sh.put sh ~key:k ~value:v))
+    [ ("da", "1"); ("db", "2"); ("dc", "3") ];
+  let br = sh_ok (Sh.delete_batch sh [ "da"; "missing"; "dc" ]) in
+  Alcotest.(check int) "one outcome per op" 3 (List.length br.Sh.results);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "delete_batch op %d: %a" i S.pp_error e)
+    br.Sh.results;
+  Alcotest.(check (option string)) "da gone" None (sh_ok (Sh.get sh ~key:"da"));
+  Alcotest.(check (option string)) "db kept" (Some "2") (sh_ok (Sh.get sh ~key:"db"));
+  Alcotest.(check (option string)) "dc gone" None (sh_ok (Sh.get sh ~key:"dc"));
+  ignore (sh_ok (Sh.flush sh));
+  Alcotest.(check (list string)) "durable key set after drain" [ "db" ]
+    (ok (S.list (Sh.store sh)))
+
+(* The tentpole acceptance check, in-tree: a scan must yield byte-identical
+   results from the levelled Default store (cursor drain), the Shared
+   overlay (staged mutations applied over the drained scan), and the
+   composed per-level reference model — at arbitrary points of a random
+   workload, under arbitrary bounds, while flushes and compactions
+   rearrange the runs underneath. *)
+let drain_cursor s ?lo ?hi () =
+  match S.scan s ?lo ?hi () with
+  | Error e -> QCheck.Test.fail_reportf "scan open: %a" S.pp_error e
+  | Ok cursor ->
+    let rec go acc =
+      match S.scan_next cursor with
+      | Ok (Some kv) -> go (kv :: acc)
+      | Ok None -> List.rev acc
+      | Error e -> QCheck.Test.fail_reportf "scan_next: %a" S.pp_error e
+    in
+    go []
+
+let prop_scan_three_way_identity =
+  QCheck.Test.make ~name:"scan identity: Default = Shared = level model" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      Faults.disable_all ();
+      let ref_s = S.create S.default_config in
+      let sh = Sh.create ~shards:4 S.default_config in
+      let lm = Model.Level_model.create () in
+      let rng = Rng.create (Int64.of_int seed) in
+      let keys = [| "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" |] in
+      let bound () = if Rng.chance rng 0.3 then None else Some (Rng.pick rng keys) in
+      let compare_scans step =
+        let lo = bound () and hi = bound () in
+        let lo, hi =
+          match (lo, hi) with
+          | Some l, Some h when String.compare l h > 0 -> (Some h, Some l)
+          | b -> b
+        in
+        let expected = Model.Level_model.scan lm ~lo ~hi in
+        let via_default = drain_cursor ref_s ?lo ?hi () in
+        let via_shared =
+          match Sh.scan sh ?lo ?hi () with
+          | Ok pairs -> pairs
+          | Error e -> QCheck.Test.fail_reportf "shared scan: %a" S.pp_error e
+        in
+        if via_default <> expected then
+          QCheck.Test.fail_reportf "step %d: Default scan diverged from level model" step;
+        if via_shared <> expected then
+          QCheck.Test.fail_reportf "step %d: Shared scan diverged from level model" step
+      in
+      for step = 0 to 119 do
+        let key = Rng.pick rng keys in
+        match Rng.int rng 12 with
+        | 0 | 1 | 2 | 3 | 4 -> (
+          let value = Printf.sprintf "v%d-%d" seed step in
+          Model.Level_model.put lm ~key ~value;
+          sh_ok (Sh.put sh ~key ~value);
+          match S.put ref_s ~key ~value with
+          | Ok _ -> ()
+          | Error e -> QCheck.Test.fail_reportf "put: %a" S.pp_error e)
+        | 5 | 6 -> (
+          Model.Level_model.delete lm ~key;
+          sh_ok (Sh.delete sh ~key);
+          match S.delete ref_s ~key with
+          | Ok _ -> ()
+          | Error e -> QCheck.Test.fail_reportf "delete: %a" S.pp_error e)
+        | 7 -> (
+          (* reshaping the runs must not change what a scan yields *)
+          Model.Level_model.flush lm;
+          ignore (sh_ok (Sh.flush sh));
+          match S.flush_index ref_s with
+          | Ok _ -> ()
+          | Error e -> QCheck.Test.fail_reportf "flush_index: %a" S.pp_error e)
+        | 8 -> (
+          Model.Level_model.compact lm;
+          match S.compact ref_s with
+          | Ok _ -> ()
+          | Error e -> QCheck.Test.fail_reportf "compact: %a" S.pp_error e)
+        | _ -> compare_scans step
+      done;
+      compare_scans 120;
+      (match S.level_invariants ref_s with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "level invariants: %s" msg);
+      true)
 
 (* Racing domains on one shared store: no errors, and after the joins the
    drained state serves every key consistently. The per-key
@@ -544,6 +668,9 @@ let () =
             test_shared_matches_default_single_domain;
           Alcotest.test_case "put_batch groups by shard" `Quick
             test_shared_put_batch_groups_by_shard;
+          Alcotest.test_case "delete_batch per-op results" `Quick test_shared_delete_batch;
           Alcotest.test_case "multi-domain smoke" `Quick test_shared_multi_domain_smoke;
         ] );
+      ( "scan",
+        [ QCheck_alcotest.to_alcotest prop_scan_three_way_identity ] );
     ]
