@@ -14,6 +14,7 @@
      BATCH_BENCH_SMOKE=1   tiny op budget (CI smoke job, < 30 s) *)
 
 module S = Store.Default
+module Sh = Store.Shared
 
 let smoke = Sys.getenv_opt "BATCH_BENCH_SMOKE" = Some "1"
 let ops_total = if smoke then 192 else 1024
@@ -99,6 +100,37 @@ let best_of_arm ~batch_size =
   let appends, ios = !counters in
   (!best, appends, ios)
 
+(* Wire-trace capture cost: the batch-16 ingest plus a full read-back,
+   through Store.Shared (the instrumented surface), once bare and once
+   with a recorder attached. The recorded history is audited offline —
+   a bench run doubles as a trace-validation workload — and the
+   throughput delta is the price of capture. *)
+let shared_capture_arm ~capture =
+  let recorder =
+    if capture then Some (Tracecheck.Trace.Recorder.create ~byte_budget:(8 * 1024 * 1024) ())
+    else None
+  in
+  let sh = Sh.create ?trace:recorder config in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun batch ->
+      match Sh.put_batch sh batch with
+      | Ok { Sh.results } ->
+        List.iter
+          (function Ok () -> () | Error e -> fail_on "shared batch op: %a" S.pp_error e)
+          results
+      | Error e -> fail_on "shared put_batch: %a" S.pp_error e)
+    (batches 16);
+  (match Sh.flush sh with Ok _ -> () | Error e -> fail_on "shared flush: %a" S.pp_error e);
+  Array.iter
+    (fun (key, value) ->
+      match Sh.get sh ~key with
+      | Ok (Some v) when v = value -> ()
+      | Ok _ -> fail_on "shared get %s: wrong value back" key
+      | Error e -> fail_on "shared get %s: %a" key S.pp_error e)
+    ops;
+  (Unix.gettimeofday () -. t0, recorder)
+
 let () =
   Printf.printf "batch throughput: %d puts of %dB values per arm%s\n" ops_total value_bytes
     (if smoke then " (smoke)" else "");
@@ -112,6 +144,18 @@ let () =
         (float_of_int ops_total /. elapsed)
         appends ios (seq_elapsed /. elapsed))
     results;
+  let bare_elapsed, _ = shared_capture_arm ~capture:false in
+  let cap_elapsed, cap_recorder = shared_capture_arm ~capture:true in
+  let cap_recorder = Option.get cap_recorder in
+  let cap_audit = Tracecheck.Audit.audit cap_recorder in
+  let cap_ops = float_of_int (2 * ops_total) in
+  let cap_dropped = Tracecheck.Trace.Recorder.dropped cap_recorder in
+  Printf.printf
+    "capture (shared b16 + read-back): %.0f ops/s bare, %.0f ops/s recording (%.2fx), audit \
+     %s, %d dropped\n"
+    (cap_ops /. bare_elapsed) (cap_ops /. cap_elapsed) (cap_elapsed /. bare_elapsed)
+    (Tracecheck.Audit.verdict_name cap_audit.Tracecheck.Audit.verdict)
+    cap_dropped;
   let record =
     Bench_record.append ~bench:"batch"
       ~workload:
@@ -128,10 +172,20 @@ let () =
                (Printf.sprintf "ops_per_sec_b%d" n, float_of_int ops_total /. elapsed);
                (Printf.sprintf "speedup_b%d" n, seq_elapsed /. elapsed);
              ])
-           results)
+           results
+        @ [
+            ("ops_per_sec_b16_nocapture", cap_ops /. bare_elapsed);
+            ("ops_per_sec_b16_capture", cap_ops /. cap_elapsed);
+            ("capture_overhead", cap_elapsed /. bare_elapsed);
+            ("trace_dropped", float_of_int cap_dropped);
+          ])
       ~obs:rec_obs ()
   in
   Printf.printf "recorded -> %s\n" record;
+  if not (Tracecheck.Audit.ok cap_audit) then begin
+    Format.printf "FAIL: capture-arm trace audit: %a@." Tracecheck.Audit.pp_report cap_audit;
+    exit 1
+  end;
   let speedup_16 =
     match List.assoc_opt 16 results with
     | Some (e, _, _) -> seq_elapsed /. e

@@ -46,9 +46,30 @@ let () =
         ])
       rows
   in
+  (* Wire-trace capture cost on the chaos sweep: the same seeded
+     campaigns bare and with recorders attached. Capture must not change
+     the merged summary (the determinism guarantee extends to traced
+     runs), and the wall-clock ratio is the price of recording. *)
+  Faults.disable_all ();
+  let cap_campaigns = if smoke then 20 else 100 in
+  let chaos_bare = Experiments.Chaos.run ~domains:2 ~campaigns:cap_campaigns ~seed:0 () in
+  let chaos_taped =
+    Experiments.Chaos.run ~domains:2 ~campaigns:cap_campaigns ~seed:0 ~capture:true ()
+  in
+  Printf.printf "\nchaos capture cost (%d campaigns): %.2fs bare, %.2fs recording (%.2fx)\n"
+    cap_campaigns chaos_bare.Experiments.Chaos.seconds chaos_taped.Experiments.Chaos.seconds
+    (chaos_taped.Experiments.Chaos.seconds /. chaos_bare.Experiments.Chaos.seconds);
   let metrics =
     arm_metrics "fig5" report.Experiments.Par_scaling.fig5
     @ arm_metrics "chaos" report.Experiments.Par_scaling.chaos
+    @ [
+        ( "chaos_campaigns_per_sec_nocapture",
+          float_of_int cap_campaigns /. chaos_bare.Experiments.Chaos.seconds );
+        ( "chaos_campaigns_per_sec_capture",
+          float_of_int cap_campaigns /. chaos_taped.Experiments.Chaos.seconds );
+        ( "chaos_capture_overhead",
+          chaos_taped.Experiments.Chaos.seconds /. chaos_bare.Experiments.Chaos.seconds );
+      ]
   in
   let record =
     Bench_record.append ~bench:"par"
@@ -63,6 +84,19 @@ let () =
   Printf.printf "recorded -> %s\n" record;
   if not (Experiments.Par_scaling.all_identical report) then begin
     Printf.printf "\nFAIL: results diverged across domain counts\n";
+    exit 1
+  end;
+  (* Traces themselves differ (one is empty), so compare the summaries
+     with wall clock and per-report traces masked out. *)
+  let capture_key (s : Experiments.Chaos.summary) =
+    {
+      s with
+      Experiments.Chaos.seconds = 0.;
+      failed = List.map (fun r -> { r with Experiments.Chaos.trace = [] }) s.failed;
+    }
+  in
+  if capture_key chaos_bare <> capture_key chaos_taped then begin
+    Printf.printf "\nFAIL: chaos summary changed when capture was enabled\n";
     exit 1
   end;
   let fig5_speedup_at_4 =

@@ -96,8 +96,8 @@ let scan_arm s =
 (* Shared-store scan throughput: [domains] workers share one levelled
    store, each draining its slice of the scan mix through the
    materializing Sh.scan under the shard read locks. *)
-let shared_scan_arm ~domains =
-  let sh = Sh.create ~shards:8 (config ~levelled:true) in
+let shared_scan_arm ?trace ~domains () =
+  let sh = Sh.create ~shards:8 ?trace (config ~levelled:true) in
   List.iter
     (fun i ->
       match Sh.put sh ~key:(key i) ~value:(value i) with
@@ -133,11 +133,20 @@ let () =
   Printf.printf "%-12s %10s %12s %9s\n" "arm" "write-amp" "scans/sec" "items";
   Printf.printf "%-12s %10.2f %12.0f %9d\n" "monolithic" mono_wa mono_sps mono_items;
   Printf.printf "%-12s %10.2f %12.0f %9d\n" "levelled" lev_wa lev_sps lev_items;
-  let shared = List.map (fun d -> (d, shared_scan_arm ~domains:d)) domain_arms in
+  let shared = List.map (fun d -> (d, shared_scan_arm ~domains:d ())) domain_arms in
   Printf.printf "%-12s %12s %9s\n" "shared" "scans/sec" "items";
   List.iter
     (fun (d, (sps, items)) -> Printf.printf "%d domains    %12.0f %9d\n" d sps items)
     shared;
+  (* Wire-trace capture arm: the 2-domain shared mix re-run with a
+     recorder attached (scan pages are the bulk of the trace, hence the
+     big byte budget), audited offline after the run. *)
+  let cap_recorder = Tracecheck.Trace.Recorder.create ~byte_budget:(32 * 1024 * 1024) () in
+  let cap_sps, cap_items = shared_scan_arm ~trace:cap_recorder ~domains:2 () in
+  let cap_audit = Tracecheck.Audit.audit cap_recorder in
+  Printf.printf "2 domains    %12.0f %9d  (recording; audit %s, %d dropped)\n" cap_sps cap_items
+    (Tracecheck.Audit.verdict_name cap_audit.Tracecheck.Audit.verdict)
+    (Tracecheck.Trace.Recorder.dropped cap_recorder);
   let record =
     Bench_record.append ~bench:"scan"
       ~workload:
@@ -158,10 +167,22 @@ let () =
          ]
         @ List.map
             (fun (d, (sps, _)) -> (Printf.sprintf "shared_scans_per_sec_d%d" d, sps))
-            shared)
+            shared
+        @ [ ("shared_scans_per_sec_d2_capture", cap_sps) ])
       ()
   in
   Printf.printf "recorded -> %s\n" record;
+  (* The recorded run must see the same data as the untraced 2-domain
+     arm, and its history must pass the offline audit. *)
+  (match List.assoc_opt 2 shared with
+  | Some (_, d2_items) when d2_items <> cap_items ->
+    Printf.printf "FAIL: capture arm item count diverges (%d vs %d)\n" cap_items d2_items;
+    exit 1
+  | _ -> ());
+  if not (Tracecheck.Audit.ok cap_audit) then begin
+    Format.printf "FAIL: capture-arm trace audit: %a@." Tracecheck.Audit.pp_report cap_audit;
+    exit 1
+  end;
   (* Correctness tripwires: both arms must see the same data, and the
      levelled arm must not amplify writes more than the full-merge arm. *)
   if mono_items <> lev_items then begin

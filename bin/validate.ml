@@ -268,6 +268,18 @@ let shared_run ~domains ~shared_ops ~seed ~lint_graph =
     1
   end
 
+(* [--trace-audit]: E16 — capture wire traces from non-deterministic runs
+   (chaos campaigns with faults armed, racing Store.Shared domains, the
+   Rpc.Node request plane) and validate each recorded history offline
+   against the per-key linearizable model, plus the teeth suite (forged
+   histories and the armed-#18 scenario, all of which must be rejected). *)
+let trace_audit_run ~domains ~campaigns ~length ~seed ~shared_ops =
+  let summary =
+    Experiments.Trace_audit.run ~domains ~campaigns ~length ~seed ~shared_ops ()
+  in
+  Experiments.Trace_audit.print summary;
+  if Experiments.Trace_audit.ok summary then 0 else 1
+
 let run_conformance sequences length seed metrics_out batch_weight scan_weight domains =
   Faults.disable_all ();
   Util.Coverage.reset ();
@@ -323,8 +335,10 @@ let run_conformance sequences length seed metrics_out batch_weight scan_weight d
   else 1
 
 let run sequences length seed metrics_out sanitize batch_weight scan_weight chaos campaigns
-    chaos_length domains shared shared_ops lint_graph =
-  if shared then shared_run ~domains ~shared_ops ~seed ~lint_graph
+    chaos_length domains shared shared_ops lint_graph trace_audit =
+  if trace_audit then
+    trace_audit_run ~domains ~campaigns ~length:chaos_length ~seed ~shared_ops
+  else if shared then shared_run ~domains ~shared_ops ~seed ~lint_graph
   else if chaos then chaos_run ~domains ~campaigns ~length:chaos_length ~seed
   else if sanitize then sanitize_run ~seed
   else run_conformance sequences length seed metrics_out batch_weight scan_weight domains
@@ -427,12 +441,26 @@ let lint_graph =
            (one 'held acquired' pair per line) for the $(b,lint.exe --dynamic-graph) \
            static/dynamic cross-check.")
 
+let trace_audit =
+  Arg.(
+    value & flag
+    & info [ "trace-audit" ]
+        ~doc:
+          "Run the wire-trace audit instead of the sweep: record timestamped \
+           invocation/response events from non-deterministic runs (chaos campaigns with \
+           faults armed, racing domains on one shared store, the RPC request plane with \
+           paginated scans) and validate each history offline against the per-key \
+           linearizable model. Also runs the teeth suite: forged violation histories and \
+           an armed fault-#18 scenario must all be rejected. --campaigns, --chaos-length, \
+           --domains, --shared-ops and --seed scale the workloads. Exit 1 if any trace \
+           fails its audit or any teeth case goes undetected.")
+
 let cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Run the pre-deployment conformance checks")
     Term.(
       const run $ sequences $ length $ seed $ metrics_out $ sanitize $ batch_weight
       $ scan_weight $ chaos $ campaigns $ chaos_length $ domains $ shared $ shared_ops
-      $ lint_graph)
+      $ lint_graph $ trace_audit)
 
 let () = exit (Cmd.eval' cmd)

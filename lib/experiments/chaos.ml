@@ -79,6 +79,10 @@ type campaign_report = {
   ops : int;
   violations : violation list;
   minimized : op list;  (* shrunk reproducer; [] when the campaign is clean *)
+  trace : Tracecheck.Trace.entry list;
+      (* wire trace of the minimized reproducer (or, with capture on, of
+         the full campaign when it is clean); [] when capture is off and
+         the campaign is clean *)
   faults_injected : int;
   retries : int;
   failovers : int;
@@ -244,8 +248,17 @@ let safe_to_destroy fleet model ~node =
              (Fleet.placement fleet key))
     model true
 
-let apply fleet model violations idx op =
+let apply ~trace fleet model violations idx op =
   let violate what = violations := { at = idx; what } :: !violations in
+  (* The chaos side of the wire trace: fault arming and targeted extent
+     failures happen at the disk layer, which the fleet cannot see, so
+     the driver emits their markers itself. Crash/destroy/heal/repair
+     markers come from the instrumented fleet. *)
+  let mark ?node kind =
+    match trace with
+    | None -> ()
+    | Some r -> Tracecheck.Trace.Recorder.mark r ~src:"chaos" ?node kind
+  in
   match op with
   | Put { key; value } -> (
     match Fleet.put fleet ~key ~value with
@@ -288,12 +301,16 @@ let apply fleet model violations idx op =
         keys
     | Error _ -> () (* unavailability, not a safety violation *))
   | Arm_faults { node; transient; permanent; seed } ->
+    mark ~node Tracecheck.Trace.Fault_armed;
     Disk.arm_random_faults
       (Fleet.node_disk fleet ~node)
       ~rng:(Util.Rng.create (Int64.of_int seed))
       ~transient_prob:transient ~permanent_prob:permanent
-  | Disarm_faults { node } -> Disk.disarm_random_faults (Fleet.node_disk fleet ~node)
+  | Disarm_faults { node } ->
+    mark ~node Tracecheck.Trace.Fault_cleared;
+    Disk.disarm_random_faults (Fleet.node_disk fleet ~node)
   | Fail_extent { node; extent; permanent } ->
+    mark ~node Tracecheck.Trace.Extent_failed;
     let disk = Fleet.node_disk fleet ~node in
     if permanent then Disk.fail_permanently disk ~extent else Disk.fail_once disk ~extent
   | Crash { node; seed } ->
@@ -379,17 +396,35 @@ let counter fleet name = Obs.counter_value (Fleet.obs fleet) name
    ([run] disables everything up front, [check_teeth] arms #18): toggles
    may only change between sweeps, never from inside a campaign running on
    a worker domain. *)
-let run_ops ~seed ops =
-  let fleet = Fleet.create (fleet_config ~seed) in
+let run_ops ?trace ~seed ops =
+  let fleet = Fleet.create ?trace (fleet_config ~seed) in
   let model : (string, entry) Hashtbl.t = Hashtbl.create 16 in
   let violations = ref [] in
-  List.iteri (apply fleet model violations) ops;
+  List.iteri (apply ~trace fleet model violations) ops;
   check_convergence ~seed fleet model violations;
   let faults = ref 0 in
   for node = 0 to nodes - 1 do
     faults := !faults + Disk.injected_failures (Fleet.node_disk fleet ~node)
   done;
   (List.rev !violations, (fun name -> counter fleet name), !faults)
+
+(* Budget for one campaign's wire trace: a campaign is a few hundred
+   operations (scans resolve through point reads, the convergence phase
+   re-reads every key), far under this — drops would turn the offline
+   audit's verdict into [Truncated], so the budget errs roomy. *)
+let trace_budget = 8 * 1024 * 1024
+
+let gen ~length ~seed =
+  let rng = Util.Rng.create (Int64.of_int ((seed * 2_654_435_761) + 97)) in
+  gen_ops ~rng ~length
+
+(* Replay [ops] with a fresh recorder attached and return its trace —
+   deterministic, campaigns are sequential (the logical clock never sees
+   two domains), so the same ops yield the same entries. *)
+let trace_of ~seed ops =
+  let recorder = Tracecheck.Trace.Recorder.create ~byte_budget:trace_budget () in
+  let (_ : violation list * (string -> int) * int) = run_ops ~trace:recorder ~seed ops in
+  Tracecheck.Trace.Recorder.entries recorder
 
 (* Span-removal ddmin: repeatedly try dropping chunks of halving size, as
    long as the shrunk campaign still violates. Deterministic because every
@@ -412,10 +447,13 @@ let minimize ~still_fails ops =
   done;
   !current
 
-let campaign ~length ~seed =
-  let rng = Util.Rng.create (Int64.of_int ((seed * 2_654_435_761) + 97)) in
-  let ops = gen_ops ~rng ~length in
-  let violations, counter_of, faults = run_ops ~seed ops in
+let campaign ?(capture = false) ~length ~seed () =
+  let ops = gen ~length ~seed in
+  let recorder =
+    if capture then Some (Tracecheck.Trace.Recorder.create ~byte_budget:trace_budget ())
+    else None
+  in
+  let violations, counter_of, faults = run_ops ?trace:recorder ~seed ops in
   let minimized =
     if violations = [] then []
     else
@@ -425,11 +463,19 @@ let campaign ~length ~seed =
           vs <> [])
         ops
   in
+  (* A counterexample ships with its wire trace: the minimized
+     reproducer replays deterministically, so its (small) trace is the
+     artifact to read, not the full campaign's. *)
+  let trace =
+    if minimized <> [] then trace_of ~seed minimized
+    else match recorder with Some r -> Tracecheck.Trace.Recorder.entries r | None -> []
+  in
   {
     seed;
     ops = List.length ops;
     violations;
     minimized;
+    trace;
     faults_injected = faults;
     retries = counter_of "fleet.retry";
     failovers = counter_of "fleet.get_failover";
@@ -439,7 +485,7 @@ let campaign ~length ~seed =
     partial_writes = counter_of "fleet.partial_write";
   }
 
-let run ?(domains = 1) ?(campaigns = 200) ?(length = 40) ?(seed = 0) () =
+let run ?(domains = 1) ?(campaigns = 200) ?(length = 40) ?(seed = 0) ?(capture = false) () =
   let t0 = Util.Wallclock.now_s () in
   Faults.disable_all ();
   (* Campaigns are seed-carrying and independent, so they shard across
@@ -452,7 +498,7 @@ let run ?(domains = 1) ?(campaigns = 200) ?(length = 40) ?(seed = 0) () =
     List.rev
       (Par.sweep ~domains ~start:seed ~count:campaigns
          ~init:(fun () -> [])
-         ~step:(fun acc s -> campaign ~length ~seed:s :: acc)
+         ~step:(fun acc s -> campaign ~capture ~length ~seed:s () :: acc)
          ~merge:(fun lo hi -> hi @ lo)
          ())
   in
@@ -510,5 +556,16 @@ let print summary =
       Printf.printf "\ncampaign seed %d: %d violation(s)\n" r.seed (List.length r.violations);
       List.iter (fun v -> Format.printf "  %a@." pp_violation v) r.violations;
       Printf.printf "  minimized reproducer (%d of %d ops):\n" (List.length r.minimized) r.ops;
-      List.iteri (fun i op -> Format.printf "    %2d: %a@." i pp_op op) r.minimized)
+      List.iteri (fun i op -> Format.printf "    %2d: %a@." i pp_op op) r.minimized;
+      if r.trace <> [] then begin
+        let n = List.length r.trace in
+        let tail = 40 in
+        Printf.printf "  wire trace of the reproducer (%s%d event(s)):\n"
+          (if n > tail then Printf.sprintf "last %d of " tail else "")
+          n;
+        List.iteri
+          (fun i e ->
+            if i >= n - tail then Format.printf "    %a@." Tracecheck.Trace.pp_entry e)
+          r.trace
+      end)
     summary.failed

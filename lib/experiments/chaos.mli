@@ -45,6 +45,11 @@ type campaign_report = {
   ops : int;
   violations : violation list;
   minimized : op list;  (** shrunk reproducer; [[]] when the campaign is clean *)
+  trace : Tracecheck.Trace.entry list;
+      (** wire trace of the minimized reproducer — a counterexample from
+          a non-deterministic run ships as a small, replayable artifact;
+          with [capture] on, a clean campaign carries its full trace
+          (for {!Trace_audit}); [[]] otherwise *)
   faults_injected : int;
   retries : int;
   failovers : int;
@@ -74,8 +79,38 @@ type summary = {
     seed 0). [domains] (default 1) shards campaigns across OCaml domains
     — each campaign owns a private fleet, and reports are merged back in
     ascending seed order, so the summary (everything but [seconds]) is
-    byte-identical for every domain count. *)
-val run : ?domains:int -> ?campaigns:int -> ?length:int -> ?seed:int -> unit -> summary
+    byte-identical for every domain count. [capture] (default false)
+    attaches a fresh wire-trace recorder to every campaign's fleet
+    (reports then carry their trace) — campaigns are sequential within a
+    domain and traces are part of the seed-ordered report, so the
+    byte-identity guarantee is unchanged. *)
+val run :
+  ?domains:int -> ?campaigns:int -> ?length:int -> ?seed:int -> ?capture:bool -> unit -> summary
+
+(** Fleet size every campaign runs against. *)
+val nodes : int
+
+(** [fleet_config ~seed] — the deterministic fleet configuration of
+    campaign [seed] ({!nodes} nodes, replication 3, small store
+    geometry), exactly as {!run} builds it. *)
+val fleet_config : seed:int -> Fleet.config
+
+(** [gen ~length ~seed] — the deterministic op list of campaign [seed],
+    exactly as {!run} would generate it. *)
+val gen : length:int -> seed:int -> op list
+
+(** [run_ops ?trace ~seed ops] — execute one campaign (fresh fleet,
+    model checking, convergence phase) and return its violations, a
+    fleet-counter reader, and the injected-fault count. [?trace] records
+    the campaign's wire trace ({!Tracecheck.Trace}): request-plane
+    intervals from the fleet, fault/extent markers from the driver.
+    Assumes the global fault toggles are already set ({!run} disables
+    everything, {!check_teeth} arms #18). *)
+val run_ops :
+  ?trace:Tracecheck.Trace.Recorder.t ->
+  seed:int ->
+  op list ->
+  violation list * (string -> int) * int
 
 (** [check_teeth ()] re-runs campaigns with fault #18 (quorum
     acknowledgement without durable flush) enabled and returns how many

@@ -79,11 +79,12 @@ type t = {
           value when one was quorum-acknowledged ([Some v]: a degraded ack,
           repair must converge on [v]; [None]: replicas may diverge, repair
           spreads the best copy it finds) *)
+  trace : Tracecheck.Trace.Recorder.t option;
   obs : Obs.t;
   m : metrics;
 }
 
-let create ?obs ?(ft = default_ft) config =
+let create ?obs ?trace ?(ft = default_ft) config =
   if config.nodes < config.replication then
     invalid_arg "Fleet.create: fewer nodes than the replication factor";
   if ft.max_retries < 0 then invalid_arg "Fleet.create: negative max_retries";
@@ -116,6 +117,7 @@ let create ?obs ?(ft = default_ft) config =
     clock = 0;
     rng = Util.Rng.create (Int64.add config.store.S.seed 0xF1EE7L);
     dirty = Hashtbl.create 16;
+    trace;
     obs;
     m =
       {
@@ -148,6 +150,25 @@ let node_store t ~node = t.stores.(node)
 let write_quorum t = t.quorum
 let health t ~node = t.state.(node).health
 let tick t = t.clock <- t.clock + 1
+
+(* Wire-trace hooks. Recorder calls sit strictly outside every store and
+   disk operation (the trace lock is a leaf): the recorded interval
+   brackets the whole fleet-level operation, retries and failover
+   included. *)
+let trace_invoke t op =
+  match t.trace with
+  | None -> -1
+  | Some r -> Tracecheck.Trace.Recorder.invoke r ~src:"fleet" op
+
+let trace_respond t id outcome =
+  match t.trace with
+  | None -> ()
+  | Some r -> Tracecheck.Trace.Recorder.respond r ~src:"fleet" ~id outcome
+
+let trace_mark ?node t kind =
+  match t.trace with
+  | None -> ()
+  | Some r -> Tracecheck.Trace.Recorder.mark r ~src:"fleet" ?node kind
 
 (* {2 Health tracking}
 
@@ -199,7 +220,9 @@ let note_failure t node ~permanent =
     set_health t node Suspect
   end
 
-let heal_node t ~node = note_success t node
+let heal_node t ~node =
+  trace_mark ~node t Tracecheck.Trace.Heal;
+  note_success t node
 
 let node_probe_in t ~node =
   match t.state.(node).health with
@@ -295,6 +318,8 @@ let durable_delete store ~key =
 let put t ~key ~value =
   Obs.Counter.incr t.m.m_puts;
   tick t;
+  let tid = trace_invoke t (Tracecheck.Trace.Put { key; value }) in
+  let res =
   let nodes = placement t key in
   let acked = ref 0 and lagging = ref [] and first_err = ref None in
   List.iter
@@ -338,6 +363,11 @@ let put t ~key ~value =
     | Some e -> Error e
     | None -> Error (Quorum_not_met { key; acked = !acked; needed = t.quorum })
   end
+  in
+  (match res with
+  | Ok _ -> trace_respond t tid Tracecheck.Trace.Acked
+  | Error _ -> trace_respond t tid Tracecheck.Trace.Failed);
+  res
 
 (* Group commit across the fleet: keys are grouped by placement so each
    replica node sees one [put_batch] and pays the durable-acknowledgement
@@ -348,6 +378,8 @@ let put t ~key ~value =
 let put_many t ops =
   Obs.Counter.incr t.m.m_put_manys;
   tick t;
+  let tid = trace_invoke t (Tracecheck.Trace.Batch (List.map (fun (k, v) -> (k, Some v)) ops)) in
+  let res =
   let buckets = Array.make (node_count t) [] in
   let credit = Hashtbl.create 16 in
   List.iter
@@ -429,6 +461,13 @@ let put_many t ops =
     match !first_err with
     | Some e -> Error e
     | None -> Error (Quorum_not_met { key; acked; needed = t.quorum }))
+  in
+  (* The fleet API reports one result for the whole group commit, so the
+     trace does too: all acked, or all indeterminate. *)
+  (match res with
+  | Ok () -> trace_respond t tid (Tracecheck.Trace.Batch_done (List.map (fun _ -> true) ops))
+  | Error _ -> trace_respond t tid Tracecheck.Trace.Failed);
+  res
 
 (* Failover read: walk the placement in rank order, skipping nodes the
    breaker has removed, and serve from the first replica that has the
@@ -441,6 +480,8 @@ let put_many t ops =
 let get t ~key =
   Obs.Counter.incr t.m.m_gets;
   tick t;
+  let tid = trace_invoke t (Tracecheck.Trace.Get { key }) in
+  let res =
   let nodes = placement t key in
   let auth = dirty_auth t key in
   let serves = function
@@ -477,6 +518,11 @@ let get t ~key =
         | Error _ -> go (idx + 1) (skipped + 1) lagging rest)
   in
   go 0 0 [] nodes
+  in
+  (match res with
+  | Ok v -> trace_respond t tid (Tracecheck.Trace.Got v)
+  | Error _ -> trace_respond t tid Tracecheck.Trace.Unavailable);
+  res
 
 (* Fleet-wide range scan. Enumeration and resolution are split on purpose:
    the candidate key set is the union of every available node's local scan
@@ -488,6 +534,11 @@ let get t ~key =
 let scan t ?lo ?hi () =
   Obs.Counter.incr t.m.m_scans;
   tick t;
+  (* The per-candidate resolution below goes through {!get}, so a traced
+     scan also records its constituent point reads — each is a genuine
+     request-plane read with a client-visible answer. *)
+  let tid = trace_invoke t (Tracecheck.Trace.Scan { lo; hi }) in
+  let res =
   let in_range key =
     (match lo with None -> true | Some l -> String.compare l key <= 0)
     && match hi with None -> true | Some h -> String.compare key h <= 0
@@ -524,6 +575,11 @@ let scan t ?lo ?hi () =
       match v with None -> Ok acc | Some v -> Ok ((key, v) :: acc))
     keys (Ok [])
   |> Result.map List.rev
+  in
+  (match res with
+  | Ok items -> trace_respond t tid (Tracecheck.Trace.Scanned { items; complete = true })
+  | Error _ -> trace_respond t tid Tracecheck.Trace.Unavailable);
+  res
 
 (* Deletes need the same durable acknowledgement as puts, on {e every}
    replica: without version history, a tombstone missing from one replica
@@ -532,25 +588,33 @@ let scan t ?lo ?hi () =
 let delete t ~key =
   Obs.Counter.incr t.m.m_deletes;
   tick t;
-  let nodes = placement t key in
-  if List.exists (fun node -> not (available t node)) nodes then
-    Error (Quorum_not_met { key; acked = 0; needed = t.config.replication })
-  else
-    let* () =
-      List.fold_left
-        (fun acc node ->
-          let* () = acc in
-          attempt t node (fun () -> durable_delete t.stores.(node) ~key))
-        (Ok ()) nodes
-    in
-    Hashtbl.remove t.dirty key;
-    Ok ()
+  let tid = trace_invoke t (Tracecheck.Trace.Delete { key }) in
+  let res =
+    let nodes = placement t key in
+    if List.exists (fun node -> not (available t node)) nodes then
+      Error (Quorum_not_met { key; acked = 0; needed = t.config.replication })
+    else
+      let* () =
+        List.fold_left
+          (fun acc node ->
+            let* () = acc in
+            attempt t node (fun () -> durable_delete t.stores.(node) ~key))
+          (Ok ()) nodes
+      in
+      Hashtbl.remove t.dirty key;
+      Ok ()
+  in
+  (match res with
+  | Ok () -> trace_respond t tid Tracecheck.Trace.Acked
+  | Error _ -> trace_respond t tid Tracecheck.Trace.Failed);
+  res
 
 let crash_node t ~rng ~node =
   Obs.Counter.incr t.m.m_crashes;
   tick t;
   if Obs.tracing t.obs then
     Obs.emit t.obs ~layer:"fleet" "node_crash" [ ("node", string_of_int node) ];
+  trace_mark ~node t Tracecheck.Trace.Crash;
   let store = t.stores.(node) in
   (* Recovery itself must not trip injected faults: a power-cycled node
      reads back what the disk durably has, it does not re-roll the fault
@@ -566,7 +630,7 @@ let crash_node t ~rng ~node =
           })
   in
   match result with
-  | Ok () -> ()
+  | Ok () -> trace_mark ~node t Tracecheck.Trace.Restart
   | Error _ ->
     (* A node that cannot recover is out of the rotation until repaired. *)
     Obs.Counter.incr t.m.m_crash_fail;
@@ -577,6 +641,7 @@ let destroy_node t ~node =
   tick t;
   if Obs.tracing t.obs then
     Obs.emit t.obs ~layer:"fleet" "node_destroy" [ ("node", string_of_int node) ];
+  trace_mark ~node t Tracecheck.Trace.Destroy;
   t.stores.(node) <-
     S.create
       {
@@ -605,6 +670,7 @@ type repair_report = {
 let repair t =
   Obs.Counter.incr t.m.m_repairs;
   tick t;
+  trace_mark t Tracecheck.Trace.Repair_start;
   (* The control plane's view: the union of every reachable node's listing
      plus the dirty set (which names keys a down node may be hiding). *)
   let listed =
@@ -690,6 +756,7 @@ let repair t =
         if fully_replicated then Hashtbl.remove t.dirty key
         else mark_dirty t key (Some value))
     keys;
+  trace_mark t Tracecheck.Trace.Repair_done;
   Ok !report
 
 let replica_count t ~key =

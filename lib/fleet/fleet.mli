@@ -85,12 +85,18 @@ val pp_error : Format.formatter -> error -> unit
     durably, and which placements are lagging (to be healed by repair). *)
 type ack = { replicas : int; lagging : int list }
 
-(** [create ?obs ?ft config] — fleet-level counters ([fleet.put],
+(** [create ?obs ?trace ?ft config] — fleet-level counters ([fleet.put],
     [fleet.retry], [fleet.quorum_ack], ...) land in [obs] or a fresh
     fleet-scoped registry; each node's store keeps its own per-instance
     registry (see {!node_obs}), so two nodes' series never collide.
-    [ft] defaults to {!default_ft}. *)
-val create : ?obs:Obs.t -> ?ft:ft_config -> config -> t
+    [ft] defaults to {!default_ft}. [?trace] attaches a wire-trace
+    recorder ({!Tracecheck.Trace.Recorder}, src ["fleet"]): every
+    request-plane operation is recorded as an invocation/response
+    interval (a traced {!scan} also records the point reads it resolves
+    candidates with), and the control plane emits markers —
+    crash/restart, destroy, heal, repair — for offline audit by
+    {!Tracecheck.Audit}. *)
+val create : ?obs:Obs.t -> ?trace:Tracecheck.Trace.Recorder.t -> ?ft:ft_config -> config -> t
 
 val node_count : t -> int
 

@@ -70,6 +70,7 @@ let classify_lock path =
     if List.mem "shards" path || List.mem "locks" path then Some "shard"
     else if last = "stack" || last = "stack_lock" then Some "stack"
     else if last = "run_lock" then Some "lsm_run"
+    else if last = "trace_lock" then Some "trace"
     else if last = "lock" then Some "cache"
     else None
 

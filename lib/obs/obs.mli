@@ -157,6 +157,16 @@ val pp_snapshot : Format.formatter -> t -> unit
     Histograms export their buckets, count and sum. *)
 val to_jsonl : t -> string
 
+(** JSON string-content escaping as used by {!to_jsonl}, shared so every
+    JSONL surface in the repo (metrics, wire traces) escapes
+    identically. Escapes double quotes, backslashes and control
+    characters; does not add the surrounding quotes. *)
+val json_escape : string -> string
+
+(** Shortest round-trip JSON float encoding as used by {!to_jsonl}
+    (integral floats print without an exponent or trailing dot). *)
+val json_float : float -> string
+
 (** {2 Trace ring} *)
 
 type event = {

@@ -6,13 +6,20 @@
 
 type t
 
-(** [create ?obs ?disks config] — [disks] independent stores (default 4).
-    RPC-layer counters ([rpc.request] labelled by request kind,
-    [rpc.error], [rpc.tick_error] and the [rpc.batch_ops] histogram) land
-    in [obs] or a fresh rpc-scoped registry; each disk's store keeps its
-    own per-instance registry (see {!store_obs}). Per the repo convention
-    (see [lib/obs/obs.mli]), [?obs] is the first optional argument. *)
-val create : ?obs:Obs.t -> ?disks:int -> Store.Default.config -> t
+(** [create ?obs ?trace ?disks config] — [disks] independent stores
+    (default 4). RPC-layer counters ([rpc.request] labelled by request
+    kind, [rpc.error], [rpc.tick_error] and the [rpc.batch_ops]
+    histogram) land in [obs] or a fresh rpc-scoped registry; each disk's
+    store keeps its own per-instance registry (see {!store_obs}). Per
+    the repo convention (see [lib/obs/obs.mli]), [?obs] is the first
+    optional argument. [?trace] attaches a wire-trace recorder
+    ({!Tracecheck.Trace.Recorder}, src ["rpc"]): data-plane requests
+    (put/get/delete/batch/scan) are recorded as invocation/response
+    intervals — a paginated scan records its effective lower bound and
+    marks only a token-free, unsaturated page [complete] — for offline
+    audit by {!Tracecheck.Audit}. *)
+val create :
+  ?obs:Obs.t -> ?trace:Tracecheck.Trace.Recorder.t -> ?disks:int -> Store.Default.config -> t
 
 val disk_count : t -> int
 

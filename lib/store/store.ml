@@ -913,11 +913,12 @@ module Shared = struct
     base : Default.t;
     staging : string option Conc.Shard_table.t;  (* None = staged tombstone *)
     stack : Conc.Rwlock.t;  (* guards every [base] access *)
+    trace : Tracecheck.Trace.Recorder.t option;
     obs : Obs.t;
     m : metrics;
   }
 
-  let create ?(shards = 8) ?obs cfg =
+  let create ?(shards = 8) ?obs ?trace cfg =
     let obs =
       match obs with
       | Some o ->
@@ -930,6 +931,7 @@ module Shared = struct
       base = Default.create ~obs cfg;
       staging = Conc.Shard_table.create ~shards ();
       stack = Conc.Rwlock.create ();
+      trace;
       obs;
       m =
         {
@@ -948,18 +950,35 @@ module Shared = struct
   let shards t = Conc.Shard_table.shards t.staging
   let staged_count t = Conc.Shard_table.size t.staging
 
+  (* Wire-trace hooks. Recorder calls sit strictly outside the staging
+     and stack lock closures (the trace lock is a leaf); the recorded
+     interval therefore contains the operation's linearization point. *)
+  let trace_invoke t op =
+    match t.trace with
+    | None -> -1
+    | Some r -> Tracecheck.Trace.Recorder.invoke r ~src:"shared" op
+
+  let trace_respond t id outcome =
+    match t.trace with
+    | None -> ()
+    | Some r -> Tracecheck.Trace.Recorder.respond r ~src:"shared" ~id outcome
+
   (* Staging under the shard write lock is the linearization point of a
      mutation: once the lock is released the new value is visible to
      every get of the key, whether or not it has been flushed down. *)
   let put t ~key ~value =
     Obs.Counter.incr t.m.m_puts;
+    let id = trace_invoke t (Tracecheck.Trace.Put { key; value }) in
     Conc.Shard_table.with_key_write t.staging key (fun tbl ->
         Hashtbl.replace tbl key (Some value));
+    trace_respond t id Tracecheck.Trace.Acked;
     Ok ()
 
   let delete t ~key =
     Obs.Counter.incr t.m.m_deletes;
+    let id = trace_invoke t (Tracecheck.Trace.Delete { key }) in
     Conc.Shard_table.with_key_write t.staging key (fun tbl -> Hashtbl.replace tbl key None);
+    trace_respond t id Tracecheck.Trace.Acked;
     Ok ()
 
   (* The shard read lock is held across BOTH the staged probe and the
@@ -968,12 +987,19 @@ module Shared = struct
      the window where the key is in neither place. *)
   let get t ~key =
     Obs.Counter.incr t.m.m_gets;
-    Conc.Shard_table.with_key_read t.staging key (fun tbl ->
-        match Hashtbl.find_opt tbl key with
-        | Some v ->
-          Obs.Counter.incr t.m.m_staged_hits;
-          Ok v
-        | None -> Conc.Rwlock.with_read t.stack (fun () -> Default.get t.base ~key))
+    let id = trace_invoke t (Tracecheck.Trace.Get { key }) in
+    let res =
+      Conc.Shard_table.with_key_read t.staging key (fun tbl ->
+          match Hashtbl.find_opt tbl key with
+          | Some v ->
+            Obs.Counter.incr t.m.m_staged_hits;
+            Ok v
+          | None -> Conc.Rwlock.with_read t.stack (fun () -> Default.get t.base ~key))
+    in
+    (match res with
+    | Ok v -> trace_respond t id (Tracecheck.Trace.Got v)
+    | Error _ -> trace_respond t id Tracecheck.Trace.Unavailable);
+    res
 
   (* Per-op outcomes of a staged batch, aligned with the per-op
      [Store_intf.S.batch_result] shape: staging itself cannot fail per op
@@ -1001,12 +1027,18 @@ module Shared = struct
 
   let put_batch t ops =
     Obs.Counter.incr t.m.m_puts;
-    stage_batch t (List.map (fun (k, v) -> (k, Some v)) ops);
+    let entries = List.map (fun (k, v) -> (k, Some v)) ops in
+    let id = trace_invoke t (Tracecheck.Trace.Batch entries) in
+    stage_batch t entries;
+    trace_respond t id (Tracecheck.Trace.Batch_done (List.map (fun _ -> true) ops));
     Ok { results = List.map (fun _ -> Ok ()) ops }
 
   let delete_batch t keys =
     Obs.Counter.incr t.m.m_deletes;
-    stage_batch t (List.map (fun k -> (k, None)) keys);
+    let entries = List.map (fun k -> (k, None)) keys in
+    let id = trace_invoke t (Tracecheck.Trace.Batch entries) in
+    stage_batch t entries;
+    trace_respond t id (Tracecheck.Trace.Batch_done (List.map (fun _ -> true) keys));
     Ok { results = List.map (fun _ -> Ok ()) keys }
 
   let first_batch_error (r : Default.batch_result) =
@@ -1056,7 +1088,11 @@ module Shared = struct
         | Ok n -> go (i + 1) (drained + n)
         | Error e -> Error e
     in
-    go 0 0
+    let res = go 0 0 in
+    (match t.trace with
+    | Some r -> Tracecheck.Trace.Recorder.mark r ~src:"shared" Tracecheck.Trace.Flush
+    | None -> ());
+    res
 
   (* Staged overlay on top of the base listing. All shard read locks are
      held (ascending) around the stack read, so the overlay and the base
@@ -1091,11 +1127,13 @@ module Shared = struct
      result equals what [Store.Default.scan] would yield after a drain. *)
   let scan t ?lo ?hi () =
     Obs.Counter.incr t.m.m_scans;
+    let id = trace_invoke t (Tracecheck.Trace.Scan { lo; hi }) in
     let in_range k =
       (match lo with None -> true | Some l -> String.compare l k <= 0)
       && match hi with None -> true | Some h -> String.compare k h <= 0
     in
-    Conc.Shard_table.with_all_read t.staging (fun tables ->
+    let res =
+      Conc.Shard_table.with_all_read t.staging (fun tables ->
         Conc.Rwlock.with_read t.stack (fun () ->
             let ( let* ) = Result.bind in
             let* s = Default.scan t.base ?lo ?hi () in
@@ -1123,4 +1161,9 @@ module Shared = struct
               List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) v) staged
             in
             Ok (List.sort (fun (a, _) (b, _) -> String.compare a b) (adds @ kept))))
+    in
+    (match res with
+    | Ok items -> trace_respond t id (Tracecheck.Trace.Scanned { items; complete = true })
+    | Error _ -> trace_respond t id Tracecheck.Trace.Unavailable);
+    res
 end

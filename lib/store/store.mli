@@ -226,10 +226,15 @@ module Shared : sig
   type t
   type error = Default.error
 
-  (** [create ?shards ?obs cfg] — a fresh underlying store plus
+  (** [create ?shards ?obs ?trace cfg] — a fresh underlying store plus
       [shards] staging shards (default 8). Tracing on [obs] is forcibly
-      disabled: the trace ring is single-domain. *)
-  val create : ?shards:int -> ?obs:Obs.t -> Default.config -> t
+      disabled: the trace ring is single-domain. [?trace] attaches a
+      domain-safe wire-trace recorder ({!Tracecheck.Trace.Recorder}):
+      every put/get/delete/batch/scan is recorded as an
+      invocation/response interval (src ["shared"]) and each {!flush} as
+      a [Flush] marker, for offline audit by {!Tracecheck.Audit}. *)
+  val create :
+    ?shards:int -> ?obs:Obs.t -> ?trace:Tracecheck.Trace.Recorder.t -> Default.config -> t
 
   val obs : t -> Obs.t
 
