@@ -157,7 +157,7 @@ let () =
     (Tracecheck.Audit.verdict_name cap_audit.Tracecheck.Audit.verdict)
     cap_dropped;
   let record =
-    Bench_record.append ~bench:"batch"
+    Bench_record.append ~bench:"batch" ~domains:1
       ~workload:
         [
           ("ops", string_of_int ops_total);

@@ -73,6 +73,7 @@ let () =
   in
   let record =
     Bench_record.append ~bench:"par"
+      ~domains:(List.fold_left max 1 domain_counts)
       ~workload:
         [
           ("domain_counts", String.concat "," (List.map string_of_int domain_counts));

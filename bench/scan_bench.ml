@@ -149,6 +149,7 @@ let () =
     (Tracecheck.Trace.Recorder.dropped cap_recorder);
   let record =
     Bench_record.append ~bench:"scan"
+      ~domains:(List.fold_left max 1 domain_arms)
       ~workload:
         [
           ("keys", string_of_int keys_total);

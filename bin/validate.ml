@@ -230,6 +230,34 @@ let export_lint_graph path reports =
   close_out oc;
   Printf.printf "  lint-graph: %d class edge(s) -> %s\n" (List.length edges) path
 
+(* The maintenance-racing gates, appended to --shared and also runnable
+   on their own as --maint (the CI maint-smoke job): (a) per-key
+   linearizability must hold while a dedicated maintenance domain races
+   the foreground with narrowed shard flushes, compactions and reclaims;
+   (b) a wire-traced run of the same shape (maintenance flushes leaving
+   Flush markers) must audit Valid offline. The model-side half — the
+   Conc_shared maintenance harnesses under FastTrack — rides in the
+   hot-path model gate, which --maint re-runs for its lint-graph
+   export. *)
+let maint_gates ~gate ~n ~shared_ops ~seed =
+  Printf.printf "shared: %d foreground domains + 1 maintenance domain (linearizability)\n" n;
+  let lin =
+    Experiments.Shared_lin.run ~domains:n ~ops_per_domain:shared_ops ~seed ~maint:true ()
+  in
+  Format.printf "  %a@." Experiments.Shared_lin.pp_report lin;
+  gate "maintenance-racing linearizability" (Experiments.Shared_lin.ok lin);
+  Printf.printf "shared: traced maintenance-racing run (offline wire-trace audit)\n";
+  let audit, stats = Experiments.Shared_lin.traced_maint ~domains:n ~seed () in
+  Format.printf "  %a@." Tracecheck.Audit.pp_report audit;
+  Printf.printf "  maint domain: %d steps, %d flushes draining %d, %d compacts, %d reclaims, %d errors\n"
+    stats.Store.Shared.Maint.steps stats.Store.Shared.Maint.flushes
+    stats.Store.Shared.Maint.drained stats.Store.Shared.Maint.compacts
+    stats.Store.Shared.Maint.reclaims stats.Store.Shared.Maint.errors;
+  gate "maintenance trace audit"
+    (Tracecheck.Audit.ok audit
+    && stats.Store.Shared.Maint.errors = 0
+    && stats.Store.Shared.Maint.flushes > 0)
+
 let shared_run ~domains ~shared_ops ~seed ~lint_graph =
   Faults.disable_all ();
   let n = if domains > 1 then domains else 4 in
@@ -259,12 +287,44 @@ let shared_run ~domains ~shared_ops ~seed ~lint_graph =
   let lin_report = Experiments.Shared_lin.run ~domains:n ~ops_per_domain:shared_ops ~seed () in
   Format.printf "  %a@." Experiments.Shared_lin.pp_report lin_report;
   gate "store linearizability" (Experiments.Shared_lin.ok lin_report);
+  maint_gates ~gate ~n ~shared_ops ~seed;
   if !failures = 0 then begin
     Printf.printf "shared-state conformance clean\n";
     0
   end
   else begin
     Printf.printf "shared-state conformance: %d gate(s) failed\n" !failures;
+    1
+  end
+
+(* [--maint]: the maintenance-plane subset of --shared, small enough for
+   a dedicated CI job: the hot-path model (maintenance harnesses
+   included, FastTrack attached, dynamic lock-graph export for the
+   lint cross-check) plus the two maintenance-racing gates. *)
+let maint_run ~domains ~shared_ops ~seed ~lint_graph =
+  Faults.disable_all ();
+  let n = if domains > 1 then domains else 3 in
+  let failures = ref 0 in
+  let gate name ok =
+    if not ok then begin
+      incr failures;
+      Printf.printf "  %s: FAILED\n" name
+    end
+  in
+  Printf.printf "maint: hot-path model with maintenance harnesses (FastTrack + lock order)\n";
+  let shared_reports = Conc.Conc_shared.run () in
+  List.iter (fun r -> Format.printf "  %a@." Conc.Conc_shared.pp_report r) shared_reports;
+  gate "hot-path model" (Conc.Conc_shared.ok shared_reports);
+  (match lint_graph with
+  | Some path -> export_lint_graph path shared_reports
+  | None -> ());
+  maint_gates ~gate ~n ~shared_ops ~seed;
+  if !failures = 0 then begin
+    Printf.printf "maintenance-plane conformance clean\n";
+    0
+  end
+  else begin
+    Printf.printf "maintenance-plane conformance: %d gate(s) failed\n" !failures;
     1
   end
 
@@ -335,10 +395,11 @@ let run_conformance sequences length seed metrics_out batch_weight scan_weight d
   else 1
 
 let run sequences length seed metrics_out sanitize batch_weight scan_weight chaos campaigns
-    chaos_length domains shared shared_ops lint_graph trace_audit =
+    chaos_length domains shared shared_ops lint_graph trace_audit maint =
   if trace_audit then
     trace_audit_run ~domains ~campaigns ~length:chaos_length ~seed ~shared_ops
   else if shared then shared_run ~domains ~shared_ops ~seed ~lint_graph
+  else if maint then maint_run ~domains ~shared_ops ~seed ~lint_graph
   else if chaos then chaos_run ~domains ~campaigns ~length:chaos_length ~seed
   else if sanitize then sanitize_run ~seed
   else run_conformance sequences length seed metrics_out batch_weight scan_weight domains
@@ -420,10 +481,11 @@ let shared =
     & info [ "shared" ]
         ~doc:
           "Run the shared-state conformance gate instead of the sweep: the rwlock protocol \
-           model checked exhaustively under SMC, the sharded hot-path model under the \
-           FastTrack race detector and lock-order analysis, the real Atomic rwlock audited \
-           on racing domains, and N domains driving one shared store with every per-key \
-           history checked linearizable. Exit 1 on any finding.")
+           model checked exhaustively under SMC, the sharded hot-path model (maintenance \
+           harnesses included) under the FastTrack race detector and lock-order analysis, \
+           the real Atomic rwlock audited on racing domains, N domains driving one shared \
+           store with every per-key history checked linearizable — then the \
+           maintenance-racing gates (see --maint). Exit 1 on any finding.")
 
 let shared_ops =
   Arg.(
@@ -437,8 +499,8 @@ let lint_graph =
     & opt (some string) None
     & info [ "lint-graph" ] ~docv:"FILE"
         ~doc:
-          "With --shared: export the dynamically observed lock-class acquisition edges \
-           (one 'held acquired' pair per line) for the $(b,lint.exe --dynamic-graph) \
+          "With --shared or --maint: export the dynamically observed lock-class acquisition \
+           edges (one 'held acquired' pair per line) for the $(b,lint.exe --dynamic-graph) \
            static/dynamic cross-check.")
 
 let trace_audit =
@@ -455,12 +517,24 @@ let trace_audit =
            --domains, --shared-ops and --seed scale the workloads. Exit 1 if any trace \
            fails its audit or any teeth case goes undetected.")
 
+let maint =
+  Arg.(
+    value & flag
+    & info [ "maint" ]
+        ~doc:
+          "Run the maintenance-plane conformance gate on its own (it also runs as part of \
+           --shared): the sharded hot-path model with the maintenance-vs-foreground \
+           harnesses under the FastTrack race detector and lock-order analysis (exporting \
+           --lint-graph when asked), N foreground domains racing a dedicated maintenance \
+           domain with every per-key history checked linearizable, and a wire-traced run of \
+           the same shape audited offline. Exit 1 on any finding.")
+
 let cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Run the pre-deployment conformance checks")
     Term.(
       const run $ sequences $ length $ seed $ metrics_out $ sanitize $ batch_weight
       $ scan_weight $ chaos $ campaigns $ chaos_length $ domains $ shared $ shared_ops
-      $ lint_graph $ trace_audit)
+      $ lint_graph $ trace_audit $ maint)
 
 let () = exit (Cmd.eval' cmd)

@@ -166,7 +166,7 @@ let json_digest d =
       ("saturated", string_of_bool d.saturated);
     ]
 
-let append ?(dir = Sys.getcwd ()) ~bench ~workload ~metrics ?obs () =
+let append ?(dir = Sys.getcwd ()) ~bench ~domains ~workload ~metrics ?obs () =
   let root = Option.value (find_root dir) ~default:dir in
   let path = Filename.concat root (Printf.sprintf "BENCH_%s.json" bench) in
   let latency =
@@ -174,12 +174,17 @@ let append ?(dir = Sys.getcwd ()) ~bench ~workload ~metrics ?obs () =
     | None -> []
     | Some obs -> [ ("latency", json_obj (List.map (fun (n, d) -> (n, json_digest d)) (latencies obs))) ]
   in
+  (* Every workload stanza records the domain count in the same place, so
+     the perf trajectory can always be sliced by parallelism; the wall
+     clock is read through Util.Wallclock, the repo's single funnel for
+     the determinism lint. *)
+  let workload = ("domains", string_of_int domains) :: workload in
   let record =
     json_obj
       ([
          ("bench", json_string bench);
          ("commit", json_string (commit ~dir ()));
-         ("unix_time", string_of_int (int_of_float (Unix.time ())));
+         ("unix_time", string_of_int (int_of_float (Util.Wallclock.now_s ())));
          ("workload", json_obj (List.map (fun (k, v) -> (k, json_string v)) workload));
          ("metrics", json_obj (List.map (fun (k, v) -> (k, json_float v)) metrics));
        ]

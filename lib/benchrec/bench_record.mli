@@ -6,7 +6,7 @@
 
     {v
     {"bench":"batch","commit":"d5f8829...","unix_time":1754610000,
-     "workload":{"ops":"1024","value_bytes":"64"},
+     "workload":{"domains":"1","ops":"1024","value_bytes":"64"},
      "metrics":{"ops_per_sec":41210.3},
      "latency":{"put_us":{"count":1024,"mean":22.9,"p50":64.0,...}}}
     v}
@@ -40,14 +40,19 @@ val latencies : Obs.t -> (string * digest) list
     walking up from [dir] (default: the working directory). *)
 val commit : ?dir:string -> unit -> string
 
-(** [append ~bench ~workload ~metrics ?obs ()] appends one record to
-    [BENCH_<bench>.json] next to [.git] (or in [dir] when no repository
-    is found) and returns the path written. [workload] captures the
-    knobs (string key/value), [metrics] the headline numbers, and [obs]
-    contributes per-histogram latency digests. *)
+(** [append ~bench ~domains ~workload ~metrics ?obs ()] appends one
+    record to [BENCH_<bench>.json] next to [.git] (or in [dir] when no
+    repository is found) and returns the path written. [domains] is the
+    domain count the bench ran with (the largest count exercised, for a
+    multi-count campaign) and lands as ["domains"] in every workload
+    stanza; [workload] captures the remaining knobs (string key/value),
+    [metrics] the headline numbers, and [obs] contributes per-histogram
+    latency digests. The [unix_time] stamp is read through
+    {!Util.Wallclock}, the repo's single wall-clock funnel. *)
 val append :
   ?dir:string ->
   bench:string ->
+  domains:int ->
   workload:(string * string) list ->
   metrics:(string * float) list ->
   ?obs:Obs.t ->

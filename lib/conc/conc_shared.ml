@@ -15,6 +15,7 @@ module M = struct
   type t = {
     shards : shard array;
     stack_lock : Rwlock.Model.t;
+    maint_lock : Rwlock.Model.t;
     base : (string * string) list Smc.Cell.t;
   }
 
@@ -24,6 +25,7 @@ module M = struct
         Array.init shards (fun _ ->
             { lock = Rwlock.Model.create ~name:"shard" (); staged = Smc.Cell.make [] });
       stack_lock = Rwlock.Model.create ~name:"stack" ();
+      maint_lock = Rwlock.Model.create ~name:"maint" ();
       base = Smc.Cell.make base;
     }
 
@@ -57,6 +59,34 @@ module M = struct
             in
             Smc.Cell.set t.base (List.fold_left apply (Smc.Cell.get t.base) (List.rev staged));
             Smc.Cell.set t.shards.(i).staged []))
+
+  (* The narrowed maintenance flush (Store.Shared.flush_shard with
+     [flush_chunk = 1]): the maint lock serializes maintenance, the
+     shard write lock covers the whole drain, but the stack lock is
+     taken per applied entry — between entries, foreground reads on
+     other shards slide into the base. The FastTrack monitor checks that
+     those interleaved base accesses are still race-free, and the
+     harness asserts that releasing the stack lock mid-drain never makes
+     an acked staged value unobservable. *)
+  let maint_flush_shard t i =
+    Rwlock.Model.with_write t.maint_lock (fun () ->
+        Rwlock.Model.with_write t.shards.(i).lock (fun () ->
+            let staged = List.rev (Smc.Cell.get t.shards.(i).staged) in
+            List.iter
+              (fun (k, v) ->
+                Rwlock.Model.with_write t.stack_lock (fun () ->
+                    let base = List.remove_assoc k (Smc.Cell.get t.base) in
+                    Smc.Cell.set t.base
+                      (match v with Some v -> (k, v) :: base | None -> base)))
+              staged;
+            Smc.Cell.set t.shards.(i).staged []))
+
+  (* Structural maintenance: maint then stack, no shard lock. The base
+     rewrite preserves contents (reversal), as compaction does. *)
+  let maint_compact t =
+    Rwlock.Model.with_write t.maint_lock (fun () ->
+        Rwlock.Model.with_write t.stack_lock (fun () ->
+            Smc.Cell.set t.base (List.rev (Smc.Cell.get t.base))))
 
   (* A batch staging into several shards nests shard write locks in
      ascending index order — the discipline under test in h_batch_order. *)
@@ -249,8 +279,69 @@ let h_batch_order budget =
     outcome;
   }
 
+(* Maintenance flusher vs foreground reads: with "a" -> "v2" staged on
+   shard 0 before the race, a narrowed maintenance flush of shard 0 runs
+   against a reader of shard 0 (must see the acked v2, staged or
+   flushed, through every chunk boundary) and a reader of shard 1 (must
+   keep seeing its own staged value — the foreground traffic a narrowed
+   flush is supposed to let through). *)
+let h_maint_flush budget =
+  let outcome =
+    explore budget (fun () ->
+        let t = M.create ~shards:2 ~base:[ ("a", "v1") ] () in
+        M.put t 0 "a" "v2";
+        M.put t 1 "b" "w";
+        Smc.spawn (fun () -> M.maint_flush_shard t 0);
+        Smc.spawn (fun () ->
+            match M.get t 0 "a" with
+            | Some "v2" -> ()
+            | v ->
+                failwith
+                  (Printf.sprintf "maint-racing read lost the ack: saw %s"
+                     (Option.value v ~default:"(absent)")));
+        Smc.spawn (fun () ->
+            match M.get t 1 "b" with
+            | Some "w" -> ()
+            | v ->
+                failwith
+                  (Printf.sprintf "other-shard read saw %s"
+                     (Option.value v ~default:"(absent)"))))
+  in
+  {
+    name = "shared/maint";
+    property = "acked values stay visible through a narrowed maintenance flush";
+    outcome;
+  }
+
+(* The maintenance domain (maint < shard < stack via the narrowed flush,
+   maint < stack via compact) races a foreground flusher (shard < stack)
+   and a cross-shard batch (shard 0 < shard 1): the accumulated lock
+   graph over all four acquisition paths must stay acyclic. *)
+let h_maint_order budget =
+  let outcome =
+    explore budget (fun () ->
+        let t = M.create ~shards:2 ~base:[ ("c", "z") ] () in
+        Smc.spawn (fun () ->
+            M.maint_flush_shard t 1;
+            M.maint_compact t);
+        Smc.spawn (fun () -> M.put_batch_ordered t [ (0, "a", "x"); (1, "b", "y") ]);
+        Smc.spawn (fun () -> M.flush_shard t 0))
+  in
+  {
+    name = "shared/maint-order";
+    property = "maintenance and foreground agree on the order maint < shard < stack";
+    outcome;
+  }
+
 let run ?(budget = 20_000) () =
-  [ h_cross_shard budget; h_same_shard budget; h_cache_lifecycle budget; h_batch_order budget ]
+  [
+    h_cross_shard budget;
+    h_same_shard budget;
+    h_cache_lifecycle budget;
+    h_batch_order budget;
+    h_maint_flush budget;
+    h_maint_order budget;
+  ]
 
 let ok reports =
   reports <> []

@@ -19,7 +19,21 @@
       checked against {!Cache_sm.legal};
     - {e shared/order} — batch staging (nested shard write locks,
       ascending) races flushes (shard before stack): the accumulated
-      lock graph must stay acyclic.
+      lock graph must stay acyclic;
+    - {e shared/maint} — the {e narrowed} maintenance flush (maint lock,
+      shard write lock across the drain, stack lock re-taken per applied
+      entry) races foreground readers on both shards: an acked staged
+      value must stay observable through every chunk boundary, and the
+      foreground read on the other shard must keep flowing;
+    - {e shared/maint-order} — the maintenance domain (maint < shard <
+      stack via the narrowed flush, maint < stack via compact) races a
+      foreground flusher and a cross-shard batch: the lock graph over
+      all four acquisition paths must stay acyclic.
+
+    The [maint]/[shard]/[stack]/[cache] class names on the model locks
+    feed [validate --shared --lint-graph]'s dynamic edge export, which
+    [bin/lint.exe] checks is a subset of the statically extracted
+    acquisition graph.
 
     Three-thread harnesses are not exhaustible within a realistic budget
     (unlike the two-thread {!Rwlock.Check} harnesses), so the gate is:
@@ -30,7 +44,7 @@ type report = { name : string; property : string; outcome : Smc.outcome }
 
 val pp_report : Format.formatter -> report -> unit
 
-(** [run ?budget ()] — explore all four harnesses under
+(** [run ?budget ()] — explore all six harnesses under
     [Sanitize.default] with a DFS budget of [budget] schedules each
     (default 20_000). *)
 val run : ?budget:int -> unit -> report list

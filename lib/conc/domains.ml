@@ -9,10 +9,43 @@ let spawn_join ~domains f =
   let first = f 0 in
   first :: List.map Domain.join handles
 
+(* Spin-wait hint for code outside the primitive-confinement allowlist:
+   polling loops (e.g. "wait until the maintenance worker drains") call
+   this instead of raw Domain.cpu_relax. *)
+let relax = Domain.cpu_relax
+
 module Clock = struct
   type t = int Atomic.t
 
   let create () = Atomic.make 0
   let tick t = Atomic.fetch_and_add t 1
   let now t = Atomic.get t
+end
+
+(* A long-lived background domain driven by a stop flag, for maintenance
+   loops that must race foreground work for an unbounded stretch rather
+   than a fixed fork/join range. The step counter is owned by the worker
+   domain; [stop]'s join publishes it to the caller. *)
+module Worker = struct
+  type t = { stop : bool Atomic.t; handle : int Domain.t }
+
+  let start step =
+    let stop = Atomic.make false in
+    let handle =
+      Domain.spawn (fun () ->
+          let rec go n =
+            if Atomic.get stop then n
+            else begin
+              step n;
+              Domain.cpu_relax ();
+              go (n + 1)
+            end
+          in
+          go 0)
+    in
+    { stop; handle }
+
+  let stop w =
+    Atomic.set w.stop true;
+    Domain.join w.handle
 end

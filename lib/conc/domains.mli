@@ -11,6 +11,11 @@
     [domains < 1]. *)
 val spawn_join : domains:int -> (int -> 'a) -> 'a list
 
+(** [Domain.cpu_relax], re-exported for spin-wait loops outside the
+    primitive-confinement allowlist. A scheduling hint only — it
+    provides no ordering or visibility guarantees. *)
+val relax : unit -> unit
+
 (** A shared monotone event counter, for linearizability-harness
     invocation/return timestamps. *)
 module Clock : sig
@@ -22,4 +27,33 @@ module Clock : sig
   val tick : t -> int
 
   val now : t -> int
+end
+
+(** A long-lived background domain — the maintenance-plane driver shape.
+
+    Where {!spawn_join} races a {e fixed} set of workers to completion,
+    a [Worker] runs an open-ended step loop on its own domain until the
+    owner asks it to stop. [Store.Shared.Maint] drives flush/compact/
+    reclaim from one of these while foreground domains keep serving
+    requests.
+
+    Domain-safety contract: [step] runs entirely on the worker domain
+    and must itself be safe to race against the owner (in practice: it
+    only calls lock-protected operations). The step index is owned by
+    the worker; {!stop}'s join is the happens-before edge that makes the
+    final count (and anything [step] wrote) visible to the caller. *)
+module Worker : sig
+  type t
+
+  (** [start step] spawns a domain running [step 0; step 1; ...] (with a
+      [Domain.cpu_relax] between iterations so a 1-core box still
+      interleaves) until {!stop} is called. Exceptions escaping [step]
+      kill the worker and re-raise at {!stop} — steps that may fail
+      should catch and count, not throw. *)
+  val start : (int -> unit) -> t
+
+  (** Signal the loop and join the domain; returns the number of
+      completed steps. Idempotent calls are not supported: call exactly
+      once, from the owning domain. *)
+  val stop : t -> int
 end

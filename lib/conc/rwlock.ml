@@ -46,9 +46,12 @@ end
 
    The whole state lives in one word so every transition is a single
    compare-and-set: readers in bits 0-19, pending writers in bits 20-39,
-   the writer flag in bit 40. Blocking is a cpu_relax spin — acquisitions
-   here protect short critical sections (memtable staging, cache probes),
-   not IO-length waits. *)
+   the writer flag in bit 40. Blocking is a bounded cpu_relax spin that
+   falls back to a microsleep: acquisitions here protect short critical
+   sections (memtable staging, cache probes), so the lock usually frees
+   within the spin phase — but when domains outnumber cores the holder
+   may need this very core, and cpu_relax alone would burn the blocked
+   acquirer's whole scheduler quantum. The sleep yields the timeslice. *)
 
 let reader_one = 1
 let pending_one = 1 lsl 20
@@ -85,16 +88,22 @@ let record t ~old_s ~new_s =
 
 let state t = unpack (Atomic.get t.cell)
 
-let rec acquire_read t =
-  let s = Atomic.get t.cell in
-  if writer_of s || pending_of s > 0 then begin
-    (* Writer preference: a pending writer bars new readers. *)
-    Domain.cpu_relax ();
-    acquire_read t
-  end
-  else if Atomic.compare_and_set t.cell s (s + reader_one) then
-    record t ~old_s:s ~new_s:(s + reader_one)
-  else acquire_read t
+(* Spin briefly, then give up the timeslice. *)
+let backoff spins = if spins < 512 then Domain.cpu_relax () else Unix.sleepf 1e-6
+
+let acquire_read t =
+  let rec go spins =
+    let s = Atomic.get t.cell in
+    if writer_of s || pending_of s > 0 then begin
+      (* Writer preference: a pending writer bars new readers. *)
+      backoff spins;
+      go (spins + 1)
+    end
+    else if Atomic.compare_and_set t.cell s (s + reader_one) then
+      record t ~old_s:s ~new_s:(s + reader_one)
+    else go spins
+  in
+  go 0
 
 let rec release_read t =
   let s = Atomic.get t.cell in
@@ -109,16 +118,19 @@ let rec declare t =
     record t ~old_s:s ~new_s:(s + pending_one)
   else declare t
 
-let rec enter t =
-  let s = Atomic.get t.cell in
-  if writer_of s || readers_of s > 0 then begin
-    Domain.cpu_relax ();
-    enter t
-  end
-  else begin
-    let s' = s - pending_one + writer_bit in
-    if Atomic.compare_and_set t.cell s s' then record t ~old_s:s ~new_s:s' else enter t
-  end
+let enter t =
+  let rec go spins =
+    let s = Atomic.get t.cell in
+    if writer_of s || readers_of s > 0 then begin
+      backoff spins;
+      go (spins + 1)
+    end
+    else begin
+      let s' = s - pending_one + writer_bit in
+      if Atomic.compare_and_set t.cell s s' then record t ~old_s:s ~new_s:s' else go spins
+    end
+  in
+  go 0
 
 let acquire_write t =
   declare t;

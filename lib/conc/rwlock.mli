@@ -21,7 +21,13 @@
 
     Writer preference: a reader may enter only when no writer is pending,
     so a continuous stream of readers cannot starve a writer. Neither lock
-    is reentrant; acquiring while holding (either mode) deadlocks. *)
+    is reentrant; acquiring while holding (either mode) deadlocks.
+
+    Blocking is a bounded spin ([Domain.cpu_relax]) that falls back to a
+    microsleep, so a blocked acquirer yields its timeslice when domains
+    outnumber cores instead of burning a scheduler quantum against the
+    holder. Critical sections should stay short (staging drains, cache
+    probes) — this is a spin lock, not a parking lock. *)
 
 (** The protocol state machine, shared by the model checks and the
     implementation's trace validation. *)
@@ -65,15 +71,31 @@ type t
     recording is safe from any number of domains) for {!Trace.validate}. *)
 val create : ?trace_capacity:int -> unit -> t
 
+(** Block until no writer is inside or pending, then enter as a reader.
+    Not reentrant — acquiring while already holding this lock (either
+    mode) deadlocks. *)
 val acquire_read : t -> unit
+
+(** Raises [Invalid_argument] when no reader holds the lock. *)
 val release_read : t -> unit
+
+(** Declare intent (barring new readers at once — writer preference),
+    then block until the section is empty and enter as the writer. Not
+    reentrant. *)
 val acquire_write : t -> unit
+
 val release_write : t -> unit
 
 (** Current state (racy snapshot; introspection and assertions only). *)
 val state : t -> Spec.state
 
+(** [with_read t f] / [with_write t f] — acquire, run [f], release on
+    any exit including exceptions. Prefer these closure forms: the
+    static lock-order linter ([bin/lint.exe]) recognizes only [with_*]
+    acquisitions when building its class graph, so a paired
+    acquire/release is invisible to that analysis. *)
 val with_read : t -> (unit -> 'a) -> 'a
+
 val with_write : t -> (unit -> 'a) -> 'a
 
 module Trace : sig

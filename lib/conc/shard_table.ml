@@ -23,6 +23,10 @@ let with_key_write t key f =
   let i = shard_of t key in
   Rwlock.with_write t.locks.(i) (fun () -> f t.tables.(i))
 
+let with_shard_read t i f =
+  if i < 0 || i >= t.shards then invalid_arg "Shard_table.with_shard_read: bad shard";
+  Rwlock.with_read t.locks.(i) (fun () -> f t.tables.(i))
+
 let with_shard_write t i f =
   if i < 0 || i >= t.shards then invalid_arg "Shard_table.with_shard_write: bad shard";
   Rwlock.with_write t.locks.(i) (fun () -> f t.tables.(i))

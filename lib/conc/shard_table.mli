@@ -28,6 +28,11 @@ val with_key_read : 'a t -> string -> ((string, 'a) Hashtbl.t -> 'b) -> 'b
 (** [with_key_write t key f] — same shard table under the write lock. *)
 val with_key_write : 'a t -> string -> ((string, 'a) Hashtbl.t -> 'b) -> 'b
 
+(** [with_shard_read t i f] — shard [i] by index under the read lock
+    ([f] must not mutate). The maintenance plane's cheap emptiness probe:
+    a reader-side peek never blocks other readers of the shard. *)
+val with_shard_read : 'a t -> int -> ((string, 'a) Hashtbl.t -> 'b) -> 'b
+
 (** [with_shard_write t i f] — shard [i] by index, write-locked. *)
 val with_shard_write : 'a t -> int -> ((string, 'a) Hashtbl.t -> 'b) -> 'b
 

@@ -15,6 +15,8 @@ type report = {
   key_reports : key_report list;  (** keys whose history was non-empty *)
   final_drain_ok : bool;  (** post-join flush succeeded and staging is empty *)
   post_drain_consistent : bool;  (** Shared.get = underlying get for every key *)
+  maint : Store.Shared.Maint.stats option;
+      (** stats of the racing maintenance domain, when one was attached *)
 }
 
 let pp_report fmt r =
@@ -27,11 +29,21 @@ let pp_report fmt r =
     (List.length r.key_reports)
     (if r.final_drain_ok then "ok" else "FAILED")
     (if r.post_drain_consistent then "consistent" else "INCONSISTENT");
+  (match r.maint with
+  | None -> ()
+  | Some s ->
+    Format.fprintf fmt "; maint domain: %d steps (%d flushes draining %d, %d compacts, %d \
+                        reclaims, %d errors)"
+      s.Store.Shared.Maint.steps s.Store.Shared.Maint.flushes s.Store.Shared.Maint.drained
+      s.Store.Shared.Maint.compacts s.Store.Shared.Maint.reclaims s.Store.Shared.Maint.errors);
   List.iter (fun k -> Format.fprintf fmt "@.  NOT linearizable: %s (%d events)" k.key k.events) bad
 
 let ok r =
   r.errors = 0 && r.events > 0 && r.final_drain_ok && r.post_drain_consistent
   && List.for_all (fun k -> k.linearizable) r.key_reports
+  && match r.maint with
+     | None -> true
+     | Some s -> s.Store.Shared.Maint.errors = 0 && s.Store.Shared.Maint.steps > 0
 
 (* The sequential reference model of one key: a register holding
    [string option]. *)
@@ -40,7 +52,7 @@ let apply s = function
   | Delete -> (None, Acked)
   | Get -> (s, Got s)
 
-let run ?(domains = 4) ?(ops_per_domain = 64) ?(shards = 4) ?(seed = 0) () =
+let run ?(domains = 4) ?(ops_per_domain = 64) ?(shards = 4) ?(seed = 0) ?(maint = false) () =
   (* default_config: real geometry with auto maintenance — the workload
      probes races, not extent exhaustion (test_config's tiny geometry
      runs out of space under hundreds of racing ops). *)
@@ -105,7 +117,32 @@ let run ?(domains = 4) ?(ops_per_domain = 64) ?(shards = 4) ?(seed = 0) () =
     done;
     (!events, !errors, !flushes)
   in
+  (* The maintenance domain races the whole foreground phase: round-robin
+     narrowed shard flushes plus periodic compactions and reclaims, each
+     of which must be invisible to the per-key histories checked below. *)
+  let maint_worker =
+    if maint then Some (Store.Shared.Maint.start ~compact_every:6 ~reclaim_every:9 store)
+    else None
+  in
   let results = Conc.Domains.spawn_join ~domains worker in
+  (* Give a not-yet-scheduled maintenance domain (1-core host, short
+     foreground phase) a bounded chance to step before we stop it: stage
+     one sentinel put and spin until the worker drains it. The sentinel
+     key is outside the checked key universe, so histories are
+     untouched, and the post-join flush below covers the bound running
+     out. *)
+  (match maint_worker with
+  | None -> ()
+  | Some _ ->
+    ignore (Store.Shared.put store ~key:"maint-wakeup" ~value:"x" : (unit, _) result);
+    let rec wait n =
+      if Store.Shared.staged_count store > 0 && n > 0 then begin
+        Conc.Domains.relax ();
+        wait (n - 1)
+      end
+    in
+    wait 50_000_000);
+  let maint_stats = Option.map Store.Shared.Maint.stop maint_worker in
   let errors = List.fold_left (fun acc (_, e, _) -> acc + e) 0 results in
   let flushes = List.fold_left (fun acc (_, _, f) -> acc + f) 0 results in
   (* Post-join: drain staging, then the shared view and the underlying
@@ -153,4 +190,59 @@ let run ?(domains = 4) ?(ops_per_domain = 64) ?(shards = 4) ?(seed = 0) () =
     key_reports;
     final_drain_ok;
     post_drain_consistent;
+    maint = maint_stats;
   }
+
+(* {2 Traced maintenance-racing run}
+
+   Same shape of foreground workload, but with a wire-trace recorder
+   attached and the maintenance domain always on: every foreground op is
+   recorded as an invocation/response interval and every maintenance
+   flush leaves a [Flush] marker, then the whole trace is audited
+   offline by Tracecheck — the end-to-end cross-check that a narrowed
+   flush racing real traffic leaves a linearizable wire history. *)
+let traced_maint ?(domains = 3) ?(ops_per_domain = 48) ?(shards = 4) ?(seed = 0) () =
+  let recorder = Tracecheck.Trace.Recorder.create ~byte_budget:(32 * 1024 * 1024) () in
+  let store = Store.Shared.create ~shards ~trace:recorder Store.Default.default_config in
+  let total = domains * ops_per_domain in
+  let nkeys = max 4 (total / 40) in
+  let key i = Printf.sprintf "k%02d" i in
+  let worker d =
+    let rng = Util.Rng.of_int ((seed * 6007) + d) in
+    for i = 0 to ops_per_domain - 1 do
+      let k = key (Util.Rng.int rng nkeys) in
+      let v = Printf.sprintf "d%d-%d" d i in
+      match Util.Rng.int rng 100 with
+      | r when r < 45 -> ignore (Store.Shared.get store ~key:k : (string option, _) result)
+      | r when r < 75 -> ignore (Store.Shared.put store ~key:k ~value:v : (unit, _) result)
+      | r when r < 85 -> ignore (Store.Shared.delete store ~key:k : (unit, _) result)
+      | r when r < 93 ->
+        let k2 = key (Util.Rng.int rng nkeys) in
+        ignore
+          (Store.Shared.put_batch store [ (k, v); (k2, v ^ "b") ]
+            : (Store.Shared.batch_result, _) result)
+      | _ ->
+        let j = Util.Rng.int rng nkeys in
+        let lo = key j and hi = key (min (nkeys - 1) (j + 2)) in
+        ignore (Store.Shared.scan store ~lo ~hi () : ((string * string) list, _) result)
+    done
+  in
+  let maint_worker = Store.Shared.Maint.start ~compact_every:5 ~reclaim_every:8 store in
+  let (_ : unit list) = Conc.Domains.spawn_join ~domains worker in
+  (* On a loaded (or 1-core) host the maintenance domain may not have been
+     scheduled yet when the foreground joins. Stage a little more work and
+     wait — bounded — until the worker demonstrably drains it, so the trace
+     always carries maintenance flush markers and the stats show steps. *)
+  List.iter
+    (fun i ->
+      ignore (Store.Shared.put store ~key:(key i) ~value:"post-join" : (unit, _) result))
+    (List.init (min nkeys shards) (fun i -> i));
+  let rec wait n =
+    if Store.Shared.staged_count store > 0 && n > 0 then begin
+      Conc.Domains.relax ();
+      wait (n - 1)
+    end
+  in
+  wait 50_000_000;
+  let stats = Store.Shared.Maint.stop maint_worker in
+  (Tracecheck.Audit.audit recorder, stats)

@@ -33,12 +33,44 @@ type report = {
   key_reports : key_report list;  (** keys whose history was non-empty *)
   final_drain_ok : bool;  (** post-join flush succeeded and staging is empty *)
   post_drain_consistent : bool;  (** Shared.get = underlying get for every key *)
+  maint : Store.Shared.Maint.stats option;
+      (** stats of the racing maintenance domain, when one was attached *)
 }
 
 val pp_report : Format.formatter -> report -> unit
 
 (** Zero errors, a non-empty event set, every key linearizable, final
-    drain clean, post-drain views consistent. *)
+    drain clean, post-drain views consistent — and, when a maintenance
+    domain raced the run, zero maintenance errors over a positive step
+    count. *)
 val ok : report -> bool
 
-val run : ?domains:int -> ?ops_per_domain:int -> ?shards:int -> ?seed:int -> unit -> report
+(** [run ?maint ()] — with [maint = true] (default false) a dedicated
+    maintenance domain ({!Store.Shared.Maint}) races the foreground
+    domains for the whole run: round-robin narrowed shard flushes plus
+    periodic compactions and reclaims, all of which must be invisible to
+    the per-key histories. *)
+val run :
+  ?domains:int ->
+  ?ops_per_domain:int ->
+  ?shards:int ->
+  ?seed:int ->
+  ?maint:bool ->
+  unit ->
+  report
+
+(** [traced_maint ()] — the end-to-end cross-check: foreground domains
+    run a put/get/delete/batch/scan mix against a store with a
+    wire-trace recorder attached while the maintenance domain races
+    (its flushes leave [Flush] markers in the trace); returns the
+    offline {!Tracecheck.Audit} report over the captured history plus
+    the maintenance stats. The audit must come back [Valid] — a
+    narrowed flush racing real traffic leaves a linearizable wire
+    history. *)
+val traced_maint :
+  ?domains:int ->
+  ?ops_per_domain:int ->
+  ?shards:int ->
+  ?seed:int ->
+  unit ->
+  Tracecheck.Audit.report * Store.Shared.Maint.stats

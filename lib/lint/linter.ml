@@ -44,9 +44,10 @@ let primitive_modules = [ "Atomic"; "Mutex"; "Condition"; "Domain" ]
    feeds sorted snapshots or id-keyed graphs). *)
 let hashtbl_allow = primitive_allow
 
-(* Only the bench layer may read wall clocks freely; experiments route
-   through Util.Wallclock (one waiver line). *)
-let wallclock_allow = [ "bench/"; "lib/benchrec/" ]
+(* Only the bench layer may read wall clocks freely; everything else —
+   experiments, benchrec's record stamps — routes through Util.Wallclock
+   (one waiver line), the single funnel. *)
+let wallclock_allow = [ "bench/" ]
 
 (* The rwlock implementation file: its model harnesses acquire locks that
    sit beneath the class discipline (the lock under test). *)
@@ -60,8 +61,8 @@ let metric_skip = [ "lib/obs/" ]
 let ordered_classes = [ "shard" ]
 
 (* Map the syntactic path of a lock expression to its class in the global
-   order shard < stack < cache. Unclassified acquisitions are findings:
-   the table must grow with the code. *)
+   order maint < shard < stack < cache. Unclassified acquisitions are
+   findings: the table must grow with the code. *)
 let classify_lock path =
   match path with
   | [] -> None
@@ -69,6 +70,7 @@ let classify_lock path =
     let last = List.nth path (List.length path - 1) in
     if List.mem "shards" path || List.mem "locks" path then Some "shard"
     else if last = "stack" || last = "stack_lock" then Some "stack"
+    else if last = "maint" || last = "maint_lock" then Some "maint"
     else if last = "run_lock" then Some "lsm_run"
     else if last = "trace_lock" then Some "trace"
     else if last = "lock" then Some "cache"

@@ -907,18 +907,24 @@ module Shared = struct
     m_staged_hits : Obs.Counter.t;
     m_flushes : Obs.Counter.t;
     m_drained : Obs.Counter.t;
+    m_stack_holds : Obs.Counter.t;  (* stack write sections taken by flushes *)
+    m_compacts : Obs.Counter.t;
+    m_reclaims : Obs.Counter.t;
+    m_reboots : Obs.Counter.t;
   }
 
   type t = {
     base : Default.t;
     staging : string option Conc.Shard_table.t;  (* None = staged tombstone *)
     stack : Conc.Rwlock.t;  (* guards every [base] access *)
+    maint : Conc.Rwlock.t;  (* serializes the maintenance plane; first in the lock order *)
+    flush_chunk : int;  (* ops applied per stack hold during a flush; 0 = whole drain *)
     trace : Tracecheck.Trace.Recorder.t option;
     obs : Obs.t;
     m : metrics;
   }
 
-  let create ?(shards = 8) ?obs ?trace cfg =
+  let create ?(shards = 8) ?(flush_chunk = 32) ?obs ?trace cfg =
     let obs =
       match obs with
       | Some o ->
@@ -931,6 +937,8 @@ module Shared = struct
       base = Default.create ~obs cfg;
       staging = Conc.Shard_table.create ~shards ();
       stack = Conc.Rwlock.create ();
+      maint = Conc.Rwlock.create ();
+      flush_chunk;
       trace;
       obs;
       m =
@@ -942,6 +950,10 @@ module Shared = struct
           m_staged_hits = Obs.counter ~coverage:true obs "shared.get.staged";
           m_flushes = Obs.counter obs "shared.flush";
           m_drained = Obs.counter obs "shared.flush.drained";
+          m_stack_holds = Obs.counter obs "shared.flush.stack_holds";
+          m_compacts = Obs.counter obs "shared.maint.compact";
+          m_reclaims = Obs.counter obs "shared.maint.reclaim";
+          m_reboots = Obs.counter obs "shared.maint.reboot";
         };
     }
 
@@ -1044,55 +1056,236 @@ module Shared = struct
   let first_batch_error (r : Default.batch_result) =
     List.find_map (function Error e -> Some e | Ok _ -> None) r.Default.results
 
-  (* Drain one shard into the base store while holding BOTH the shard
-     write lock and the stack write lock: gets of these keys block until
-     the values are queryable below, keeping the ack visible. *)
+  let check_batch = function
+    | Error e -> Error e
+    | Ok r -> (match first_batch_error r with Some e -> Error e | None -> Ok ())
+
+  (* Split [l] into groups of at most [n], preserving order. *)
+  let chunked n l =
+    let rec go acc cur len = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | x :: rest ->
+        if len = n then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (len + 1) rest
+    in
+    go [] [] 0 l
+
+  (* Drain one shard into the base store. The shard write lock covers the
+     whole drain — a get of one of THIS shard's keys blocks, so it can
+     never observe the window where a key is in neither staging nor base
+     — but the stack write lock is narrowed: with [flush_chunk > 0] it is
+     taken per chunk of that many ops, so foreground gets on OTHER shards
+     (shard read + stack read) keep flowing between chunks.
+     [flush_chunk = 0] restores the coarse protocol (one stack hold
+     across the whole drain) — the global-stack-lock baseline that
+     [bench/maint_bench.exe] measures contention against.
+
+     Error semantics: on any batch error the staging table is left
+     intact. Chunks already applied below are harmless — staging still
+     shadows them, and re-running the flush re-applies the same values
+     idempotently — so an acked mutation is never dropped. *)
   let flush_shard_exn t i =
     Conc.Shard_table.with_shard_write t.staging i (fun tbl ->
-        Conc.Rwlock.with_write t.stack (fun () ->
-            let puts = Util.Tbl.fold_sorted (fun k v acc ->
-                match v with Some v -> (k, v) :: acc | None -> acc) tbl []
+        let puts = Util.Tbl.fold_sorted (fun k v acc ->
+            match v with Some v -> (k, v) :: acc | None -> acc) tbl []
+        in
+        let dels = Util.Tbl.fold_sorted (fun k v acc ->
+            match v with None -> k :: acc | Some _ -> acc) tbl []
+        in
+        let drained = Hashtbl.length tbl in
+        let ( let* ) = Result.bind in
+        let res =
+          if puts = [] && dels = [] then Ok ()
+          else if t.flush_chunk <= 0 then
+            Conc.Rwlock.with_write t.stack (fun () ->
+                Obs.Counter.incr t.m.m_stack_holds;
+                let* () =
+                  if puts = [] then Ok () else check_batch (Default.put_batch t.base puts)
+                in
+                if dels = [] then Ok () else check_batch (Default.delete_batch t.base dels))
+          else
+            let apply f groups =
+              List.fold_left
+                (fun acc group ->
+                  let* () = acc in
+                  Conc.Rwlock.with_write t.stack (fun () ->
+                      Obs.Counter.incr t.m.m_stack_holds;
+                      check_batch (f group)))
+                (Ok ()) groups
             in
-            let dels = Util.Tbl.fold_sorted (fun k v acc ->
-                match v with None -> k :: acc | Some _ -> acc) tbl []
+            let* () =
+              if puts = [] then Ok ()
+              else apply (Default.put_batch t.base) (chunked t.flush_chunk puts)
             in
-            let check = function
-              | Error e -> Error e
-              | Ok r -> (match first_batch_error r with Some e -> Error e | None -> Ok ())
-            in
-            let apply () =
-              let drained = Hashtbl.length tbl in
-              let ( let* ) = Result.bind in
-              let* () = if puts = [] then Ok () else check (Default.put_batch t.base puts) in
-              let* () =
-                if dels = [] then Ok () else check (Default.delete_batch t.base dels)
-              in
-              Ok drained
-            in
-            match apply () with
-            | Ok drained ->
-              Hashtbl.reset tbl;
-              Obs.Counter.add t.m.m_drained drained;
-              Ok drained
-            | Error e -> Error e))
+            if dels = [] then Ok ()
+            else apply (Default.delete_batch t.base) (chunked t.flush_chunk dels)
+        in
+        match res with
+        | Ok () ->
+          Hashtbl.reset tbl;
+          Obs.Counter.add t.m.m_drained drained;
+          Ok drained
+        | Error e -> Error e)
+
+  let mark_flush t =
+    match t.trace with
+    | Some r -> Tracecheck.Trace.Recorder.mark r ~src:"shared" Tracecheck.Trace.Flush
+    | None -> ()
+
+  (* {2 Maintenance plane}
+
+     Every operation below first takes the [maint] write lock — class
+     "maint", FIRST in the global order maint < shard < stack < cache —
+     so maintenance is serialized against itself (two domains calling
+     [flush] and [compact] never interleave structurally) while staying
+     free to take any shard or stack lock underneath. Foreground ops
+     never touch the maint lock, so maintenance costs them nothing on
+     the hot path. *)
 
   (* Flush every shard, ascending. On an error the failing shard (and
      the ones after it) keep their staged entries — acked mutations are
      never dropped, they stay visible from staging. *)
   let flush t =
     Obs.Counter.incr t.m.m_flushes;
-    let rec go i drained =
-      if i >= shards t then Ok drained
-      else
-        match flush_shard_exn t i with
-        | Ok n -> go (i + 1) (drained + n)
-        | Error e -> Error e
+    let res =
+      Conc.Rwlock.with_write t.maint (fun () ->
+          let rec go i drained =
+            if i >= shards t then Ok drained
+            else
+              match flush_shard_exn t i with
+              | Ok n -> go (i + 1) (drained + n)
+              | Error e -> Error e
+          in
+          go 0 0)
     in
-    let res = go 0 0 in
-    (match t.trace with
-    | Some r -> Tracecheck.Trace.Recorder.mark r ~src:"shared" Tracecheck.Trace.Flush
-    | None -> ());
+    mark_flush t;
     res
+
+  let flush_shard t i =
+    if i < 0 || i >= shards t then invalid_arg "Store.Shared.flush_shard: shard out of range";
+    Obs.Counter.incr t.m.m_flushes;
+    let res = Conc.Rwlock.with_write t.maint (fun () -> flush_shard_exn t i) in
+    mark_flush t;
+    res
+
+  (* Structural maintenance on the base store needs no shard lock —
+     staging is untouched, and the stack write lock alone orders it
+     against every foreground read of the base. *)
+  let compact t =
+    Obs.Counter.incr t.m.m_compacts;
+    Conc.Rwlock.with_write t.maint (fun () ->
+        Conc.Rwlock.with_write t.stack (fun () ->
+            Result.map (fun (_ : Dep.t) -> ()) (Default.compact t.base)))
+
+  let reclaim t =
+    Obs.Counter.incr t.m.m_reclaims;
+    Conc.Rwlock.with_write t.maint (fun () ->
+        Conc.Rwlock.with_write t.stack (fun () ->
+            Result.map Option.is_some (Default.reclaim t.base ())))
+
+  (* Drain every staged entry (an acked mutation must reach the disk),
+     then flush and drain the base store below. *)
+  let clean_shutdown t =
+    Conc.Rwlock.with_write t.maint (fun () ->
+        let ( let* ) = Result.bind in
+        let rec go i =
+          if i >= shards t then Ok ()
+          else match flush_shard_exn t i with Ok _ -> go (i + 1) | Error e -> Error e
+        in
+        let* () = go 0 in
+        Conc.Rwlock.with_write t.stack (fun () -> Default.clean_shutdown t.base))
+
+  (* A dirty reboot models a crash: staged entries are volatile state and
+     are DROPPED — acked-but-unflushed mutations are lost exactly like
+     the memtable below loses its unflushed entries, which is why crash
+     workloads sequence this after the racing domains have joined (or
+     account for the loss in their model). All shard write locks are
+     taken (ascending) around the stack write lock so no foreground op is
+     mid-flight when volatile state vanishes. *)
+  let dirty_reboot t ~rng spec =
+    Obs.Counter.incr t.m.m_reboots;
+    Conc.Rwlock.with_write t.maint (fun () ->
+        Conc.Shard_table.with_all_write t.staging (fun tables ->
+            Array.iter Hashtbl.reset tables;
+            Conc.Rwlock.with_write t.stack (fun () -> Default.dirty_reboot t.base ~rng spec)))
+
+  (* The dedicated maintenance domain: a [Conc.Domains.Worker] stepping
+     round-robin shard flushes with periodic compact/reclaim, racing
+     foreground domains through the ops above (each step takes the maint
+     lock per op, so a foreground [flush] still slots in between). *)
+  module Maint = struct
+    type stats = {
+      steps : int;
+      flushes : int;
+      drained : int;
+      compacts : int;
+      reclaims : int;
+      errors : int;
+    }
+
+    type worker = {
+      w : Conc.Domains.Worker.t;
+      stats : stats ref;  (* written only by the worker domain; read after the join *)
+    }
+
+    let start ?(compact_every = 0) ?(reclaim_every = 0) t =
+      let stats =
+        ref { steps = 0; flushes = 0; drained = 0; compacts = 0; reclaims = 0; errors = 0 }
+      in
+      let bump f = stats := f !stats in
+      (* All three refs below are owned by the worker domain (written and
+         read only inside [step]); the join in [stop] publishes them. *)
+      let idle = ref 0 in
+      (* drains since the last compact / compacts since the last reclaim:
+         maintenance follows the data, it doesn't run on a free-spinning
+         clock. A worker that compacts the whole LSM thousands of times a
+         second over an idle store is pure foreground starvation. *)
+      let dirty = ref 0 and compacted = ref 0 in
+      let step n =
+        let shard = n mod shards t in
+        (* Cheap reader-side probe: skip clean shards without touching
+           any write lock, and back off while the store stays idle so a
+           busy foreground never contends with a no-op flush loop. *)
+        let staged =
+          Conc.Shard_table.with_shard_read t.staging shard (fun tbl -> Hashtbl.length tbl)
+        in
+        if staged = 0 then begin
+          idle := min (!idle + 1) 64;
+          for _ = 1 to !idle * 64 do
+            Conc.Domains.relax ()
+          done
+        end
+        else begin
+          idle := 0;
+          match flush_shard t shard with
+          | Ok d ->
+            dirty := !dirty + d;
+            bump (fun s -> { s with flushes = s.flushes + 1; drained = s.drained + d })
+          | Error _ -> bump (fun s -> { s with errors = s.errors + 1 })
+        end;
+        (if compact_every > 0 && n mod compact_every = compact_every - 1 && !dirty > 0 then begin
+           dirty := 0;
+           match compact t with
+           | Ok () ->
+             incr compacted;
+             bump (fun s -> { s with compacts = s.compacts + 1 })
+           | Error _ -> bump (fun s -> { s with errors = s.errors + 1 })
+         end);
+        (if reclaim_every > 0 && n mod reclaim_every = reclaim_every - 1 && !compacted > 0
+         then begin
+           compacted := 0;
+           match reclaim t with
+           | Ok _ -> bump (fun s -> { s with reclaims = s.reclaims + 1 })
+           | Error _ -> bump (fun s -> { s with errors = s.errors + 1 })
+         end);
+        bump (fun s -> { s with steps = s.steps + 1 })
+      in
+      { w = Conc.Domains.Worker.start step; stats }
+
+    let stop worker =
+      let (_ : int) = Conc.Domains.Worker.stop worker.w in
+      !(worker.stats)
+  end
 
   (* Staged overlay on top of the base listing. All shard read locks are
      held (ascending) around the stack read, so the overlay and the base

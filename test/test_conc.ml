@@ -240,7 +240,14 @@ let test_cache_sm () =
 
 let test_conc_shared_model () =
   let reports = Conc.Conc_shared.run ~budget:4_000 () in
-  Alcotest.(check int) "four harnesses" 4 (List.length reports);
+  Alcotest.(check int) "six harnesses" 6 (List.length reports);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        ("harness present: " ^ name)
+        true
+        (List.exists (fun r -> r.Conc.Conc_shared.name = name) reports))
+    [ "shared/maint"; "shared/maint-order" ];
   List.iter (fun r -> expect_clean r.Conc.Conc_shared.name r.Conc.Conc_shared.outcome) reports;
   List.iter
     (fun r ->
@@ -250,6 +257,20 @@ let test_conc_shared_model () =
         (r.Conc.Conc_shared.outcome.Smc.sanitize_accesses > 0))
     reports;
   Alcotest.(check bool) "ok" true (Conc.Conc_shared.ok reports)
+
+(* Worker: the stop flag is checked between steps and the join publishes
+   everything the worker wrote. *)
+let test_domains_worker () =
+  let steps = Atomic.make 0 in
+  let w = Conc.Domains.Worker.start (fun n -> Atomic.set steps (n + 1)) in
+  (* let it spin at least once *)
+  let rec wait k = if Atomic.get steps = 0 && k > 0 then (Domain.cpu_relax (); wait (k - 1)) in
+  wait 20_000_000;
+  let completed = Conc.Domains.Worker.stop w in
+  (* join publishes the worker's writes: the shared counter agrees with
+     the step count the worker returned *)
+  Alcotest.(check int) "published step count" completed (Atomic.get steps);
+  Alcotest.(check bool) "worker stepped" true (completed > 0)
 
 let () =
   Faults.disable_all ();
@@ -287,5 +308,6 @@ let () =
           Alcotest.test_case "shard table" `Quick test_shard_table;
           Alcotest.test_case "cache lifecycle auditor" `Quick test_cache_sm;
           Alcotest.test_case "shared-store model clean" `Slow test_conc_shared_model;
+          Alcotest.test_case "maintenance worker lifecycle" `Quick test_domains_worker;
         ] );
     ]

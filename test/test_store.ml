@@ -610,6 +610,146 @@ let test_shared_multi_domain_smoke () =
       (sh_ok (Sh.get sh ~key))
   done
 
+(* {2 The maintenance plane} *)
+
+(* Foreground domains race a dedicated maintenance domain; every per-key
+   history must still linearize against the register model, and the
+   maintenance domain itself must finish with zero errors. *)
+let test_shared_maint_racing_linearizable () =
+  Faults.disable_all ();
+  let r = Experiments.Shared_lin.run ~domains:3 ~ops_per_domain:40 ~maint:true () in
+  if not (Experiments.Shared_lin.ok r) then
+    Alcotest.failf "maintenance-racing run failed:@.%a" Experiments.Shared_lin.pp_report r;
+  match r.Experiments.Shared_lin.maint with
+  | None -> Alcotest.fail "no maintenance stats attached to the report"
+  | Some s ->
+    Alcotest.(check int) "maintenance errors" 0 s.Sh.Maint.errors;
+    if s.Sh.Maint.steps = 0 then Alcotest.fail "maintenance domain never stepped"
+
+(* Maint worker lifecycle against live foreground traffic from this
+   domain: it must drain the staging layer on its own, finish with zero
+   errors, and leave every key serving the last value written. *)
+let test_shared_maint_worker_drains_live_traffic () =
+  Faults.disable_all ();
+  let sh = Sh.create ~shards:4 S.default_config in
+  let w = Sh.Maint.start ~compact_every:8 ~reclaim_every:12 sh in
+  for i = 0 to 199 do
+    let key = Printf.sprintf "w%d" (i mod 8) in
+    sh_ok (Sh.put sh ~key ~value:(Printf.sprintf "wv%d" i))
+  done;
+  (* wait (bounded) for the worker to drain what we staged *)
+  let rec wait n = if Sh.staged_count sh > 0 && n > 0 then (Domain.cpu_relax (); wait (n - 1)) in
+  wait 20_000_000;
+  let stats = Sh.Maint.stop w in
+  Alcotest.(check int) "maintenance errors" 0 stats.Sh.Maint.errors;
+  if stats.Sh.Maint.flushes = 0 then Alcotest.fail "worker never flushed a shard";
+  ignore (sh_ok (Sh.flush sh));
+  for i = 0 to 7 do
+    let key = Printf.sprintf "w%d" i in
+    (* last write to w<i> was op 192+i *)
+    Alcotest.(check (option string))
+      ("drained " ^ key)
+      (Some (Printf.sprintf "wv%d" (192 + i)))
+      (ok (S.get (Sh.store sh) ~key))
+  done
+
+(* An open Default cursor on the underlying store pins its snapshot while
+   the Shared maintenance plane rearranges everything underneath: shard
+   flushes push staged overwrites into the base and compact rewrites the
+   runs. The cursor must keep yielding exactly what was visible when it
+   opened, and a fresh Shared scan afterwards sees the maintained state.
+   (Reclaim is excluded mid-drain: it physically relocates extents, which
+   the scan contract documents as out of scope for an open cursor — it
+   runs after the drain instead.) *)
+let test_shared_maint_scan_cursor_pinned () =
+  Faults.disable_all ();
+  let sh = Sh.create ~shards:4 ~flush_chunk:2 S.default_config in
+  let expect = List.init 8 (fun i -> (Printf.sprintf "sk%d" i, Printf.sprintf "sv%d" i)) in
+  List.iter (fun (k, v) -> sh_ok (Sh.put sh ~key:k ~value:v)) expect;
+  ignore (sh_ok (Sh.flush sh));
+  (* stage a second wave the cursor must NOT see *)
+  List.iter (fun (k, _) -> sh_ok (Sh.put sh ~key:k ~value:"overwritten")) expect;
+  sh_ok (Sh.put sh ~key:"sz-late" ~value:"late");
+  let cursor = ok (S.scan (Sh.store sh) ()) in
+  let rec drain i acc =
+    match ok (S.scan_next cursor) with
+    | None -> List.rev acc
+    | Some kv ->
+      (* one maintenance-plane op between every two cursor steps *)
+      (match i mod 3 with
+      | 0 -> ignore (sh_ok (Sh.flush_shard sh (i mod 4)))
+      | 1 -> sh_ok (Sh.compact sh)
+      | _ -> ignore (sh_ok (Sh.flush sh)));
+      drain (i + 1) (kv :: acc)
+  in
+  let got = drain 0 [] in
+  Alcotest.(check (list (pair string string))) "cursor pinned its snapshot" expect got;
+  ignore (sh_ok (Sh.reclaim sh));
+  let after = sh_ok (Sh.scan sh ()) in
+  let expected_after =
+    List.map (fun (k, _) -> (k, "overwritten")) expect @ [ ("sz-late", "late") ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "fresh scan sees maintained state" expected_after after
+
+(* Single domain: a seeded op sequence with every maintenance-plane
+   entry point interspersed must stay byte-identical to the same
+   puts/deletes on a bare Default store — flush_shard, compact and
+   reclaim may move data, never change it. *)
+let test_shared_maint_matches_default_single_domain () =
+  Faults.disable_all ();
+  let sh = Sh.create ~shards:4 ~flush_chunk:3 S.default_config in
+  let ref_s = S.create S.default_config in
+  let keys = [| "ma"; "mb"; "mc"; "md"; "me"; "mf" |] in
+  let rng = Rng.create 4242L in
+  for i = 0 to 249 do
+    let key = Rng.pick rng keys in
+    match Rng.int rng 12 with
+    | 0 | 1 | 2 | 3 | 4 ->
+      let value = Printf.sprintf "mv%d" i in
+      sh_ok (Sh.put sh ~key ~value);
+      ignore (ok (S.put ref_s ~key ~value))
+    | 5 ->
+      sh_ok (Sh.delete sh ~key);
+      ignore (ok (S.delete ref_s ~key))
+    | 6 -> ignore (sh_ok (Sh.flush_shard sh (i mod 4)))
+    | 7 -> sh_ok (Sh.compact sh)
+    | 8 -> ignore (sh_ok (Sh.reclaim sh))
+    | _ ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "get %s at step %d" key i)
+        (ok (S.get ref_s ~key))
+        (sh_ok (Sh.get sh ~key))
+  done;
+  Alcotest.(check (list string)) "same key set" (ok (S.list ref_s)) (sh_ok (Sh.list sh));
+  Array.iter
+    (fun key ->
+      Alcotest.(check (option string))
+        ("final " ^ key)
+        (ok (S.get ref_s ~key))
+        (sh_ok (Sh.get sh ~key)))
+    keys;
+  sh_ok (Sh.clean_shutdown sh);
+  Alcotest.(check int) "clean shutdown drains staging" 0 (Sh.staged_count sh)
+
+(* A crash through the Shared plane: staged-but-unflushed entries are
+   volatile by design — a dirty reboot drops them, while everything the
+   maintenance plane already drained survives per the Default store's
+   durability contract (clean_reboot_spec loses nothing persistent). *)
+let test_shared_dirty_reboot_drops_staged () =
+  Faults.disable_all ();
+  let sh = Sh.create ~shards:2 S.default_config in
+  sh_ok (Sh.put sh ~key:"durable" ~value:"kept");
+  ignore (sh_ok (Sh.flush sh));
+  sh_ok (Sh.put sh ~key:"staged-only" ~value:"lost");
+  let rng = Rng.create 7L in
+  sh_ok (Sh.dirty_reboot sh ~rng S.clean_reboot_spec);
+  Alcotest.(check int) "staging dropped" 0 (Sh.staged_count sh);
+  Alcotest.(check (option string)) "drained entry survives" (Some "kept")
+    (sh_ok (Sh.get sh ~key:"durable"));
+  Alcotest.(check (option string)) "staged entry lost" None
+    (sh_ok (Sh.get sh ~key:"staged-only"))
+
 let () =
   Faults.disable_all ();
   Faults.reset_counters ();
@@ -670,6 +810,19 @@ let () =
             test_shared_put_batch_groups_by_shard;
           Alcotest.test_case "delete_batch per-op results" `Quick test_shared_delete_batch;
           Alcotest.test_case "multi-domain smoke" `Quick test_shared_multi_domain_smoke;
+        ] );
+      ( "maintenance plane (shared)",
+        [
+          Alcotest.test_case "racing maintenance domain linearizes" `Quick
+            test_shared_maint_racing_linearizable;
+          Alcotest.test_case "maint worker drains live traffic" `Quick
+            test_shared_maint_worker_drains_live_traffic;
+          Alcotest.test_case "open cursor pinned during maintenance" `Quick
+            test_shared_maint_scan_cursor_pinned;
+          Alcotest.test_case "maintenance ops match Default" `Quick
+            test_shared_maint_matches_default_single_domain;
+          Alcotest.test_case "dirty reboot drops staged entries" `Quick
+            test_shared_dirty_reboot_drops_staged;
         ] );
       ( "scan",
         [ QCheck_alcotest.to_alcotest prop_scan_three_way_identity ] );
